@@ -1,0 +1,113 @@
+// Decode-cost measurements backing two of the paper's runtime claims:
+//   * coarser clusters need "higher computing power to decode" (Section
+//     IV-B) — BM_Devirtualize/<c> shows decode time growing with cluster
+//     size while the stream shrinks;
+//   * de-virtualization "can be easily parallelized to process multiple
+//     macros at once" (Section II-C) — BM_ParallelLoad/<threads> shows the
+//     controller's speed-up.
+//
+// Throughput is reported as configuration bits produced per second
+// (bytes_per_second counter = raw config bits / 8).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "rtc/controller.h"
+#include "vbs/devirtualizer.h"
+#include "vbs/encoder.h"
+
+using namespace vbs;
+
+namespace {
+
+/// One shared routed circuit (placed & routed once per process).
+struct SharedFlow {
+  FlowResult r;
+  std::map<int, VbsImage> images;        // by cluster size
+  std::map<int, BitVector> streams;      // serialized, by cluster size
+
+  SharedFlow() {
+    const char* name = std::getenv("REPRO_BENCH_CIRCUIT");
+    const McncCircuit& c = mcnc_by_name(name ? name : "ex5p");
+    r = run_mcnc_flow(c, bench::paper_flow_options());
+    if (!r.routed()) throw std::runtime_error("bench circuit unroutable");
+    for (const int cl : {1, 2, 4, 8}) {
+      EncodeOptions eo;
+      eo.cluster = cl;
+      images[cl] = encode_vbs(*r.fabric, r.netlist, r.packed, r.placement,
+                              r.routing.routes, eo);
+      streams[cl] = serialize_vbs(images[cl]);
+    }
+  }
+};
+
+SharedFlow& shared() {
+  static SharedFlow f;
+  return f;
+}
+
+void BM_Devirtualize(benchmark::State& state) {
+  SharedFlow& f = shared();
+  const int cluster = static_cast<int>(state.range(0));
+  const VbsImage& img = f.images.at(cluster);
+  DecodeStats stats;
+  for (auto _ : state) {
+    BitVector cfg = devirtualize_image(img, *f.r.fabric, {0, 0}, &stats);
+    benchmark::DoNotOptimize(cfg.words().data());
+  }
+  const double raw_bits = static_cast<double>(f.r.fabric->config_bits_total());
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * raw_bits / 8.0));
+  state.counters["stream_bits"] =
+      static_cast<double>(f.streams.at(cluster).size());
+  state.counters["nodes_expanded_per_iter"] =
+      static_cast<double>(stats.nodes_expanded) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_ParallelLoad(benchmark::State& state) {
+  SharedFlow& f = shared();
+  const int threads = static_cast<int>(state.range(0));
+  const BitVector& stream = f.streams.at(2);
+  for (auto _ : state) {
+    ReconfigController rtc(f.r.fabric->spec(), f.r.fabric->width(),
+                           f.r.fabric->height());
+    const TaskId id = rtc.load(stream, threads);
+    if (id == kNoTask) state.SkipWithError("load failed");
+  }
+  const double raw_bits = static_cast<double>(f.r.fabric->config_bits_total());
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * raw_bits / 8.0));
+}
+
+void BM_Serialize(benchmark::State& state) {
+  SharedFlow& f = shared();
+  const VbsImage& img = f.images.at(1);
+  for (auto _ : state) {
+    BitVector bits = serialize_vbs(img);
+    benchmark::DoNotOptimize(bits.words().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<double>(f.streams.at(1).size()) / 8.0));
+}
+
+void BM_Deserialize(benchmark::State& state) {
+  SharedFlow& f = shared();
+  const BitVector& stream = f.streams.at(1);
+  for (auto _ : state) {
+    VbsImage img = deserialize_vbs(stream);
+    benchmark::DoNotOptimize(img.entries.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<double>(stream.size()) / 8.0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Devirtualize)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelLoad)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Serialize)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Deserialize)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

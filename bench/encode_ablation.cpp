@@ -1,0 +1,94 @@
+// Ablation of the vbsgen feedback loop (paper Section III-B): how much do
+// connection re-ordering, decode-side congestion negotiation and the raw
+// fallback each contribute?
+//
+// Modes:
+//   full        negotiation + re-ordering + raw fallback (the shipped flow)
+//   greedy      pure greedy decoder (1 negotiation iteration) + re-ordering
+//   no-reorder  negotiation, but first-order-only feedback
+//   greedy-only pure greedy decoder, first order only (the naive baseline)
+//   force-raw   no virtualization at all (raw coding per region)
+//
+// Default circuit subset keeps the run short; set REPRO_CIRCUITS/REPRO_FULL
+// to change it.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+#include "vbs/encoder.h"
+
+using namespace vbs;
+
+namespace {
+
+struct Mode {
+  const char* name;
+  EncodeOptions opts;
+};
+
+std::vector<Mode> modes(int cluster) {
+  EncodeOptions base;
+  base.cluster = cluster;
+  Mode full{"full", base};
+  Mode greedy{"greedy", base};
+  greedy.opts.decode_iterations = 1;
+  Mode no_reorder{"no-reorder", base};
+  no_reorder.opts.no_reorder = true;
+  Mode greedy_only{"greedy-only", base};
+  greedy_only.opts.decode_iterations = 1;
+  greedy_only.opts.no_reorder = true;
+  Mode force_raw{"force-raw", base};
+  force_raw.opts.force_raw = true;
+  return {full, greedy, no_reorder, greedy_only, force_raw};
+}
+
+}  // namespace
+
+int main() {
+  std::vector<McncCircuit> circuits;
+  if (std::getenv("REPRO_CIRCUITS") || std::getenv("REPRO_FULL")) {
+    circuits = bench::selected_circuits();
+    bench::print_subset_note();
+  } else {
+    for (const char* n : {"tseng", "ex5p", "alu4", "seq"}) {
+      circuits.push_back(mcnc_by_name(n));
+    }
+  }
+  const FlowOptions opts = bench::paper_flow_options();
+
+  std::printf("Feedback-loop ablation (W = 20). Sizes as %% of raw BS.\n\n");
+  std::vector<TablePrinter> tables;
+  tables.emplace_back(std::vector<std::string>{
+      "circuit", "mode", "VBS/BS", "raw-coded regions", "reordered",
+      "connections"});
+  tables.emplace_back(std::vector<std::string>{
+      "circuit", "mode", "VBS/BS", "raw-coded regions", "reordered",
+      "connections"});
+  const int clusters[] = {1, 2};
+
+  for (const McncCircuit& c : circuits) {
+    FlowResult r = run_mcnc_flow(c, opts);
+    if (!r.routed()) continue;
+    for (std::size_t ci = 0; ci < 2; ++ci) {
+      for (const Mode& m : modes(clusters[ci])) {
+        EncodeStats stats;
+        encode_vbs(*r.fabric, r.netlist, r.packed, r.placement,
+                   r.routing.routes, m.opts, &stats);
+        tables[ci].add_row(
+            {c.name, m.name,
+             TablePrinter::fmt(100.0 * stats.compression_ratio(), 1) + "%",
+             TablePrinter::fmt_int(stats.raw_entries) + "/" +
+                 TablePrinter::fmt_int(stats.entries),
+             TablePrinter::fmt_int(stats.reordered_entries),
+             TablePrinter::fmt_int(stats.connections)});
+      }
+    }
+    std::fflush(stdout);
+  }
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    std::printf("cluster size %d:\n", clusters[ci]);
+    tables[ci].print();
+    std::printf("\n");
+  }
+  return 0;
+}

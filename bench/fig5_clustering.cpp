@@ -1,0 +1,85 @@
+// Reproduces Figure 5: effect of the macro cluster size on the VBS size.
+//
+// For each cluster size the paper plots the geometric mean of the VBS size
+// over the 20 benchmarks with min/max error bars, plus the average
+// compression ratio as a percentage of the raw bit-stream. Each circuit is
+// placed and routed once (W = 20) and encoded at every cluster size; the
+// encoder's feedback loop decode-validates every emitted stream.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "vbs/encoder.h"
+
+using namespace vbs;
+
+int main() {
+  const auto circuits = bench::selected_circuits();
+  bench::print_subset_note();
+  const FlowOptions opts = bench::paper_flow_options();
+  // {3,5} add little shape information and a lot of encode time on a
+  // single-core host; REPRO_ALL_CLUSTERS=1 restores the full sweep.
+  std::vector<int> cluster_sizes{1, 2, 4, 8, 10};
+  if (const char* all = std::getenv("REPRO_ALL_CLUSTERS"); all && all[0] == '1') {
+    cluster_sizes = {1, 2, 3, 4, 5, 8, 10};
+  }
+
+  std::printf("Figure 5: effect of macro cluster size on the VBS size (W = 20)\n");
+  std::printf(
+      "Paper: ratio drops from 41%% (c=1) to 9-15%% for c>=2, with\n"
+      "diminishing returns (or worse) at large sizes.\n\n");
+
+  // sizes[ci][circuit] = VBS bits; ratios likewise relative to raw.
+  std::vector<Summary> size_stats(cluster_sizes.size());
+  std::vector<Summary> ratio_stats(cluster_sizes.size());
+  std::vector<Summary> raw_entry_stats(cluster_sizes.size());
+
+  for (const McncCircuit& c : circuits) {
+    FlowResult r = run_mcnc_flow(c, opts);
+    if (!r.routed()) {
+      std::printf("# %s unroutable at W=20, skipped\n", c.name.c_str());
+      continue;
+    }
+    std::printf("# %s:", c.name.c_str());
+    for (std::size_t ci = 0; ci < cluster_sizes.size(); ++ci) {
+      EncodeOptions eo;
+      eo.cluster = cluster_sizes[ci];
+      EncodeStats stats;
+      encode_vbs(*r.fabric, r.netlist, r.packed, r.placement,
+                 r.routing.routes, eo, &stats);
+      size_stats[ci].add(static_cast<double>(stats.vbs_bits));
+      ratio_stats[ci].add(stats.compression_ratio());
+      raw_entry_stats[ci].add(stats.entries > 0
+                                  ? 1.0 + static_cast<double>(stats.raw_entries)
+                                  : 1.0);
+      std::printf(" c%d=%.1f%%", cluster_sizes[ci],
+                  100.0 * stats.compression_ratio());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n");
+  TablePrinter table({"cluster", "geomean VBS (bits)", "min (bits)",
+                      "max (bits)", "avg ratio", "factor"});
+  for (std::size_t ci = 0; ci < cluster_sizes.size(); ++ci) {
+    if (size_stats[ci].count() == 0) continue;
+    table.add_row(
+        {TablePrinter::fmt_int(cluster_sizes[ci]),
+         TablePrinter::fmt_bits(
+             static_cast<unsigned long long>(size_stats[ci].geomean())),
+         TablePrinter::fmt_bits(
+             static_cast<unsigned long long>(size_stats[ci].min())),
+         TablePrinter::fmt_bits(
+             static_cast<unsigned long long>(size_stats[ci].max())),
+         TablePrinter::fmt(100.0 * ratio_stats[ci].mean(), 1) + "%",
+         TablePrinter::fmt(1.0 / ratio_stats[ci].mean(), 2) + "x"});
+  }
+  table.print();
+  if (ratio_stats.front().count() > 0) {
+    std::printf("\nc=1 -> c=2 compression gain: %.2fx (paper: ~4x)\n",
+                ratio_stats[0].mean() / ratio_stats[1].mean());
+  }
+  return 0;
+}

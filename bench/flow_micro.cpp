@@ -1,0 +1,114 @@
+// Micro-benchmarks of the flow substrates: annealing move rate, PathFinder
+// expansion rate, fabric-graph construction, and the bit-level primitives
+// every stream operation sits on. Supporting data for the flow-cost claims
+// in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bitstream/connectivity.h"
+#include "fabric/fabric.h"
+#include "flow/flow.h"
+#include "netlist/generator.h"
+#include "pack/pack.h"
+#include "place/annealer.h"
+#include "route/route_request.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+using namespace vbs;
+
+namespace {
+
+void BM_AnnealerMoves(benchmark::State& state) {
+  GenParams p;
+  p.n_lut = static_cast<int>(state.range(0));
+  p.seed = 7;
+  const Netlist nl = generate_netlist(p);
+  ArchSpec spec;
+  spec.chan_width = 12;
+  const PackedDesign pd = pack_netlist(nl, spec);
+  const int grid = static_cast<int>(std::ceil(std::sqrt(p.n_lut * 1.2)));
+  long long moves = 0;
+  for (auto _ : state) {
+    PlaceStats stats;
+    const Placement pl =
+        place_design(nl, pd, spec, grid, grid, {}, &stats);
+    benchmark::DoNotOptimize(pl.lut_loc.data());
+    moves += stats.moves;
+  }
+  state.counters["moves_per_sec"] = benchmark::Counter(
+      static_cast<double>(moves), benchmark::Counter::kIsRate);
+}
+
+void BM_RouterExpansion(benchmark::State& state) {
+  GenParams p;
+  p.n_lut = static_cast<int>(state.range(0));
+  p.seed = 9;
+  const Netlist nl = generate_netlist(p);
+  ArchSpec spec;
+  spec.chan_width = 10;
+  const PackedDesign pd = pack_netlist(nl, spec);
+  const int grid = static_cast<int>(std::ceil(std::sqrt(p.n_lut * 1.2)));
+  const Placement pl = place_design(nl, pd, spec, grid, grid, {});
+  const Fabric fabric(spec, grid, grid);
+  long long pops = 0;
+  for (auto _ : state) {
+    PathfinderRouter router(fabric, build_route_request(fabric, nl, pd, pl));
+    const RoutingResult rr = router.route({});
+    if (!rr.success) state.SkipWithError("unroutable");
+    pops += rr.heap_pops;
+  }
+  state.counters["heap_pops_per_sec"] = benchmark::Counter(
+      static_cast<double>(pops), benchmark::Counter::kIsRate);
+}
+
+void BM_FabricBuild(benchmark::State& state) {
+  ArchSpec spec;  // W = 20, the paper's normalized width
+  const int size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const Fabric fabric(spec, size, size);
+    benchmark::DoNotOptimize(fabric.num_nodes());
+  }
+  state.counters["nodes"] =
+      static_cast<double>(Fabric(spec, size, size).num_nodes());
+}
+
+void BM_BitVectorAppend(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    BitVector v;
+    for (int i = 0; i < 1 << 16; ++i) v.push_back((i * 2654435761u) & 1);
+    benchmark::DoNotOptimize(v.words().data());
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 13));
+}
+
+void BM_ConnectivityExtract(benchmark::State& state) {
+  GenParams p;
+  p.n_lut = 80;
+  p.seed = 11;
+  FlowOptions o;
+  o.arch.chan_width = 10;
+  FlowResult r = run_flow(generate_netlist(p), 10, 10, o);
+  if (!r.routed()) {
+    state.SkipWithError("unroutable");
+    return;
+  }
+  const BitVector raw = generate_raw_bitstream(*r.fabric, r.netlist, r.packed,
+                                               r.placement, r.routing.routes);
+  for (auto _ : state) {
+    const Connectivity conn(*r.fabric, raw);
+    benchmark::DoNotOptimize(conn.root(0));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_AnnealerMoves)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RouterExpansion)->Arg(100)->Arg(250)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricBuild)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BitVectorAppend);
+BENCHMARK(BM_ConnectivityExtract)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

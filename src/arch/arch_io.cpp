@@ -1,0 +1,83 @@
+#include "arch/arch_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vbs {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::runtime_error("arch parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+ArchSpec read_arch(std::istream& is) {
+  ArchSpec spec;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key, eq, value;
+    if (!(ls >> key)) continue;
+    if (!(ls >> eq >> value) || eq != "=") {
+      fail(line_no, "expected 'key = value'");
+    }
+    std::string extra;
+    if (ls >> extra) fail(line_no, "trailing tokens after value");
+    try {
+      if (key == "chan_width") {
+        spec.chan_width = std::stoi(value);
+      } else if (key == "lut_k") {
+        spec.lut_k = std::stoi(value);
+      } else if (key == "sb_pattern") {
+        if (value == "disjoint") {
+          spec.sb_pattern = SbPattern::kDisjoint;
+        } else if (value == "wilton") {
+          spec.sb_pattern = SbPattern::kWilton;
+        } else {
+          fail(line_no, "unknown sb_pattern '" + value + "'");
+        }
+      } else {
+        fail(line_no, "unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      fail(line_no, "bad numeric value '" + value + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+ArchSpec arch_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_arch(ss);
+}
+
+ArchSpec read_arch_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open arch file: " + path);
+  return read_arch(is);
+}
+
+void write_arch(std::ostream& os, const ArchSpec& spec) {
+  os << "chan_width = " << spec.chan_width << "\n";
+  os << "lut_k = " << spec.lut_k << "\n";
+  os << "sb_pattern = "
+     << (spec.sb_pattern == SbPattern::kWilton ? "wilton" : "disjoint")
+     << "\n";
+}
+
+std::string arch_to_string(const ArchSpec& spec) {
+  std::ostringstream ss;
+  write_arch(ss, spec);
+  return ss.str();
+}
+
+}  // namespace vbs

@@ -1,0 +1,27 @@
+// Text format for architecture descriptions — the "FPGA architecture"
+// input of the design flow (paper Fig. 3). One `key = value` per line,
+// '#' comments:
+//
+//   chan_width = 20
+//   lut_k      = 6
+//   sb_pattern = disjoint   # or: wilton
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/arch_spec.h"
+
+namespace vbs {
+
+/// Parses an architecture description; unknown keys and malformed lines
+/// throw std::runtime_error with the line number. Missing keys keep their
+/// defaults. The result is validate()d.
+ArchSpec read_arch(std::istream& is);
+ArchSpec arch_from_string(const std::string& text);
+ArchSpec read_arch_file(const std::string& path);
+
+void write_arch(std::ostream& os, const ArchSpec& spec);
+std::string arch_to_string(const ArchSpec& spec);
+
+}  // namespace vbs

@@ -1,0 +1,22 @@
+#include "arch/arch_spec.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace vbs {
+
+void ArchSpec::validate() const {
+  if (chan_width < 2) {
+    throw std::invalid_argument("ArchSpec: channel width must be >= 2, got " +
+                                std::to_string(chan_width));
+  }
+  if (chan_width > 255) {
+    throw std::invalid_argument("ArchSpec: channel width too large (max 255)");
+  }
+  if (lut_k < 2 || lut_k > 6) {
+    throw std::invalid_argument("ArchSpec: LUT size must be in [2,6], got " +
+                                std::to_string(lut_k));
+  }
+}
+
+}  // namespace vbs

@@ -1,0 +1,159 @@
+#include "bitstream/connectivity.h"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace vbs {
+
+Connectivity::Connectivity(const Fabric& fabric, const BitVector& raw)
+    : fabric_(&fabric), raw_(&raw) {
+  if (raw.size() != fabric.config_bits_total()) {
+    throw std::invalid_argument("connectivity: raw image size mismatch");
+  }
+  parent_.resize(static_cast<std::size_t>(fabric.num_nodes()));
+  std::iota(parent_.begin(), parent_.end(), 0);
+
+  auto find = [&](int a) {
+    while (parent_[static_cast<std::size_t>(a)] != a) {
+      parent_[static_cast<std::size_t>(a)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(a)])];
+      a = parent_[static_cast<std::size_t>(a)];
+    }
+    return a;
+  };
+
+  const MacroModel& mm = fabric.macro();
+  const ArchSpec& spec = fabric.spec();
+  const auto& points = mm.switch_points();
+  for (int m = 0; m < fabric.num_macros(); ++m) {
+    const Point mp = fabric.macro_pos(m);
+    const std::size_t base = fabric.macro_config_offset(m) +
+                             static_cast<std::size_t>(spec.nlb_bits());
+    for (const SwitchPoint& pt : points) {
+      for (int pair = 0; pair < pt.n_switches(); ++pair) {
+        if (!raw.get(base + static_cast<std::size_t>(pt.bit_offset + pair))) {
+          continue;
+        }
+        const auto [ai, bi] = pt.pair_arms(pair);
+        const int ga = fabric.global_node(mp.x, mp.y, pt.arms[ai]);
+        const int gb = fabric.global_node(mp.x, mp.y, pt.arms[bi]);
+        parent_[static_cast<std::size_t>(find(ga))] = find(gb);
+      }
+    }
+  }
+  // Full compression so root() is a plain lookup afterwards.
+  for (int g = 0; g < fabric.num_nodes(); ++g) {
+    parent_[static_cast<std::size_t>(g)] = find(g);
+  }
+}
+
+int Connectivity::root(int g) const { return parent_[static_cast<std::size_t>(g)]; }
+
+int Connectivity::root_of_pin(int mx, int my, int pin) const {
+  return root(fabric_->global_node(mx, my, fabric_->macro().pin_node(pin)));
+}
+
+int Connectivity::root_of_port(int mx, int my, int port) const {
+  return root(fabric_->port_global(mx, my, port));
+}
+
+LogicConfig Connectivity::logic(int m) const {
+  return parse_logic_bits(*raw_, fabric_->macro_config_offset(m),
+                          fabric_->spec());
+}
+
+std::string verify_connectivity(const Fabric& fabric, const BitVector& raw,
+                                const Netlist& nl, const PackedDesign& pd,
+                                const Placement& pl) {
+  const Connectivity conn(fabric, raw);
+  const ArchSpec& spec = fabric.spec();
+  const int out_pin = spec.lb_pins() - 1;
+
+  // Terminal nodes per net.
+  struct Terminals {
+    int source = -1;
+    std::vector<int> sinks;
+  };
+  std::vector<Terminals> terms(static_cast<std::size_t>(nl.num_nets()));
+  std::vector<std::array<bool, kMaxLutK>> pin_used(
+      static_cast<std::size_t>(pd.num_luts()));
+  for (int i = 0; i < pd.num_luts(); ++i) {
+    const Point at = pl.lut_loc[static_cast<std::size_t>(i)];
+    const BlockId bi = pd.luts[static_cast<std::size_t>(i)];
+    terms[static_cast<std::size_t>(nl.block(bi).output)].source =
+        fabric.global_node(at.x, at.y, fabric.macro().pin_node(out_pin));
+    pin_used[static_cast<std::size_t>(i)].fill(false);
+    for (int k = 0; k < spec.lut_k; ++k) {
+      const NetId in = pd.lut_pins[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(k)];
+      if (in == kNoNet) continue;
+      pin_used[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = true;
+      terms[static_cast<std::size_t>(in)].sinks.push_back(
+          fabric.global_node(at.x, at.y, fabric.macro().pin_node(k)));
+    }
+  }
+  for (int i = 0; i < pd.num_ios(); ++i) {
+    const BlockId bi = pd.ios[static_cast<std::size_t>(i)];
+    const Block& b = nl.block(bi);
+    const IoSlot slot = pl.io_loc[static_cast<std::size_t>(i)];
+    const Point tile = pl.io_tile(slot);
+    const int node = fabric.port_global(tile.x, tile.y, io_port_id(slot, spec));
+    if (b.type == BlockType::kInput) {
+      terms[static_cast<std::size_t>(b.output)].source = node;
+    } else {
+      terms[static_cast<std::size_t>(b.inputs[0])].sinks.push_back(node);
+    }
+  }
+
+  // 1. Sink reachability + 2. net-to-net shorts.
+  std::vector<int> root_net(static_cast<std::size_t>(fabric.num_nodes()), -1);
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Terminals& t = terms[static_cast<std::size_t>(n)];
+    if (t.sinks.empty()) continue;
+    if (t.source < 0) return "net " + nl.net(n).name + " has no placed source";
+    const int r = conn.root(t.source);
+    for (const int s : t.sinks) {
+      if (conn.root(s) != r) {
+        return "net " + nl.net(n).name + " does not reach all sinks";
+      }
+    }
+    int& owner = root_net[static_cast<std::size_t>(r)];
+    if (owner != -1 && owner != n) {
+      return "nets " + nl.net(owner).name + " and " + nl.net(n).name +
+             " are shorted";
+    }
+    owner = n;
+  }
+
+  // 3. No stray signal on unused pins of used tiles.
+  for (int i = 0; i < pd.num_luts(); ++i) {
+    const Point at = pl.lut_loc[static_cast<std::size_t>(i)];
+    for (int k = 0; k < spec.lut_k; ++k) {
+      if (pin_used[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)]) {
+        continue;
+      }
+      const int r = conn.root_of_pin(at.x, at.y, k);
+      if (root_net[static_cast<std::size_t>(r)] != -1) {
+        return "unused pin driven at tile " + to_string(at);
+      }
+    }
+  }
+
+  // 4. Logic data round-trip.
+  const auto logic = extract_logic_configs(nl, pd, pl);
+  for (int m = 0; m < fabric.num_macros(); ++m) {
+    const LogicConfig want = logic[static_cast<std::size_t>(m)];
+    const LogicConfig got = conn.logic(m);
+    if (want.used &&
+        (got.lut_mask != want.lut_mask || got.has_ff != want.has_ff)) {
+      return "logic data mismatch at macro " + std::to_string(m);
+    }
+    if (!want.used && (got.lut_mask != 0 || got.has_ff)) {
+      return "logic data on empty macro " + std::to_string(m);
+    }
+  }
+  return {};
+}
+
+}  // namespace vbs

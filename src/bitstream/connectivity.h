@@ -1,0 +1,54 @@
+// Electrical connectivity extraction from a raw configuration image.
+//
+// Treats every ON routing switch as a closed pass transistor and unions the
+// wire segments it joins; the resulting components are the electrical nets
+// realized by the configuration. This is the end-to-end oracle of the test
+// suite: a Virtual Bit-Stream decode is correct iff the connectivity
+// extracted from the decoded raw image matches the netlist (same driver ->
+// sink reachability, no shorts between nets, no stray connections onto
+// logic-block pins), regardless of which internal switch pattern the online
+// router chose.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.h"
+#include "fabric/fabric.h"
+#include "netlist/netlist.h"
+#include "pack/pack.h"
+#include "place/placement.h"
+#include "util/bitvector.h"
+
+namespace vbs {
+
+class Connectivity {
+ public:
+  /// `raw` must be a full-fabric image (fabric.config_bits_total() bits).
+  Connectivity(const Fabric& fabric, const BitVector& raw);
+
+  /// Representative of the electrical component containing global node g.
+  int root(int g) const;
+  int root_of_pin(int mx, int my, int pin) const;
+  int root_of_port(int mx, int my, int port) const;
+
+  /// Logic configuration parsed back from the image.
+  LogicConfig logic(int m) const;
+
+  const Fabric& fabric() const { return *fabric_; }
+
+ private:
+  const Fabric* fabric_;
+  const BitVector* raw_;
+  std::vector<int> parent_;  ///< fully-compressed after construction
+};
+
+/// Verifies that `raw` implements the placed design: every net's sinks are
+/// electrically reachable from its driver, no two nets are shorted, no
+/// unused LUT pin is driven, and every used tile's logic bits match.
+/// Returns an empty string on success, else a human-readable diagnosis.
+std::string verify_connectivity(const Fabric& fabric, const BitVector& raw,
+                                const Netlist& nl, const PackedDesign& pd,
+                                const Placement& pl);
+
+}  // namespace vbs

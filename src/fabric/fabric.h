@@ -1,0 +1,107 @@
+// The reconfigurable fabric: a width x height grid of macros with their
+// single-length track wires abutted across tile boundaries.
+//
+// Abutted wire segments (east wire of one tile / west wire of the next, and
+// north/south likewise) are the same electrical conductor, so they are
+// merged into a single *global node* here via union-find. The resulting
+// graph — global nodes connected by programmable switches — is the routing-
+// resource graph used by the global router, the bit-stream generator and the
+// connectivity verifier.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/macro_model.h"
+#include "util/geometry.h"
+
+namespace vbs {
+
+class Fabric {
+ public:
+  Fabric(const ArchSpec& spec, int width, int height);
+
+  const ArchSpec& spec() const { return macro_.spec(); }
+  const MacroModel& macro() const { return macro_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int num_macros() const { return width_ * height_; }
+  int macro_index(int mx, int my) const { return my * width_ + mx; }
+  Point macro_pos(int m) const { return {m % width_, m / width_}; }
+
+  // --- global node space --------------------------------------------------
+  int num_nodes() const { return num_nodes_; }
+  /// Global node carrying the macro-local node `local` of tile (mx,my).
+  int global_node(int mx, int my, int local) const {
+    return node_of_raw_[static_cast<std::size_t>(macro_index(mx, my)) *
+                            macro_.num_nodes() +
+                        local];
+  }
+  /// Global node of a macro boundary/pin port.
+  int port_global(int mx, int my, int port) const {
+    return global_node(mx, my, macro_.port_node(port));
+  }
+  /// Representative tile of a node (for distance heuristics).
+  Point node_pos(int g) const { return {pos_x_[g], pos_y_[g]}; }
+
+  // --- switches (graph edges) ----------------------------------------------
+  struct Edge {
+    std::int32_t to;      ///< neighbouring global node
+    std::int32_t macro;   ///< macro owning the switch
+    std::int16_t point;   ///< switch-point index within the macro model
+    std::int8_t pair;     ///< arm-pair index within the point
+    std::int8_t pad = 0;
+  };
+  std::span<const Edge> edges(int g) const {
+    return {edge_data_.data() + edge_begin_[g],
+            edge_data_.data() + edge_begin_[g + 1]};
+  }
+  std::size_t num_edges() const { return edge_data_.size() / 2; }
+  /// Absolute index of the first edge of node g in the edge array; the k-th
+  /// edge of edges(g) has absolute index edge_offset(g) + k.
+  std::size_t edge_offset(int g) const { return edge_begin_[g]; }
+  const Edge& edge_at(std::size_t idx) const { return edge_data_[idx]; }
+
+  // --- ports carried by a node ---------------------------------------------
+  struct MacroPort {
+    std::int32_t macro;
+    std::int32_t port;
+  };
+  /// All (macro, port) identities of a global node: two for an abutted
+  /// boundary wire, one for a fabric-edge wire or an LB pin, zero for an
+  /// interior segment.
+  std::span<const MacroPort> node_ports(int g) const {
+    return {port_data_.data() + port_begin_[g],
+            port_data_.data() + port_begin_[g + 1]};
+  }
+
+  // --- configuration-bit layout ---------------------------------------------
+  /// Raw frame: macros in row-major order, nraw_bits() bits each, logic
+  /// data first then routing bits in MacroModel canonical order.
+  std::size_t config_bits_total() const {
+    return static_cast<std::size_t>(num_macros()) * spec().nraw_bits();
+  }
+  std::size_t macro_config_offset(int m) const {
+    return static_cast<std::size_t>(m) * spec().nraw_bits();
+  }
+  /// Bit index of a routing switch within the full-fabric raw frame.
+  std::size_t switch_config_bit(int m, int point, int pair) const {
+    return macro_config_offset(m) + spec().nlb_bits() +
+           macro_.switch_points()[point].bit_offset + pair;
+  }
+
+ private:
+  MacroModel macro_;
+  int width_;
+  int height_;
+  int num_nodes_ = 0;
+  std::vector<std::int32_t> node_of_raw_;  ///< raw (macro,local) -> global
+  std::vector<std::int16_t> pos_x_, pos_y_;
+  std::vector<std::size_t> edge_begin_;
+  std::vector<Edge> edge_data_;
+  std::vector<std::size_t> port_begin_;
+  std::vector<MacroPort> port_data_;
+};
+
+}  // namespace vbs

@@ -1,0 +1,35 @@
+#include "flow/flow.h"
+
+#include "util/logging.h"
+
+namespace vbs {
+
+FlowResult run_flow(Netlist nl, int grid_w, int grid_h,
+                    const FlowOptions& opts) {
+  FlowResult r;
+  r.netlist = std::move(nl);
+  r.packed = pack_netlist(r.netlist, opts.arch);
+  PlaceOptions popts = opts.place;
+  popts.seed = popts.seed == 1 ? opts.seed : popts.seed;
+  log_info("placing " + r.netlist.name + " (" +
+           std::to_string(r.packed.num_luts()) + " LBs on " +
+           std::to_string(grid_w) + "x" + std::to_string(grid_h) + ")");
+  r.placement = place_design(r.netlist, r.packed, opts.arch, grid_w, grid_h,
+                             popts);
+  r.fabric = std::make_unique<Fabric>(opts.arch, grid_w, grid_h);
+  log_info("routing " + r.netlist.name + " at W=" +
+           std::to_string(opts.arch.chan_width));
+  PathfinderRouter router(
+      *r.fabric, build_route_request(*r.fabric, r.netlist, r.packed, r.placement));
+  r.routing = router.route(opts.route);
+  log_info("routing " + std::string(r.routing.success ? "converged" : "FAILED") +
+           " after " + std::to_string(r.routing.iterations) + " iterations");
+  return r;
+}
+
+FlowResult run_mcnc_flow(const McncCircuit& circuit, const FlowOptions& opts) {
+  return run_flow(make_mcnc_like(circuit, opts.seed), circuit.size,
+                  circuit.size, opts);
+}
+
+}  // namespace vbs

@@ -1,0 +1,100 @@
+#include "netlist/netlist.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace vbs {
+
+BlockId Netlist::add_block(Block b) {
+  blocks_.push_back(std::move(b));
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+NetId Netlist::add_net(std::string net_name, BlockId driver) {
+  Net n;
+  n.name = std::move(net_name);
+  n.driver = driver;
+  nets_.push_back(std::move(n));
+  const NetId id = static_cast<NetId>(nets_.size() - 1);
+  if (driver != kNoBlock) block(driver).output = id;
+  return id;
+}
+
+void Netlist::connect(NetId n, BlockId b, int pin) {
+  net(n).sinks.push_back({b, pin});
+  block(b).inputs[static_cast<std::size_t>(pin)] = n;
+}
+
+int Netlist::num_luts() const {
+  int n = 0;
+  for (const Block& b : blocks_) n += (b.type == BlockType::kLut);
+  return n;
+}
+
+int Netlist::num_inputs() const {
+  int n = 0;
+  for (const Block& b : blocks_) n += (b.type == BlockType::kInput);
+  return n;
+}
+
+int Netlist::num_outputs() const {
+  int n = 0;
+  for (const Block& b : blocks_) n += (b.type == BlockType::kOutput);
+  return n;
+}
+
+void Netlist::validate() const {
+  for (NetId n = 0; n < num_nets(); ++n) {
+    const Net& net = nets_[static_cast<std::size_t>(n)];
+    if (net.driver == kNoBlock) {
+      throw std::logic_error("net " + net.name + " has no driver");
+    }
+    if (net.driver < 0 || net.driver >= num_blocks() ||
+        block(net.driver).output != n) {
+      throw std::logic_error("net " + net.name + " driver mismatch");
+    }
+    if (block(net.driver).type == BlockType::kOutput) {
+      throw std::logic_error("net " + net.name + " driven by an output pad");
+    }
+    std::set<std::pair<BlockId, int>> seen;
+    for (const Net::Sink& s : net.sinks) {
+      if (s.block < 0 || s.block >= num_blocks()) {
+        throw std::logic_error("net " + net.name + " has out-of-range sink");
+      }
+      const Block& b = block(s.block);
+      const int max_pin = b.type == BlockType::kLut ? kMaxLutK : 1;
+      if (s.pin < 0 || s.pin >= max_pin) {
+        throw std::logic_error("net " + net.name + " sink pin out of range");
+      }
+      if (b.type == BlockType::kInput) {
+        throw std::logic_error("net " + net.name + " sinks into an input pad");
+      }
+      if (b.inputs[static_cast<std::size_t>(s.pin)] != n) {
+        throw std::logic_error("net " + net.name + " sink back-reference broken");
+      }
+      if (!seen.insert({s.block, s.pin}).second) {
+        throw std::logic_error("net " + net.name + " has duplicate sink pin");
+      }
+    }
+  }
+  for (BlockId bi = 0; bi < num_blocks(); ++bi) {
+    const Block& b = blocks_[static_cast<std::size_t>(bi)];
+    if (b.type != BlockType::kOutput && b.output == kNoNet) {
+      throw std::logic_error("block " + b.name + " drives no net");
+    }
+    for (int pin = 0; pin < kMaxLutK; ++pin) {
+      const NetId in = b.inputs[static_cast<std::size_t>(pin)];
+      if (in == kNoNet) continue;
+      bool found = false;
+      for (const Net::Sink& s : net(in).sinks) {
+        found |= (s.block == bi && s.pin == pin);
+      }
+      if (!found) {
+        throw std::logic_error("block " + b.name +
+                               " input pin not registered as net sink");
+      }
+    }
+  }
+}
+
+}  // namespace vbs

@@ -1,0 +1,96 @@
+// Technology-mapped netlist: K-input LUT blocks (optionally registered),
+// primary inputs and primary outputs, connected by multi-terminal nets.
+//
+// This is the input the design flow consumes — the equivalent of what
+// VTR hands to VPR after synthesis and technology mapping.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbs {
+
+using BlockId = std::int32_t;
+using NetId = std::int32_t;
+inline constexpr BlockId kNoBlock = -1;
+inline constexpr NetId kNoNet = -1;
+
+/// Max LUT inputs supported (ArchSpec::lut_k <= 6).
+inline constexpr int kMaxLutK = 6;
+
+enum class BlockType : std::uint8_t {
+  kLut,     ///< K-input LUT + optional flip-flop; occupies one logic block
+  kInput,   ///< primary input; injects at a task-boundary track port
+  kOutput,  ///< primary output; taps a task-boundary track port
+};
+
+struct Block {
+  BlockType type = BlockType::kLut;
+  std::string name;
+  /// Input nets, pins 0..K-1; kNoNet for unused pins. For kOutput blocks
+  /// pin 0 carries the sampled net.
+  std::array<NetId, kMaxLutK> inputs{kNoNet, kNoNet, kNoNet,
+                                     kNoNet, kNoNet, kNoNet};
+  /// Net driven by this block (LUT output or primary input); kNoNet for
+  /// kOutput blocks.
+  NetId output = kNoNet;
+  /// LUT truth table (2^K bits in the low bits); ignored for I/O blocks.
+  std::uint64_t lut_mask = 0;
+  /// Registered output (the FF-select configuration bit).
+  bool has_ff = false;
+
+  int num_used_inputs() const {
+    int n = 0;
+    for (NetId in : inputs) n += (in != kNoNet);
+    return n;
+  }
+};
+
+struct Net {
+  std::string name;
+  BlockId driver = kNoBlock;
+  struct Sink {
+    BlockId block;
+    int pin;  ///< LUT input pin index, or 0 for a kOutput block
+    friend bool operator==(const Sink&, const Sink&) = default;
+  };
+  std::vector<Sink> sinks;
+};
+
+class Netlist {
+ public:
+  std::string name;
+
+  BlockId add_block(Block b);
+  NetId add_net(std::string name, BlockId driver);
+  /// Connects net `n` to input pin `pin` of block `b` (updates both sides).
+  void connect(NetId n, BlockId b, int pin);
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  Block& block(BlockId b) { return blocks_[static_cast<std::size_t>(b)]; }
+  const Block& block(BlockId b) const {
+    return blocks_[static_cast<std::size_t>(b)];
+  }
+  Net& net(NetId n) { return nets_[static_cast<std::size_t>(n)]; }
+  const Net& net(NetId n) const { return nets_[static_cast<std::size_t>(n)]; }
+
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+  int num_luts() const;
+  int num_inputs() const;
+  int num_outputs() const;
+
+  /// Structural invariants: every net's driver exists and drives it, every
+  /// sink pin references back, pin indices in range, no duplicate sink
+  /// pins. Throws std::logic_error with a description on violation.
+  void validate() const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace vbs

@@ -1,0 +1,165 @@
+#include "netlist/netlist_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace vbs {
+
+void write_netlist(std::ostream& os, const Netlist& nl) {
+  os << "circuit " << (nl.name.empty() ? "unnamed" : nl.name) << "\n";
+  for (BlockId bi = 0; bi < nl.num_blocks(); ++bi) {
+    const Block& b = nl.block(bi);
+    if (b.type == BlockType::kInput) os << "input " << b.name << "\n";
+  }
+  for (BlockId bi = 0; bi < nl.num_blocks(); ++bi) {
+    const Block& b = nl.block(bi);
+    if (b.type != BlockType::kLut) continue;
+    os << "lut " << b.name << " " << std::hex << b.lut_mask << std::dec << " "
+       << (b.has_ff ? 1 : 0) << " " << nl.net(b.output).name;
+    for (int pin = 0; pin < kMaxLutK; ++pin) {
+      const NetId in = b.inputs[static_cast<std::size_t>(pin)];
+      if (in != kNoNet) os << " " << nl.net(in).name;
+    }
+    os << "\n";
+  }
+  for (BlockId bi = 0; bi < nl.num_blocks(); ++bi) {
+    const Block& b = nl.block(bi);
+    if (b.type == BlockType::kOutput) {
+      os << "output " << b.name << " " << nl.net(b.inputs[0]).name << "\n";
+    }
+  }
+}
+
+std::string netlist_to_string(const Netlist& nl) {
+  std::ostringstream ss;
+  write_netlist(ss, nl);
+  return ss.str();
+}
+
+namespace {
+
+struct PendingLut {
+  std::string name;
+  std::uint64_t mask;
+  bool ff;
+  std::string out_net;
+  std::vector<std::string> in_nets;
+};
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::runtime_error("netlist parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+Netlist read_netlist(std::istream& is) {
+  Netlist nl;
+  // Two passes in one read: collect statements, create driver blocks/nets,
+  // then hook up sinks once all net names are known.
+  std::vector<PendingLut> luts;
+  std::vector<std::pair<std::string, std::string>> outputs;  // name, net
+  std::map<std::string, NetId> net_by_name;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+    if (kw == "circuit") {
+      if (!(ls >> nl.name)) fail(line_no, "missing circuit name");
+    } else if (kw == "input") {
+      std::string name;
+      if (!(ls >> name)) fail(line_no, "missing input name");
+      Block b;
+      b.type = BlockType::kInput;
+      b.name = name;
+      const BlockId bi = nl.add_block(std::move(b));
+      if (net_by_name.count(name) != 0) fail(line_no, "duplicate net " + name);
+      net_by_name[name] = nl.add_net(name, bi);
+    } else if (kw == "lut") {
+      PendingLut p;
+      std::string mask_hex, ff;
+      if (!(ls >> p.name >> mask_hex >> ff >> p.out_net)) {
+        fail(line_no, "malformed lut statement");
+      }
+      p.mask = std::stoull(mask_hex, nullptr, 16);
+      p.ff = (ff == "1");
+      std::string in;
+      while (ls >> in) p.in_nets.push_back(in);
+      if (p.in_nets.size() > kMaxLutK) fail(line_no, "too many LUT inputs");
+      Block b;
+      b.type = BlockType::kLut;
+      b.name = p.name;
+      b.lut_mask = p.mask;
+      b.has_ff = p.ff;
+      const BlockId bi = nl.add_block(std::move(b));
+      if (net_by_name.count(p.out_net) != 0) {
+        fail(line_no, "duplicate net " + p.out_net);
+      }
+      net_by_name[p.out_net] = nl.add_net(p.out_net, bi);
+      luts.push_back(std::move(p));
+    } else if (kw == "output") {
+      std::string name, src;
+      if (!(ls >> name >> src)) fail(line_no, "malformed output statement");
+      outputs.emplace_back(name, src);
+    } else {
+      fail(line_no, "unknown keyword '" + kw + "'");
+    }
+  }
+
+  // Hook up sinks.
+  std::size_t lut_cursor = 0;
+  for (BlockId bi = 0; bi < nl.num_blocks(); ++bi) {
+    if (nl.block(bi).type != BlockType::kLut) continue;
+    const PendingLut& p = luts[lut_cursor++];
+    for (std::size_t pin = 0; pin < p.in_nets.size(); ++pin) {
+      const auto it = net_by_name.find(p.in_nets[pin]);
+      if (it == net_by_name.end()) {
+        throw std::runtime_error("netlist parse error: undriven net " +
+                                 p.in_nets[pin]);
+      }
+      nl.connect(it->second, bi, static_cast<int>(pin));
+    }
+  }
+  for (const auto& [name, src] : outputs) {
+    const auto it = net_by_name.find(src);
+    if (it == net_by_name.end()) {
+      throw std::runtime_error("netlist parse error: undriven net " + src);
+    }
+    Block b;
+    b.type = BlockType::kOutput;
+    b.name = name;
+    const BlockId bi = nl.add_block(std::move(b));
+    nl.connect(it->second, bi, 0);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist netlist_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_netlist(ss);
+}
+
+void write_netlist_file(const std::string& path, const Netlist& nl) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_netlist(os, nl);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Netlist read_netlist_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open netlist file: " + path);
+  return read_netlist(is);
+}
+
+}  // namespace vbs

@@ -1,0 +1,32 @@
+// Text serialization of netlists in a small BLIF-like format (".netl").
+//
+// Grammar (one statement per line, '#' comments):
+//   circuit <name>
+//   input  <block-name>
+//   output <block-name> <source-net>
+//   lut    <block-name> <mask-hex> <ff:0|1> <out-net> <in-net>*
+//
+// Nets are named implicitly by their driver statements; `lut`/`input`
+// statements introduce the net they drive.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace vbs {
+
+void write_netlist(std::ostream& os, const Netlist& nl);
+std::string netlist_to_string(const Netlist& nl);
+
+/// Parses the format produced by write_netlist; throws std::runtime_error
+/// with a line number on malformed input.
+Netlist read_netlist(std::istream& is);
+Netlist netlist_from_string(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void write_netlist_file(const std::string& path, const Netlist& nl);
+Netlist read_netlist_file(const std::string& path);
+
+}  // namespace vbs

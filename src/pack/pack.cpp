@@ -1,0 +1,39 @@
+#include "pack/pack.h"
+
+#include <stdexcept>
+
+namespace vbs {
+
+PackedDesign pack_netlist(const Netlist& nl, const ArchSpec& spec) {
+  PackedDesign pd;
+  for (BlockId bi = 0; bi < nl.num_blocks(); ++bi) {
+    const Block& b = nl.block(bi);
+    switch (b.type) {
+      case BlockType::kLut: {
+        if (b.num_used_inputs() > spec.lut_k) {
+          throw std::invalid_argument("pack: block " + b.name + " uses " +
+                                      std::to_string(b.num_used_inputs()) +
+                                      " inputs but K = " +
+                                      std::to_string(spec.lut_k));
+        }
+        pd.luts.push_back(bi);
+        // Compact used nets onto pins 0..n-1 preserving order.
+        std::array<NetId, kMaxLutK> pins;
+        pins.fill(kNoNet);
+        int next = 0;
+        for (NetId in : b.inputs) {
+          if (in != kNoNet) pins[static_cast<std::size_t>(next++)] = in;
+        }
+        pd.lut_pins.push_back(pins);
+        break;
+      }
+      case BlockType::kInput:
+      case BlockType::kOutput:
+        pd.ios.push_back(bi);
+        break;
+    }
+  }
+  return pd;
+}
+
+}  // namespace vbs

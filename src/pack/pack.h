@@ -1,0 +1,36 @@
+// Packing: maps netlist blocks onto the physical block kinds of the fabric.
+//
+// The modelled architecture has one K-LUT per logic block, so packing is a
+// 1:1 assignment (the paper packs MCNC circuits into single-6-LUT blocks the
+// same way). The packer still owns two real responsibilities:
+//   * producing the placeable-instance lists (LUT instances, I/O instances)
+//     in a stable order the placer and router index by, and
+//   * fixing the LUT input pin assignment (net -> physical pin), including
+//     compaction of sparse pin usage onto the lowest-numbered pins.
+#pragma once
+
+#include <vector>
+
+#include "arch/arch_spec.h"
+#include "netlist/netlist.h"
+
+namespace vbs {
+
+struct PackedDesign {
+  /// LUT instances in placement order; values are netlist BlockIds.
+  std::vector<BlockId> luts;
+  /// I/O instances in placement order (both kInput and kOutput blocks).
+  std::vector<BlockId> ios;
+  /// Per LUT instance, the net on each physical input pin (kNoNet unused),
+  /// after pin compaction.
+  std::vector<std::array<NetId, kMaxLutK>> lut_pins;
+
+  int num_luts() const { return static_cast<int>(luts.size()); }
+  int num_ios() const { return static_cast<int>(ios.size()); }
+};
+
+/// Packs `nl` for an architecture with K = spec.lut_k. Throws
+/// std::invalid_argument if any LUT uses more than K inputs.
+PackedDesign pack_netlist(const Netlist& nl, const ArchSpec& spec);
+
+}  // namespace vbs

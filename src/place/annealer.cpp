@@ -1,0 +1,374 @@
+#include "place/annealer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vbs {
+
+namespace {
+
+double crossing_factor(int terminals) {
+  static constexpr double kQ[] = {1.0,    1.0,    1.0,    1.0,    1.0828,
+                                  1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+                                  1.4493, 1.4974, 1.5455, 1.5937, 1.6418,
+                                  1.6899, 1.7304, 1.7709, 1.8114, 1.8519,
+                                  1.8924, 1.9288, 1.9652, 2.0015, 2.0379,
+                                  2.0743, 2.1061, 2.1379, 2.1698, 2.2016,
+                                  2.2334};
+  if (terminals < 4) return 1.0;
+  if (terminals <= 30) return kQ[terminals];
+  return 2.2334 + 0.02616 * (terminals - 30);
+}
+
+struct NetBox {
+  int minx, maxx, miny, maxy;
+  double cost;
+};
+
+/// Incremental-cost annealing state.
+class AnnealState {
+ public:
+  AnnealState(const Netlist& nl, const PackedDesign& pd, Placement& pl)
+      : nl_(nl), pd_(pd), pl_(pl) {
+    pt_of_block_.assign(static_cast<std::size_t>(nl.num_blocks()), Point{});
+    is_lut_inst_.assign(static_cast<std::size_t>(nl.num_blocks()), -1);
+    for (int i = 0; i < pd.num_luts(); ++i) {
+      is_lut_inst_[static_cast<std::size_t>(pd.luts[i])] = i;
+      pt_of_block_[static_cast<std::size_t>(pd.luts[i])] =
+          pl.lut_loc[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < pd.num_ios(); ++i) {
+      pt_of_block_[static_cast<std::size_t>(pd.ios[i])] =
+          pl.io_point(pl.io_loc[static_cast<std::size_t>(i)]);
+    }
+    nets_of_block_.assign(static_cast<std::size_t>(nl.num_blocks()), {});
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+      const Net& net = nl.net(n);
+      if (net.sinks.empty()) continue;
+      auto touch = [&](BlockId b) {
+        auto& v = nets_of_block_[static_cast<std::size_t>(b)];
+        if (v.empty() || v.back() != n) v.push_back(n);
+      };
+      touch(net.driver);
+      for (const Net::Sink& s : net.sinks) touch(s.block);
+    }
+    boxes_.resize(static_cast<std::size_t>(nl.num_nets()));
+    net_epoch_.assign(static_cast<std::size_t>(nl.num_nets()), 0);
+    total_cost_ = 0.0;
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+      recompute_box(n);
+      total_cost_ += boxes_[static_cast<std::size_t>(n)].cost;
+    }
+    site_of_.assign(
+        static_cast<std::size_t>(pl.grid_w) * static_cast<std::size_t>(pl.grid_h),
+        -1);
+    for (int i = 0; i < pd.num_luts(); ++i) {
+      const Point p = pl.lut_loc[static_cast<std::size_t>(i)];
+      site_of_[site_index(p)] = i;
+    }
+  }
+
+  double total_cost() const { return total_cost_; }
+  int num_nets() const { return nl_.num_nets(); }
+
+  /// Proposes moving LUT instance `li` to `to` (swapping with any occupant);
+  /// returns the cost delta without committing.
+  double propose(int li, Point to) {
+    moved_.clear();
+    const Point from = pl_.lut_loc[static_cast<std::size_t>(li)];
+    const int occupant = site_of_[site_index(to)];
+    move_block(pd_.luts[static_cast<std::size_t>(li)], to);
+    if (occupant >= 0) {
+      move_block(pd_.luts[static_cast<std::size_t>(occupant)], from);
+    }
+    ++epoch_;
+    affected_.clear();
+    for (BlockId b : moved_) {
+      for (NetId n : nets_of_block_[static_cast<std::size_t>(b)]) {
+        if (net_epoch_[static_cast<std::size_t>(n)] != epoch_) {
+          net_epoch_[static_cast<std::size_t>(n)] = epoch_;
+          affected_.push_back(n);
+        }
+      }
+    }
+    double delta = 0.0;
+    new_boxes_.clear();
+    for (NetId n : affected_) {
+      NetBox nb = compute_box(n);
+      delta += nb.cost - boxes_[static_cast<std::size_t>(n)].cost;
+      new_boxes_.push_back(nb);
+    }
+    pending_li_ = li;
+    pending_to_ = to;
+    pending_from_ = from;
+    pending_occupant_ = occupant;
+    return delta;
+  }
+
+  void commit(double delta) {
+    for (std::size_t k = 0; k < affected_.size(); ++k) {
+      boxes_[static_cast<std::size_t>(affected_[k])] = new_boxes_[k];
+    }
+    total_cost_ += delta;
+    pl_.lut_loc[static_cast<std::size_t>(pending_li_)] = pending_to_;
+    site_of_[site_index(pending_to_)] = pending_li_;
+    if (pending_occupant_ >= 0) {
+      pl_.lut_loc[static_cast<std::size_t>(pending_occupant_)] = pending_from_;
+      site_of_[site_index(pending_from_)] = pending_occupant_;
+    } else {
+      site_of_[site_index(pending_from_)] = -1;
+    }
+  }
+
+  void revert() {
+    move_block(pd_.luts[static_cast<std::size_t>(pending_li_)], pending_from_);
+    if (pending_occupant_ >= 0) {
+      move_block(pd_.luts[static_cast<std::size_t>(pending_occupant_)],
+                 pending_to_);
+    }
+  }
+
+ private:
+  std::size_t site_index(Point p) const {
+    return static_cast<std::size_t>(p.y) * pl_.grid_w + p.x;
+  }
+
+  void move_block(BlockId b, Point to) {
+    pt_of_block_[static_cast<std::size_t>(b)] = to;
+    moved_.push_back(b);
+  }
+
+  NetBox compute_box(NetId n) const {
+    const Net& net = nl_.net(n);
+    const Point p = pt_of_block_[static_cast<std::size_t>(net.driver)];
+    NetBox nb{p.x, p.x, p.y, p.y, 0.0};
+    for (const Net::Sink& s : net.sinks) {
+      const Point q = pt_of_block_[static_cast<std::size_t>(s.block)];
+      nb.minx = std::min(nb.minx, q.x);
+      nb.maxx = std::max(nb.maxx, q.x);
+      nb.miny = std::min(nb.miny, q.y);
+      nb.maxy = std::max(nb.maxy, q.y);
+    }
+    nb.cost = crossing_factor(static_cast<int>(net.sinks.size()) + 1) *
+              ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
+    return nb;
+  }
+
+  void recompute_box(NetId n) {
+    if (nl_.net(n).sinks.empty()) {
+      boxes_[static_cast<std::size_t>(n)] = {0, 0, 0, 0, 0.0};
+      return;
+    }
+    boxes_[static_cast<std::size_t>(n)] = compute_box(n);
+  }
+
+  const Netlist& nl_;
+  const PackedDesign& pd_;
+  Placement& pl_;
+  std::vector<Point> pt_of_block_;
+  std::vector<int> is_lut_inst_;
+  std::vector<std::vector<NetId>> nets_of_block_;
+  std::vector<NetBox> boxes_;
+  std::vector<NetBox> new_boxes_;
+  std::vector<int> site_of_;
+  std::vector<BlockId> moved_;
+  std::vector<NetId> affected_;
+  std::vector<std::uint32_t> net_epoch_;
+  std::uint32_t epoch_ = 0;
+  double total_cost_ = 0.0;
+  int pending_li_ = -1, pending_occupant_ = -1;
+  Point pending_to_, pending_from_;
+};
+
+/// Assigns each I/O to the free perimeter slot nearest the centroid of the
+/// logic it connects to.
+void assign_ios(const Netlist& nl, const PackedDesign& pd, Placement& pl,
+                int io_per_tile) {
+  const int gw = pl.grid_w, gh = pl.grid_h;
+  // Capacity used per (side, tile).
+  std::vector<std::vector<int>> used(4);
+  used[0].assign(static_cast<std::size_t>(gh), 0);  // west
+  used[1].assign(static_cast<std::size_t>(gh), 0);  // east
+  used[2].assign(static_cast<std::size_t>(gw), 0);  // north
+  used[3].assign(static_cast<std::size_t>(gw), 0);  // south
+
+  std::vector<Point> lut_pt(static_cast<std::size_t>(nl.num_blocks()));
+  for (int i = 0; i < pd.num_luts(); ++i) {
+    lut_pt[static_cast<std::size_t>(pd.luts[i])] =
+        pl.lut_loc[static_cast<std::size_t>(i)];
+  }
+
+  for (int i = 0; i < pd.num_ios(); ++i) {
+    const BlockId bi = pd.ios[i];
+    const Block& b = nl.block(bi);
+    // Centroid of connected LUT terminals.
+    double cx = gw / 2.0, cy = gh / 2.0;
+    int cnt = 0;
+    double sx = 0, sy = 0;
+    auto add_terminal = [&](BlockId other) {
+      if (nl.block(other).type == BlockType::kLut) {
+        sx += lut_pt[static_cast<std::size_t>(other)].x;
+        sy += lut_pt[static_cast<std::size_t>(other)].y;
+        ++cnt;
+      }
+    };
+    if (b.type == BlockType::kInput) {
+      for (const Net::Sink& s : nl.net(b.output).sinks) add_terminal(s.block);
+    } else {
+      add_terminal(nl.net(b.inputs[0]).driver);
+    }
+    if (cnt > 0) {
+      cx = sx / cnt;
+      cy = sy / cnt;
+    }
+    // Scan perimeter positions for the nearest one with capacity.
+    IoSlot best{};
+    double best_d = 1e30;
+    auto consider = [&](Side side, int tile, Point at) {
+      const auto s = static_cast<std::size_t>(side);
+      if (used[s][static_cast<std::size_t>(tile)] >= io_per_tile) return;
+      const double d =
+          std::abs(at.x - cx) + std::abs(at.y - cy) +
+          0.01 * used[s][static_cast<std::size_t>(tile)];
+      if (d < best_d) {
+        best_d = d;
+        best = {side, tile, used[s][static_cast<std::size_t>(tile)]};
+      }
+    };
+    for (int t = 0; t < gh; ++t) {
+      consider(Side::kWest, t, {0, t});
+      consider(Side::kEast, t, {gw - 1, t});
+    }
+    for (int t = 0; t < gw; ++t) {
+      consider(Side::kNorth, t, {t, gh - 1});
+      consider(Side::kSouth, t, {t, 0});
+    }
+    if (best_d >= 1e30) {
+      throw std::invalid_argument("place: not enough perimeter I/O capacity");
+    }
+    pl.io_loc[static_cast<std::size_t>(i)] = best;
+    ++used[static_cast<std::size_t>(best.side)][static_cast<std::size_t>(best.tile)];
+  }
+}
+
+}  // namespace
+
+Placement place_design(const Netlist& nl, const PackedDesign& pd,
+                       const ArchSpec& spec, int grid_w, int grid_h,
+                       const PlaceOptions& opts, PlaceStats* stats) {
+  if (pd.num_luts() > grid_w * grid_h) {
+    throw std::invalid_argument("place: design does not fit the grid");
+  }
+  const int io_per_tile =
+      opts.io_per_tile > 0 ? opts.io_per_tile : std::max(1, spec.chan_width / 2);
+  if (pd.num_ios() > 2 * (grid_w + grid_h) * io_per_tile) {
+    throw std::invalid_argument("place: too many I/Os for the perimeter");
+  }
+
+  Rng rng(opts.seed);
+  Placement pl;
+  pl.grid_w = grid_w;
+  pl.grid_h = grid_h;
+
+  // Initial placement: LUTs on a random permutation of tiles.
+  std::vector<int> sites(static_cast<std::size_t>(grid_w) * grid_h);
+  for (std::size_t i = 0; i < sites.size(); ++i) sites[i] = static_cast<int>(i);
+  rng.shuffle(sites);
+  pl.lut_loc.resize(static_cast<std::size_t>(pd.num_luts()));
+  for (int i = 0; i < pd.num_luts(); ++i) {
+    const int s = sites[static_cast<std::size_t>(i)];
+    pl.lut_loc[static_cast<std::size_t>(i)] = {s % grid_w, s / grid_w};
+  }
+  // Initial I/O: centroid-greedy against the random placement; refined after
+  // annealing.
+  pl.io_loc.resize(static_cast<std::size_t>(pd.num_ios()));
+  assign_ios(nl, pd, pl, io_per_tile);
+
+  AnnealState state(nl, pd, pl);
+  if (stats) stats->initial_cost = state.total_cost();
+
+  if (pd.num_luts() > 1) {
+    const long long moves_per_t = std::max<long long>(
+        32, static_cast<long long>(opts.effort *
+                                   std::pow(pd.num_luts(), 4.0 / 3.0)));
+    double rlim = std::max(grid_w, grid_h);
+
+    // Initial temperature: 20 x the std-dev of deltas over a random-walk
+    // sample (all moves accepted), per VPR.
+    {
+      double sum = 0, sum2 = 0;
+      const int samples = std::min(200, pd.num_luts() * 2);
+      for (int s = 0; s < samples; ++s) {
+        const int li = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(pd.num_luts())));
+        const Point to{rng.next_int(0, grid_w - 1), rng.next_int(0, grid_h - 1)};
+        const double d = state.propose(li, to);
+        state.commit(d);
+        sum += d;
+        sum2 += d * d;
+      }
+      const double var = sum2 / samples - (sum / samples) * (sum / samples);
+      double t0 = 20.0 * std::sqrt(std::max(0.0, var));
+      if (t0 <= 0) t0 = 1.0;
+      // Anneal.
+      double t = t0;
+      long long tot_moves = 0, tot_accept = 0;
+      int n_temps = 0;
+      while (true) {
+        long long accepted = 0;
+        for (long long m = 0; m < moves_per_t; ++m) {
+          const int li = static_cast<int>(
+              rng.next_below(static_cast<std::uint64_t>(pd.num_luts())));
+          const Point from = pl.lut_loc[static_cast<std::size_t>(li)];
+          const int r = std::max(1, static_cast<int>(rlim));
+          Point to{
+              std::clamp(from.x + rng.next_int(-r, r), 0, grid_w - 1),
+              std::clamp(from.y + rng.next_int(-r, r), 0, grid_h - 1)};
+          if (to == from) continue;
+          const double d = state.propose(li, to);
+          if (d <= 0 || rng.next_double() < std::exp(-d / t)) {
+            state.commit(d);
+            ++accepted;
+          } else {
+            state.revert();
+          }
+        }
+        tot_moves += moves_per_t;
+        tot_accept += accepted;
+        ++n_temps;
+        const double frac = static_cast<double>(accepted) / moves_per_t;
+        // VPR range-limit and temperature updates.
+        rlim = std::clamp(rlim * (1.0 - 0.44 + frac), 1.0,
+                          static_cast<double>(std::max(grid_w, grid_h)));
+        double alpha;
+        if (frac > 0.96) alpha = 0.5;
+        else if (frac > 0.8) alpha = 0.9;
+        else if (frac > 0.15 || rlim > 1.0) alpha = 0.95;
+        else alpha = 0.8;
+        t *= alpha;
+        if (t < 0.005 * state.total_cost() / std::max(1, state.num_nets())) {
+          break;
+        }
+      }
+      if (stats) {
+        stats->moves = tot_moves;
+        stats->accepted = tot_accept;
+        stats->temperatures = n_temps;
+      }
+    }
+  }
+
+  // Final I/O refinement against the annealed logic placement.
+  assign_ios(nl, pd, pl, io_per_tile);
+
+  if (stats) stats->final_cost = state.total_cost();
+  pl.validate(pd);
+  return pl;
+}
+
+}  // namespace vbs

@@ -1,0 +1,39 @@
+// Simulated-annealing placer, following VPR's adaptive schedule
+// (Betz & Rose, FPL'97): range-limited swap moves, temperature updates
+// driven by the acceptance rate, and exit when the temperature falls below
+// a small fraction of the per-net cost.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/arch_spec.h"
+#include "netlist/netlist.h"
+#include "pack/pack.h"
+#include "place/placement.h"
+
+namespace vbs {
+
+struct PlaceOptions {
+  std::uint64_t seed = 1;
+  /// Scales moves-per-temperature (VPR's inner_num); 1.0 is "fast" quality.
+  double effort = 1.0;
+  /// Max I/Os per (side, tile) boundary; -1 means chan_width / 2.
+  int io_per_tile = -1;
+};
+
+struct PlaceStats {
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  long long moves = 0;
+  long long accepted = 0;
+  int temperatures = 0;
+};
+
+/// Places `pd` on a grid_w x grid_h fabric. Throws std::invalid_argument if
+/// the design does not fit (LUTs > tiles, or I/Os > perimeter capacity).
+Placement place_design(const Netlist& nl, const PackedDesign& pd,
+                       const ArchSpec& spec, int grid_w, int grid_h,
+                       const PlaceOptions& opts = {},
+                       PlaceStats* stats = nullptr);
+
+}  // namespace vbs

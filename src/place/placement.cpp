@@ -1,0 +1,109 @@
+#include "place/placement.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+namespace vbs {
+
+namespace {
+
+// VPR's crossing-count correction factors: HPWL underestimates multi-
+// terminal net wirelength, so the cost of a net with k terminals is scaled
+// by q(k) (Cheng, "RISA: accurate and efficient placement routability
+// modeling").
+double crossing_factor(int terminals) {
+  static constexpr double kQ[] = {1.0,    1.0,    1.0,    1.0,    1.0828,
+                                  1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+                                  1.4493, 1.4974, 1.5455, 1.5937, 1.6418,
+                                  1.6899, 1.7304, 1.7709, 1.8114, 1.8519,
+                                  1.8924, 1.9288, 1.9652, 2.0015, 2.0379,
+                                  2.0743, 2.1061, 2.1379, 2.1698, 2.2016,
+                                  2.2334};
+  if (terminals < 4) return 1.0;
+  if (terminals <= 30) return kQ[terminals];
+  return 2.2334 + 0.02616 * (terminals - 30);
+}
+
+}  // namespace
+
+Point Placement::io_tile(const IoSlot& slot) const {
+  switch (slot.side) {
+    case Side::kWest: return {0, slot.tile};
+    case Side::kEast: return {grid_w - 1, slot.tile};
+    case Side::kNorth: return {slot.tile, grid_h - 1};
+    case Side::kSouth: return {slot.tile, 0};
+  }
+  return {};
+}
+
+int io_port_id(const IoSlot& slot, const ArchSpec& spec) {
+  return static_cast<int>(slot.side) * spec.chan_width + slot.track;
+}
+
+void Placement::validate(const PackedDesign& pd) const {
+  if (static_cast<int>(lut_loc.size()) != pd.num_luts() ||
+      static_cast<int>(io_loc.size()) != pd.num_ios()) {
+    throw std::logic_error("placement: instance count mismatch");
+  }
+  std::set<std::pair<int, int>> tiles;
+  for (const Point& p : lut_loc) {
+    if (p.x < 0 || p.x >= grid_w || p.y < 0 || p.y >= grid_h) {
+      throw std::logic_error("placement: LUT out of grid");
+    }
+    if (!tiles.insert({p.x, p.y}).second) {
+      throw std::logic_error("placement: two LUTs on one tile");
+    }
+  }
+  std::set<std::tuple<int, int, int>> slots;
+  for (const IoSlot& s : io_loc) {
+    const int max_tile =
+        (s.side == Side::kWest || s.side == Side::kEast) ? grid_h : grid_w;
+    if (s.tile < 0 || s.tile >= max_tile) {
+      throw std::logic_error("placement: I/O slot tile out of range");
+    }
+    if (!slots.insert({static_cast<int>(s.side), s.tile, s.track}).second) {
+      throw std::logic_error("placement: two I/Os on one slot");
+    }
+  }
+}
+
+double placement_hpwl(const Netlist& nl, const PackedDesign& pd,
+                      const Placement& pl) {
+  // Instance lookup by netlist block.
+  std::vector<int> lut_of_block(static_cast<std::size_t>(nl.num_blocks()), -1);
+  std::vector<int> io_of_block(static_cast<std::size_t>(nl.num_blocks()), -1);
+  for (int i = 0; i < pd.num_luts(); ++i) {
+    lut_of_block[static_cast<std::size_t>(pd.luts[i])] = i;
+  }
+  for (int i = 0; i < pd.num_ios(); ++i) {
+    io_of_block[static_cast<std::size_t>(pd.ios[i])] = i;
+  }
+  auto point_of = [&](BlockId b) -> Point {
+    const int li = lut_of_block[static_cast<std::size_t>(b)];
+    if (li >= 0) return pl.lut_loc[static_cast<std::size_t>(li)];
+    return pl.io_point(pl.io_loc[static_cast<std::size_t>(
+        io_of_block[static_cast<std::size_t>(b)])]);
+  };
+
+  double total = 0.0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.sinks.empty()) continue;
+    Point p = point_of(net.driver);
+    int minx = p.x, maxx = p.x, miny = p.y, maxy = p.y;
+    for (const Net::Sink& s : net.sinks) {
+      const Point q = point_of(s.block);
+      minx = std::min(minx, q.x);
+      maxx = std::max(maxx, q.x);
+      miny = std::min(miny, q.y);
+      maxy = std::max(maxy, q.y);
+    }
+    total += crossing_factor(static_cast<int>(net.sinks.size()) + 1) *
+             ((maxx - minx) + (maxy - miny));
+  }
+  return total;
+}
+
+}  // namespace vbs

@@ -1,0 +1,53 @@
+// Placement result: LUT instances on grid tiles, I/O instances on
+// task-boundary track ports.
+//
+// The paper folds primary I/O into the fabric (Section II-A); here a placed
+// I/O occupies one track port on the task perimeter — the dangling channel
+// wire of an edge macro — which is where the router sources/sinks its net.
+#pragma once
+
+#include <vector>
+
+#include "arch/macro_model.h"
+#include "pack/pack.h"
+#include "util/geometry.h"
+
+namespace vbs {
+
+/// One boundary track port on the task perimeter.
+struct IoSlot {
+  Side side = Side::kWest;
+  int tile = 0;   ///< tile index along that side (y for W/E, x for N/S)
+  int track = 0;  ///< channel track index
+  friend bool operator==(const IoSlot&, const IoSlot&) = default;
+};
+
+struct Placement {
+  int grid_w = 0;
+  int grid_h = 0;
+  /// Tile of each LUT instance (indexed like PackedDesign::luts).
+  std::vector<Point> lut_loc;
+  /// Perimeter slot of each I/O instance (indexed like PackedDesign::ios).
+  std::vector<IoSlot> io_loc;
+
+  /// Tile whose macro owns the slot's boundary wire, and the macro port id
+  /// of that wire (west slots map to west ports of column-0 macros, etc.).
+  Point io_tile(const IoSlot& slot) const;
+
+  /// Grid point used for wirelength estimation of an I/O.
+  Point io_point(const IoSlot& slot) const { return io_tile(slot); }
+
+  /// Checks no two LUTs share a tile, all coordinates are in range, and no
+  /// two I/Os share a slot. Throws std::logic_error on violation.
+  void validate(const PackedDesign& pd) const;
+};
+
+/// Macro-model port id for an I/O slot (the dangling boundary wire).
+int io_port_id(const IoSlot& slot, const ArchSpec& spec);
+
+/// Half-perimeter wirelength of the whole placement, with VPR's fanout
+/// crossing-count correction; the annealer minimizes exactly this.
+double placement_hpwl(const Netlist& nl, const PackedDesign& pd,
+                      const Placement& pl);
+
+}  // namespace vbs

@@ -1,0 +1,73 @@
+#include "route/mcw.h"
+
+#include <algorithm>
+
+#include "fabric/fabric.h"
+#include "route/route_request.h"
+#include "util/logging.h"
+
+namespace vbs {
+
+namespace {
+
+bool routable_at(const ArchSpec& base, int width, const Netlist& nl,
+                 const PackedDesign& pd, const Placement& pl,
+                 const RouterOptions& ropts, long long* pops) {
+  ArchSpec spec = base;
+  spec.chan_width = width;
+  // The placer's I/O tracks must exist at this width; placements made at a
+  // wider channel stay valid because io_per_tile <= base width / 2 <= width
+  // whenever width >= base/2 — otherwise clamp below fails the trial.
+  for (const IoSlot& s : pl.io_loc) {
+    if (s.track >= width) return false;
+  }
+  const Fabric fabric(spec, pl.grid_w, pl.grid_h);
+  PathfinderRouter router(fabric, build_route_request(fabric, nl, pd, pl));
+  const RoutingResult rr = router.route(ropts);
+  if (pops) *pops += rr.heap_pops;
+  return rr.success;
+}
+
+}  // namespace
+
+McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
+                                 const PackedDesign& pd, const Placement& pl,
+                                 const McwOptions& opts) {
+  McwResult res;
+  int lo = std::max(2, opts.lo);  // below 2 tracks the SB degenerates
+  int hi = opts.hi;
+
+  // Find a routable upper bound by doubling from the probe hint.
+  int known_good = -1;
+  int probe = std::max(lo, opts.hint > 0 ? opts.hint : 5);
+  while (probe <= hi) {
+    ++res.trials;
+    if (routable_at(base_spec, probe, nl, pd, pl, opts.router,
+                    &res.heap_pops)) {
+      known_good = probe;
+      break;
+    }
+    lo = probe + 1;
+    probe *= 2;
+  }
+  if (known_good < 0) {
+    res.mcw = -1;
+    return res;
+  }
+
+  // Binary search in [lo, known_good].
+  int good = known_good;
+  while (lo < good) {
+    const int mid = lo + (good - lo) / 2;
+    ++res.trials;
+    if (routable_at(base_spec, mid, nl, pd, pl, opts.router, &res.heap_pops)) {
+      good = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  res.mcw = good;
+  return res;
+}
+
+}  // namespace vbs

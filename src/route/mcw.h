@@ -1,0 +1,37 @@
+// Minimum-channel-width search: the procedure VPR uses to report a
+// circuit's channel demand (Table II's MCW column). Routes the placed
+// design at candidate widths and binary-searches the smallest routable one.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/arch_spec.h"
+#include "netlist/netlist.h"
+#include "pack/pack.h"
+#include "place/placement.h"
+#include "route/router.h"
+
+namespace vbs {
+
+struct McwOptions {
+  int lo = 2;              ///< smallest width to consider
+  int hi = 64;             ///< give-up upper bound
+  /// First width to probe (e.g. a known or expected MCW); <= 0 picks a
+  /// default. A good hint halves the number of expensive failing trials.
+  int hint = -1;
+  RouterOptions router;    ///< per-trial router settings
+};
+
+struct McwResult {
+  int mcw = -1;            ///< -1 when unroutable even at `hi`
+  int trials = 0;
+  long long heap_pops = 0;
+};
+
+/// Finds the minimum routable channel width for a placed design. The
+/// placement is width-independent, so one placement serves all trials.
+McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
+                                 const PackedDesign& pd, const Placement& pl,
+                                 const McwOptions& opts = {});
+
+}  // namespace vbs

@@ -1,0 +1,61 @@
+#include "route/route_request.h"
+
+#include <stdexcept>
+
+namespace vbs {
+
+RouteRequest build_route_request(const Fabric& fabric, const Netlist& nl,
+                                 const PackedDesign& pd, const Placement& pl) {
+  if (pl.grid_w != fabric.width() || pl.grid_h != fabric.height()) {
+    throw std::invalid_argument("route request: placement/fabric size mismatch");
+  }
+  const MacroModel& mm = fabric.macro();
+  const ArchSpec& spec = fabric.spec();
+  const int out_pin = spec.lb_pins() - 1;
+
+  std::vector<NetSpec> specs(static_cast<std::size_t>(nl.num_nets()));
+  for (NetId n = 0; n < nl.num_nets(); ++n) specs[static_cast<std::size_t>(n)].net = n;
+
+  // LUT terminals.
+  for (int i = 0; i < pd.num_luts(); ++i) {
+    const Point at = pl.lut_loc[static_cast<std::size_t>(i)];
+    const BlockId bi = pd.luts[static_cast<std::size_t>(i)];
+    const Block& b = nl.block(bi);
+    specs[static_cast<std::size_t>(b.output)].source =
+        fabric.global_node(at.x, at.y, mm.pin_node(out_pin));
+    const auto& pins = pd.lut_pins[static_cast<std::size_t>(i)];
+    for (int k = 0; k < spec.lut_k; ++k) {
+      const NetId in = pins[static_cast<std::size_t>(k)];
+      if (in == kNoNet) continue;
+      specs[static_cast<std::size_t>(in)].sinks.push_back(
+          fabric.global_node(at.x, at.y, mm.pin_node(k)));
+    }
+  }
+
+  // I/O terminals on boundary ports.
+  for (int i = 0; i < pd.num_ios(); ++i) {
+    const BlockId bi = pd.ios[static_cast<std::size_t>(i)];
+    const Block& b = nl.block(bi);
+    const IoSlot slot = pl.io_loc[static_cast<std::size_t>(i)];
+    const Point tile = pl.io_tile(slot);
+    const int node =
+        fabric.port_global(tile.x, tile.y, io_port_id(slot, spec));
+    if (b.type == BlockType::kInput) {
+      specs[static_cast<std::size_t>(b.output)].source = node;
+    } else {
+      specs[static_cast<std::size_t>(b.inputs[0])].sinks.push_back(node);
+    }
+  }
+
+  RouteRequest req;
+  for (NetSpec& s : specs) {
+    if (s.source < 0) {
+      throw std::logic_error("route request: net without placed source");
+    }
+    if (s.sinks.empty()) continue;  // dangling nets need no routing
+    req.nets.push_back(std::move(s));
+  }
+  return req;
+}
+
+}  // namespace vbs

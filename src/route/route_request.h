@@ -1,0 +1,19 @@
+// Builds the router's net terminal lists from a packed + placed design:
+// LUT pins map to their tile's pin-stub nodes, I/Os to their boundary-port
+// wires.
+#pragma once
+
+#include "fabric/fabric.h"
+#include "netlist/netlist.h"
+#include "pack/pack.h"
+#include "place/placement.h"
+#include "route/router.h"
+
+namespace vbs {
+
+/// The physical macro pin index of LUT input pin k is k; the LUT output is
+/// pin L-1 (the last stub, crossing ChanY).
+RouteRequest build_route_request(const Fabric& fabric, const Netlist& nl,
+                                 const PackedDesign& pd, const Placement& pl);
+
+}  // namespace vbs

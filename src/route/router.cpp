@@ -1,0 +1,224 @@
+#include "route/router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace vbs {
+
+namespace {
+
+struct HeapEntry {
+  float est;       ///< path cost + weighted heuristic
+  float path;      ///< path cost so far
+  std::int32_t node;
+  // Min-heap by (est, node id) — the node id tie-break keeps expansion
+  // deterministic across runs and platforms.
+  bool operator>(const HeapEntry& o) const {
+    if (est != o.est) return est > o.est;
+    return node > o.node;
+  }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+PathfinderRouter::PathfinderRouter(const Fabric& fabric, RouteRequest request)
+    : fabric_(fabric), request_(std::move(request)) {
+  const int n = fabric_.num_nodes();
+  occ_.assign(static_cast<std::size_t>(n), 0);
+  hist_.assign(static_cast<std::size_t>(n), 0.0f);
+  path_cost_.assign(static_cast<std::size_t>(n), 0.0f);
+  back_node_.assign(static_cast<std::size_t>(n), -1);
+  back_edge_.assign(static_cast<std::size_t>(n), -1);
+  epoch_of_.assign(static_cast<std::size_t>(n), 0);
+
+  // Mark pin seg-0 nodes as reserved terminals.
+  is_pin_.assign(static_cast<std::size_t>(n), 0);
+  const MacroModel& mm = fabric_.macro();
+  for (int my = 0; my < fabric_.height(); ++my) {
+    for (int mx = 0; mx < fabric_.width(); ++mx) {
+      for (int p = 0; p < mm.spec().lb_pins(); ++p) {
+        is_pin_[static_cast<std::size_t>(
+            fabric_.global_node(mx, my, mm.pin_node(p)))] = 1;
+      }
+    }
+  }
+
+  // Route sinks farthest-first (VPR's ordering): stabilizes tree growth.
+  for (NetSpec& spec : request_.nets) {
+    const Point s = fabric_.node_pos(spec.source);
+    std::stable_sort(spec.sinks.begin(), spec.sinks.end(), [&](int a, int b) {
+      return manhattan(fabric_.node_pos(a), s) > manhattan(fabric_.node_pos(b), s);
+    });
+  }
+  routes_.resize(request_.nets.size());
+}
+
+double PathfinderRouter::node_cost(int v, double pres_fac) const {
+  const auto sv = static_cast<std::size_t>(v);
+  return (1.0 + hist_[sv]) * (1.0 + pres_fac * occ_[sv]);
+}
+
+void PathfinderRouter::rip_up(std::size_t net_idx) {
+  for (const NetRoute::TreeNode& tn : routes_[net_idx].nodes) {
+    --occ_[static_cast<std::size_t>(tn.rr)];
+  }
+  routes_[net_idx].nodes.clear();
+}
+
+bool PathfinderRouter::route_net(std::size_t net_idx, double pres_fac,
+                                 double astar_fac) {
+  const NetSpec& spec = request_.nets[net_idx];
+  NetRoute& route = routes_[net_idx];
+  route.nodes.push_back({spec.source, -1, -1});
+  ++occ_[static_cast<std::size_t>(spec.source)];
+
+  const int px1 = fabric_.spec().pins_on_x() + 1;
+  const int py1 = fabric_.spec().pins_on_y() + 1;
+
+  MinHeap heap;
+  for (const int sink : spec.sinks) {
+    if (sink == spec.source) continue;
+    ++epoch_;
+    heap = MinHeap();
+    const Point sink_pos = fabric_.node_pos(sink);
+    auto heur = [&](int v) {
+      const Point p = fabric_.node_pos(v);
+      return static_cast<float>(
+          astar_fac * (std::abs(p.x - sink_pos.x) * px1 +
+                       std::abs(p.y - sink_pos.y) * py1));
+    };
+    // Multi-source expansion from the whole current tree.
+    for (const NetRoute::TreeNode& tn : route.nodes) {
+      const auto v = static_cast<std::size_t>(tn.rr);
+      epoch_of_[v] = epoch_;
+      path_cost_[v] = 0.0f;
+      back_node_[v] = -1;
+      back_edge_[v] = -1;
+      heap.push({heur(tn.rr), 0.0f, tn.rr});
+    }
+
+    bool found = false;
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      ++heap_pops_;
+      const auto u = static_cast<std::size_t>(top.node);
+      if (epoch_of_[u] != epoch_ || top.path != path_cost_[u]) continue;
+      if (top.node == sink) {
+        found = true;
+        break;
+      }
+      const auto edge_base = fabric_.edge_offset(top.node);
+      const auto edges = fabric_.edges(top.node);
+      for (std::size_t k = 0; k < edges.size(); ++k) {
+        const int v = edges[k].to;
+        const auto sv = static_cast<std::size_t>(v);
+        if (is_pin_[sv] && v != sink) continue;  // pins are terminals only
+        const float npc =
+            top.path + static_cast<float>(node_cost(v, pres_fac));
+        if (epoch_of_[sv] != epoch_ || npc < path_cost_[sv]) {
+          epoch_of_[sv] = epoch_;
+          path_cost_[sv] = npc;
+          back_node_[sv] = top.node;
+          back_edge_[sv] = static_cast<std::int64_t>(edge_base + k);
+          heap.push({npc + heur(v), npc, v});
+        }
+      }
+    }
+    if (!found) return false;
+
+    // Backtrack: collect the new path (sink up to the tree junction), then
+    // append in tree order (junction -> sink).
+    std::vector<std::pair<int, std::int64_t>> path;  // (node, edge used)
+    int v = sink;
+    while (back_node_[static_cast<std::size_t>(v)] != -1) {
+      path.push_back({v, back_edge_[static_cast<std::size_t>(v)]});
+      v = back_node_[static_cast<std::size_t>(v)];
+    }
+    // v is a tree node; find its index.
+    std::int32_t parent_idx = -1;
+    for (std::size_t i = 0; i < route.nodes.size(); ++i) {
+      if (route.nodes[i].rr == v) {
+        parent_idx = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    assert(parent_idx >= 0);
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      route.nodes.push_back({it->first, parent_idx, it->second});
+      ++occ_[static_cast<std::size_t>(it->first)];
+      parent_idx = static_cast<std::int32_t>(route.nodes.size() - 1);
+    }
+  }
+  return true;
+}
+
+RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
+  RoutingResult result;
+  double pres_fac = opts.first_iter_pres;
+  std::size_t best_overused = static_cast<std::size_t>(-1);
+  int best_iter = 0;
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    result.iterations = iter;
+    for (std::size_t i = 0; i < request_.nets.size(); ++i) {
+      if (request_.nets[i].sinks.empty()) continue;
+      if (iter > 1) {
+        // Only reroute nets currently crossing an overused node.
+        bool congested = false;
+        for (const NetRoute::TreeNode& tn : routes_[i].nodes) {
+          if (occ_[static_cast<std::size_t>(tn.rr)] > 1) {
+            congested = true;
+            break;
+          }
+        }
+        if (!congested) continue;
+        rip_up(i);
+      }
+      if (!route_net(i, pres_fac, opts.astar_fac)) {
+        // Disconnected graph (e.g. W too small for a pin): unroutable.
+        result.success = false;
+        result.heap_pops = heap_pops_;
+        return result;
+      }
+    }
+
+    std::size_t overused = 0;
+    for (std::size_t v = 0; v < occ_.size(); ++v) {
+      if (occ_[v] > 1) {
+        ++overused;
+        hist_[v] += static_cast<float>(opts.hist_fac * (occ_[v] - 1));
+      }
+    }
+    result.overused_nodes = overused;
+    if (overused == 0) {
+      result.success = true;
+      break;
+    }
+    if (overused < best_overused) {
+      best_overused = overused;
+      best_iter = iter;
+    } else if (opts.stall_abort > 0 && iter - best_iter >= opts.stall_abort) {
+      break;  // congestion negotiation has stalled: treat as unroutable
+    }
+    pres_fac = iter == 1 ? opts.initial_pres : pres_fac * opts.pres_mult;
+    log_debug("pathfinder iter " + std::to_string(iter) + ": " +
+              std::to_string(overused) + " overused nodes");
+  }
+
+  result.routes = std::move(routes_);
+  for (const NetRoute& r : result.routes) {
+    result.total_wire_nodes += r.nodes.size();
+  }
+  result.heap_pops = heap_pops_;
+  return result;
+}
+
+}  // namespace vbs

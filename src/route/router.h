@@ -1,0 +1,95 @@
+// PathFinder negotiated-congestion router (McMurchie & Ebeling, FPGA'95),
+// the algorithm VPR uses, over the fabric's routing-resource graph.
+//
+// Each net is routed as a tree grown sink by sink with A*-directed Dijkstra
+// expansion; congestion is negotiated across iterations through present-
+// usage and history costs until no routing resource is overused.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "netlist/netlist.h"
+
+namespace vbs {
+
+/// Routing terminals of one net, as global RR nodes.
+struct NetSpec {
+  NetId net = kNoNet;
+  int source = -1;
+  std::vector<int> sinks;
+};
+
+struct RouteRequest {
+  std::vector<NetSpec> nets;
+};
+
+/// A routed net: a tree over RR nodes. nodes[0] is the source (parent -1);
+/// every other entry records the RR node, its parent entry index, and the
+/// fabric edge (switch) index used to reach it — enough to recover the
+/// exact set of programmable switches to turn on.
+struct NetRoute {
+  struct TreeNode {
+    std::int32_t rr;
+    std::int32_t parent;       ///< index into nodes, -1 for the source
+    std::int64_t fabric_edge;  ///< index into the fabric edge array, -1 at source
+  };
+  std::vector<TreeNode> nodes;
+};
+
+struct RouterOptions {
+  int max_iterations = 50;
+  double first_iter_pres = 0.0;   ///< free overlap on the first iteration
+  double initial_pres = 0.5;      ///< present-congestion factor, iteration 2
+  double pres_mult = 1.8;         ///< growth per iteration
+  double hist_fac = 1.0;          ///< history accumulation per overuse
+  double astar_fac = 1.15;        ///< heuristic weight (>1 trades quality)
+  /// Abort as unroutable when the overused-node count has not improved for
+  /// this many iterations (0 = disabled). Used by the minimum-channel-width
+  /// search to cut hopeless trials short.
+  int stall_abort = 0;
+};
+
+struct RoutingResult {
+  bool success = false;
+  int iterations = 0;
+  std::vector<NetRoute> routes;  ///< parallel to RouteRequest::nets
+  std::size_t total_wire_nodes = 0;
+  std::size_t overused_nodes = 0;  ///< at exit (0 on success)
+  long long heap_pops = 0;
+};
+
+class PathfinderRouter {
+ public:
+  PathfinderRouter(const Fabric& fabric, RouteRequest request);
+
+  RoutingResult route(const RouterOptions& opts = {});
+
+ private:
+  struct NodeState;
+  bool route_net(std::size_t net_idx, double pres_fac, double astar_fac);
+  void rip_up(std::size_t net_idx);
+  double node_cost(int v, double pres_fac) const;
+
+  const Fabric& fabric_;
+  RouteRequest request_;
+  std::vector<NetRoute> routes_;
+
+  // Per-RR-node congestion state.
+  std::vector<std::uint16_t> occ_;
+  std::vector<float> hist_;
+  /// Pin-stub seg-0 nodes are reserved: usable only as a net's own terminal
+  /// (prevents shorting foreign signals onto LUT pins).
+  std::vector<std::uint8_t> is_pin_;
+
+  // Per-connection search state, epoch-stamped to avoid O(V) clears.
+  std::vector<float> path_cost_;
+  std::vector<std::int32_t> back_node_;
+  std::vector<std::int64_t> back_edge_;
+  std::vector<std::uint32_t> epoch_of_;
+  std::uint32_t epoch_ = 0;
+  long long heap_pops_ = 0;
+};
+
+}  // namespace vbs

@@ -1,0 +1,39 @@
+// Post-routing analysis: per-macro routing density and channel utilization.
+//
+// Backs the paper's Fig. 4 discussion — "the VBS coding is especially
+// efficient in sparse macros ... whereas congested locations see little to
+// no enhancement" — with measurable numbers: how many switches each macro
+// uses, how occupied the channels are, and how macro density correlates
+// with the size of its VBS record.
+#pragma once
+
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "route/router.h"
+
+namespace vbs {
+
+struct RoutingStats {
+  /// Per macro: number of ON routing switches (0..Nraw-NLB).
+  std::vector<int> switches_per_macro;
+  /// Per macro: distinct nets with at least one switch in the macro.
+  std::vector<int> nets_per_macro;
+  /// Total wire nodes over all route trees.
+  std::size_t total_wire_nodes = 0;
+  /// Fraction of all routing switches that are ON, in [0,1].
+  double switch_utilization = 0.0;
+
+  int max_switches() const;
+  double mean_switches() const;
+  /// Macros with no routing at all.
+  int empty_macros() const;
+};
+
+RoutingStats compute_routing_stats(const Fabric& fabric,
+                                   const std::vector<NetRoute>& routes);
+
+/// Pearson correlation between two equally sized samples (0 if degenerate).
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace vbs

@@ -1,0 +1,77 @@
+#include "rtc/allocator.h"
+
+#include <stdexcept>
+
+namespace vbs {
+
+RectAllocator::RectAllocator(int width, int height)
+    : width_(width), height_(height) {
+  if (width < 1 || height < 1) {
+    throw std::invalid_argument("allocator: bad fabric dimensions");
+  }
+  grid_.assign(static_cast<std::size_t>(width) * height, 0);
+}
+
+std::optional<Point> RectAllocator::find_free(int w, int h) const {
+  if (w < 1 || h < 1 || w > width_ || h > height_) return std::nullopt;
+  for (int y = 0; y + h <= height_; ++y) {
+    for (int x = 0; x + w <= width_;) {
+      // Scan the candidate rectangle; on collision, jump past the blocker.
+      int skip_to = -1;
+      for (int dy = 0; dy < h && skip_to < 0; ++dy) {
+        for (int dx = 0; dx < w; ++dx) {
+          if (tile(x + dx, y + dy)) {
+            skip_to = x + dx + 1;
+            break;
+          }
+        }
+      }
+      if (skip_to < 0) return Point{x, y};
+      x = skip_to;
+    }
+  }
+  return std::nullopt;
+}
+
+bool RectAllocator::is_free(const Rect& r) const {
+  if (r.x < 0 || r.y < 0 || r.x + r.w > width_ || r.y + r.h > height_) {
+    return false;
+  }
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    for (int x = r.x; x < r.x + r.w; ++x) {
+      if (tile(x, y)) return false;
+    }
+  }
+  return true;
+}
+
+void RectAllocator::occupy(const Rect& r) {
+  if (!is_free(r)) {
+    throw std::logic_error("allocator: rectangle not free: " + to_string(r));
+  }
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    for (int x = r.x; x < r.x + r.w; ++x) {
+      grid_[static_cast<std::size_t>(y) * width_ + x] = 1;
+    }
+  }
+  occupied_count_ += r.area();
+}
+
+void RectAllocator::release(const Rect& r) {
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    for (int x = r.x; x < r.x + r.w; ++x) {
+      if (!tile(x, y)) {
+        throw std::logic_error("allocator: releasing free tile");
+      }
+      grid_[static_cast<std::size_t>(y) * width_ + x] = 0;
+    }
+  }
+  occupied_count_ -= r.area();
+}
+
+double RectAllocator::occupancy() const {
+  return static_cast<double>(occupied_count_) /
+         (static_cast<double>(width_) * height_);
+}
+
+}  // namespace vbs

@@ -1,0 +1,49 @@
+// 2D placement allocator for the run-time controller: tracks which tiles of
+// the reconfigurable fabric are owned by loaded tasks and finds free
+// rectangles for incoming ones (first fit, row-major scan with column
+// skipping).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace vbs {
+
+class RectAllocator {
+ public:
+  RectAllocator(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// First-fit origin for a w x h task, or nullopt if none exists.
+  std::optional<Point> find_free(int w, int h) const;
+
+  /// Marks a rectangle occupied. Throws std::logic_error if any tile is
+  /// already taken or the rectangle exceeds the fabric.
+  void occupy(const Rect& r);
+
+  /// Releases a rectangle. Throws std::logic_error on tiles not occupied.
+  void release(const Rect& r);
+
+  bool is_free(const Rect& r) const;
+
+  /// Occupied fraction of the fabric, in [0,1].
+  double occupancy() const;
+
+  int occupied_tiles() const { return occupied_count_; }
+
+ private:
+  bool tile(int x, int y) const {
+    return grid_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  int width_;
+  int height_;
+  std::vector<char> grid_;
+  int occupied_count_ = 0;
+};
+
+}  // namespace vbs

@@ -1,0 +1,196 @@
+#include "rtc/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace vbs {
+
+ReconfigController::ReconfigController(const ArchSpec& spec, int width,
+                                       int height)
+    : fabric_(spec, width, height),
+      config_(fabric_.config_bits_total()),
+      alloc_(width, height) {}
+
+ReconfigController::LoadedTask& ReconfigController::lookup(TaskId id) {
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    throw std::out_of_range("rtc: unknown task " + std::to_string(id));
+  }
+  return it->second;
+}
+
+const TaskRecord& ReconfigController::record(TaskId id) const {
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    throw std::out_of_range("rtc: unknown task " + std::to_string(id));
+  }
+  return it->second.rec;
+}
+
+std::vector<TaskId> ReconfigController::task_ids() const {
+  std::vector<TaskId> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [id, task] : tasks_) ids.push_back(id);
+  return ids;
+}
+
+void ReconfigController::decode_into(const VbsImage& img, Point origin,
+                                     int threads, TaskRecord& rec) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = img.entries.size();
+  std::vector<BitVector> payloads(n);
+  std::vector<DecodeStats> stats(std::max(1, threads));
+  std::vector<std::string> errors(std::max(1, threads));
+
+  // Decode phase: entries are independent (the de-virtualization process
+  // "can be easily parallelized to process multiple macros at once",
+  // paper Section II-C). Each worker owns its region-model cache.
+  auto worker = [&](int tid, std::size_t begin, std::size_t end) {
+    try {
+      RegionDecoderCache cache(img.spec, img.cluster, img.task_w, img.task_h);
+      for (std::size_t i = begin; i < end; ++i) {
+        const VbsEntry& e = img.entries[i];
+        if (!cache.decoder_for(e.cx, e.cy).decode_entry(
+                e, payloads[i], &stats[static_cast<std::size_t>(tid)])) {
+          errors[static_cast<std::size_t>(tid)] =
+              "entry " + std::to_string(e.cx) + "," + std::to_string(e.cy) +
+              " failed to decode";
+          return;
+        }
+      }
+    } catch (const std::exception& ex) {
+      errors[static_cast<std::size_t>(tid)] = ex.what();
+    }
+  };
+  if (threads <= 1 || n < 2) {
+    worker(0, 0, n);
+  } else {
+    const int nt = std::min<std::size_t>(threads, n);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nt));
+    for (int t = 0; t < nt; ++t) {
+      const std::size_t begin = n * static_cast<std::size_t>(t) /
+                                static_cast<std::size_t>(nt);
+      const std::size_t end = n * static_cast<std::size_t>(t + 1) /
+                              static_cast<std::size_t>(nt);
+      pool.emplace_back(worker, t, begin, end);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  for (const std::string& err : errors) {
+    if (!err.empty()) throw std::runtime_error("rtc: decode failed: " + err);
+  }
+
+  // Finalize phase: single-writer into the configuration memory (frames of
+  // adjacent macros share storage words).
+  for (std::size_t i = 0; i < n; ++i) {
+    write_entry_config(img, img.entries[i], payloads[i], fabric_, origin,
+                       config_);
+  }
+
+  rec.decode_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  rec.threads_used = std::max(1, threads);
+  for (const DecodeStats& s : stats) {
+    rec.decode += s;
+    total_stats_ += s;
+  }
+}
+
+void ReconfigController::clear_region(const Rect& r) {
+  const int nraw = fabric_.spec().nraw_bits();
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    for (int x = r.x; x < r.x + r.w; ++x) {
+      const std::size_t base =
+          fabric_.macro_config_offset(fabric_.macro_index(x, y));
+      for (int b = 0; b < nraw; ++b) {
+        config_.set(base + static_cast<std::size_t>(b), false);
+      }
+    }
+  }
+}
+
+TaskId ReconfigController::load(const BitVector& vbs_stream, int threads) {
+  const VbsImage img = deserialize_vbs(vbs_stream);
+  const auto slot = alloc_.find_free(img.task_w, img.task_h);
+  if (!slot) return kNoTask;
+  return load_at(vbs_stream, *slot, threads);
+}
+
+TaskId ReconfigController::load_at(const BitVector& vbs_stream, Point origin,
+                                   int threads) {
+  VbsImage img = deserialize_vbs(vbs_stream);
+  if (img.spec.chan_width != fabric_.spec().chan_width ||
+      img.spec.lut_k != fabric_.spec().lut_k ||
+      img.spec.sb_pattern != fabric_.spec().sb_pattern) {
+    throw std::logic_error("rtc: task architecture mismatch");
+  }
+  const Rect rect{origin.x, origin.y, img.task_w, img.task_h};
+  alloc_.occupy(rect);  // throws if not free / out of bounds
+
+  LoadedTask task;
+  task.rec.id = next_id_++;
+  task.rec.rect = rect;
+  task.rec.stream_bits = vbs_stream.size();
+  try {
+    decode_into(img, origin, threads, task.rec);
+  } catch (...) {
+    alloc_.release(rect);
+    throw;
+  }
+  task.image = std::move(img);
+  const TaskId id = task.rec.id;
+  tasks_.emplace(id, std::move(task));
+  return id;
+}
+
+void ReconfigController::unload(TaskId id) {
+  LoadedTask& task = lookup(id);
+  clear_region(task.rec.rect);
+  alloc_.release(task.rec.rect);
+  tasks_.erase(id);
+}
+
+void ReconfigController::relocate(TaskId id, Point new_origin, int threads) {
+  LoadedTask& task = lookup(id);
+  const Rect old_rect = task.rec.rect;
+  const Rect new_rect{new_origin.x, new_origin.y, old_rect.w, old_rect.h};
+  if (new_rect == old_rect) return;
+  // The new region must be free; a task may not overlap itself mid-move
+  // (the controller has no shadow configuration plane).
+  alloc_.occupy(new_rect);
+  decode_into(task.image, new_origin, threads, task.rec);
+  clear_region(old_rect);
+  alloc_.release(old_rect);
+  task.rec.rect = new_rect;
+}
+
+void ReconfigController::defragment(int threads) {
+  // Greedy compaction: tasks in increasing current-origin order are moved
+  // to the first free slot, which is never further from the origin.
+  std::vector<TaskId> ids = task_ids();
+  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
+    const Rect& ra = record(a).rect;
+    const Rect& rb = record(b).rect;
+    if (ra.y != rb.y) return ra.y < rb.y;
+    return ra.x < rb.x;
+  });
+  for (const TaskId id : ids) {
+    const Rect r = record(id).rect;
+    // Temporarily free our own tiles so the search can slide us leftward
+    // over them; a found slot must not overlap the old region (no shadow
+    // plane), so re-check before moving.
+    alloc_.release(r);
+    const auto slot = alloc_.find_free(r.w, r.h);
+    alloc_.occupy(r);
+    if (!slot) continue;
+    const Rect target{slot->x, slot->y, r.w, r.h};
+    if (target == r || target.overlaps(r)) continue;
+    if ((target.y > r.y) || (target.y == r.y && target.x >= r.x)) continue;
+    relocate(id, {target.x, target.y}, threads);
+  }
+}
+
+}  // namespace vbs

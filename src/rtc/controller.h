@@ -1,0 +1,91 @@
+// The run-time reconfiguration controller (paper Fig. 2): loads Virtual
+// Bit-Streams from external memory, de-virtualizes them — optionally in
+// parallel, macro regions being independent (paper Section II-C) — and
+// finalizes the configuration at the physical location chosen by the
+// placement allocator. Also implements task eviction and the relocation /
+// migration the VBS format exists to enable.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <optional>
+
+#include "fabric/fabric.h"
+#include "rtc/allocator.h"
+#include "util/bitvector.h"
+#include "vbs/devirtualizer.h"
+#include "vbs/vbs_format.h"
+
+namespace vbs {
+
+using TaskId = int;
+inline constexpr TaskId kNoTask = -1;
+
+struct TaskRecord {
+  TaskId id = kNoTask;
+  Rect rect;                     ///< fabric region owned by the task
+  std::size_t stream_bits = 0;   ///< serialized VBS size
+  DecodeStats decode;
+  double decode_seconds = 0.0;
+  int threads_used = 1;
+};
+
+class ReconfigController {
+ public:
+  ReconfigController(const ArchSpec& spec, int width, int height);
+
+  const Fabric& fabric() const { return fabric_; }
+  /// The modelled configuration memory layer of the whole chip.
+  const BitVector& config_memory() const { return config_; }
+  double occupancy() const { return alloc_.occupancy(); }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+
+  /// Loads a serialized VBS wherever it fits (first fit). Returns kNoTask
+  /// if no free rectangle is large enough. `threads` >= 2 decodes entries
+  /// in parallel.
+  TaskId load(const BitVector& vbs_stream, int threads = 1);
+
+  /// Loads at a caller-chosen origin; throws std::logic_error if the
+  /// region is occupied or out of bounds.
+  TaskId load_at(const BitVector& vbs_stream, Point origin, int threads = 1);
+
+  /// Clears the task's region (configuration zeroed) and frees it.
+  void unload(TaskId id);
+
+  /// Migrates a loaded task: decodes its retained VBS at the new origin,
+  /// then clears the old region — the on-the-fly relocation of Section V.
+  void relocate(TaskId id, Point new_origin, int threads = 1);
+
+  /// Compacts all tasks toward the origin to fight fragmentation.
+  void defragment(int threads = 1);
+
+  const TaskRecord& record(TaskId id) const;
+  std::vector<TaskId> task_ids() const;
+  std::optional<Point> find_free_slot(int w, int h) const {
+    return alloc_.find_free(w, h);
+  }
+
+  /// Aggregate decode throughput counters across all loads.
+  const DecodeStats& total_decode_stats() const { return total_stats_; }
+
+ private:
+  struct LoadedTask {
+    TaskRecord rec;
+    VbsImage image;  ///< retained for relocation
+  };
+
+  /// Decodes `img` into the configuration memory at `origin`.
+  void decode_into(const VbsImage& img, Point origin, int threads,
+                   TaskRecord& rec);
+  void clear_region(const Rect& r);
+  LoadedTask& lookup(TaskId id);
+
+  Fabric fabric_;
+  BitVector config_;
+  RectAllocator alloc_;
+  std::map<TaskId, LoadedTask> tasks_;
+  TaskId next_id_ = 0;
+  DecodeStats total_stats_;
+};
+
+}  // namespace vbs

@@ -1,0 +1,102 @@
+#include "util/bitvector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace vbs {
+
+BitVector::BitVector(std::size_t nbits, bool value) {
+  resize(nbits);
+  if (value) {
+    for (std::size_t i = 0; i < nbits; ++i) set(i, true);
+  }
+}
+
+bool BitVector::get(std::size_t i) const {
+  assert(i < size_);
+  return (words_[i >> 6] >> (i & 63)) & 1u;
+}
+
+void BitVector::set(std::size_t i, bool v) {
+  assert(i < size_);
+  const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+  if (v) {
+    words_[i >> 6] |= mask;
+  } else {
+    words_[i >> 6] &= ~mask;
+  }
+}
+
+void BitVector::push_back(bool v) {
+  if ((size_ & 63) == 0) words_.push_back(0);
+  ++size_;
+  set(size_ - 1, v);
+}
+
+void BitVector::append_bits(std::uint64_t value, unsigned nbits) {
+  assert(nbits <= 64);
+  for (unsigned i = nbits; i-- > 0;) {
+    push_back((value >> i) & 1u);
+  }
+}
+
+void BitVector::append(const BitVector& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) push_back(other.get(i));
+}
+
+std::uint64_t BitVector::get_bits(std::size_t pos, unsigned nbits) const {
+  assert(nbits <= 64);
+  assert(pos + nbits <= size_);
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < nbits; ++i) {
+    out = (out << 1) | static_cast<std::uint64_t>(get(pos + i));
+  }
+  return out;
+}
+
+BitVector BitVector::slice(std::size_t begin, std::size_t end) const {
+  assert(begin <= end && end <= size_);
+  BitVector out;
+  for (std::size_t i = begin; i < end; ++i) out.push_back(get(i));
+  return out;
+}
+
+void BitVector::overwrite(std::size_t pos, const BitVector& src) {
+  assert(pos + src.size() <= size_);
+  for (std::size_t i = 0; i < src.size(); ++i) set(pos + i, src.get(i));
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+void BitVector::reset() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVector::resize(std::size_t nbits) {
+  const std::size_t nwords = (nbits + 63) / 64;
+  words_.resize(nwords, 0);
+  // Clear any bits beyond the new size so equality stays word-comparable.
+  if (nbits < size_ && (nbits & 63) != 0) {
+    words_[nbits >> 6] &= (std::uint64_t{1} << (nbits & 63)) - 1;
+  }
+  size_ = nbits;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::string BitVector::to_string(std::size_t max_bits) const {
+  std::string s;
+  const std::size_t n = size_ < max_bits ? size_ : max_bits;
+  s.reserve(n + 3);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(get(i) ? '1' : '0');
+  if (n < size_) s += "...";
+  return s;
+}
+
+}  // namespace vbs

@@ -1,0 +1,73 @@
+// Minimal command-line option parser for the tools/ binaries.
+//
+// Supports `--flag`, `--key value` and positional arguments; unknown
+// options raise std::runtime_error so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vbs {
+
+class CliArgs {
+ public:
+  /// `value_opts` lists options that consume a value; `flag_opts` those
+  /// that do not. Option names include the leading dashes ("--cluster").
+  CliArgs(int argc, char** argv, std::set<std::string> value_opts,
+          std::set<std::string> flag_opts) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        if (flag_opts.count(arg) != 0) {
+          flags_.insert(arg);
+        } else if (value_opts.count(arg) != 0) {
+          if (i + 1 >= argc) {
+            throw std::runtime_error("option " + arg + " needs a value");
+          }
+          values_[arg] = argv[++i];
+        } else {
+          throw std::runtime_error("unknown option " + arg);
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  bool has_flag(const std::string& name) const {
+    return flags_.count(name) != 0;
+  }
+
+  std::optional<std::string> value(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string value_or(const std::string& name, std::string def) const {
+    return value(name).value_or(std::move(def));
+  }
+
+  long long int_or(const std::string& name, long long def) const {
+    const auto v = value(name);
+    if (!v) return def;
+    try {
+      return std::stoll(*v);
+    } catch (const std::exception&) {
+      throw std::runtime_error("option " + name + ": not a number: " + *v);
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vbs

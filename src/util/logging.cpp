@@ -1,0 +1,19 @@
+#include "util/logging.h"
+
+namespace vbs {
+namespace {
+LogLevel g_level = LogLevel::kSilent;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_info(const std::string& msg) {
+  if (g_level >= LogLevel::kInfo) std::fprintf(stderr, "[info] %s\n", msg.c_str());
+}
+
+void log_debug(const std::string& msg) {
+  if (g_level >= LogLevel::kDebug) std::fprintf(stderr, "[debug] %s\n", msg.c_str());
+}
+
+}  // namespace vbs

@@ -1,0 +1,20 @@
+// Minimal leveled logging. Quiet by default so test and bench output stays
+// clean; the flow drivers raise the level for progress reporting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace vbs {
+
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+/// Process-wide log level (single-threaded mutation expected: set it once at
+/// startup from a driver, before spawning decode threads).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_info(const std::string& msg);
+void log_debug(const std::string& msg);
+
+}  // namespace vbs

@@ -1,0 +1,35 @@
+#include "util/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vbs {
+
+void Summary::add(double v) {
+  ++n_;
+  sum_ += v;
+  assert(v > 0.0 || log_sum_ == log_sum_);  // geomean needs positive samples
+  log_sum_ += std::log(v);
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+double Summary::mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+
+double Summary::geomean() const {
+  return n_ == 0 ? 0.0 : std::exp(log_sum_ / static_cast<double>(n_));
+}
+
+double geomean(const std::vector<double>& xs) {
+  Summary s;
+  for (double x : xs) s.add(x);
+  return s.geomean();
+}
+
+double mean(const std::vector<double>& xs) {
+  Summary s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+}  // namespace vbs

@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vbs {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::FILE* out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%c %-*s", c == 0 ? '|' : '|',
+                   static_cast<int>(width[c]), row[c].c_str());
+      std::fputc(' ', out);
+    }
+    std::fprintf(out, "|\n");
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    std::fputc('|', out);
+    for (std::size_t i = 0; i < width[c] + 2; ++i) std::fputc('-', out);
+  }
+  std::fprintf(out, "|\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(long long v) { return std::to_string(v); }
+
+std::string TablePrinter::fmt_bits(unsigned long long bits) {
+  std::string digits = std::to_string(bits);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vbs

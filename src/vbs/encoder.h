@@ -1,0 +1,73 @@
+// vbsgen: the Virtual Bit-Stream generation backend (paper Section III-B).
+//
+// Consumes the placed-and-routed design and produces a VbsImage:
+//   1. every net's route tree is cut at decode-region boundaries; within a
+//      region, each connected piece becomes one signal described by
+//      (in, out*) port pairs — `in` being the terminal nearest the driver;
+//   2. the online de-virtualization algorithm is run offline as a feedback
+//      loop; if the greedy decode fails for the emitted order, the
+//      connection list is re-ordered (deterministic heuristics, then seeded
+//      shuffles);
+//   3. if no feasible order is found — or the coded list is no smaller —
+//      the region falls back to raw coding, which keeps the stream always
+//      decodable and never larger than necessary.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/fabric.h"
+#include "netlist/netlist.h"
+#include "pack/pack.h"
+#include "place/placement.h"
+#include "route/router.h"
+#include "vbs/vbs_format.h"
+
+namespace vbs {
+
+struct EncodeOptions {
+  int cluster = 1;
+  /// Seeded shuffle attempts after the deterministic orders fail.
+  int reorder_attempts = 24;
+  std::uint64_t seed = 0x5eed;
+  /// Negotiation budget of the decode feedback loop; 1 = pure greedy
+  /// decoding (the decoder must then use the same budget online).
+  int decode_iterations = 24;
+  /// Fan-out-compact connection coding (the "smarter coding" extension of
+  /// paper Section V): each signal's `in` port is stored once with an
+  /// out-list instead of once per connection. Re-ordering then permutes
+  /// whole signals (and outs within a signal) to keep the stream groupable.
+  bool compact_fanout = false;
+  /// Ablation switches (bench/encode_ablation):
+  bool force_raw = false;      ///< code every region raw (no virtualization)
+  bool no_reorder = false;     ///< first-order-only feedback, raw on failure
+  bool size_fallback = true;   ///< raw when the list coding is not smaller
+};
+
+struct EncodeStats {
+  int entries = 0;
+  int raw_entries = 0;            ///< total raw-coded regions
+  int conflict_fallbacks = 0;     ///< raw because no order decoded
+  int size_fallbacks = 0;         ///< raw because the list was bigger
+  int overflow_fallbacks = 0;     ///< raw because of route-count overflow
+  int reordered_entries = 0;      ///< decoded only after re-ordering
+  long long connections = 0;
+  std::size_t vbs_bits = 0;
+  std::size_t raw_bits = 0;       ///< size of the equivalent raw bit-stream
+
+  double compression_ratio() const {
+    return raw_bits == 0 ? 0.0
+                         : static_cast<double>(vbs_bits) /
+                               static_cast<double>(raw_bits);
+  }
+};
+
+/// Encodes a routed design whose task footprint is the whole `fabric`.
+/// The returned image decodes (devirtualize_image) at any origin of any
+/// compatible fabric. Throws std::logic_error on malformed route trees.
+VbsImage encode_vbs(const Fabric& fabric, const Netlist& nl,
+                    const PackedDesign& pd, const Placement& pl,
+                    const std::vector<NetRoute>& routes,
+                    const EncodeOptions& opts = {},
+                    EncodeStats* stats = nullptr);
+
+}  // namespace vbs

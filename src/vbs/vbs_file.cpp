@@ -1,0 +1,74 @@
+#include "vbs/vbs_file.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace vbs {
+
+namespace {
+constexpr char kMagic[4] = {'V', 'B', 'S', '1'};
+}  // namespace
+
+std::string pack_bits(const BitVector& bits) {
+  std::string out((bits.size() + 7) / 8, '\0');
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits.get(i)) {
+      out[i / 8] = static_cast<char>(
+          static_cast<unsigned char>(out[i / 8]) | (0x80u >> (i % 8)));
+    }
+  }
+  return out;
+}
+
+BitVector unpack_bits(const std::string& bytes, std::size_t bit_count) {
+  if (bytes.size() < (bit_count + 7) / 8) {
+    throw std::runtime_error("unpack_bits: byte buffer too short");
+  }
+  BitVector bits(bit_count);
+  for (std::size_t i = 0; i < bit_count; ++i) {
+    const auto byte = static_cast<unsigned char>(bytes[i / 8]);
+    bits.set(i, (byte >> (7 - i % 8)) & 1u);
+  }
+  return bits;
+}
+
+void write_vbs_file(const std::string& path, const BitVector& stream) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  os.write(kMagic, sizeof kMagic);
+  const std::uint64_t n = stream.size();
+  char len[8];
+  for (int i = 0; i < 8; ++i) len[i] = static_cast<char>((n >> (8 * i)) & 0xff);
+  os.write(len, sizeof len);
+  const std::string payload = pack_bits(stream);
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+BitVector read_vbs_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  char magic[4];
+  char len[8];
+  if (!is.read(magic, sizeof magic) || !is.read(len, sizeof len)) {
+    throw std::runtime_error("truncated VBS file: " + path);
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (magic[i] != kMagic[i]) {
+      throw std::runtime_error("not a VBS file: " + path);
+    }
+  }
+  std::uint64_t n = 0;
+  for (int i = 0; i < 8; ++i) {
+    n |= static_cast<std::uint64_t>(static_cast<unsigned char>(len[i]))
+         << (8 * i);
+  }
+  std::string payload((n + 7) / 8, '\0');
+  if (!is.read(payload.data(), static_cast<std::streamsize>(payload.size()))) {
+    throw std::runtime_error("truncated VBS payload: " + path);
+  }
+  return unpack_bits(payload, n);
+}
+
+}  // namespace vbs

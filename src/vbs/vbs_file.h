@@ -1,0 +1,31 @@
+// File container for serialized Virtual Bit-Streams.
+//
+// The on-wire VBS is a raw bit sequence (vbs_format.h); on disk it is
+// wrapped in a tiny byte-oriented container so that the exact bit length
+// survives the round trip:
+//
+//   bytes 0-3   magic "VBS1"
+//   bytes 4-11  bit count, little-endian u64
+//   bytes 12-   payload, MSB-first within each byte, zero-padded
+#pragma once
+
+#include <string>
+
+#include "util/bitvector.h"
+
+namespace vbs {
+
+/// Byte-packs a bit vector (MSB-first per byte, zero padding in the last).
+std::string pack_bits(const BitVector& bits);
+/// Inverse of pack_bits given the exact bit count.
+BitVector unpack_bits(const std::string& bytes, std::size_t bit_count);
+
+/// Writes a serialized stream to disk; throws std::runtime_error on I/O
+/// failure.
+void write_vbs_file(const std::string& path, const BitVector& stream);
+
+/// Reads a stream written by write_vbs_file; throws std::runtime_error on
+/// I/O failure or a malformed container.
+BitVector read_vbs_file(const std::string& path);
+
+}  // namespace vbs

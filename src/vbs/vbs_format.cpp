@@ -1,0 +1,279 @@
+#include "vbs/vbs_format.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "util/bitio.h"
+#include "vbs/region_model.h"
+
+namespace vbs {
+
+namespace {
+
+constexpr unsigned kVersion = 1;
+
+struct FieldWidths {
+  unsigned dim;       // D
+  unsigned entry;     // E
+  unsigned route;     // RC
+  unsigned port;      // M
+  int nlb;
+  int route_bits;     // per-macro raw routing payload
+};
+
+FieldWidths widths_of(const VbsImage& img) {
+  FieldWidths fw{};
+  fw.dim = bits_for(static_cast<std::uint64_t>(
+                        std::max(img.task_w, img.task_h)) +
+                    1);
+  fw.entry = bits_for(static_cast<std::uint64_t>(img.cluster_grid_w()) *
+                          img.cluster_grid_h() +
+                      1);
+  const int c = img.cluster;
+  const ArchSpec& s = img.spec;
+  fw.port = bits_for(static_cast<std::uint64_t>(4 * c * s.chan_width) +
+                     static_cast<std::uint64_t>(c) * c * s.lb_pins() + 1);
+  // Matches RegionModel::route_count_bits: Table I's ceil(log2(2W)) at the
+  // finest grain, endpoint-field width for clusters.
+  fw.route = c == 1 ? bits_for(static_cast<std::uint64_t>(2 * s.chan_width))
+                    : fw.port;
+  fw.nlb = s.nlb_bits();
+  fw.route_bits = s.nroute_bits();
+  return fw;
+}
+
+}  // namespace
+
+std::vector<std::size_t> fanout_groups(
+    const std::vector<VbsConnection>& conns) {
+  std::vector<std::size_t> runs;
+  std::set<std::uint16_t> seen;
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    if (i > 0 && conns[i].in == conns[i - 1].in) {
+      ++runs.back();
+      continue;
+    }
+    if (!seen.insert(conns[i].in).second) {
+      throw std::invalid_argument(
+          "fanout_groups: connection list is not grouped by `in`");
+    }
+    runs.push_back(1);
+  }
+  return runs;
+}
+
+std::size_t raw_size_bits(const ArchSpec& spec, int task_w, int task_h) {
+  return static_cast<std::size_t>(task_w) * static_cast<std::size_t>(task_h) *
+         static_cast<std::size_t>(spec.nraw_bits());
+}
+
+BitVector serialize_vbs(const VbsImage& img) {
+  const FieldWidths fw = widths_of(img);
+  const int c = img.cluster;
+  BitWriter w;
+  w.write(kVersion, 4);
+  w.write(static_cast<std::uint64_t>(img.spec.chan_width), 8);
+  w.write(static_cast<std::uint64_t>(img.spec.lut_k), 4);
+  w.write(static_cast<std::uint64_t>(img.spec.sb_pattern), 2);
+  w.write_bit(img.compact_fanout);
+  w.write(static_cast<std::uint64_t>(c), 6);
+  w.write(fw.dim, 6);
+  w.write(static_cast<std::uint64_t>(img.task_w), fw.dim);
+  w.write(static_cast<std::uint64_t>(img.task_h), fw.dim);
+  w.write(img.entries.size(), fw.entry);
+
+  for (const VbsEntry& e : img.entries) {
+    if (e.cx >= img.cluster_grid_w() || e.cy >= img.cluster_grid_h()) {
+      throw std::invalid_argument("serialize_vbs: entry position out of range");
+    }
+    w.write_bit(e.raw);
+    w.write(e.cx, fw.dim);
+    w.write(e.cy, fw.dim);
+    if (static_cast<int>(e.logic.size()) != c * c) {
+      throw std::invalid_argument("serialize_vbs: bad logic vector size");
+    }
+    if (c == 1) {
+      BitVector lb;
+      append_logic_bits(lb, e.logic[0], img.spec);
+      w.write_vector(lb);
+    } else {
+      for (const LogicConfig& lc : e.logic) w.write_bit(lc.used);
+      for (const LogicConfig& lc : e.logic) {
+        if (!lc.used) continue;
+        BitVector lb;
+        append_logic_bits(lb, lc, img.spec);
+        w.write_vector(lb);
+      }
+    }
+    if (e.raw) {
+      if (static_cast<int>(e.raw_routing.size()) != c * c * fw.route_bits) {
+        throw std::invalid_argument("serialize_vbs: bad raw payload size");
+      }
+      w.write_vector(e.raw_routing);
+      continue;
+    }
+    if (img.compact_fanout) w.write_bit(e.compact);
+    if (!e.compact) {
+      // Table I coding: (in, out) per connection.
+      if (e.conns.size() >= (std::uint64_t{1} << fw.route)) {
+        throw std::invalid_argument(
+            "serialize_vbs: connection list exceeds route-count field");
+      }
+      w.write(e.conns.size(), fw.route);
+      for (const VbsConnection& conn : e.conns) {
+        w.write(conn.in, fw.port);
+        w.write(conn.out, fw.port);
+      }
+    } else {
+      if (!img.compact_fanout) {
+        throw std::invalid_argument(
+            "serialize_vbs: compact entry in a non-compact stream");
+      }
+      // Fan-out coding: runs of pairs sharing an `in` become one record.
+      const auto groups = fanout_groups(e.conns);
+      if (groups.size() >= (std::uint64_t{1} << fw.route)) {
+        throw std::invalid_argument(
+            "serialize_vbs: group list exceeds route-count field");
+      }
+      w.write(groups.size(), fw.route);
+      std::size_t cursor = 0;
+      for (const std::size_t len : groups) {
+        w.write(e.conns[cursor].in, fw.port);
+        if (len >= (std::uint64_t{1} << fw.route)) {
+          throw std::invalid_argument(
+              "serialize_vbs: fan-out exceeds count field");
+        }
+        w.write(len, fw.route);
+        for (std::size_t k = 0; k < len; ++k) {
+          w.write(e.conns[cursor + k].out, fw.port);
+        }
+        cursor += len;
+      }
+    }
+  }
+  return w.take();
+}
+
+std::size_t vbs_size_bits(const VbsImage& img) {
+  const FieldWidths fw = widths_of(img);
+  const int c = img.cluster;
+  std::size_t bits = 4 + 8 + 4 + 2 + 1 + 6 + 6 + 2 * fw.dim + fw.entry;
+  for (const VbsEntry& e : img.entries) {
+    bits += 1 + 2 * fw.dim;
+    if (c == 1) {
+      bits += static_cast<std::size_t>(fw.nlb);
+    } else {
+      bits += static_cast<std::size_t>(c) * c;
+      for (const LogicConfig& lc : e.logic) {
+        if (lc.used) bits += static_cast<std::size_t>(fw.nlb);
+      }
+    }
+    if (e.raw) {
+      bits += static_cast<std::size_t>(c) * c * fw.route_bits;
+      continue;
+    }
+    if (img.compact_fanout) bits += 1;  // per-entry coding-select bit
+    if (!e.compact) {
+      bits += fw.route + e.conns.size() * 2 * fw.port;
+    } else {
+      const std::size_t groups = fanout_groups(e.conns).size();
+      bits += fw.route + groups * (fw.port + fw.route) +
+              e.conns.size() * fw.port;
+    }
+  }
+  return bits;
+}
+
+VbsImage deserialize_vbs(const BitVector& bits) {
+  BitReader r(bits);
+  const auto version = r.read(4);
+  if (version != kVersion) {
+    throw BitstreamError("VBS: unsupported format version");
+  }
+  VbsImage img;
+  img.spec.chan_width = static_cast<int>(r.read(8));
+  img.spec.lut_k = static_cast<int>(r.read(4));
+  const auto pattern = r.read(2);
+  if (pattern > 1) throw BitstreamError("VBS: unknown switch-box pattern");
+  img.spec.sb_pattern = static_cast<SbPattern>(pattern);
+  img.compact_fanout = r.read_bit();
+  img.spec.validate();
+  img.cluster = static_cast<int>(r.read(6));
+  if (img.cluster < 1) throw BitstreamError("VBS: bad cluster size");
+  const unsigned dim = static_cast<unsigned>(r.read(6));
+  if (dim == 0 || dim > 16) throw BitstreamError("VBS: bad dimension width");
+  img.task_w = static_cast<int>(r.read(dim));
+  img.task_h = static_cast<int>(r.read(dim));
+  if (img.task_w < 1 || img.task_h < 1) {
+    throw BitstreamError("VBS: bad task dimensions");
+  }
+  const FieldWidths fw = widths_of(img);
+  if (fw.dim != dim) throw BitstreamError("VBS: inconsistent dimension width");
+  const auto n_entries = r.read(fw.entry);
+  const int c = img.cluster;
+
+  for (std::uint64_t i = 0; i < n_entries; ++i) {
+    VbsEntry e;
+    e.raw = r.read_bit();
+    e.cx = static_cast<std::uint16_t>(r.read(fw.dim));
+    e.cy = static_cast<std::uint16_t>(r.read(fw.dim));
+    if (e.cx >= img.cluster_grid_w() || e.cy >= img.cluster_grid_h()) {
+      throw BitstreamError("VBS: entry position out of range");
+    }
+    e.logic.resize(static_cast<std::size_t>(c) * c);
+    if (c == 1) {
+      const BitVector lb = r.read_vector(static_cast<std::size_t>(fw.nlb));
+      e.logic[0] = parse_logic_bits(lb, 0, img.spec);
+    } else {
+      for (LogicConfig& lc : e.logic) lc.used = r.read_bit();
+      for (LogicConfig& lc : e.logic) {
+        if (!lc.used) continue;
+        const BitVector lb = r.read_vector(static_cast<std::size_t>(fw.nlb));
+        const bool used = lc.used;
+        lc = parse_logic_bits(lb, 0, img.spec);
+        lc.used = used;
+      }
+    }
+    if (e.raw) {
+      e.raw_routing =
+          r.read_vector(static_cast<std::size_t>(c) * c * fw.route_bits);
+    } else {
+      const std::uint64_t max_port =
+          static_cast<std::uint64_t>(4 * c * img.spec.chan_width) +
+          static_cast<std::uint64_t>(c) * c * img.spec.lb_pins();
+      auto checked = [&](std::uint64_t v) {
+        if (v >= max_port) {
+          throw BitstreamError("VBS: connection endpoint out of range");
+        }
+        return static_cast<std::uint16_t>(v);
+      };
+      e.compact = img.compact_fanout ? r.read_bit() : false;
+      if (!e.compact) {
+        const auto n_conns = r.read(fw.route);
+        e.conns.reserve(static_cast<std::size_t>(n_conns));
+        for (std::uint64_t k = 0; k < n_conns; ++k) {
+          VbsConnection conn;
+          conn.in = checked(r.read(fw.port));
+          conn.out = checked(r.read(fw.port));
+          e.conns.push_back(conn);
+        }
+      } else {
+        const auto n_groups = r.read(fw.route);
+        for (std::uint64_t g = 0; g < n_groups; ++g) {
+          const std::uint16_t in = checked(r.read(fw.port));
+          const auto n_outs = r.read(fw.route);
+          if (n_outs == 0) throw BitstreamError("VBS: empty fan-out group");
+          for (std::uint64_t k = 0; k < n_outs; ++k) {
+            e.conns.push_back({in, checked(r.read(fw.port))});
+          }
+        }
+      }
+    }
+    img.entries.push_back(std::move(e));
+  }
+  if (!r.at_end()) throw BitstreamError("VBS: trailing bits");
+  return img;
+}
+
+}  // namespace vbs

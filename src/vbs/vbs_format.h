@@ -1,0 +1,97 @@
+// The Virtual Bit-Stream binary format (paper Table I).
+//
+// Layout (all fields MSB-first, widths in bits):
+//
+//   preamble   version(4) W(8) K(4) sb_pattern(2) compact(1) cluster(6) D(6)
+//   header     task_w(D) task_h(D) entry_count(E)
+//   entry*     flag(1) pos_x(D) pos_y(D) <logic> <routing>
+//
+// where D = ceil(log2(max(task_w, task_h)+1)) dimension-field width,
+// E = ceil(log2(cw*ch+1)) with cw x ch the cluster grid. Per entry:
+//
+//   logic    c = 1:  NLB bits (LUT mask LSB-first + FF bit; Table I)
+//            c > 1:  c^2 occupancy bitmap, then NLB bits per used LB
+//   routing  flag=1: raw fallback, c^2 * (Nraw - NLB) switch bits
+//            flag=0: when the stream's compact(1) preamble bit is set, one
+//            more per-entry bit selects the coding (the encoder picks the
+//            smaller); otherwise Table I coding is implied:
+//              Table I coding:
+//                route_count(RC) then per connection in(M) out(M)
+//              fan-out coding (the "smarter coding" extension of paper
+//              Section V):
+//                group_count(RC) then per signal in(M) out_count(RC)
+//                out(M)*; connections sharing an `in` are coded once
+//
+// RC = ceil(log2(2W)) at c=1 (Table I) and the endpoint width M for
+// clusters; M = ceil(log2(4cW + c^2 L + 1)) as in the paper. The preamble,
+// the per-entry flag bit and the cluster occupancy bitmap are additions
+// Table I leaves implicit (self-description, the paper's raw-fallback
+// behaviour, and per-LB logic presence); DESIGN.md documents them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch_spec.h"
+#include "bitstream/bitstream.h"
+#include "util/bitvector.h"
+
+namespace vbs {
+
+struct VbsConnection {
+  std::uint16_t in;
+  std::uint16_t out;
+  friend bool operator==(const VbsConnection&, const VbsConnection&) = default;
+};
+
+/// One macro (c=1) or cluster (c>1) record.
+struct VbsEntry {
+  std::uint16_t cx = 0;  ///< cluster-grid position within the task
+  std::uint16_t cy = 0;
+  bool raw = false;
+  /// Fan-out-compact coding for this entry (only meaningful when the
+  /// stream's compact_fanout flag is set; the encoder picks per entry
+  /// whichever coding is smaller).
+  bool compact = false;
+  /// c^2 logic configurations, region row-major ((0,0),(1,0),...).
+  std::vector<LogicConfig> logic;
+  /// Connection list (flag=0): the de-virtualizer routes these in order.
+  std::vector<VbsConnection> conns;
+  /// Raw routing payload (flag=1): c^2 * (Nraw-NLB) bits, region row-major.
+  BitVector raw_routing;
+};
+
+struct VbsImage {
+  ArchSpec spec;
+  int task_w = 0;  ///< task footprint in macros
+  int task_h = 0;
+  int cluster = 1;
+  /// Fan-out-compact connection coding; requires every entry's connection
+  /// list to be grouped (all pairs sharing an `in` contiguous).
+  bool compact_fanout = false;
+  std::vector<VbsEntry> entries;
+
+  int cluster_grid_w() const { return (task_w + cluster - 1) / cluster; }
+  int cluster_grid_h() const { return (task_h + cluster - 1) / cluster; }
+};
+
+/// Serializes to the on-wire bit format; the paper's compressed sizes are
+/// measured as serialize(img).size().
+BitVector serialize_vbs(const VbsImage& img);
+
+/// Parses a serialized stream back; throws BitstreamError on malformed
+/// input. Round-trips exactly with serialize_vbs.
+VbsImage deserialize_vbs(const BitVector& bits);
+
+/// Size in bits the image will serialize to, without serializing.
+std::size_t vbs_size_bits(const VbsImage& img);
+
+/// Run lengths of consecutive same-`in` connections. Throws
+/// std::invalid_argument if an `in` port recurs non-contiguously (the list
+/// is then not groupable for compact fan-out coding).
+std::vector<std::size_t> fanout_groups(const std::vector<VbsConnection>& conns);
+
+/// Raw (uncompressed) size of the same task: w*h*Nraw bits.
+std::size_t raw_size_bits(const ArchSpec& spec, int task_w, int task_h);
+
+}  // namespace vbs

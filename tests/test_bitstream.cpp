@@ -1,0 +1,186 @@
+// Raw bit-stream generation and connectivity-extraction oracle tests.
+#include <gtest/gtest.h>
+
+#include "bitstream/bitstream.h"
+#include "bitstream/connectivity.h"
+#include "flow/flow.h"
+#include "netlist/generator.h"
+
+namespace vbs {
+namespace {
+
+TEST(Bitstream, LogicBitsRoundTrip) {
+  ArchSpec spec;
+  LogicConfig lc;
+  lc.used = true;
+  lc.lut_mask = 0xDEADBEEFCAFEF00DULL;
+  lc.has_ff = true;
+  BitVector bits;
+  append_logic_bits(bits, lc, spec);
+  EXPECT_EQ(bits.size(), static_cast<std::size_t>(spec.nlb_bits()));
+  const LogicConfig back = parse_logic_bits(bits, 0, spec);
+  EXPECT_EQ(back.lut_mask, lc.lut_mask);
+  EXPECT_EQ(back.has_ff, lc.has_ff);
+  EXPECT_TRUE(back.used);
+}
+
+TEST(Bitstream, LogicBitsSmallLut) {
+  ArchSpec spec;
+  spec.lut_k = 4;
+  LogicConfig lc;
+  lc.used = true;
+  lc.lut_mask = 0xBEEF;
+  lc.has_ff = false;
+  BitVector bits;
+  append_logic_bits(bits, lc, spec);
+  EXPECT_EQ(bits.size(), 17u);
+  const LogicConfig back = parse_logic_bits(bits, 0, spec);
+  EXPECT_EQ(back.lut_mask, 0xBEEFu);
+  EXPECT_FALSE(back.has_ff);
+}
+
+struct RoutedFixture {
+  FlowResult r;
+  BitVector raw;
+
+  explicit RoutedFixture(int n_lut = 30, std::uint64_t seed = 5, int w = 8,
+                         int grid = 6) {
+    GenParams p;
+    p.n_lut = n_lut;
+    p.n_pi = 4;
+    p.n_po = 4;
+    p.seed = seed;
+    FlowOptions o;
+    o.arch.chan_width = w;
+    o.seed = seed;
+    r = run_flow(generate_netlist(p), grid, grid, o);
+    EXPECT_TRUE(r.routed());
+    raw = generate_raw_bitstream(*r.fabric, r.netlist, r.packed, r.placement,
+                                 r.routing.routes);
+  }
+};
+
+TEST(Bitstream, SizeIsWTimesHTimesNraw) {
+  RoutedFixture f;
+  EXPECT_EQ(f.raw.size(),
+            static_cast<std::size_t>(6 * 6) * f.r.fabric->spec().nraw_bits());
+  EXPECT_EQ(f.raw.size(), raw_size_bits(f.r.fabric->spec(), 6, 6));
+}
+
+TEST(Bitstream, SwitchCountMatchesRouteEdges) {
+  RoutedFixture f;
+  std::size_t edges = 0;
+  for (const NetRoute& route : f.r.routing.routes) {
+    for (const auto& tn : route.nodes) edges += (tn.fabric_edge >= 0);
+  }
+  // Logic bits add to popcount; subtract them.
+  std::size_t logic_bits = 0;
+  const auto logic =
+      extract_logic_configs(f.r.netlist, f.r.packed, f.r.placement);
+  ArchSpec spec = f.r.fabric->spec();
+  for (const LogicConfig& lc : logic) {
+    if (!lc.used) continue;
+    BitVector lb;
+    append_logic_bits(lb, lc, spec);
+    logic_bits += lb.popcount();
+  }
+  EXPECT_EQ(f.raw.popcount(), edges + logic_bits);
+}
+
+TEST(Bitstream, EmptyTilesAreAllZero) {
+  RoutedFixture f(10, 3, 8, 6);  // sparse: 10 LUTs on 36 tiles
+  const auto logic =
+      extract_logic_configs(f.r.netlist, f.r.packed, f.r.placement);
+  const ArchSpec& spec = f.r.fabric->spec();
+  int empty_checked = 0;
+  const auto switches = collect_switches(*f.r.fabric, f.r.routing.routes);
+  for (int m = 0; m < f.r.fabric->num_macros(); ++m) {
+    if (logic[static_cast<std::size_t>(m)].used ||
+        !switches[static_cast<std::size_t>(m)].empty()) {
+      continue;
+    }
+    const BitVector frame =
+        f.raw.slice(f.r.fabric->macro_config_offset(m),
+                    f.r.fabric->macro_config_offset(m) +
+                        static_cast<std::size_t>(spec.nraw_bits()));
+    EXPECT_EQ(frame.popcount(), 0u);
+    ++empty_checked;
+  }
+  EXPECT_GT(empty_checked, 0);
+}
+
+TEST(Connectivity, AcceptsCorrectImage) {
+  RoutedFixture f;
+  EXPECT_EQ(verify_connectivity(*f.r.fabric, f.raw, f.r.netlist, f.r.packed,
+                                f.r.placement),
+            "");
+}
+
+TEST(Connectivity, DetectsBrokenNet) {
+  RoutedFixture f;
+  // Clear one routing switch: some net must lose a sink.
+  BitVector broken = f.raw;
+  const auto switches = collect_switches(*f.r.fabric, f.r.routing.routes);
+  const ArchSpec& spec = f.r.fabric->spec();
+  bool cleared = false;
+  for (int m = 0; m < f.r.fabric->num_macros() && !cleared; ++m) {
+    for (const int bit : switches[static_cast<std::size_t>(m)]) {
+      broken.set(f.r.fabric->macro_config_offset(m) +
+                     static_cast<std::size_t>(spec.nlb_bits()) +
+                     static_cast<std::size_t>(bit),
+                 false);
+      cleared = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(cleared);
+  EXPECT_NE(verify_connectivity(*f.r.fabric, broken, f.r.netlist, f.r.packed,
+                                f.r.placement),
+            "");
+}
+
+TEST(Connectivity, DetectsShortBetweenNets) {
+  RoutedFixture f;
+  // Turn on every switch of one macro: almost surely shorts two nets or
+  // drives an unused pin.
+  BitVector shorted = f.raw;
+  const ArchSpec& spec = f.r.fabric->spec();
+  // Pick a macro in the middle of the fabric (most likely to carry nets).
+  const int m = f.r.fabric->macro_index(3, 3);
+  for (int b = 0; b < spec.nroute_bits(); ++b) {
+    shorted.set(f.r.fabric->macro_config_offset(m) +
+                    static_cast<std::size_t>(spec.nlb_bits()) +
+                    static_cast<std::size_t>(b),
+                true);
+  }
+  EXPECT_NE(verify_connectivity(*f.r.fabric, shorted, f.r.netlist, f.r.packed,
+                                f.r.placement),
+            "");
+}
+
+TEST(Connectivity, DetectsLogicCorruption) {
+  RoutedFixture f;
+  BitVector corrupt = f.raw;
+  // Flip a LUT mask bit of a used tile.
+  const auto logic =
+      extract_logic_configs(f.r.netlist, f.r.packed, f.r.placement);
+  for (int m = 0; m < f.r.fabric->num_macros(); ++m) {
+    if (!logic[static_cast<std::size_t>(m)].used) continue;
+    const std::size_t bit = f.r.fabric->macro_config_offset(m) + 7;
+    corrupt.set(bit, !corrupt.get(bit));
+    break;
+  }
+  EXPECT_NE(verify_connectivity(*f.r.fabric, corrupt, f.r.netlist, f.r.packed,
+                                f.r.placement),
+            "");
+}
+
+TEST(Connectivity, RejectsWrongImageSize) {
+  RoutedFixture f;
+  BitVector wrong = f.raw;
+  wrong.push_back(false);
+  EXPECT_THROW(Connectivity(*f.r.fabric, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vbs

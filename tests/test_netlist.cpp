@@ -1,0 +1,201 @@
+// Netlist model, text round-trip, generator and MCNC-calibration tests.
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+#include "netlist/mcnc.h"
+#include "netlist/netlist.h"
+#include "netlist/netlist_io.h"
+
+namespace vbs {
+namespace {
+
+Netlist tiny() {
+  Netlist nl;
+  nl.name = "tiny";
+  Block pi;
+  pi.type = BlockType::kInput;
+  pi.name = "a";
+  const BlockId a = nl.add_block(pi);
+  const NetId na = nl.add_net("a", a);
+  Block lut;
+  lut.type = BlockType::kLut;
+  lut.name = "g";
+  lut.lut_mask = 0x6;
+  const BlockId g = nl.add_block(lut);
+  const NetId ng = nl.add_net("g", g);
+  nl.connect(na, g, 0);
+  Block po;
+  po.type = BlockType::kOutput;
+  po.name = "z";
+  const BlockId z = nl.add_block(po);
+  nl.connect(ng, z, 0);
+  return nl;
+}
+
+TEST(Netlist, TinyValidates) {
+  const Netlist nl = tiny();
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.num_luts(), 1);
+  EXPECT_EQ(nl.num_inputs(), 1);
+  EXPECT_EQ(nl.num_outputs(), 1);
+  EXPECT_EQ(nl.num_nets(), 2);
+}
+
+TEST(Netlist, ValidateCatchesBrokenBackref) {
+  Netlist nl = tiny();
+  nl.net(0).sinks[0].pin = 1;  // back-reference now inconsistent
+  EXPECT_THROW(nl.validate(), std::logic_error);
+}
+
+TEST(Netlist, ValidateCatchesDuplicateSink) {
+  Netlist nl = tiny();
+  nl.net(0).sinks.push_back(nl.net(0).sinks[0]);
+  EXPECT_THROW(nl.validate(), std::logic_error);
+}
+
+TEST(NetlistIo, RoundTripTiny) {
+  const Netlist nl = tiny();
+  const std::string text = netlist_to_string(nl);
+  const Netlist back = netlist_from_string(text);
+  EXPECT_EQ(back.name, "tiny");
+  EXPECT_EQ(back.num_luts(), 1);
+  EXPECT_EQ(back.num_inputs(), 1);
+  EXPECT_EQ(back.num_outputs(), 1);
+  EXPECT_EQ(back.block(1).lut_mask, 0x6u);
+  EXPECT_EQ(netlist_to_string(back), text);
+}
+
+TEST(NetlistIo, RoundTripGenerated) {
+  GenParams p;
+  p.n_lut = 120;
+  p.n_pi = 9;
+  p.n_po = 7;
+  p.seed = 3;
+  const Netlist nl = generate_netlist(p);
+  const Netlist back = netlist_from_string(netlist_to_string(nl));
+  EXPECT_EQ(back.num_luts(), nl.num_luts());
+  EXPECT_EQ(back.num_nets(), nl.num_nets());
+  EXPECT_EQ(netlist_to_string(back), netlist_to_string(nl));
+}
+
+TEST(NetlistIo, ParseErrorsAreDiagnosed) {
+  EXPECT_THROW(netlist_from_string("frobnicate x\n"), std::runtime_error);
+  EXPECT_THROW(netlist_from_string("lut g 3 1 out missing_net\n"),
+               std::runtime_error);
+  // Duplicate net names rejected.
+  EXPECT_THROW(netlist_from_string("input a\ninput a\n"), std::runtime_error);
+}
+
+TEST(NetlistIo, CommentsAndBlankLinesIgnored)
+{
+  const Netlist nl = netlist_from_string(
+      "# header comment\n"
+      "circuit c\n"
+      "\n"
+      "input a  # trailing comment\n"
+      "lut g 6 0 n0 a\n"
+      "output z n0\n");
+  EXPECT_EQ(nl.num_luts(), 1);
+}
+
+class GeneratorTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorTest, ProducesValidNetlists) {
+  GenParams p;
+  p.n_lut = 200;
+  p.n_pi = 16;
+  p.n_po = 12;
+  p.seed = GetParam();
+  const Netlist nl = generate_netlist(p);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.num_luts(), 200);
+  EXPECT_EQ(nl.num_inputs(), 16);
+  EXPECT_EQ(nl.num_outputs(), 12);
+  // Every LUT has at least one input and at most K.
+  for (const Block& b : nl.blocks()) {
+    if (b.type != BlockType::kLut) continue;
+    EXPECT_GE(b.num_used_inputs(), 1);
+    EXPECT_LE(b.num_used_inputs(), p.lut_k);
+    EXPECT_NE(b.lut_mask, 0u);
+  }
+}
+
+TEST_P(GeneratorTest, DeterministicInSeed) {
+  GenParams p;
+  p.n_lut = 64;
+  p.seed = GetParam();
+  const Netlist a = generate_netlist(p);
+  const Netlist b = generate_netlist(p);
+  EXPECT_EQ(netlist_to_string(a), netlist_to_string(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorTest, ::testing::Values(1, 2, 17, 99));
+
+TEST(Generator, LocalityReducesAverageFanoutDistanceProxy) {
+  // Lower p_local must produce more "global" structure: measured here as a
+  // larger spread of source indices relative to the sink index.
+  auto spread = [](double p_local) {
+    GenParams p;
+    p.n_lut = 400;
+    p.p_local = p_local;
+    p.seed = 5;
+    const Netlist nl = generate_netlist(p);
+    double total = 0;
+    long count = 0;
+    for (const Block& b : nl.blocks()) {
+      if (b.type != BlockType::kLut) continue;
+      for (NetId in : b.inputs) {
+        if (in == kNoNet) continue;
+        const Block& src = nl.block(nl.net(in).driver);
+        if (src.type != BlockType::kLut) continue;
+        total += std::abs(&src - &b) / sizeof(Block) == 0
+                     ? 0.0
+                     : std::abs(static_cast<double>(nl.net(in).driver) -
+                                static_cast<double>(nl.net(b.output).driver));
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  EXPECT_LT(spread(0.95), spread(0.1));
+}
+
+TEST(Mcnc, TableMatchesPaper) {
+  const auto& t = mcnc20();
+  ASSERT_EQ(t.size(), 20u);
+  // Spot-check rows of Table II.
+  EXPECT_EQ(mcnc_by_name("clma").size, 79);
+  EXPECT_EQ(mcnc_by_name("clma").mcw, 15);
+  EXPECT_EQ(mcnc_by_name("clma").lbs, 6226);
+  EXPECT_EQ(mcnc_by_name("tseng").size, 29);
+  EXPECT_EQ(mcnc_by_name("tseng").mcw, 8);
+  EXPECT_EQ(mcnc_by_name("tseng").lbs, 799);
+  EXPECT_EQ(mcnc_by_name("s38584.1").lbs, 4219);
+  EXPECT_THROW(mcnc_by_name("nonesuch"), std::out_of_range);
+  // 13 of the 20 contain over a thousand logic blocks (paper Section IV).
+  int over_1000 = 0;
+  for (const McncCircuit& c : t) over_1000 += (c.lbs > 1000);
+  EXPECT_EQ(over_1000, 13);
+  // Every circuit fits its published array.
+  for (const McncCircuit& c : t) EXPECT_LE(c.lbs, c.size * c.size);
+}
+
+TEST(Mcnc, SyntheticStandInMatchesLbCount) {
+  const McncCircuit& c = mcnc_by_name("ex5p");
+  const Netlist nl = make_mcnc_like(c);
+  EXPECT_EQ(nl.num_luts(), c.lbs);
+  EXPECT_EQ(nl.num_inputs(), c.n_pi);
+  EXPECT_EQ(nl.num_outputs(), c.n_po);
+  EXPECT_EQ(nl.name, "ex5p");
+}
+
+TEST(Mcnc, CalibrationMonotoneInMcw) {
+  // Higher published MCW -> lower locality parameter.
+  const GenParams easy = mcnc_gen_params(mcnc_by_name("tseng"));  // MCW 8
+  const GenParams hard = mcnc_gen_params(mcnc_by_name("ex1010"));  // MCW 16
+  EXPECT_GT(easy.p_local, hard.p_local);
+  EXPECT_LT(easy.radius_frac, hard.radius_frac);
+}
+
+}  // namespace
+}  // namespace vbs

@@ -1,0 +1,155 @@
+// Placer tests: legality, determinism, cost improvement, I/O assignment.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "netlist/generator.h"
+#include "pack/pack.h"
+#include "place/annealer.h"
+#include "place/placement.h"
+
+namespace vbs {
+namespace {
+
+struct Fixture {
+  Netlist nl;
+  ArchSpec spec;
+  PackedDesign pd;
+
+  explicit Fixture(int n_lut = 60, std::uint64_t seed = 1) {
+    GenParams p;
+    p.n_lut = n_lut;
+    p.n_pi = 6;
+    p.n_po = 5;
+    p.seed = seed;
+    nl = generate_netlist(p);
+    spec.chan_width = 8;
+    pd = pack_netlist(nl, spec);
+  }
+};
+
+TEST(Pack, OneLutPerBlockAndPinCompaction) {
+  Fixture f;
+  EXPECT_EQ(f.pd.num_luts(), f.nl.num_luts());
+  EXPECT_EQ(f.pd.num_ios(), f.nl.num_inputs() + f.nl.num_outputs());
+  for (int i = 0; i < f.pd.num_luts(); ++i) {
+    const auto& pins = f.pd.lut_pins[static_cast<std::size_t>(i)];
+    bool seen_gap = false;
+    for (NetId n : pins) {
+      if (n == kNoNet) seen_gap = true;
+      else EXPECT_FALSE(seen_gap) << "pins not compacted";
+    }
+  }
+}
+
+TEST(Pack, RejectsOverwideLut) {
+  Fixture f;
+  ArchSpec small;
+  small.lut_k = 2;
+  bool has_wide = false;
+  for (const Block& b : f.nl.blocks()) {
+    has_wide |= (b.type == BlockType::kLut && b.num_used_inputs() > 2);
+  }
+  ASSERT_TRUE(has_wide) << "fixture too small to exercise the check";
+  EXPECT_THROW(pack_netlist(f.nl, small), std::invalid_argument);
+}
+
+TEST(Place, ProducesLegalPlacement) {
+  Fixture f;
+  const Placement pl = place_design(f.nl, f.pd, f.spec, 9, 9);
+  EXPECT_NO_THROW(pl.validate(f.pd));
+  EXPECT_EQ(pl.grid_w, 9);
+  EXPECT_EQ(pl.grid_h, 9);
+}
+
+TEST(Place, DeterministicInSeed) {
+  Fixture f;
+  PlaceOptions o;
+  o.seed = 42;
+  const Placement a = place_design(f.nl, f.pd, f.spec, 9, 9, o);
+  const Placement b = place_design(f.nl, f.pd, f.spec, 9, 9, o);
+  EXPECT_EQ(a.lut_loc, b.lut_loc);
+  for (std::size_t i = 0; i < a.io_loc.size(); ++i) {
+    EXPECT_EQ(a.io_loc[i], b.io_loc[i]);
+  }
+}
+
+TEST(Place, AnnealingImprovesCost) {
+  Fixture f(120, 7);
+  PlaceStats stats;
+  const Placement pl = place_design(f.nl, f.pd, f.spec, 12, 12, {}, &stats);
+  (void)pl;
+  EXPECT_GT(stats.moves, 0);
+  EXPECT_LT(stats.final_cost, stats.initial_cost);
+}
+
+TEST(Place, HpwlConsistentWithStats) {
+  Fixture f(80, 3);
+  PlaceStats stats;
+  const Placement pl = place_design(f.nl, f.pd, f.spec, 10, 10, {}, &stats);
+  // final_cost is measured before the last I/O refinement, so allow slack;
+  // the independent recomputation must be in the same ballpark.
+  const double recomputed = placement_hpwl(f.nl, f.pd, pl);
+  EXPECT_NEAR(recomputed, stats.final_cost, 0.35 * stats.final_cost + 1.0);
+}
+
+TEST(Place, RejectsOverfullGrid) {
+  Fixture f(60);
+  EXPECT_THROW(place_design(f.nl, f.pd, f.spec, 7, 7, {}),
+               std::invalid_argument);
+}
+
+TEST(Place, RejectsTooManyIosForPerimeter) {
+  GenParams p;
+  p.n_lut = 4;
+  p.n_pi = 200;
+  p.n_po = 200;
+  const Netlist nl = generate_netlist(p);
+  ArchSpec spec;
+  spec.chan_width = 4;
+  const PackedDesign pd = pack_netlist(nl, spec);
+  EXPECT_THROW(place_design(nl, pd, spec, 3, 3, {}), std::invalid_argument);
+}
+
+TEST(Place, IoSlotsRespectPerTileCapacity) {
+  GenParams p;
+  p.n_lut = 30;
+  p.n_pi = 40;
+  p.n_po = 20;
+  const Netlist nl = generate_netlist(p);
+  ArchSpec spec;
+  spec.chan_width = 8;
+  const PackedDesign pd = pack_netlist(nl, spec);
+  PlaceOptions o;
+  o.io_per_tile = 3;
+  const Placement pl = place_design(nl, pd, spec, 8, 8, o);
+  std::map<std::tuple<int, int>, int> count;
+  for (const IoSlot& s : pl.io_loc) {
+    EXPECT_LT(s.track, 3);
+    ++count[{static_cast<int>(s.side), s.tile}];
+  }
+  for (const auto& [k, v] : count) EXPECT_LE(v, 3);
+}
+
+TEST(Place, IoTileGeometry) {
+  Placement pl;
+  pl.grid_w = 10;
+  pl.grid_h = 8;
+  EXPECT_EQ(pl.io_tile({Side::kWest, 3, 0}), (Point{0, 3}));
+  EXPECT_EQ(pl.io_tile({Side::kEast, 3, 0}), (Point{9, 3}));
+  EXPECT_EQ(pl.io_tile({Side::kNorth, 4, 0}), (Point{4, 7}));
+  EXPECT_EQ(pl.io_tile({Side::kSouth, 4, 0}), (Point{4, 0}));
+}
+
+TEST(Place, IoPortIdUsesSideBase) {
+  ArchSpec spec;
+  spec.chan_width = 20;
+  EXPECT_EQ(io_port_id({Side::kWest, 0, 3}, spec), 3);
+  EXPECT_EQ(io_port_id({Side::kEast, 0, 3}, spec), 23);
+  EXPECT_EQ(io_port_id({Side::kNorth, 0, 3}, spec), 43);
+  EXPECT_EQ(io_port_id({Side::kSouth, 0, 3}, spec), 63);
+}
+
+}  // namespace
+}  // namespace vbs

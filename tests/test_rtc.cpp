@@ -1,0 +1,212 @@
+// Run-time controller tests: allocation, multi-task loading, isolation,
+// eviction, relocation/migration, defragmentation, parallel decode.
+#include <gtest/gtest.h>
+
+#include "bitstream/connectivity.h"
+#include "flow/flow.h"
+#include "netlist/generator.h"
+#include "rtc/allocator.h"
+#include "rtc/controller.h"
+#include "vbs/encoder.h"
+
+namespace vbs {
+namespace {
+
+TEST(Allocator, FirstFitAndRelease) {
+  RectAllocator a(10, 10);
+  EXPECT_DOUBLE_EQ(a.occupancy(), 0.0);
+  const auto p1 = a.find_free(4, 4);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(*p1, (Point{0, 0}));
+  a.occupy({0, 0, 4, 4});
+  const auto p2 = a.find_free(4, 4);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(*p2, (Point{4, 0}));
+  a.occupy({4, 0, 4, 4});
+  EXPECT_FALSE(a.find_free(8, 8).has_value());
+  EXPECT_TRUE(a.find_free(10, 6).has_value());
+  a.release({0, 0, 4, 4});
+  EXPECT_EQ(*a.find_free(4, 4), (Point{0, 0}));
+  EXPECT_NEAR(a.occupancy(), 0.16, 1e-12);
+}
+
+TEST(Allocator, RejectsOverlapAndBadRelease) {
+  RectAllocator a(6, 6);
+  a.occupy({1, 1, 3, 3});
+  EXPECT_THROW(a.occupy({2, 2, 2, 2}), std::logic_error);
+  EXPECT_THROW(a.occupy({5, 5, 2, 2}), std::logic_error);  // out of bounds
+  EXPECT_THROW(a.release({0, 0, 2, 2}), std::logic_error);
+}
+
+TEST(Allocator, SkipScanFindsHoles) {
+  RectAllocator a(8, 4);
+  a.occupy({0, 0, 3, 4});
+  a.occupy({5, 0, 3, 4});
+  const auto p = a.find_free(2, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Point{3, 0}));
+}
+
+/// A routed task plus its serialized VBS and an expectation oracle.
+struct TaskFixture {
+  FlowResult r;
+  BitVector stream;
+
+  explicit TaskFixture(int n_lut, std::uint64_t seed, int grid, int w = 8,
+                       int cluster = 1) {
+    GenParams p;
+    p.n_lut = n_lut;
+    p.n_pi = 3;
+    p.n_po = 3;
+    p.seed = seed;
+    FlowOptions o;
+    o.arch.chan_width = w;
+    o.seed = seed;
+    r = run_flow(generate_netlist(p), grid, grid, o);
+    EXPECT_TRUE(r.routed());
+    EncodeOptions eo;
+    eo.cluster = cluster;
+    stream = serialize_vbs(encode_vbs(*r.fabric, r.netlist, r.packed,
+                                      r.placement, r.routing.routes, eo));
+  }
+
+  /// Checks the controller's config at `origin` equals a fresh decode.
+  void expect_frames_at(const ReconfigController& rtc, Point origin) const {
+    const BitVector solo = devirtualize_image(deserialize_vbs(stream),
+                                              rtc.fabric(), origin);
+    const int nraw = rtc.fabric().spec().nraw_bits();
+    for (int ty = 0; ty < r.fabric->height(); ++ty) {
+      for (int tx = 0; tx < r.fabric->width(); ++tx) {
+        const std::size_t base = rtc.fabric().macro_config_offset(
+            rtc.fabric().macro_index(origin.x + tx, origin.y + ty));
+        ASSERT_EQ(rtc.config_memory().slice(base, base + nraw),
+                  solo.slice(base, base + nraw))
+            << "tile " << tx << "," << ty;
+      }
+    }
+  }
+};
+
+TEST(Controller, LoadDecodesCorrectly) {
+  TaskFixture t(25, 31, 6);
+  ReconfigController rtc(t.r.fabric->spec(), 6, 6);
+  const TaskId id = rtc.load(t.stream);
+  ASSERT_NE(id, kNoTask);
+  EXPECT_EQ(rtc.record(id).rect, (Rect{0, 0, 6, 6}));
+  // The whole fabric is the task: verify electrically.
+  EXPECT_EQ(verify_connectivity(rtc.fabric(), rtc.config_memory(), t.r.netlist,
+                                t.r.packed, t.r.placement),
+            "");
+  EXPECT_DOUBLE_EQ(rtc.occupancy(), 1.0);
+}
+
+TEST(Controller, MultiTaskIsolation) {
+  TaskFixture a(20, 41, 5), b(20, 42, 5), c(20, 43, 5);
+  ReconfigController rtc(a.r.fabric->spec(), 16, 6);
+  const TaskId ia = rtc.load(a.stream);
+  const TaskId ib = rtc.load(b.stream);
+  const TaskId ic = rtc.load(c.stream);
+  ASSERT_NE(ia, kNoTask);
+  ASSERT_NE(ib, kNoTask);
+  ASSERT_NE(ic, kNoTask);
+  EXPECT_EQ(rtc.num_tasks(), 3);
+  // Each task's frames must match a solo decode at its origin: neighbours
+  // do not disturb each other.
+  a.expect_frames_at(rtc, {rtc.record(ia).rect.x, rtc.record(ia).rect.y});
+  b.expect_frames_at(rtc, {rtc.record(ib).rect.x, rtc.record(ib).rect.y});
+  c.expect_frames_at(rtc, {rtc.record(ic).rect.x, rtc.record(ic).rect.y});
+}
+
+TEST(Controller, LoadFailsWhenFull) {
+  TaskFixture t(20, 44, 5);
+  ReconfigController rtc(t.r.fabric->spec(), 7, 5);
+  EXPECT_NE(rtc.load(t.stream), kNoTask);
+  EXPECT_EQ(rtc.load(t.stream), kNoTask);  // no room for a second 5x5
+}
+
+TEST(Controller, UnloadClearsRegion) {
+  TaskFixture t(20, 45, 5);
+  ReconfigController rtc(t.r.fabric->spec(), 8, 8);
+  const TaskId id = rtc.load_at(t.stream, {2, 1});
+  EXPECT_GT(rtc.config_memory().popcount(), 0u);
+  rtc.unload(id);
+  EXPECT_EQ(rtc.config_memory().popcount(), 0u);
+  EXPECT_DOUBLE_EQ(rtc.occupancy(), 0.0);
+  EXPECT_THROW(rtc.record(id), std::out_of_range);
+}
+
+TEST(Controller, LoadAtRejectsOccupiedOrOutOfBounds) {
+  TaskFixture t(20, 46, 5);
+  ReconfigController rtc(t.r.fabric->spec(), 8, 8);
+  rtc.load_at(t.stream, {0, 0});
+  EXPECT_THROW(rtc.load_at(t.stream, {4, 4}), std::logic_error);
+  EXPECT_THROW(rtc.load_at(t.stream, {6, 0}), std::logic_error);
+}
+
+TEST(Controller, RelocateMovesConfiguration) {
+  TaskFixture t(20, 47, 5);
+  ReconfigController rtc(t.r.fabric->spec(), 12, 6);
+  const TaskId id = rtc.load_at(t.stream, {0, 0});
+  rtc.relocate(id, {6, 1});
+  EXPECT_EQ(rtc.record(id).rect, (Rect{6, 1, 5, 5}));
+  t.expect_frames_at(rtc, {6, 1});
+  // Old region is clear: loading there again succeeds.
+  EXPECT_NO_THROW(rtc.load_at(t.stream, {0, 0}));
+}
+
+TEST(Controller, RelocateRejectsOverlapWithSelf) {
+  TaskFixture t(20, 48, 5);
+  ReconfigController rtc(t.r.fabric->spec(), 8, 8);
+  const TaskId id = rtc.load_at(t.stream, {0, 0});
+  EXPECT_THROW(rtc.relocate(id, {2, 2}), std::logic_error);
+}
+
+TEST(Controller, DefragmentCompacts) {
+  TaskFixture t(12, 49, 4);
+  ReconfigController rtc(t.r.fabric->spec(), 16, 4);
+  const TaskId a = rtc.load_at(t.stream, {4, 0});
+  const TaskId b = rtc.load_at(t.stream, {12, 0});
+  rtc.defragment();
+  EXPECT_EQ(rtc.record(a).rect, (Rect{0, 0, 4, 4}));
+  // b slides into the slot a vacated.
+  EXPECT_EQ(rtc.record(b).rect, (Rect{4, 0, 4, 4}));
+  t.expect_frames_at(rtc, {0, 0});
+  t.expect_frames_at(rtc, {4, 0});
+}
+
+class ParallelDecode : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDecode, MatchesSerialDecode) {
+  TaskFixture t(60, 50, 9, 8, GetParam() % 2 == 0 ? 2 : 1);
+  ReconfigController serial(t.r.fabric->spec(), 9, 9);
+  ReconfigController parallel(t.r.fabric->spec(), 9, 9);
+  serial.load(t.stream, 1);
+  parallel.load(t.stream, GetParam());
+  EXPECT_EQ(serial.config_memory(), parallel.config_memory());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelDecode, ::testing::Values(2, 3, 4, 8));
+
+TEST(Controller, RecordsAndStats) {
+  TaskFixture t(25, 51, 6);
+  ReconfigController rtc(t.r.fabric->spec(), 6, 6);
+  const TaskId id = rtc.load(t.stream, 2);
+  const TaskRecord& rec = rtc.record(id);
+  EXPECT_EQ(rec.stream_bits, t.stream.size());
+  EXPECT_GT(rec.decode.entries_decoded, 0);
+  EXPECT_GE(rec.decode_seconds, 0.0);
+  EXPECT_EQ(rec.threads_used, 2);
+  EXPECT_GE(rtc.total_decode_stats().entries_decoded,
+            rec.decode.entries_decoded);
+}
+
+TEST(Controller, RejectsArchMismatch) {
+  TaskFixture t(20, 52, 5, 8);
+  ArchSpec other;
+  other.chan_width = 12;
+  ReconfigController rtc(other, 8, 8);
+  EXPECT_THROW(rtc.load_at(t.stream, {0, 0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vbs

@@ -1,0 +1,100 @@
+// Tests for the tooling layer: architecture-description parsing, the CLI
+// argument parser, and netlist file round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "arch/arch_io.h"
+#include "netlist/generator.h"
+#include "netlist/netlist_io.h"
+#include "util/cli.h"
+
+namespace vbs {
+namespace {
+
+TEST(ArchIo, ParsesFullDescription) {
+  const ArchSpec s = arch_from_string(
+      "# example architecture\n"
+      "chan_width = 12\n"
+      "lut_k = 5\n"
+      "sb_pattern = wilton\n");
+  EXPECT_EQ(s.chan_width, 12);
+  EXPECT_EQ(s.lut_k, 5);
+  EXPECT_EQ(s.sb_pattern, SbPattern::kWilton);
+}
+
+TEST(ArchIo, DefaultsApplyForMissingKeys) {
+  const ArchSpec s = arch_from_string("chan_width = 9\n");
+  EXPECT_EQ(s.chan_width, 9);
+  EXPECT_EQ(s.lut_k, 6);
+  EXPECT_EQ(s.sb_pattern, SbPattern::kDisjoint);
+}
+
+TEST(ArchIo, RoundTrip) {
+  ArchSpec s;
+  s.chan_width = 7;
+  s.lut_k = 4;
+  s.sb_pattern = SbPattern::kWilton;
+  EXPECT_EQ(arch_from_string(arch_to_string(s)), s);
+}
+
+TEST(ArchIo, DiagnosesErrors) {
+  EXPECT_THROW(arch_from_string("chan_width 12\n"), std::runtime_error);
+  EXPECT_THROW(arch_from_string("bogus_key = 3\n"), std::runtime_error);
+  EXPECT_THROW(arch_from_string("sb_pattern = fancy\n"), std::runtime_error);
+  EXPECT_THROW(arch_from_string("chan_width = twelve\n"), std::runtime_error);
+  EXPECT_THROW(arch_from_string("chan_width = 12 extra\n"), std::runtime_error);
+  // Validation still applies: W = 1 is architecturally invalid.
+  EXPECT_THROW(arch_from_string("chan_width = 1\n"), std::invalid_argument);
+}
+
+TEST(ArchIo, MissingFileThrows) {
+  EXPECT_THROW(read_arch_file("/nonexistent/arch.txt"), std::runtime_error);
+}
+
+TEST(Cli, ParsesFlagsValuesAndPositionals) {
+  const char* argv[] = {"tool", "input.netl", "--out",     "x.vbs",
+                        "--verbose", "--cluster", "4", "second"};
+  const CliArgs args(8, const_cast<char**>(argv), {"--out", "--cluster"},
+                     {"--verbose"});
+  EXPECT_TRUE(args.has_flag("--verbose"));
+  EXPECT_EQ(args.value_or("--out", ""), "x.vbs");
+  EXPECT_EQ(args.int_or("--cluster", 1), 4);
+  EXPECT_EQ(args.int_or("--seed", 7), 7);  // absent -> default
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.netl");
+  EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(Cli, RejectsUnknownAndDangling) {
+  const char* bad1[] = {"tool", "--frobnicate"};
+  EXPECT_THROW(CliArgs(2, const_cast<char**>(bad1), {}, {}),
+               std::runtime_error);
+  const char* bad2[] = {"tool", "--out"};
+  EXPECT_THROW(CliArgs(2, const_cast<char**>(bad2), {"--out"}, {}),
+               std::runtime_error);
+  const char* bad3[] = {"tool", "--n", "abc"};
+  const CliArgs args(3, const_cast<char**>(bad3), {"--n"}, {});
+  EXPECT_THROW(args.int_or("--n", 0), std::runtime_error);
+}
+
+TEST(NetlistIo, FileRoundTrip) {
+  GenParams p;
+  p.n_lut = 30;
+  p.seed = 9;
+  const Netlist nl = generate_netlist(p);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("netl_test_" + std::to_string(::getpid()) + ".netl"))
+          .string();
+  write_netlist_file(path, nl);
+  const Netlist back = read_netlist_file(path);
+  EXPECT_EQ(netlist_to_string(back), netlist_to_string(nl));
+  std::filesystem::remove(path);
+  EXPECT_THROW(read_netlist_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vbs

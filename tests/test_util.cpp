@@ -1,0 +1,196 @@
+// Unit tests for the util layer: bit vectors, bit I/O, RNG, statistics.
+#include <gtest/gtest.h>
+
+#include "util/bitio.h"
+#include "util/bitvector.h"
+#include "util/geometry.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace vbs {
+namespace {
+
+TEST(BitVector, StartsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVector, SetGet) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.get(i));
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVector, PushBackAcrossWordBoundary) {
+  BitVector v;
+  for (int i = 0; i < 200; ++i) v.push_back(i % 3 == 0);
+  ASSERT_EQ(v.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(v.get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVector, AppendBitsMsbFirst) {
+  BitVector v;
+  v.append_bits(0b1011, 4);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_TRUE(v.get(3));
+  EXPECT_EQ(v.get_bits(0, 4), 0b1011u);
+}
+
+TEST(BitVector, SliceAndOverwrite) {
+  BitVector v;
+  v.append_bits(0xABCD, 16);
+  const BitVector s = v.slice(4, 12);
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.get_bits(0, 8), 0xBCu);
+  BitVector w(16);
+  w.overwrite(4, s);
+  EXPECT_EQ(w.get_bits(4, 8), 0xBCu);
+  EXPECT_EQ(w.get_bits(0, 4), 0u);
+}
+
+TEST(BitVector, EqualityIgnoresNothing) {
+  BitVector a, b;
+  a.append_bits(0x5A, 8);
+  b.append_bits(0x5A, 8);
+  EXPECT_EQ(a, b);
+  b.set(7, !b.get(7));
+  EXPECT_NE(a, b);
+  BitVector c;
+  c.append_bits(0x5A, 8);
+  c.push_back(false);
+  EXPECT_NE(a, c);  // size participates in equality
+}
+
+TEST(BitVector, ResizeClearsTailBits) {
+  BitVector v(10, true);
+  v.resize(5);
+  v.resize(10);
+  for (std::size_t i = 5; i < 10; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitIo, RoundTripMixedWidths) {
+  BitWriter w;
+  w.write(0x3, 2);
+  w.write(0x1F, 5);
+  w.write_bit(true);
+  w.write(0xDEADBEEF, 32);
+  w.write(0, 0);  // zero-width write is a no-op
+  const BitVector bits = w.take();
+  EXPECT_EQ(bits.size(), 40u);
+  BitReader r(bits);
+  EXPECT_EQ(r.read(2), 0x3u);
+  EXPECT_EQ(r.read(5), 0x1Fu);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.read(32), 0xDEADBEEFu);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(0xF, 4);
+  const BitVector bits = w.take();
+  BitReader r(bits);
+  r.read(4);
+  EXPECT_THROW(r.read(1), BitstreamError);
+  EXPECT_THROW(r.read_bit(), BitstreamError);
+}
+
+TEST(BitIo, BitsFor) {
+  EXPECT_EQ(bits_for(0), 1u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 2u);
+  EXPECT_EQ(bits_for(5), 3u);
+  EXPECT_EQ(bits_for(8), 3u);
+  EXPECT_EQ(bits_for(9), 4u);
+  // Paper's example: M = ceil(log2(4W + L + 1)) = 5 for W=5, L=7.
+  EXPECT_EQ(bits_for(4 * 5 + 7 + 1), 5u);
+}
+
+TEST(Rng, DeterministicAndDistinctSeeds) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(13), 13u);
+    const int v = rng.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Stats, SummaryBasics) {
+  Summary s;
+  s.add(2.0);
+  s.add(8.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.geomean(), 4.0, 1e-12);
+}
+
+TEST(Stats, VectorHelpers) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Geometry, RectPredicates) {
+  const Rect r{2, 3, 4, 5};
+  EXPECT_EQ(r.area(), 20);
+  EXPECT_TRUE(r.contains(Point{2, 3}));
+  EXPECT_TRUE(r.contains(Point{5, 7}));
+  EXPECT_FALSE(r.contains(Point{6, 3}));
+  EXPECT_TRUE(r.overlaps(Rect{5, 7, 2, 2}));
+  EXPECT_FALSE(r.overlaps(Rect{6, 3, 2, 2}));
+  EXPECT_TRUE(r.contains(Rect{2, 3, 4, 5}));
+  EXPECT_FALSE(r.contains(Rect{2, 3, 5, 5}));
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+}
+
+TEST(Table, FormatsBits) {
+  EXPECT_EQ(TablePrinter::fmt_bits(0), "0");
+  EXPECT_EQ(TablePrinter::fmt_bits(999), "999");
+  EXPECT_EQ(TablePrinter::fmt_bits(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace vbs

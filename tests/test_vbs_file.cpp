@@ -1,0 +1,79 @@
+// VBS file-container tests: byte packing and disk round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <unistd.h>
+#include <filesystem>
+
+#include "util/rng.h"
+#include "vbs/vbs_file.h"
+
+namespace vbs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("vbs_test_") + name + "_" +
+           std::to_string(::getpid())))
+      .string();
+}
+
+TEST(PackBits, MsbFirstWithinBytes) {
+  BitVector v;
+  v.append_bits(0b10110001, 8);
+  v.append_bits(0b101, 3);  // partial trailing byte, zero padded
+  const std::string bytes = pack_bits(v);
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0b10110001);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0b10100000);
+  EXPECT_EQ(unpack_bits(bytes, 11), v);
+}
+
+TEST(PackBits, EmptyVector) {
+  const BitVector v;
+  EXPECT_TRUE(pack_bits(v).empty());
+  EXPECT_EQ(unpack_bits("", 0), v);
+}
+
+TEST(PackBits, RandomRoundTrip) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVector v;
+    const int n = rng.next_int(0, 300);
+    for (int i = 0; i < n; ++i) v.push_back(rng.next_bool(0.5));
+    EXPECT_EQ(unpack_bits(pack_bits(v), v.size()), v);
+  }
+}
+
+TEST(PackBits, RejectsShortBuffer) {
+  EXPECT_THROW(unpack_bits("a", 9), std::runtime_error);
+}
+
+TEST(VbsFile, DiskRoundTrip) {
+  Rng rng(17);
+  BitVector v;
+  for (int i = 0; i < 1234; ++i) v.push_back(rng.next_bool(0.3));
+  const std::string path = temp_path("roundtrip");
+  write_vbs_file(path, v);
+  EXPECT_EQ(read_vbs_file(path), v);
+  std::filesystem::remove(path);
+}
+
+TEST(VbsFile, RejectsBadMagicAndTruncation) {
+  const std::string path = temp_path("bad");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOTAVBSFILE";
+  }
+  EXPECT_THROW(read_vbs_file(path), std::runtime_error);
+  BitVector v(100, true);
+  write_vbs_file(path, v);
+  std::filesystem::resize_file(path, 14);  // cut into the payload
+  EXPECT_THROW(read_vbs_file(path), std::runtime_error);
+  std::filesystem::remove(path);
+  EXPECT_THROW(read_vbs_file(path), std::runtime_error);  // missing file
+}
+
+}  // namespace
+}  // namespace vbs

@@ -1,0 +1,201 @@
+// VBS binary format tests: Table I field widths, serialize/deserialize
+// round-trips, malformed-stream rejection.
+#include <gtest/gtest.h>
+
+#include "util/bitio.h"
+#include "vbs/vbs_format.h"
+
+namespace vbs {
+namespace {
+
+VbsImage sample_image(int cluster = 1) {
+  VbsImage img;
+  img.spec.chan_width = 5;
+  img.spec.lut_k = 6;
+  img.task_w = 6;
+  img.task_h = 4;
+  img.cluster = cluster;
+  const int c2 = cluster * cluster;
+
+  VbsEntry a;
+  a.cx = 1;
+  a.cy = 2 / cluster;
+  a.logic.resize(static_cast<std::size_t>(c2));
+  a.logic[0].used = true;
+  a.logic[0].lut_mask = 0x123456789ABCDEFULL;
+  a.logic[0].has_ff = true;
+  a.conns.push_back({0, 21});   // west 0 -> pin
+  a.conns.push_back({0, 7});    // fan-out
+  img.entries.push_back(a);
+
+  VbsEntry b;
+  b.cx = 0;
+  b.cy = 0;
+  b.raw = true;
+  b.logic.resize(static_cast<std::size_t>(c2));
+  b.raw_routing =
+      BitVector(static_cast<std::size_t>(c2) * img.spec.nroute_bits());
+  b.raw_routing.set(3, true);
+  b.raw_routing.set(100, true);
+  img.entries.push_back(b);
+  return img;
+}
+
+TEST(VbsFormat, RoundTripFineGrain) {
+  const VbsImage img = sample_image();
+  const BitVector bits = serialize_vbs(img);
+  EXPECT_EQ(bits.size(), vbs_size_bits(img));
+  const VbsImage back = deserialize_vbs(bits);
+  EXPECT_EQ(back.task_w, 6);
+  EXPECT_EQ(back.task_h, 4);
+  EXPECT_EQ(back.cluster, 1);
+  EXPECT_EQ(back.spec.chan_width, 5);
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].cx, 1);
+  EXPECT_FALSE(back.entries[0].raw);
+  EXPECT_EQ(back.entries[0].conns, img.entries[0].conns);
+  EXPECT_EQ(back.entries[0].logic[0].lut_mask, 0x123456789ABCDEFULL);
+  EXPECT_TRUE(back.entries[0].logic[0].has_ff);
+  EXPECT_TRUE(back.entries[1].raw);
+  EXPECT_EQ(back.entries[1].raw_routing, img.entries[1].raw_routing);
+  // Serialize again: bit-identical.
+  EXPECT_EQ(serialize_vbs(back), bits);
+}
+
+TEST(VbsFormat, RoundTripClustered) {
+  const VbsImage img = sample_image(2);
+  const BitVector bits = serialize_vbs(img);
+  EXPECT_EQ(bits.size(), vbs_size_bits(img));
+  const VbsImage back = deserialize_vbs(bits);
+  EXPECT_EQ(back.cluster, 2);
+  ASSERT_EQ(back.entries.size(), 2u);
+  ASSERT_EQ(back.entries[0].logic.size(), 4u);
+  EXPECT_TRUE(back.entries[0].logic[0].used);
+  EXPECT_FALSE(back.entries[0].logic[1].used);
+  EXPECT_EQ(serialize_vbs(back), bits);
+}
+
+TEST(VbsFormat, HeaderSizesMatchTableOne) {
+  // The per-macro fields of Table I: position on D bits each, logic on NLB
+  // bits, route count on ceil(log2(2W)), endpoints on M bits.
+  VbsImage img = sample_image();
+  img.entries.resize(1);
+  img.entries[0].conns.resize(3);
+  for (auto& c : img.entries[0].conns) c = {1, 2};
+  const std::size_t d = bits_for(6 + 1);       // max(task_w, task_h) = 6
+  const std::size_t rc = bits_for(2 * 5);      // 2W = 10
+  const std::size_t m = bits_for(4 * 5 + 7 + 1);
+  EXPECT_EQ(m, 5u);  // paper's example value
+  const std::size_t preamble = 4 + 8 + 4 + 2 + 1 + 6 + 6 + 2 * d;
+  const std::size_t entry_field = bits_for(6 * 4 + 1);
+  const std::size_t macro_rec = 1 + 2 * d + 65 + rc + 3 * 2 * m;
+  EXPECT_EQ(vbs_size_bits(img), preamble + entry_field + macro_rec);
+}
+
+TEST(VbsFormat, EmptyImageSerializes) {
+  VbsImage img;
+  img.spec.chan_width = 5;
+  img.task_w = 2;
+  img.task_h = 2;
+  const VbsImage back = deserialize_vbs(serialize_vbs(img));
+  EXPECT_TRUE(back.entries.empty());
+}
+
+TEST(VbsFormat, RejectsTruncatedStream) {
+  const BitVector bits = serialize_vbs(sample_image());
+  const BitVector cut = bits.slice(0, bits.size() - 40);
+  EXPECT_THROW(deserialize_vbs(cut), BitstreamError);
+}
+
+TEST(VbsFormat, RejectsTrailingGarbage) {
+  BitVector bits = serialize_vbs(sample_image());
+  bits.push_back(true);
+  EXPECT_THROW(deserialize_vbs(bits), BitstreamError);
+}
+
+TEST(VbsFormat, RejectsBadVersion) {
+  BitVector bits = serialize_vbs(sample_image());
+  bits.set(0, !bits.get(0));  // corrupt the version nibble
+  EXPECT_THROW(deserialize_vbs(bits), BitstreamError);
+}
+
+TEST(VbsFormat, RejectsOutOfRangeEntryPosition) {
+  VbsImage img = sample_image();
+  img.entries[0].cx = 40;  // beyond the 6-wide task
+  EXPECT_THROW(serialize_vbs(img), std::invalid_argument);
+}
+
+TEST(VbsFormat, CarriesSwitchBoxPattern) {
+  VbsImage img = sample_image();
+  img.spec.sb_pattern = SbPattern::kWilton;
+  const VbsImage back = deserialize_vbs(serialize_vbs(img));
+  EXPECT_EQ(back.spec.sb_pattern, SbPattern::kWilton);
+}
+
+TEST(VbsFormat, RejectsOversizedConnectionList) {
+  VbsImage img = sample_image();
+  img.entries[0].conns.assign(64, {0, 1});  // route-count field is 4 bits
+  EXPECT_THROW(serialize_vbs(img), std::invalid_argument);
+}
+
+TEST(VbsFormat, RawSizeMatchesPaperFormula) {
+  ArchSpec s;
+  s.chan_width = 20;
+  EXPECT_EQ(raw_size_bits(s, 35, 35), 35u * 35u * 1004u);
+  s.chan_width = 5;
+  EXPECT_EQ(raw_size_bits(s, 3, 2), 6u * 284u);
+}
+
+TEST(VbsFormat, CompactFanoutRoundTripAndSmaller) {
+  VbsImage img = sample_image();
+  // Give entry 0 a heavy fan-out signal: 4 outs on one in, plus another
+  // signal.
+  img.entries[0].conns = {{0, 21}, {0, 7}, {0, 9}, {0, 11}, {3, 14}};
+  const std::size_t plain = vbs_size_bits(img);
+  img.compact_fanout = true;
+  img.entries[0].compact = true;
+  const BitVector bits = serialize_vbs(img);
+  EXPECT_EQ(bits.size(), vbs_size_bits(img));
+  EXPECT_LT(bits.size(), plain);
+  const VbsImage back = deserialize_vbs(bits);
+  EXPECT_TRUE(back.compact_fanout);
+  EXPECT_TRUE(back.entries[0].compact);
+  EXPECT_EQ(back.entries[0].conns, img.entries[0].conns);
+  EXPECT_EQ(serialize_vbs(back), bits);
+}
+
+TEST(VbsFormat, CompactStreamMayMixCodings) {
+  VbsImage img = sample_image();
+  img.compact_fanout = true;
+  // entries[0] keeps compact = false: per-entry selector says Table I.
+  const VbsImage back = deserialize_vbs(serialize_vbs(img));
+  EXPECT_TRUE(back.compact_fanout);
+  EXPECT_FALSE(back.entries[0].compact);
+  EXPECT_EQ(back.entries[0].conns, img.entries[0].conns);
+}
+
+TEST(VbsFormat, CompactFanoutRejectsUngroupedList) {
+  VbsImage img = sample_image();
+  img.compact_fanout = true;
+  img.entries[0].compact = true;
+  img.entries[0].conns = {{0, 21}, {3, 14}, {0, 7}};  // 0 recurs after 3
+  EXPECT_THROW(serialize_vbs(img), std::invalid_argument);
+}
+
+TEST(VbsFormat, FanoutGroupsRunLengths) {
+  EXPECT_TRUE(fanout_groups({}).empty());
+  const std::vector<std::size_t> runs =
+      fanout_groups({{5, 1}, {5, 2}, {5, 3}, {2, 1}, {7, 4}, {7, 5}});
+  EXPECT_EQ(runs, (std::vector<std::size_t>{3, 1, 2}));
+}
+
+TEST(VbsFormat, SizeScalesWithConnections) {
+  VbsImage img = sample_image();
+  const std::size_t base = vbs_size_bits(img);
+  img.entries[0].conns.push_back({3, 9});
+  const unsigned m = bits_for(4 * 5 + 7 + 1);
+  EXPECT_EQ(vbs_size_bits(img), base + 2 * m);
+}
+
+}  // namespace
+}  // namespace vbs

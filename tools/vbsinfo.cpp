@@ -1,0 +1,87 @@
+// vbsinfo — inspects a .vbs stream: header fields, per-entry statistics,
+// field-width accounting and a size breakdown. Useful for debugging
+// streams and for understanding where the bits go.
+//
+// Usage:  vbsinfo <task.vbs> [--entries]
+#include <cstdio>
+
+#include "util/bitio.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "vbs/region_model.h"
+#include "vbs/vbs_file.h"
+#include "vbs/vbs_format.h"
+
+using namespace vbs;
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, {}, {"--entries", "--help"});
+    if (args.has_flag("--help") || args.positional().size() != 1) {
+      std::fprintf(stderr, "usage: vbsinfo <task.vbs> [--entries]\n");
+      return args.has_flag("--help") ? 0 : 1;
+    }
+    const BitVector stream = read_vbs_file(args.positional()[0]);
+    const VbsImage img = deserialize_vbs(stream);
+    const ArchSpec& s = img.spec;
+    const RegionModel region(s, img.cluster);
+
+    std::printf("stream           : %zu bits (%zu bytes on disk)\n",
+                stream.size(), (stream.size() + 7) / 8);
+    std::printf("architecture     : W=%d, K=%d, %s switch boxes\n",
+                s.chan_width, s.lut_k,
+                s.sb_pattern == SbPattern::kWilton ? "wilton" : "disjoint");
+    std::printf("task             : %dx%d macros, cluster size %d (%dx%d grid)\n",
+                img.task_w, img.task_h, img.cluster, img.cluster_grid_w(),
+                img.cluster_grid_h());
+    std::printf("field widths     : M=%u bits/endpoint, route count %u bits\n",
+                region.port_field_bits(), region.route_count_bits());
+    std::printf("raw equivalent   : %zu bits (%d bits/macro) -> ratio %.1f%%\n",
+                raw_size_bits(s, img.task_w, img.task_h), s.nraw_bits(),
+                100.0 * static_cast<double>(stream.size()) /
+                    static_cast<double>(raw_size_bits(s, img.task_w, img.task_h)));
+
+    std::size_t conns = 0, raw_entries = 0, logic_used = 0;
+    std::size_t max_conns = 0;
+    for (const VbsEntry& e : img.entries) {
+      conns += e.conns.size();
+      max_conns = std::max(max_conns, e.conns.size());
+      raw_entries += e.raw;
+      for (const LogicConfig& lc : e.logic) logic_used += lc.used;
+    }
+    std::printf("entries          : %zu (%zu raw-coded), %zu used LBs\n",
+                img.entries.size(), raw_entries, logic_used);
+    std::printf("connections      : %zu total, %zu max per entry\n", conns,
+                max_conns);
+
+    // Size breakdown.
+    const std::size_t logic_bits =
+        logic_used * static_cast<std::size_t>(s.nlb_bits());
+    const std::size_t conn_bits = conns * 2 * region.port_field_bits();
+    const std::size_t raw_payload_bits =
+        raw_entries * static_cast<std::size_t>(img.cluster) * img.cluster *
+        static_cast<std::size_t>(s.nroute_bits());
+    std::printf("size breakdown   : logic %zu, connections %zu, raw payload "
+                "%zu, framing %zu bits\n",
+                logic_bits, conn_bits, raw_payload_bits,
+                stream.size() - logic_bits - conn_bits - raw_payload_bits);
+
+    if (args.has_flag("--entries")) {
+      TablePrinter table({"cx", "cy", "coding", "used LBs", "conns"});
+      for (const VbsEntry& e : img.entries) {
+        std::size_t used = 0;
+        for (const LogicConfig& lc : e.logic) used += lc.used;
+        table.add_row({TablePrinter::fmt_int(e.cx),
+                       TablePrinter::fmt_int(e.cy), e.raw ? "raw" : "list",
+                       TablePrinter::fmt_int(static_cast<long long>(used)),
+                       TablePrinter::fmt_int(
+                           static_cast<long long>(e.conns.size()))});
+      }
+      table.print();
+    }
+    return 0;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "vbsinfo: %s\n", ex.what());
+    return 1;
+  }
+}
