@@ -1,0 +1,329 @@
+// Reproducible perf harness for the pack -> place -> route flow: the
+// trajectory every perf PR measures itself against.
+//
+// For each circuit x seed x channel width the harness times netlist
+// generation, packing and placement, then routes the SAME placement twice —
+// once with the default bounded-box expansion and once with the unbounded
+// textbook baseline — so the heap-pop and wall-time reduction of the
+// bounded-box router is measured apples-to-apples in a single run. Results
+// go to stdout as a table and to a machine-readable JSON file (see
+// bench/README.md for the schema).
+//
+// Usage:
+//   flow_bench [--smoke] [--circuits a,b] [--seeds N] [--width W]
+//              [--margin M] [--effort E] [--out PATH]
+//
+//   --smoke      tiny synthetic circuits (seconds; used by CI to catch
+//                harness bitrot)
+//   --circuits   comma-separated Table II names (default: the 5 smallest)
+//   --seeds      number of seeds per circuit, 1..N (default 1)
+//   --width      routed channel width (default 20, the paper's norm)
+//   --margin     bounded-box margin in tiles (default RouterOptions)
+//   --effort     placer effort scale (default 1.0)
+//   --out        JSON output path (default BENCH_flow.json)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+#include "netlist/generator.h"
+#include "netlist/mcnc.h"
+#include "pack/pack.h"
+#include "place/annealer.h"
+#include "route/route_request.h"
+#include "route/router.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace vbs;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct RouteSample {
+  double seconds = 0.0;
+  bool success = false;
+  int iterations = 0;
+  long long heap_pops = 0;
+  long long bbox_retries = 0;
+  std::size_t wire_nodes = 0;
+};
+
+struct RunRecord {
+  std::string circuit;
+  int grid = 0;
+  std::uint64_t seed = 0;
+  int chan_width = 0;
+  double netlist_seconds = 0.0;
+  int blocks = 0, nets = 0;
+  double pack_seconds = 0.0;
+  int luts = 0, ios = 0;
+  double place_seconds = 0.0;
+  PlaceStats place;
+  double moves_per_sec = 0.0;
+  RouteSample bounded;
+  RouteSample unbounded;
+};
+
+RouteSample route_once(const Fabric& fabric, const Netlist& nl,
+                       const PackedDesign& pd, const Placement& pl,
+                       const RouterOptions& ropts) {
+  RouteSample s;
+  const auto t0 = Clock::now();
+  PathfinderRouter router(fabric, build_route_request(fabric, nl, pd, pl));
+  const RoutingResult rr = router.route(ropts);
+  s.seconds = seconds_since(t0);
+  s.success = rr.success;
+  s.iterations = rr.iterations;
+  s.heap_pops = rr.heap_pops;
+  s.bbox_retries = rr.bbox_retries;
+  s.wire_nodes = rr.total_wire_nodes;
+  return s;
+}
+
+RunRecord run_one(const std::string& name, Netlist nl, int grid,
+                  std::uint64_t seed, int width, double netlist_seconds,
+                  double effort, int margin) {
+  RunRecord rec;
+  rec.circuit = name;
+  rec.grid = grid;
+  rec.seed = seed;
+  rec.chan_width = width;
+  rec.netlist_seconds = netlist_seconds;
+  rec.blocks = nl.num_blocks();
+  rec.nets = nl.num_nets();
+
+  ArchSpec arch;
+  arch.chan_width = width;
+
+  auto t0 = Clock::now();
+  const PackedDesign pd = pack_netlist(nl, arch);
+  rec.pack_seconds = seconds_since(t0);
+  rec.luts = pd.num_luts();
+  rec.ios = pd.num_ios();
+
+  PlaceOptions popts;
+  popts.seed = seed;
+  popts.effort = effort;
+  t0 = Clock::now();
+  const Placement pl = place_design(nl, pd, arch, grid, grid, popts, &rec.place);
+  rec.place_seconds = seconds_since(t0);
+  rec.moves_per_sec = rec.place_seconds > 0
+                          ? static_cast<double>(rec.place.moves) / rec.place_seconds
+                          : 0.0;
+
+  const Fabric fabric(arch, grid, grid);
+  // Default options: bounded-box expansion, incremental reroute, calibrated
+  // A* weight — exactly what RouterOptions{} ships.
+  RouterOptions ropts;
+  if (margin >= 0) ropts.bb_margin = margin;
+  rec.bounded = route_once(fabric, nl, pd, pl, ropts);
+  // The unbounded textbook baseline: whole-fabric expansion, whole-net
+  // rip-up, and the pre-calibration heuristic weight — the formulation the
+  // seed router shipped (see bench/README.md).
+  RouterOptions baseline;
+  baseline.bounded_box = false;
+  baseline.incremental_reroute = false;
+  baseline.astar_fac = 1.15;
+  rec.unbounded = route_once(fabric, nl, pd, pl, baseline);
+  return rec;
+}
+
+void write_json(const std::string& path, const std::vector<RunRecord>& runs,
+                bool smoke, int width, int seeds, int margin, double effort) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  long long pops_b = 0, pops_u = 0;
+  double secs_b = 0, secs_u = 0;
+  int ok_b = 0, ok_u = 0;
+  for (const RunRecord& r : runs) {
+    pops_b += r.bounded.heap_pops;
+    pops_u += r.unbounded.heap_pops;
+    secs_b += r.bounded.seconds;
+    secs_u += r.unbounded.seconds;
+    ok_b += r.bounded.success ? 1 : 0;
+    ok_u += r.unbounded.success ? 1 : 0;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v1\",\n");
+  std::fprintf(f,
+               "  \"options\": {\"smoke\": %s, \"chan_width\": %d, \"seeds\": "
+               "%d, \"bb_margin\": %d, \"effort\": %.3f},\n",
+               smoke ? "true" : "false", width, seeds, margin, effort);
+  const RouterOptions def;
+  std::fprintf(f,
+               "  \"router_default\": {\"bounded_box\": %s, "
+               "\"incremental_reroute\": %s, \"astar_fac\": %.2f},\n"
+               "  \"router_baseline\": {\"bounded_box\": false, "
+               "\"incremental_reroute\": false, \"astar_fac\": 1.15},\n",
+               def.bounded_box ? "true" : "false",
+               def.incremental_reroute ? "true" : "false", def.astar_fac);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    std::fprintf(f, "    {\"circuit\": \"%s\", \"grid\": %d, \"seed\": %llu, ",
+                 r.circuit.c_str(), r.grid,
+                 static_cast<unsigned long long>(r.seed));
+    std::fprintf(f, "\"chan_width\": %d,\n", r.chan_width);
+    std::fprintf(
+        f,
+        "     \"netlist\": {\"seconds\": %.4f, \"blocks\": %d, \"nets\": %d},\n",
+        r.netlist_seconds, r.blocks, r.nets);
+    std::fprintf(f,
+                 "     \"pack\": {\"seconds\": %.4f, \"luts\": %d, \"ios\": "
+                 "%d},\n",
+                 r.pack_seconds, r.luts, r.ios);
+    std::fprintf(f,
+                 "     \"place\": {\"seconds\": %.4f, \"moves\": %lld, "
+                 "\"accepted\": %lld, \"temperatures\": %d, \"moves_per_sec\": "
+                 "%.0f, \"initial_cost\": %.3f, \"final_cost\": %.3f, "
+                 "\"cost_drift\": %.3e},\n",
+                 r.place_seconds, r.place.moves, r.place.accepted,
+                 r.place.temperatures, r.moves_per_sec, r.place.initial_cost,
+                 r.place.final_cost, r.place.cost_drift);
+    auto route_json = [&](const char* key, const RouteSample& s,
+                          const char* tail) {
+      std::fprintf(f,
+                   "     \"%s\": {\"seconds\": %.4f, \"success\": %s, "
+                   "\"iterations\": %d, \"heap_pops\": %lld, \"bbox_retries\": "
+                   "%lld, \"wire_nodes\": %zu}%s\n",
+                   key, s.seconds, s.success ? "true" : "false", s.iterations,
+                   s.heap_pops, s.bbox_retries, s.wire_nodes, tail);
+    };
+    route_json("route_bounded", r.bounded, ",");
+    route_json("route_unbounded", r.unbounded, "");
+    std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(
+      f,
+      "  \"summary\": {\"runs\": %zu, \"routed_bounded\": %d, "
+      "\"routed_unbounded\": %d, \"heap_pops_bounded\": %lld, "
+      "\"heap_pops_unbounded\": %lld, \"heap_pop_ratio\": %.3f, "
+      "\"route_seconds_bounded\": %.4f, \"route_seconds_unbounded\": %.4f}\n",
+      runs.size(), ok_b, ok_u, pops_b, pops_u,
+      pops_b > 0 ? static_cast<double>(pops_u) / static_cast<double>(pops_b)
+                 : 0.0,
+      secs_b, secs_u);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliArgs args(argc, argv,
+               {"--circuits", "--seeds", "--width", "--margin", "--effort",
+                "--out"},
+               {"--smoke"});
+  const bool smoke = args.has_flag("--smoke");
+  const int seeds = static_cast<int>(args.int_or("--seeds", 1));
+  const int width = static_cast<int>(args.int_or("--width", smoke ? 10 : 20));
+  const int margin = static_cast<int>(args.int_or("--margin", -1));
+  const double effort = std::stod(args.value_or("--effort", "1.0"));
+  const std::string out = args.value_or("--out", "BENCH_flow.json");
+
+  std::vector<RunRecord> runs;
+  for (int s = 1; s <= seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(s);
+    if (smoke) {
+      // Tiny synthetic circuits: exercises every stage and both router
+      // modes in seconds, for CI.
+      for (const int n_lut : {60, 120}) {
+        GenParams p;
+        p.n_lut = n_lut;
+        p.n_pi = 8;
+        p.n_po = 8;
+        p.seed = seed;
+        const auto t0 = Clock::now();
+        Netlist nl = generate_netlist(p);
+        const double gen_s = seconds_since(t0);
+        const int grid =
+            static_cast<int>(std::ceil(std::sqrt(n_lut * 1.25)));
+        runs.push_back(run_one("smoke" + std::to_string(n_lut), std::move(nl),
+                               grid, seed, width, gen_s, effort, margin));
+      }
+    } else {
+      std::vector<McncCircuit> circuits;
+      if (const auto list = args.value("--circuits")) {
+        std::string names = *list;
+        std::size_t pos = 0;
+        while (pos <= names.size()) {
+          const std::size_t comma = names.find(',', pos);
+          const std::string name = names.substr(
+              pos, comma == std::string::npos ? comma : comma - pos);
+          if (!name.empty()) circuits.push_back(mcnc_by_name(name));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+      } else {
+        // Default suite: the 5 smallest Table II circuits — spans the
+        // des/dsip/bigkey/ex5p/tseng mix of I/O-bound and logic-bound
+        // designs while staying minutes, not hours, on one core.
+        circuits = mcnc20();
+        std::sort(circuits.begin(), circuits.end(),
+                  [](const McncCircuit& a, const McncCircuit& b) {
+                    return a.lbs < b.lbs;
+                  });
+        circuits.resize(5);
+      }
+      for (const McncCircuit& c : circuits) {
+        const auto t0 = Clock::now();
+        Netlist nl = make_mcnc_like(c, seed);
+        const double gen_s = seconds_since(t0);
+        runs.push_back(run_one(c.name, std::move(nl), c.size, seed, width,
+                               gen_s, effort, margin));
+      }
+    }
+  }
+
+  TablePrinter t({"circuit", "seed", "place s", "moves/s", "route s (bb)",
+                  "pops (bb)", "route s (full)", "pops (full)", "pop ratio"});
+  for (const RunRecord& r : runs) {
+    const double ratio =
+        r.bounded.heap_pops > 0
+            ? static_cast<double>(r.unbounded.heap_pops) /
+                  static_cast<double>(r.bounded.heap_pops)
+            : 0.0;
+    t.add_row({r.circuit, std::to_string(r.seed),
+               TablePrinter::fmt(r.place_seconds, 2),
+               TablePrinter::fmt(r.moves_per_sec, 0),
+               TablePrinter::fmt(r.bounded.seconds, 2),
+               TablePrinter::fmt_int(r.bounded.heap_pops),
+               TablePrinter::fmt(r.unbounded.seconds, 2),
+               TablePrinter::fmt_int(r.unbounded.heap_pops),
+               TablePrinter::fmt(ratio, 2)});
+  }
+  t.print();
+
+  write_json(out, runs, smoke, width, seeds, margin, effort);
+  std::printf("\nwrote %s\n", out.c_str());
+
+  // Fail loudly if any stage regressed to unroutable — a perf number for a
+  // run that did not complete would be meaningless.
+  for (const RunRecord& r : runs) {
+    if (!r.bounded.success || !r.unbounded.success) {
+      std::fprintf(stderr, "FAIL: %s seed %llu did not route\n",
+                   r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
+      return 1;
+    }
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr,
+               "flow_bench: %s\n"
+               "usage: flow_bench [--smoke] [--circuits a,b] [--seeds N] "
+               "[--width W] [--margin M] [--effort E] [--out PATH]\n",
+               e.what());
+  return 1;
+}

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/csr.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -27,18 +28,21 @@ double crossing_factor(int terminals) {
 
 struct NetBox {
   int minx, maxx, miny, maxy;
+  // Terminals sitting exactly on each bounding edge. A single-block move
+  // updates the box in O(1); only when the last terminal leaves a bounding
+  // edge (its count hits 0) does the box need a full terminal rescan.
+  int nmin_x, nmax_x, nmin_y, nmax_y;
   double cost;
 };
 
 /// Incremental-cost annealing state.
 class AnnealState {
  public:
-  AnnealState(const Netlist& nl, const PackedDesign& pd, Placement& pl)
-      : nl_(nl), pd_(pd), pl_(pl) {
+  AnnealState(const Netlist& nl, const PackedDesign& pd, Placement& pl,
+              bool incremental)
+      : nl_(nl), pd_(pd), pl_(pl), incremental_(incremental) {
     pt_of_block_.assign(static_cast<std::size_t>(nl.num_blocks()), Point{});
-    is_lut_inst_.assign(static_cast<std::size_t>(nl.num_blocks()), -1);
     for (int i = 0; i < pd.num_luts(); ++i) {
-      is_lut_inst_[static_cast<std::size_t>(pd.luts[i])] = i;
       pt_of_block_[static_cast<std::size_t>(pd.luts[i])] =
           pl.lut_loc[static_cast<std::size_t>(i)];
     }
@@ -46,19 +50,62 @@ class AnnealState {
       pt_of_block_[static_cast<std::size_t>(pd.ios[i])] =
           pl.io_point(pl.io_loc[static_cast<std::size_t>(i)]);
     }
-    nets_of_block_.assign(static_cast<std::size_t>(nl.num_blocks()), {});
+
+    // block -> (net, terminal multiplicity) in CSR form. The multiplicity
+    // matters: a block appearing as driver and sink (or on several sink
+    // pins) of one net contributes that many terminals to its box.
+    {
+      std::vector<NetId> mark(static_cast<std::size_t>(nl.num_blocks()),
+                              kNoNet);
+      std::vector<std::int32_t> mult(static_cast<std::size_t>(nl.num_blocks()),
+                                     0);
+      CsrBuilder<NetRef> builder(static_cast<std::size_t>(nl.num_blocks()));
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        const Net& net = nl.net(n);
+        if (net.sinks.empty()) continue;
+        auto touch = [&](BlockId b) {
+          if (mark[static_cast<std::size_t>(b)] != n) {
+            mark[static_cast<std::size_t>(b)] = n;
+            builder.count(static_cast<std::size_t>(b));
+          }
+        };
+        touch(net.driver);
+        for (const Net::Sink& s : net.sinks) touch(s.block);
+      }
+      builder.prepare();
+      mark.assign(mark.size(), kNoNet);
+      std::vector<BlockId> touched;
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        const Net& net = nl.net(n);
+        if (net.sinks.empty()) continue;
+        touched.clear();
+        auto touch = [&](BlockId b) {
+          const auto sb = static_cast<std::size_t>(b);
+          if (mark[sb] != n) {
+            mark[sb] = n;
+            mult[sb] = 0;
+            touched.push_back(b);
+          }
+          ++mult[sb];
+        };
+        touch(net.driver);
+        for (const Net::Sink& s : net.sinks) touch(s.block);
+        for (BlockId b : touched) {
+          builder.add(static_cast<std::size_t>(b),
+                      {n, mult[static_cast<std::size_t>(b)]});
+        }
+      }
+      nets_of_block_ = std::move(builder).build();
+    }
+
+    q_.resize(static_cast<std::size_t>(nl.num_nets()));
     for (NetId n = 0; n < nl.num_nets(); ++n) {
-      const Net& net = nl.net(n);
-      if (net.sinks.empty()) continue;
-      auto touch = [&](BlockId b) {
-        auto& v = nets_of_block_[static_cast<std::size_t>(b)];
-        if (v.empty() || v.back() != n) v.push_back(n);
-      };
-      touch(net.driver);
-      for (const Net::Sink& s : net.sinks) touch(s.block);
+      q_[static_cast<std::size_t>(n)] =
+          crossing_factor(static_cast<int>(nl.net(n).sinks.size()) + 1);
     }
     boxes_.resize(static_cast<std::size_t>(nl.num_nets()));
     net_epoch_.assign(static_cast<std::size_t>(nl.num_nets()), 0);
+    net_slot_.assign(static_cast<std::size_t>(nl.num_nets()), 0);
     total_cost_ = 0.0;
     for (NetId n = 0; n < nl.num_nets(); ++n) {
       recompute_box(n);
@@ -76,6 +123,17 @@ class AnnealState {
   double total_cost() const { return total_cost_; }
   int num_nets() const { return nl_.num_nets(); }
 
+  /// |accumulated cost - from-scratch recomputation| over all nets; bounds
+  /// the drift of thousands of incremental += delta updates.
+  double cost_drift() const {
+    double fresh = 0.0;
+    for (NetId n = 0; n < nl_.num_nets(); ++n) {
+      if (nl_.net(n).sinks.empty()) continue;
+      fresh += compute_box(n).cost;
+    }
+    return std::abs(fresh - total_cost_);
+  }
+
   /// Proposes moving LUT instance `li` to `to` (swapping with any occupant);
   /// returns the cost delta without committing.
   double propose(int li, Point to) {
@@ -88,20 +146,44 @@ class AnnealState {
     }
     ++epoch_;
     affected_.clear();
-    for (BlockId b : moved_) {
-      for (NetId n : nets_of_block_[static_cast<std::size_t>(b)]) {
-        if (net_epoch_[static_cast<std::size_t>(n)] != epoch_) {
-          net_epoch_[static_cast<std::size_t>(n)] = epoch_;
-          affected_.push_back(n);
+    new_boxes_.clear();
+    dirty_.clear();
+    for (const MovedBlock& mv : moved_) {
+      for (const NetRef& ref :
+           nets_of_block_.row(static_cast<std::size_t>(mv.block))) {
+        const auto sn = static_cast<std::size_t>(ref.net);
+        std::size_t slot;
+        if (net_epoch_[sn] != epoch_) {
+          net_epoch_[sn] = epoch_;
+          slot = affected_.size();
+          net_slot_[sn] = static_cast<std::uint32_t>(slot);
+          affected_.push_back(ref.net);
+          new_boxes_.push_back(boxes_[sn]);
+          // In full-recompute mode every affected box is rescanned.
+          dirty_.push_back(incremental_ ? 0 : 1);
+        } else {
+          slot = net_slot_[sn];
+        }
+        if (dirty_[slot] != 0) continue;
+        NetBox& nb = new_boxes_[slot];
+        for (std::int32_t k = 0; k < ref.mult; ++k) {
+          if (!update_box(nb, mv.from, mv.to)) {
+            dirty_[slot] = 1;  // moved off a shrinking edge: rescan below
+            break;
+          }
         }
       }
     }
     double delta = 0.0;
-    new_boxes_.clear();
-    for (NetId n : affected_) {
-      NetBox nb = compute_box(n);
-      delta += nb.cost - boxes_[static_cast<std::size_t>(n)].cost;
-      new_boxes_.push_back(nb);
+    for (std::size_t k = 0; k < affected_.size(); ++k) {
+      const auto sn = static_cast<std::size_t>(affected_[k]);
+      if (dirty_[k] != 0) {
+        new_boxes_[k] = compute_box(affected_[k]);
+      } else {
+        NetBox& nb = new_boxes_[k];
+        nb.cost = q_[sn] * ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
+      }
+      delta += new_boxes_[k].cost - boxes_[sn].cost;
     }
     pending_li_ = li;
     pending_to_ = to;
@@ -126,42 +208,86 @@ class AnnealState {
   }
 
   void revert() {
-    move_block(pd_.luts[static_cast<std::size_t>(pending_li_)], pending_from_);
-    if (pending_occupant_ >= 0) {
-      move_block(pd_.luts[static_cast<std::size_t>(pending_occupant_)],
-                 pending_to_);
+    for (auto it = moved_.rbegin(); it != moved_.rend(); ++it) {
+      pt_of_block_[static_cast<std::size_t>(it->block)] = it->from;
     }
   }
 
  private:
+  struct NetRef {
+    NetId net;
+    std::int32_t mult;  ///< terminals of this net on this block
+  };
+  struct MovedBlock {
+    BlockId block;
+    Point from, to;
+  };
+
   std::size_t site_index(Point p) const {
     return static_cast<std::size_t>(p.y) * pl_.grid_w + p.x;
   }
 
   void move_block(BlockId b, Point to) {
-    pt_of_block_[static_cast<std::size_t>(b)] = to;
-    moved_.push_back(b);
+    Point& p = pt_of_block_[static_cast<std::size_t>(b)];
+    moved_.push_back({b, p, to});
+    p = to;
+  }
+
+  /// Folds one terminal at `q` into the box (bounds and edge counts).
+  static void add_point(NetBox& nb, Point q) {
+    if (q.x < nb.minx) {
+      nb.minx = q.x;
+      nb.nmin_x = 1;
+    } else if (q.x == nb.minx) {
+      ++nb.nmin_x;
+    }
+    if (q.x > nb.maxx) {
+      nb.maxx = q.x;
+      nb.nmax_x = 1;
+    } else if (q.x == nb.maxx) {
+      ++nb.nmax_x;
+    }
+    if (q.y < nb.miny) {
+      nb.miny = q.y;
+      nb.nmin_y = 1;
+    } else if (q.y == nb.miny) {
+      ++nb.nmin_y;
+    }
+    if (q.y > nb.maxy) {
+      nb.maxy = q.y;
+      nb.nmax_y = 1;
+    } else if (q.y == nb.maxy) {
+      ++nb.nmax_y;
+    }
+  }
+
+  /// Moves one terminal `from` -> `to`. Returns false when the terminal was
+  /// the last one on a bounding edge, i.e. the box may shrink and must be
+  /// rescanned (the box is left inconsistent in that case).
+  static bool update_box(NetBox& nb, Point from, Point to) {
+    add_point(nb, to);
+    if (from.x == nb.minx && --nb.nmin_x == 0) return false;
+    if (from.x == nb.maxx && --nb.nmax_x == 0) return false;
+    if (from.y == nb.miny && --nb.nmin_y == 0) return false;
+    if (from.y == nb.maxy && --nb.nmax_y == 0) return false;
+    return true;
   }
 
   NetBox compute_box(NetId n) const {
     const Net& net = nl_.net(n);
     const Point p = pt_of_block_[static_cast<std::size_t>(net.driver)];
-    NetBox nb{p.x, p.x, p.y, p.y, 0.0};
+    NetBox nb{p.x, p.x, p.y, p.y, 1, 1, 1, 1, 0.0};
     for (const Net::Sink& s : net.sinks) {
-      const Point q = pt_of_block_[static_cast<std::size_t>(s.block)];
-      nb.minx = std::min(nb.minx, q.x);
-      nb.maxx = std::max(nb.maxx, q.x);
-      nb.miny = std::min(nb.miny, q.y);
-      nb.maxy = std::max(nb.maxy, q.y);
+      add_point(nb, pt_of_block_[static_cast<std::size_t>(s.block)]);
     }
-    nb.cost = crossing_factor(static_cast<int>(net.sinks.size()) + 1) *
+    nb.cost = q_[static_cast<std::size_t>(n)] *
               ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
     return nb;
   }
 
   void recompute_box(NetId n) {
     if (nl_.net(n).sinks.empty()) {
-      boxes_[static_cast<std::size_t>(n)] = {0, 0, 0, 0, 0.0};
+      boxes_[static_cast<std::size_t>(n)] = {0, 0, 0, 0, 0, 0, 0, 0, 0.0};
       return;
     }
     boxes_[static_cast<std::size_t>(n)] = compute_box(n);
@@ -170,15 +296,18 @@ class AnnealState {
   const Netlist& nl_;
   const PackedDesign& pd_;
   Placement& pl_;
+  const bool incremental_;
   std::vector<Point> pt_of_block_;
-  std::vector<int> is_lut_inst_;
-  std::vector<std::vector<NetId>> nets_of_block_;
+  Csr<NetRef> nets_of_block_;
+  std::vector<double> q_;  ///< per-net crossing factor (terminal count is static)
   std::vector<NetBox> boxes_;
   std::vector<NetBox> new_boxes_;
   std::vector<int> site_of_;
-  std::vector<BlockId> moved_;
+  std::vector<MovedBlock> moved_;
   std::vector<NetId> affected_;
+  std::vector<std::uint8_t> dirty_;  ///< parallel to affected_: needs rescan
   std::vector<std::uint32_t> net_epoch_;
+  std::vector<std::uint32_t> net_slot_;  ///< net -> index in affected_
   std::uint32_t epoch_ = 0;
   double total_cost_ = 0.0;
   int pending_li_ = -1, pending_occupant_ = -1;
@@ -289,7 +418,7 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
   pl.io_loc.resize(static_cast<std::size_t>(pd.num_ios()));
   assign_ios(nl, pd, pl, io_per_tile);
 
-  AnnealState state(nl, pd, pl);
+  AnnealState state(nl, pd, pl, opts.incremental_bbox);
   if (stats) stats->initial_cost = state.total_cost();
 
   if (pd.num_luts() > 1) {
@@ -366,7 +495,10 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
   // Final I/O refinement against the annealed logic placement.
   assign_ios(nl, pd, pl, io_per_tile);
 
-  if (stats) stats->final_cost = state.total_cost();
+  if (stats) {
+    stats->final_cost = state.total_cost();
+    stats->cost_drift = state.cost_drift();
+  }
   pl.validate(pd);
   return pl;
 }

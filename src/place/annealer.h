@@ -19,6 +19,12 @@ struct PlaceOptions {
   double effort = 1.0;
   /// Max I/Os per (side, tile) boundary; -1 means chan_width / 2.
   int io_per_tile = -1;
+  /// Maintain net bounding boxes incrementally across moves (O(1) amortized
+  /// per affected net) instead of rescanning every terminal of every
+  /// affected net per proposal. Produces bit-identical cost deltas — and so
+  /// an identical placement for a given seed — to the full-recompute path;
+  /// off exists only as the cross-check / benchmark baseline.
+  bool incremental_bbox = true;
 };
 
 struct PlaceStats {
@@ -27,6 +33,9 @@ struct PlaceStats {
   long long moves = 0;
   long long accepted = 0;
   int temperatures = 0;
+  /// |accumulated incremental cost - full recomputation| at annealing exit;
+  /// bounds the floating-point drift of the incremental bookkeeping.
+  double cost_drift = 0.0;
 };
 
 /// Places `pd` on a grid_w x grid_h fabric. Throws std::invalid_argument if

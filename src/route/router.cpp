@@ -2,31 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
-#include <queue>
+#include <functional>
 
 #include "util/logging.h"
 
 namespace vbs {
-
-namespace {
-
-struct HeapEntry {
-  float est;       ///< path cost + weighted heuristic
-  float path;      ///< path cost so far
-  std::int32_t node;
-  // Min-heap by (est, node id) — the node id tie-break keeps expansion
-  // deterministic across runs and platforms.
-  bool operator>(const HeapEntry& o) const {
-    if (est != o.est) return est > o.est;
-    return node > o.node;
-  }
-};
-
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-
-}  // namespace
 
 PathfinderRouter::PathfinderRouter(const Fabric& fabric, RouteRequest request)
     : fabric_(fabric), request_(std::move(request)) {
@@ -37,6 +19,8 @@ PathfinderRouter::PathfinderRouter(const Fabric& fabric, RouteRequest request)
   back_node_.assign(static_cast<std::size_t>(n), -1);
   back_edge_.assign(static_cast<std::size_t>(n), -1);
   epoch_of_.assign(static_cast<std::size_t>(n), 0);
+  tree_idx_of_.assign(static_cast<std::size_t>(n), -1);
+  tree_epoch_of_.assign(static_cast<std::size_t>(n), 0);
 
   // Mark pin seg-0 nodes as reserved terminals.
   is_pin_.assign(static_cast<std::size_t>(n), 0);
@@ -51,11 +35,23 @@ PathfinderRouter::PathfinderRouter(const Fabric& fabric, RouteRequest request)
   }
 
   // Route sinks farthest-first (VPR's ordering): stabilizes tree growth.
+  // The terminal bounding box of each net doubles as its default expansion
+  // window when bounded-box routing is on.
+  net_box_.reserve(request_.nets.size());
   for (NetSpec& spec : request_.nets) {
     const Point s = fabric_.node_pos(spec.source);
     std::stable_sort(spec.sinks.begin(), spec.sinks.end(), [&](int a, int b) {
       return manhattan(fabric_.node_pos(a), s) > manhattan(fabric_.node_pos(b), s);
     });
+    BBox box{s.x, s.y, s.x, s.y};
+    for (const int sink : spec.sinks) {
+      const Point p = fabric_.node_pos(sink);
+      box.x0 = std::min(box.x0, p.x);
+      box.x1 = std::max(box.x1, p.x);
+      box.y0 = std::min(box.y0, p.y);
+      box.y1 = std::max(box.y1, p.y);
+    }
+    net_box_.push_back(box);
   }
   routes_.resize(request_.nets.size());
 }
@@ -72,89 +68,230 @@ void PathfinderRouter::rip_up(std::size_t net_idx) {
   routes_[net_idx].nodes.clear();
 }
 
-bool PathfinderRouter::route_net(std::size_t net_idx, double pres_fac,
-                                 double astar_fac) {
-  const NetSpec& spec = request_.nets[net_idx];
-  NetRoute& route = routes_[net_idx];
-  route.nodes.push_back({spec.source, -1, -1});
-  ++occ_[static_cast<std::size_t>(spec.source)];
+void PathfinderRouter::prune_overused(std::size_t net_idx) {
+  auto& nodes = routes_[net_idx].nodes;
+  if (nodes.empty()) return;
+  if (sink_mark_.empty()) {
+    sink_mark_.assign(static_cast<std::size_t>(fabric_.num_nodes()), 0);
+  }
+  for (const int sink : request_.nets[net_idx].sinks) {
+    sink_mark_[static_cast<std::size_t>(sink)] = tree_epoch_;
+  }
 
+  // Pass 1 (parents precede children): legal = not overused, legal parent.
+  keep_scratch_.assign(nodes.size(), 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i == 0) {
+      // The source terminal is fixed; rerouting this net cannot relieve
+      // overuse on it, so it always survives.
+      keep_scratch_[0] = 1;
+      continue;
+    }
+    keep_scratch_[i] =
+        occ_[static_cast<std::size_t>(nodes[i].rr)] <= 1 &&
+        keep_scratch_[static_cast<std::size_t>(nodes[i].parent)];
+  }
+  // Pass 2 (children before parents): drop surviving branches that no
+  // longer reach any sink — dead stubs would otherwise leak into the final
+  // tree as programmed-but-useless switches.
+  useful_scratch_.assign(nodes.size(), 0);
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    if (keep_scratch_[i] != 0 &&
+        sink_mark_[static_cast<std::size_t>(nodes[i].rr)] == tree_epoch_) {
+      useful_scratch_[i] = 1;
+    }
+    if (useful_scratch_[i] != 0 && nodes[i].parent >= 0) {
+      useful_scratch_[static_cast<std::size_t>(nodes[i].parent)] = 1;
+    }
+  }
+  useful_scratch_[0] = 1;
+  // Pass 3: compact, remap parents, release dropped occupancy.
+  remap_scratch_.assign(nodes.size(), -1);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (keep_scratch_[i] == 0 || useful_scratch_[i] == 0) {
+      --occ_[static_cast<std::size_t>(nodes[i].rr)];
+      continue;
+    }
+    remap_scratch_[i] = static_cast<std::int32_t>(w);
+    nodes[w] = {nodes[i].rr,
+                nodes[i].parent >= 0
+                    ? remap_scratch_[static_cast<std::size_t>(nodes[i].parent)]
+                    : -1,
+                nodes[i].fabric_edge};
+    tree_idx_of_[static_cast<std::size_t>(nodes[i].rr)] =
+        static_cast<std::int32_t>(w);
+    tree_epoch_of_[static_cast<std::size_t>(nodes[i].rr)] = tree_epoch_;
+    ++w;
+  }
+  nodes.resize(w);
+}
+
+PathfinderRouter::BBox PathfinderRouter::expansion_box(
+    std::size_t net_idx, Point sink_pos, Point near_pos, int level,
+    const RouterOptions& opts) const {
+  if (!opts.bounded_box || level >= 2) {
+    return {0, 0, fabric_.width() - 1, fabric_.height() - 1};
+  }
+  BBox box;
+  int margin;
+  if (level == 0) {
+    // The connection box: around the sink and the nearest point of the
+    // current route tree. The search only needs the corridor between the
+    // two; seeding and expanding the rest of a large tree's span is what
+    // makes the textbook multi-source formulation balloon.
+    box = {std::min(near_pos.x, sink_pos.x), std::min(near_pos.y, sink_pos.y),
+           std::max(near_pos.x, sink_pos.x), std::max(near_pos.y, sink_pos.y)};
+    margin = opts.bb_margin;
+  } else {
+    // Grow to the whole net's terminal box with a fattened margin; a
+    // second failure is then almost certainly real congestion, handled by
+    // level 2 dropping the box entirely.
+    box = net_box_[net_idx];
+    box.x0 = std::min(box.x0, sink_pos.x);
+    box.y0 = std::min(box.y0, sink_pos.y);
+    box.x1 = std::max(box.x1, sink_pos.x);
+    box.y1 = std::max(box.y1, sink_pos.y);
+    margin =
+        opts.bb_margin * 2 + (fabric_.width() + fabric_.height()) / 8;
+  }
+  return {std::max(0, box.x0 - margin), std::max(0, box.y0 - margin),
+          std::min(fabric_.width() - 1, box.x1 + margin),
+          std::min(fabric_.height() - 1, box.y1 + margin)};
+}
+
+bool PathfinderRouter::expand_to_sink(std::size_t net_idx, int sink,
+                                      double pres_fac, double astar_fac,
+                                      const BBox& box) {
+  const NetRoute& route = routes_[net_idx];
   const int px1 = fabric_.spec().pins_on_x() + 1;
   const int py1 = fabric_.spec().pins_on_y() + 1;
+  const Point sink_pos = fabric_.node_pos(sink);
+  auto heur = [&](int v) {
+    const Point p = fabric_.node_pos(v);
+    return static_cast<float>(
+        astar_fac * (std::abs(p.x - sink_pos.x) * px1 +
+                     std::abs(p.y - sink_pos.y) * py1));
+  };
 
-  MinHeap heap;
+  ++epoch_;
+  heap_.clear();
+  // Multi-source expansion from the tree nodes inside the box (all of them
+  // when unbounded). Out-of-box branches cannot be junctions for this
+  // connection, and not seeding them is most of the bounded-box win: a
+  // seed near the frontier launches a whole A* wavefront of its own.
+  for (const NetRoute::TreeNode& tn : route.nodes) {
+    if (!box.contains(fabric_.node_pos(tn.rr))) continue;
+    const auto v = static_cast<std::size_t>(tn.rr);
+    epoch_of_[v] = epoch_;
+    path_cost_[v] = 0.0f;
+    back_node_[v] = -1;
+    back_edge_[v] = -1;
+    heap_.push_back({heur(tn.rr), 0.0f, tn.rr});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
+    ++heap_pops_;
+    const auto u = static_cast<std::size_t>(top.node);
+    if (epoch_of_[u] != epoch_ || top.path != path_cost_[u]) continue;
+    if (top.node == sink) return true;
+    const auto edge_base = fabric_.edge_offset(top.node);
+    const auto edges = fabric_.edges(top.node);
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      const int v = edges[k].to;
+      const auto sv = static_cast<std::size_t>(v);
+      if (is_pin_[sv] && v != sink) continue;  // pins are terminals only
+      if (!box.contains(fabric_.node_pos(v))) continue;
+      const float npc = top.path + static_cast<float>(node_cost(v, pres_fac));
+      if (epoch_of_[sv] != epoch_ || npc < path_cost_[sv]) {
+        epoch_of_[sv] = epoch_;
+        path_cost_[sv] = npc;
+        back_node_[sv] = top.node;
+        back_edge_[sv] = static_cast<std::int64_t>(edge_base + k);
+        heap_.push_back({npc + heur(v), npc, v});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      }
+    }
+  }
+  return false;
+}
+
+bool PathfinderRouter::route_net(std::size_t net_idx, double pres_fac,
+                                 const RouterOptions& opts) {
+  const NetSpec& spec = request_.nets[net_idx];
+  NetRoute& route = routes_[net_idx];
+  ++tree_epoch_;
+  if (route.nodes.empty()) {
+    route.nodes.push_back({spec.source, -1, -1});
+    tree_idx_of_[static_cast<std::size_t>(spec.source)] = 0;
+    tree_epoch_of_[static_cast<std::size_t>(spec.source)] = tree_epoch_;
+    ++occ_[static_cast<std::size_t>(spec.source)];
+  } else {
+    // Incremental reroute: keep the legal part of the previous tree (this
+    // re-stamps tree_idx_of_, so connected sinks are detected below).
+    prune_overused(net_idx);
+  }
+
   for (const int sink : spec.sinks) {
     if (sink == spec.source) continue;
-    ++epoch_;
-    heap = MinHeap();
-    const Point sink_pos = fabric_.node_pos(sink);
-    auto heur = [&](int v) {
-      const Point p = fabric_.node_pos(v);
-      return static_cast<float>(
-          astar_fac * (std::abs(p.x - sink_pos.x) * px1 +
-                       std::abs(p.y - sink_pos.y) * py1));
-    };
-    // Multi-source expansion from the whole current tree.
-    for (const NetRoute::TreeNode& tn : route.nodes) {
-      const auto v = static_cast<std::size_t>(tn.rr);
-      epoch_of_[v] = epoch_;
-      path_cost_[v] = 0.0f;
-      back_node_[v] = -1;
-      back_edge_[v] = -1;
-      heap.push({heur(tn.rr), 0.0f, tn.rr});
+    // Still legally connected through the kept tree: nothing to do.
+    if (tree_epoch_of_[static_cast<std::size_t>(sink)] == tree_epoch_) {
+      continue;
     }
-
-    bool found = false;
-    while (!heap.empty()) {
-      const HeapEntry top = heap.top();
-      heap.pop();
-      ++heap_pops_;
-      const auto u = static_cast<std::size_t>(top.node);
-      if (epoch_of_[u] != epoch_ || top.path != path_cost_[u]) continue;
-      if (top.node == sink) {
-        found = true;
-        break;
+    // Nearest tree node to the sink anchors the connection box (level 0).
+    const Point sink_pos = fabric_.node_pos(sink);
+    Point near_pos = fabric_.node_pos(spec.source);
+    int near_dist = manhattan(near_pos, sink_pos);
+    for (const NetRoute::TreeNode& tn : route.nodes) {
+      const Point p = fabric_.node_pos(tn.rr);
+      const int d = manhattan(p, sink_pos);
+      if (d < near_dist) {
+        near_dist = d;
+        near_pos = p;
       }
-      const auto edge_base = fabric_.edge_offset(top.node);
-      const auto edges = fabric_.edges(top.node);
-      for (std::size_t k = 0; k < edges.size(); ++k) {
-        const int v = edges[k].to;
-        const auto sv = static_cast<std::size_t>(v);
-        if (is_pin_[sv] && v != sink) continue;  // pins are terminals only
-        const float npc =
-            top.path + static_cast<float>(node_cost(v, pres_fac));
-        if (epoch_of_[sv] != epoch_ || npc < path_cost_[sv]) {
-          epoch_of_[sv] = epoch_;
-          path_cost_[sv] = npc;
-          back_node_[sv] = top.node;
-          back_edge_[sv] = static_cast<std::int64_t>(edge_base + k);
-          heap.push({npc + heur(v), npc, v});
-        }
+    }
+    bool found = false;
+    BBox prev_box{-1, -1, -1, -1};
+    for (int level = 0; level < 3 && !found; ++level) {
+      const BBox box = expansion_box(net_idx, sink_pos, near_pos, level, opts);
+      // After fabric clipping a grown box can coincide with the one that
+      // just failed (small grids): searching it again finds nothing new.
+      if (level > 0 && box == prev_box) continue;
+      prev_box = box;
+      found = expand_to_sink(net_idx, sink, pres_fac, opts.astar_fac, box);
+      if (!found) {
+        const bool whole_fabric = box.x0 == 0 && box.y0 == 0 &&
+                                  box.x1 == fabric_.width() - 1 &&
+                                  box.y1 == fabric_.height() - 1;
+        if (whole_fabric) return false;
+        ++bbox_retries_;
       }
     }
     if (!found) return false;
 
     // Backtrack: collect the new path (sink up to the tree junction), then
     // append in tree order (junction -> sink).
-    std::vector<std::pair<int, std::int64_t>> path;  // (node, edge used)
+    path_scratch_.clear();
     int v = sink;
     while (back_node_[static_cast<std::size_t>(v)] != -1) {
-      path.push_back({v, back_edge_[static_cast<std::size_t>(v)]});
+      path_scratch_.push_back({v, back_edge_[static_cast<std::size_t>(v)]});
       v = back_node_[static_cast<std::size_t>(v)];
     }
-    // v is a tree node; find its index.
-    std::int32_t parent_idx = -1;
-    for (std::size_t i = 0; i < route.nodes.size(); ++i) {
-      if (route.nodes[i].rr == v) {
-        parent_idx = static_cast<std::int32_t>(i);
-        break;
-      }
-    }
-    assert(parent_idx >= 0);
-    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    // v is a tree node; its tree index is epoch-stamped, O(1).
+    assert(tree_epoch_of_[static_cast<std::size_t>(v)] == tree_epoch_);
+    std::int32_t parent_idx = tree_idx_of_[static_cast<std::size_t>(v)];
+    assert(parent_idx >= 0 &&
+           route.nodes[static_cast<std::size_t>(parent_idx)].rr == v);
+    for (auto it = path_scratch_.rbegin(); it != path_scratch_.rend(); ++it) {
       route.nodes.push_back({it->first, parent_idx, it->second});
       ++occ_[static_cast<std::size_t>(it->first)];
       parent_idx = static_cast<std::int32_t>(route.nodes.size() - 1);
+      tree_idx_of_[static_cast<std::size_t>(it->first)] = parent_idx;
+      tree_epoch_of_[static_cast<std::size_t>(it->first)] = tree_epoch_;
     }
   }
   return true;
@@ -167,6 +304,9 @@ RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
   int best_iter = 0;
 
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    const auto iter_start = std::chrono::steady_clock::now();
+    const long long pops_before = heap_pops_;
+    std::size_t rerouted = 0;
     result.iterations = iter;
     for (std::size_t i = 0; i < request_.nets.size(); ++i) {
       if (request_.nets[i].sinks.empty()) continue;
@@ -180,12 +320,16 @@ RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
           }
         }
         if (!congested) continue;
-        rip_up(i);
+        // Textbook mode rebuilds the whole net; incremental mode lets
+        // route_net prune and repair just the congested connections.
+        if (!opts.incremental_reroute) rip_up(i);
       }
-      if (!route_net(i, pres_fac, opts.astar_fac)) {
+      ++rerouted;
+      if (!route_net(i, pres_fac, opts)) {
         // Disconnected graph (e.g. W too small for a pin): unroutable.
         result.success = false;
         result.heap_pops = heap_pops_;
+        result.bbox_retries = bbox_retries_;
         return result;
       }
     }
@@ -198,6 +342,12 @@ RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
       }
     }
     result.overused_nodes = overused;
+    result.iter_stats.push_back(
+        {iter,
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       iter_start)
+             .count(),
+         heap_pops_ - pops_before, rerouted, overused});
     if (overused == 0) {
       result.success = true;
       break;
@@ -218,6 +368,7 @@ RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
     result.total_wire_nodes += r.nodes.size();
   }
   result.heap_pops = heap_pops_;
+  result.bbox_retries = bbox_retries_;
   return result;
 }
 

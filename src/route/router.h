@@ -4,6 +4,19 @@
 // Each net is routed as a tree grown sink by sink with A*-directed Dijkstra
 // expansion; congestion is negotiated across iterations through present-
 // usage and history costs until no routing resource is overused.
+//
+// Hot-path configuration (each individually toggleable via RouterOptions;
+// `flow_bench` measures the defaults against the textbook baseline):
+//   * bounded_box (default ON): expansion and tree seeding restricted to
+//     the box around the sink and the nearest tree point plus `bb_margin`
+//     tiles, VPR's classic pruning. A connection that cannot complete
+//     inside its box is retried with the net's whole terminal box and
+//     finally with no box at all, so bounding never turns a routable
+//     design into an unroutable one.
+//   * incremental_reroute (default ON): congested nets keep the legal part
+//     of their tree across iterations and reroute only the connections
+//     crossing overused nodes, instead of whole-net rip-up.
+//   * astar_fac (default 1.5): calibrated heuristic weight, see below.
 #pragma once
 
 #include <cstdint>
@@ -44,11 +57,39 @@ struct RouterOptions {
   double initial_pres = 0.5;      ///< present-congestion factor, iteration 2
   double pres_mult = 1.8;         ///< growth per iteration
   double hist_fac = 1.0;          ///< history accumulation per overuse
-  double astar_fac = 1.15;        ///< heuristic weight (>1 trades quality)
+  /// A* heuristic weight (>1 trades wire quality for search speed). The
+  /// default was calibrated on the MCNC-like suite (see BENCH_flow.json):
+  /// versus the 1.15 the seed shipped, 1.5 cuts heap pops ~2x at ~2% more
+  /// wire; the empty-fabric per-tile scale underestimates congested-
+  /// iteration costs, so a stronger weight keeps the wave directed.
+  double astar_fac = 1.5;
   /// Abort as unroutable when the overused-node count has not improved for
   /// this many iterations (0 = disabled). Used by the minimum-channel-width
   /// search to cut hopeless trials short.
   int stall_abort = 0;
+  /// Restrict each connection's expansion (and its tree seeds) to the box
+  /// around the sink and the nearest point of the current route tree,
+  /// grown by `bb_margin` tiles (default on). A failing connection
+  /// automatically retries with the whole terminal box and then unbounded,
+  /// so this is a pure pruning optimization, never a routability change.
+  bool bounded_box = true;
+  /// Tiles added on every side of the bounding box.
+  int bb_margin = 3;
+  /// On reroute iterations, keep the legal part of a congested net's tree
+  /// and reroute only the connections whose path crosses an overused node,
+  /// instead of ripping up and rebuilding the whole net (default on).
+  /// Off = the textbook whole-net rip-up, the flow_bench baseline.
+  bool incremental_reroute = true;
+};
+
+/// Per-PathFinder-iteration counters, for perf trajectories (flow_bench)
+/// and congestion-convergence debugging.
+struct RouteIterStats {
+  int iteration = 0;
+  double seconds = 0.0;            ///< wall time of this iteration
+  long long heap_pops = 0;         ///< pops spent in this iteration
+  std::size_t rerouted_nets = 0;   ///< nets (re)routed this iteration
+  std::size_t overused_nodes = 0;  ///< congestion after this iteration
 };
 
 struct RoutingResult {
@@ -58,6 +99,10 @@ struct RoutingResult {
   std::size_t total_wire_nodes = 0;
   std::size_t overused_nodes = 0;  ///< at exit (0 on success)
   long long heap_pops = 0;
+  /// Connections that failed inside their bounding box and were retried
+  /// with a grown / unbounded box (0 unless the box was too tight).
+  long long bbox_retries = 0;
+  std::vector<RouteIterStats> iter_stats;  ///< one entry per iteration
 };
 
 class PathfinderRouter {
@@ -67,9 +112,30 @@ class PathfinderRouter {
   RoutingResult route(const RouterOptions& opts = {});
 
  private:
-  struct NodeState;
-  bool route_net(std::size_t net_idx, double pres_fac, double astar_fac);
+  /// Inclusive tile-coordinate expansion window.
+  struct BBox {
+    int x0, y0, x1, y1;
+    bool contains(Point p) const {
+      return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+    }
+    friend bool operator==(const BBox&, const BBox&) = default;
+  };
+
+  bool route_net(std::size_t net_idx, double pres_fac,
+                 const RouterOptions& opts);
+  /// One A* wave from the current tree of `net_idx` to `sink` within `box`.
+  bool expand_to_sink(std::size_t net_idx, int sink, double pres_fac,
+                      double astar_fac, const BBox& box);
+  /// Expansion window for escalation level 0 (sink-to-tree connection box
+  /// plus margin), 1 (whole terminal box, grown margin), 2 (whole fabric).
+  BBox expansion_box(std::size_t net_idx, Point sink_pos, Point near_pos,
+                     int level, const RouterOptions& opts) const;
   void rip_up(std::size_t net_idx);
+  /// Drops tree nodes sitting on (or downstream of) an overused node, plus
+  /// any surviving branch that no longer leads to a sink, releasing their
+  /// occupancy. Keeps the source. Re-stamps tree_idx_of_ for the kept
+  /// nodes under the current tree_epoch_.
+  void prune_overused(std::size_t net_idx);
   double node_cost(int v, double pres_fac) const;
 
   const Fabric& fabric_;
@@ -83,13 +149,46 @@ class PathfinderRouter {
   /// (prevents shorting foreign signals onto LUT pins).
   std::vector<std::uint8_t> is_pin_;
 
+  /// Terminal bounding box of each net (tile coordinates, no margin).
+  std::vector<BBox> net_box_;
+
   // Per-connection search state, epoch-stamped to avoid O(V) clears.
   std::vector<float> path_cost_;
   std::vector<std::int32_t> back_node_;
   std::vector<std::int64_t> back_edge_;
   std::vector<std::uint32_t> epoch_of_;
   std::uint32_t epoch_ = 0;
+
+  // Reusable scratch arenas: the heap and backtrack path keep their
+  // capacity across sinks, nets and iterations instead of reallocating.
+  struct HeapEntry {
+    float est;   ///< path cost + weighted heuristic
+    float path;  ///< path cost so far
+    std::int32_t node;
+    // Min-heap by (est, node id) — the node id tie-break keeps expansion
+    // deterministic across runs and platforms.
+    bool operator>(const HeapEntry& o) const {
+      if (est != o.est) return est > o.est;
+      return node > o.node;
+    }
+  };
+  std::vector<HeapEntry> heap_;
+  std::vector<std::pair<int, std::int64_t>> path_scratch_;
+  // prune_overused scratch: per-tree-node keep flags and index remap, plus
+  // an epoch-stamped sink marker per RR node.
+  std::vector<std::uint8_t> keep_scratch_;
+  std::vector<std::uint8_t> useful_scratch_;
+  std::vector<std::int32_t> remap_scratch_;
+  std::vector<std::uint32_t> sink_mark_;
+
+  // O(1) tree-junction lookup in backtrack: rr node -> index in the current
+  // net's route tree, epoch-stamped per route_net call.
+  std::vector<std::int32_t> tree_idx_of_;
+  std::vector<std::uint32_t> tree_epoch_of_;
+  std::uint32_t tree_epoch_ = 0;
+
   long long heap_pops_ = 0;
+  long long bbox_retries_ = 0;
 };
 
 }  // namespace vbs

@@ -39,19 +39,27 @@ struct Component {
 
 /// Re-groups a connection list so all pairs sharing an `in` are contiguous
 /// (first-appearance order), as compact fan-out coding requires.
+/// Single-pass stable bucketing: each `in` gets a bucket at its first
+/// appearance, O(n + max_in) instead of the quadratic scan-per-group.
 void regroup_by_in(std::vector<VbsConnection>& conns) {
-  std::vector<VbsConnection> out;
-  out.reserve(conns.size());
-  std::vector<std::uint16_t> ins;
+  if (conns.empty()) return;
+  std::uint16_t max_in = 0;
+  for (const VbsConnection& c : conns) max_in = std::max(max_in, c.in);
+  // Bucket ids in first-appearance order, then count -> prefix-sum ->
+  // scatter into one pre-sized buffer (no per-bucket allocations).
+  std::vector<std::int32_t> bucket_of(static_cast<std::size_t>(max_in) + 1, -1);
+  std::int32_t n_buckets = 0;
   for (const VbsConnection& c : conns) {
-    if (std::find(ins.begin(), ins.end(), c.in) == ins.end()) {
-      ins.push_back(c.in);
-    }
+    if (bucket_of[c.in] < 0) bucket_of[c.in] = n_buckets++;
   }
-  for (const std::uint16_t in : ins) {
-    for (const VbsConnection& c : conns) {
-      if (c.in == in) out.push_back(c);
-    }
+  std::vector<std::uint32_t> offset(static_cast<std::size_t>(n_buckets) + 1, 0);
+  for (const VbsConnection& c : conns) {
+    ++offset[static_cast<std::size_t>(bucket_of[c.in]) + 1];
+  }
+  for (std::size_t b = 1; b < offset.size(); ++b) offset[b] += offset[b - 1];
+  std::vector<VbsConnection> out(conns.size());
+  for (const VbsConnection& c : conns) {
+    out[offset[static_cast<std::size_t>(bucket_of[c.in])]++] = c;
   }
   conns = std::move(out);
 }

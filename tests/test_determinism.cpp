@@ -1,0 +1,75 @@
+// Same-seed determinism regression: two runs of the whole flow must agree
+// bit for bit — placements AND route trees — with bounded-box routing on
+// and off. The flow is advertised as reproducible from a single seed
+// (BENCH_flow.json trajectories, encode_ablation comparisons and the
+// determinism of the VBS coding itself all depend on it), so any hidden
+// iteration-order or uninitialized-state dependence is a bug.
+#include <gtest/gtest.h>
+
+#include "flow/flow.h"
+#include "netlist/generator.h"
+
+namespace vbs {
+namespace {
+
+Netlist test_netlist(std::uint64_t seed) {
+  GenParams p;
+  p.n_lut = 90;
+  p.n_pi = 8;
+  p.n_po = 8;
+  p.seed = seed;
+  return generate_netlist(p);
+}
+
+FlowOptions flow_opts(bool bounded_box) {
+  FlowOptions o;
+  o.arch.chan_width = 10;
+  o.seed = 5;
+  o.route.bounded_box = bounded_box;
+  return o;
+}
+
+void expect_identical(const FlowResult& a, const FlowResult& b) {
+  // Placement: byte-identical LUT and I/O assignments.
+  ASSERT_EQ(a.placement.lut_loc.size(), b.placement.lut_loc.size());
+  for (std::size_t i = 0; i < a.placement.lut_loc.size(); ++i) {
+    EXPECT_EQ(a.placement.lut_loc[i], b.placement.lut_loc[i]) << "LUT " << i;
+  }
+  ASSERT_EQ(a.placement.io_loc.size(), b.placement.io_loc.size());
+  for (std::size_t i = 0; i < a.placement.io_loc.size(); ++i) {
+    EXPECT_EQ(a.placement.io_loc[i], b.placement.io_loc[i]) << "I/O " << i;
+  }
+
+  // Routing: identical trees, node by node.
+  ASSERT_EQ(a.routing.success, b.routing.success);
+  ASSERT_EQ(a.routing.routes.size(), b.routing.routes.size());
+  EXPECT_EQ(a.routing.heap_pops, b.routing.heap_pops);
+  for (std::size_t n = 0; n < a.routing.routes.size(); ++n) {
+    const auto& ra = a.routing.routes[n].nodes;
+    const auto& rb = b.routing.routes[n].nodes;
+    ASSERT_EQ(ra.size(), rb.size()) << "net " << n;
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_EQ(ra[k].rr, rb[k].rr) << "net " << n << " node " << k;
+      EXPECT_EQ(ra[k].parent, rb[k].parent) << "net " << n << " node " << k;
+      EXPECT_EQ(ra[k].fabric_edge, rb[k].fabric_edge)
+          << "net " << n << " node " << k;
+    }
+  }
+}
+
+TEST(Determinism, SameSeedSameFlowBoundedBox) {
+  FlowResult a = run_flow(test_netlist(3), 11, 11, flow_opts(true));
+  FlowResult b = run_flow(test_netlist(3), 11, 11, flow_opts(true));
+  ASSERT_TRUE(a.routed());
+  expect_identical(a, b);
+}
+
+TEST(Determinism, SameSeedSameFlowUnboundedBox) {
+  FlowResult a = run_flow(test_netlist(3), 11, 11, flow_opts(false));
+  FlowResult b = run_flow(test_netlist(3), 11, 11, flow_opts(false));
+  ASSERT_TRUE(a.routed());
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace vbs

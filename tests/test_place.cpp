@@ -84,6 +84,39 @@ TEST(Place, AnnealingImprovesCost) {
   EXPECT_LT(stats.final_cost, stats.initial_cost);
 }
 
+TEST(Place, IncrementalBboxMatchesFullRecompute) {
+  // The incremental bounding-box bookkeeping must produce the same anneal
+  // trajectory as full per-net recomputation: identical deltas mean an
+  // identical placement and identical accumulated cost.
+  Fixture f(100, 9);
+  PlaceOptions inc;
+  inc.seed = 11;
+  inc.incremental_bbox = true;
+  PlaceOptions full = inc;
+  full.incremental_bbox = false;
+  PlaceStats si, sf;
+  const Placement a = place_design(f.nl, f.pd, f.spec, 11, 11, inc, &si);
+  const Placement b = place_design(f.nl, f.pd, f.spec, 11, 11, full, &sf);
+  EXPECT_EQ(a.lut_loc, b.lut_loc);
+  for (std::size_t i = 0; i < a.io_loc.size(); ++i) {
+    EXPECT_EQ(a.io_loc[i], b.io_loc[i]);
+  }
+  EXPECT_EQ(si.moves, sf.moves);
+  EXPECT_EQ(si.accepted, sf.accepted);
+  EXPECT_NEAR(si.final_cost, sf.final_cost, 1e-9);
+}
+
+TEST(Place, IncrementalCostDriftWithinTolerance) {
+  // After hundreds of thousands of incremental += delta updates, the
+  // accumulated cost must still match a from-scratch recomputation of
+  // every net box to within 1e-6.
+  Fixture f(150, 4);
+  PlaceStats stats;
+  place_design(f.nl, f.pd, f.spec, 13, 13, {}, &stats);
+  EXPECT_GT(stats.moves, 0);
+  EXPECT_LT(stats.cost_drift, 1e-6);
+}
+
 TEST(Place, HpwlConsistentWithStats) {
   Fixture f(80, 3);
   PlaceStats stats;
