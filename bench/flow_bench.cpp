@@ -2,30 +2,38 @@
 // trajectory every perf PR measures itself against.
 //
 // For each circuit x seed x channel width the harness times netlist
-// generation, packing and placement, then routes the SAME placement twice —
-// once with the default bounded-box expansion and once with the unbounded
-// textbook baseline — so the heap-pop and wall-time reduction of the
-// bounded-box router is measured apples-to-apples in a single run. Results
-// go to stdout as a table and to a machine-readable JSON file (see
-// bench/README.md for the schema).
+// generation, packing and placement, then routes the SAME placement three
+// times — with the default bounded-box serial router, with the
+// deterministic parallel engine at --threads workers (verifying the trees
+// are byte-identical to the serial leg), and with the unbounded textbook
+// baseline — so heap-pop and wall-time comparisons are apples-to-apples in
+// a single process. Unless --no-mcw is given it then runs the
+// minimum-channel-width search twice, warm-started and cold, recording
+// per-search trial counts and heap pops. Results go to stdout as a table
+// and to a machine-readable JSON file (see bench/README.md for the
+// vbs.flow_bench.v2 schema).
 //
 // Usage:
 //   flow_bench [--smoke] [--circuits a,b] [--seeds N] [--width W]
-//              [--margin M] [--effort E] [--out PATH]
+//              [--threads T] [--margin M] [--effort E] [--no-mcw]
+//              [--out PATH]
 //
 //   --smoke      tiny synthetic circuits (seconds; used by CI to catch
 //                harness bitrot)
 //   --circuits   comma-separated Table II names (default: the 5 smallest)
 //   --seeds      number of seeds per circuit, 1..N (default 1)
 //   --width      routed channel width (default 20, the paper's norm)
+//   --threads    parallel-leg worker count (default 8)
 //   --margin     bounded-box margin in tiles (default RouterOptions)
 //   --effort     placer effort scale (default 1.0)
+//   --no-mcw     skip the minimum-channel-width searches
 //   --out        JSON output path (default BENCH_flow.json)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flow/flow.h"
@@ -33,6 +41,7 @@
 #include "netlist/mcnc.h"
 #include "pack/pack.h"
 #include "place/annealer.h"
+#include "route/mcw.h"
 #include "route/route_request.h"
 #include "route/router.h"
 #include "util/cli.h"
@@ -55,6 +64,17 @@ struct RouteSample {
   long long heap_pops = 0;
   long long bbox_retries = 0;
   std::size_t wire_nodes = 0;
+  // Parallel-engine counters (0 on serial legs).
+  long long spec_commits = 0;
+  long long spec_rejected = 0;
+  long long spec_wasted_pops = 0;
+};
+
+struct McwSample {
+  int mcw = -1;
+  int trials = 0;
+  long long heap_pops = 0;
+  double seconds = 0.0;
 };
 
 struct RunRecord {
@@ -70,28 +90,64 @@ struct RunRecord {
   PlaceStats place;
   double moves_per_sec = 0.0;
   RouteSample bounded;
+  RouteSample parallel;
+  bool parallel_identical = false;  ///< parallel trees == serial trees
   RouteSample unbounded;
+  McwSample mcw_warm;
+  McwSample mcw_cold;
 };
 
-RouteSample route_once(const Fabric& fabric, const Netlist& nl,
-                       const PackedDesign& pd, const Placement& pl,
-                       const RouterOptions& ropts) {
+RouteSample route_once(const Fabric& fabric, const RouteRequest& req,
+                       const RouterOptions& ropts, RoutingResult* out = nullptr) {
   RouteSample s;
   const auto t0 = Clock::now();
-  PathfinderRouter router(fabric, build_route_request(fabric, nl, pd, pl));
-  const RoutingResult rr = router.route(ropts);
+  PathfinderRouter router(fabric, req);
+  RoutingResult rr = router.route(ropts);
   s.seconds = seconds_since(t0);
   s.success = rr.success;
   s.iterations = rr.iterations;
   s.heap_pops = rr.heap_pops;
   s.bbox_retries = rr.bbox_retries;
   s.wire_nodes = rr.total_wire_nodes;
+  s.spec_commits = rr.spec_commits;
+  s.spec_rejected = rr.spec_rejected;
+  s.spec_wasted_pops = rr.spec_wasted_pops;
+  if (out != nullptr) *out = std::move(rr);
+  return s;
+}
+
+bool identical_routes(const RoutingResult& a, const RoutingResult& b) {
+  if (a.routes.size() != b.routes.size()) return false;
+  for (std::size_t n = 0; n < a.routes.size(); ++n) {
+    const auto& ra = a.routes[n].nodes;
+    const auto& rb = b.routes[n].nodes;
+    if (ra.size() != rb.size()) return false;
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      if (ra[k].rr != rb[k].rr || ra[k].parent != rb[k].parent ||
+          ra[k].fabric_edge != rb[k].fabric_edge) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+McwSample mcw_once(const ArchSpec& arch, const Netlist& nl,
+                   const PackedDesign& pd, const Placement& pl, bool warm) {
+  McwOptions mo;
+  mo.warm_start = warm;
+  const McwResult r = find_min_channel_width(arch, nl, pd, pl, mo);
+  McwSample s;
+  s.mcw = r.mcw;
+  s.trials = r.trials;
+  s.heap_pops = r.heap_pops;
+  s.seconds = r.seconds;
   return s;
 }
 
 RunRecord run_one(const std::string& name, Netlist nl, int grid,
                   std::uint64_t seed, int width, double netlist_seconds,
-                  double effort, int margin) {
+                  double effort, int margin, int threads, bool with_mcw) {
   RunRecord rec;
   rec.circuit = name;
   rec.grid = grid;
@@ -121,11 +177,20 @@ RunRecord run_one(const std::string& name, Netlist nl, int grid,
                           : 0.0;
 
   const Fabric fabric(arch, grid, grid);
+  const RouteRequest req = build_route_request(fabric, nl, pd, pl);
   // Default options: bounded-box expansion, incremental reroute, calibrated
   // A* weight — exactly what RouterOptions{} ships.
   RouterOptions ropts;
   if (margin >= 0) ropts.bb_margin = margin;
-  rec.bounded = route_once(fabric, nl, pd, pl, ropts);
+  RoutingResult serial_routes;
+  rec.bounded = route_once(fabric, req, ropts, &serial_routes);
+  // The deterministic parallel engine on the same request: trees must be
+  // byte-identical to the serial leg, only wall time may differ.
+  RouterOptions par = ropts;
+  par.threads = threads;
+  RoutingResult parallel_routes;
+  rec.parallel = route_once(fabric, req, par, &parallel_routes);
+  rec.parallel_identical = identical_routes(serial_routes, parallel_routes);
   // The unbounded textbook baseline: whole-fabric expansion, whole-net
   // rip-up, and the pre-calibration heuristic weight — the formulation the
   // seed router shipped (see bench/README.md).
@@ -133,33 +198,48 @@ RunRecord run_one(const std::string& name, Netlist nl, int grid,
   baseline.bounded_box = false;
   baseline.incremental_reroute = false;
   baseline.astar_fac = 1.15;
-  rec.unbounded = route_once(fabric, nl, pd, pl, baseline);
+  rec.unbounded = route_once(fabric, req, baseline);
+
+  if (with_mcw) {
+    rec.mcw_warm = mcw_once(arch, nl, pd, pl, /*warm=*/true);
+    rec.mcw_cold = mcw_once(arch, nl, pd, pl, /*warm=*/false);
+  }
   return rec;
 }
 
 void write_json(const std::string& path, const std::vector<RunRecord>& runs,
-                bool smoke, int width, int seeds, int margin, double effort) {
+                bool smoke, int width, int seeds, int threads, int margin,
+                double effort, bool with_mcw) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  long long pops_b = 0, pops_u = 0;
-  double secs_b = 0, secs_u = 0;
-  int ok_b = 0, ok_u = 0;
+  long long pops_b = 0, pops_u = 0, mcw_w = 0, mcw_c = 0;
+  double secs_b = 0, secs_u = 0, secs_p = 0;
+  int ok_b = 0, ok_u = 0, identical = 0, mcw_match = 0;
   for (const RunRecord& r : runs) {
     pops_b += r.bounded.heap_pops;
     pops_u += r.unbounded.heap_pops;
     secs_b += r.bounded.seconds;
     secs_u += r.unbounded.seconds;
+    secs_p += r.parallel.seconds;
     ok_b += r.bounded.success ? 1 : 0;
     ok_u += r.unbounded.success ? 1 : 0;
+    identical += r.parallel_identical ? 1 : 0;
+    mcw_w += r.mcw_warm.heap_pops;
+    mcw_c += r.mcw_cold.heap_pops;
+    mcw_match += with_mcw && r.mcw_warm.mcw == r.mcw_cold.mcw ? 1 : 0;
   }
-  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v2\",\n");
   std::fprintf(f,
                "  \"options\": {\"smoke\": %s, \"chan_width\": %d, \"seeds\": "
-               "%d, \"bb_margin\": %d, \"effort\": %.3f},\n",
-               smoke ? "true" : "false", width, seeds, margin, effort);
+               "%d, \"threads\": %d, \"bb_margin\": %d, \"effort\": %.3f, "
+               "\"mcw\": %s},\n",
+               smoke ? "true" : "false", width, seeds, threads, margin, effort,
+               with_mcw ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   const RouterOptions def;
   std::fprintf(f,
                "  \"router_default\": {\"bounded_box\": %s, "
@@ -201,7 +281,28 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
                    s.heap_pops, s.bbox_retries, s.wire_nodes, tail);
     };
     route_json("route_bounded", r.bounded, ",");
-    route_json("route_unbounded", r.unbounded, "");
+    std::fprintf(f,
+                 "     \"route_parallel\": {\"threads\": %d, \"seconds\": "
+                 "%.4f, \"success\": %s, \"heap_pops\": %lld, "
+                 "\"spec_commits\": %lld, \"spec_rejected\": %lld, "
+                 "\"spec_wasted_pops\": %lld, \"identical_to_serial\": %s},\n",
+                 threads, r.parallel.seconds,
+                 r.parallel.success ? "true" : "false", r.parallel.heap_pops,
+                 r.parallel.spec_commits, r.parallel.spec_rejected,
+                 r.parallel.spec_wasted_pops,
+                 r.parallel_identical ? "true" : "false");
+    route_json("route_unbounded", r.unbounded, with_mcw ? "," : "");
+    if (with_mcw) {
+      auto mcw_json = [&](const char* key, const McwSample& s,
+                          const char* tail) {
+        std::fprintf(f,
+                     "     \"%s\": {\"mcw\": %d, \"trials\": %d, "
+                     "\"heap_pops\": %lld, \"seconds\": %.4f}%s\n",
+                     key, s.mcw, s.trials, s.heap_pops, s.seconds, tail);
+      };
+      mcw_json("mcw_warm", r.mcw_warm, ",");
+      mcw_json("mcw_cold", r.mcw_cold, "");
+    }
     std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -210,11 +311,19 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
       "  \"summary\": {\"runs\": %zu, \"routed_bounded\": %d, "
       "\"routed_unbounded\": %d, \"heap_pops_bounded\": %lld, "
       "\"heap_pops_unbounded\": %lld, \"heap_pop_ratio\": %.3f, "
-      "\"route_seconds_bounded\": %.4f, \"route_seconds_unbounded\": %.4f}\n",
+      "\"route_seconds_bounded\": %.4f, \"route_seconds_unbounded\": %.4f, "
+      "\"route_seconds_parallel\": %.4f, \"parallel_speedup\": %.3f, "
+      "\"parallel_identical\": %d, \"mcw_heap_pops_warm\": %lld, "
+      "\"mcw_heap_pops_cold\": %lld, \"mcw_pop_ratio\": %.3f, "
+      "\"mcw_width_matches\": %d}\n",
       runs.size(), ok_b, ok_u, pops_b, pops_u,
       pops_b > 0 ? static_cast<double>(pops_u) / static_cast<double>(pops_b)
                  : 0.0,
-      secs_b, secs_u);
+      secs_b, secs_u, secs_p,
+      secs_p > 0 ? secs_b / secs_p : 0.0, identical, mcw_w, mcw_c,
+      mcw_w > 0 ? static_cast<double>(mcw_c) / static_cast<double>(mcw_w)
+                : 0.0,
+      mcw_match);
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -223,12 +332,14 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
 
 int main(int argc, char** argv) try {
   CliArgs args(argc, argv,
-               {"--circuits", "--seeds", "--width", "--margin", "--effort",
-                "--out"},
-               {"--smoke"});
+               {"--circuits", "--seeds", "--width", "--threads", "--margin",
+                "--effort", "--out"},
+               {"--smoke", "--no-mcw"});
   const bool smoke = args.has_flag("--smoke");
+  const bool with_mcw = !args.has_flag("--no-mcw");
   const int seeds = static_cast<int>(args.int_or("--seeds", 1));
   const int width = static_cast<int>(args.int_or("--width", smoke ? 10 : 20));
+  const int threads = static_cast<int>(args.int_or("--threads", 8));
   const int margin = static_cast<int>(args.int_or("--margin", -1));
   const double effort = std::stod(args.value_or("--effort", "1.0"));
   const std::string out = args.value_or("--out", "BENCH_flow.json");
@@ -237,8 +348,8 @@ int main(int argc, char** argv) try {
   for (int s = 1; s <= seeds; ++s) {
     const auto seed = static_cast<std::uint64_t>(s);
     if (smoke) {
-      // Tiny synthetic circuits: exercises every stage and both router
-      // modes in seconds, for CI.
+      // Tiny synthetic circuits: exercises every stage, all three router
+      // legs and both MCW modes in seconds, for CI.
       for (const int n_lut : {60, 120}) {
         GenParams p;
         p.n_lut = n_lut;
@@ -251,7 +362,8 @@ int main(int argc, char** argv) try {
         const int grid =
             static_cast<int>(std::ceil(std::sqrt(n_lut * 1.25)));
         runs.push_back(run_one("smoke" + std::to_string(n_lut), std::move(nl),
-                               grid, seed, width, gen_s, effort, margin));
+                               grid, seed, width, gen_s, effort, margin,
+                               threads, with_mcw));
       }
     } else {
       std::vector<McncCircuit> circuits;
@@ -282,13 +394,13 @@ int main(int argc, char** argv) try {
         Netlist nl = make_mcnc_like(c, seed);
         const double gen_s = seconds_since(t0);
         runs.push_back(run_one(c.name, std::move(nl), c.size, seed, width,
-                               gen_s, effort, margin));
+                               gen_s, effort, margin, threads, with_mcw));
       }
     }
   }
 
-  TablePrinter t({"circuit", "seed", "place s", "moves/s", "route s (bb)",
-                  "pops (bb)", "route s (full)", "pops (full)", "pop ratio"});
+  TablePrinter t({"circuit", "seed", "route s", "pops", "par s", "full s",
+                  "pop ratio", "mcw", "mcw pops w/c"});
   for (const RunRecord& r : runs) {
     const double ratio =
         r.bounded.heap_pops > 0
@@ -296,26 +408,41 @@ int main(int argc, char** argv) try {
                   static_cast<double>(r.bounded.heap_pops)
             : 0.0;
     t.add_row({r.circuit, std::to_string(r.seed),
-               TablePrinter::fmt(r.place_seconds, 2),
-               TablePrinter::fmt(r.moves_per_sec, 0),
                TablePrinter::fmt(r.bounded.seconds, 2),
                TablePrinter::fmt_int(r.bounded.heap_pops),
+               TablePrinter::fmt(r.parallel.seconds, 2),
                TablePrinter::fmt(r.unbounded.seconds, 2),
-               TablePrinter::fmt_int(r.unbounded.heap_pops),
-               TablePrinter::fmt(ratio, 2)});
+               TablePrinter::fmt(ratio, 2),
+               std::to_string(r.mcw_warm.mcw),
+               TablePrinter::fmt_int(r.mcw_warm.heap_pops) + "/" +
+                   TablePrinter::fmt_int(r.mcw_cold.heap_pops)});
   }
   t.print();
 
-  write_json(out, runs, smoke, width, seeds, margin, effort);
+  write_json(out, runs, smoke, width, seeds, threads, margin, effort,
+             with_mcw);
   std::printf("\nwrote %s\n", out.c_str());
 
-  // Fail loudly if any stage regressed to unroutable — a perf number for a
-  // run that did not complete would be meaningless.
+  // Fail loudly if any leg regressed: an unroutable run or a parallel tree
+  // that diverged from the serial one would make the numbers meaningless.
   for (const RunRecord& r : runs) {
-    if (!r.bounded.success || !r.unbounded.success) {
+    if (!r.bounded.success || !r.unbounded.success || !r.parallel.success) {
       std::fprintf(stderr, "FAIL: %s seed %llu did not route\n",
                    r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
       return 1;
+    }
+    if (!r.parallel_identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s seed %llu parallel routing diverged from serial\n",
+                   r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
+      return 1;
+    }
+    if (with_mcw && r.mcw_warm.mcw != r.mcw_cold.mcw) {
+      std::fprintf(stderr,
+                   "NOTE: %s seed %llu warm mcw %d != cold mcw %d (warm found "
+                   "a different minimum; not a failure)\n",
+                   r.circuit.c_str(), static_cast<unsigned long long>(r.seed),
+                   r.mcw_warm.mcw, r.mcw_cold.mcw);
     }
   }
   return 0;
@@ -323,7 +450,8 @@ int main(int argc, char** argv) try {
   std::fprintf(stderr,
                "flow_bench: %s\n"
                "usage: flow_bench [--smoke] [--circuits a,b] [--seeds N] "
-               "[--width W] [--margin M] [--effort E] [--out PATH]\n",
+               "[--width W] [--threads T] [--margin M] [--effort E] "
+               "[--no-mcw] [--out PATH]\n",
                e.what());
   return 1;
 }

@@ -10,7 +10,7 @@ FlowResult run_flow(Netlist nl, int grid_w, int grid_h,
   r.netlist = std::move(nl);
   r.packed = pack_netlist(r.netlist, opts.arch);
   PlaceOptions popts = opts.place;
-  popts.seed = popts.seed == 1 ? opts.seed : popts.seed;
+  if (popts.seed == 0) popts.seed = opts.seed;  // 0 = inherit the flow seed
   log_info("placing " + r.netlist.name + " (" +
            std::to_string(r.packed.num_luts()) + " LBs on " +
            std::to_string(grid_w) + "x" + std::to_string(grid_h) + ")");
@@ -21,7 +21,9 @@ FlowResult run_flow(Netlist nl, int grid_w, int grid_h,
            std::to_string(opts.arch.chan_width));
   PathfinderRouter router(
       *r.fabric, build_route_request(*r.fabric, r.netlist, r.packed, r.placement));
-  r.routing = router.route(opts.route);
+  RouterOptions ropts = opts.route;
+  if (ropts.threads == 0) ropts.threads = opts.threads;  // 0 = inherit
+  r.routing = router.route(ropts);
   log_info("routing " + std::string(r.routing.success ? "converged" : "FAILED") +
            " after " + std::to_string(r.routing.iterations) + " iterations");
   return r;

@@ -21,6 +21,13 @@ namespace vbs {
 struct FlowOptions {
   ArchSpec arch;  ///< chan_width is the normalized width (paper uses 20)
   std::uint64_t seed = 1;
+  /// Worker threads for the routing stage. The router's speculative
+  /// route/commit engine is deterministic, so any value produces
+  /// byte-identical results; route.threads == 0 (the default) inherits
+  /// this value, a nonzero route.threads wins.
+  int threads = 1;
+  /// place.seed == 0 (the default) means "inherit FlowOptions::seed"; any
+  /// nonzero placer seed — including 1 — is honored verbatim.
   PlaceOptions place;
   RouterOptions route;
 };

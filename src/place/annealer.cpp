@@ -399,7 +399,7 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
     throw std::invalid_argument("place: too many I/Os for the perimeter");
   }
 
-  Rng rng(opts.seed);
+  Rng rng(opts.seed == 0 ? 1 : opts.seed);  // 0 = unset, see PlaceOptions
   Placement pl;
   pl.grid_w = grid_w;
   pl.grid_h = grid_h;

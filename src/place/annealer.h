@@ -14,7 +14,10 @@
 namespace vbs {
 
 struct PlaceOptions {
-  std::uint64_t seed = 1;
+  /// 0 is the "unset" sentinel: run_flow fills it with FlowOptions::seed,
+  /// and place_design itself treats it as seed 1 — so an explicitly
+  /// requested placer seed of 1 is never silently replaced.
+  std::uint64_t seed = 0;
   /// Scales moves-per-temperature (VPR's inner_num); 1.0 is "fast" quality.
   double effort = 1.0;
   /// Max I/Os per (side, tile) boundary; -1 means chan_width / 2.

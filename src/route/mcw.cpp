@@ -1,6 +1,8 @@
 #include "route/mcw.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 
 #include "fabric/fabric.h"
 #include "route/route_request.h"
@@ -9,64 +11,106 @@
 namespace vbs {
 
 namespace {
-
-bool routable_at(const ArchSpec& base, int width, const Netlist& nl,
-                 const PackedDesign& pd, const Placement& pl,
-                 const RouterOptions& ropts, long long* pops) {
-  ArchSpec spec = base;
-  spec.chan_width = width;
-  // The placer's I/O tracks must exist at this width; placements made at a
-  // wider channel stay valid because io_per_tile <= base width / 2 <= width
-  // whenever width >= base/2 — otherwise clamp below fails the trial.
-  for (const IoSlot& s : pl.io_loc) {
-    if (s.track >= width) return false;
-  }
-  const Fabric fabric(spec, pl.grid_w, pl.grid_h);
-  PathfinderRouter router(fabric, build_route_request(fabric, nl, pd, pl));
-  const RoutingResult rr = router.route(ropts);
-  if (pops) *pops += rr.heap_pops;
-  return rr.success;
-}
-
+using Clock = std::chrono::steady_clock;
 }  // namespace
 
 McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
                                  const PackedDesign& pd, const Placement& pl,
                                  const McwOptions& opts) {
+  const auto search_start = Clock::now();
   McwResult res;
   int lo = std::max(2, opts.lo);  // below 2 tracks the SB degenerates
-  int hi = opts.hi;
+  const int hi = opts.hi;
+
+  // The placer's I/O tracks must exist at a trial width, so any width at or
+  // below the highest used track is infeasible before routing; the search
+  // floor rises to the first width that can carry every placed I/O.
+  lo = std::max(lo, min_channel_width_for_io(pl));
+  if (lo > hi) return res;  // mcw = -1: no feasible width at all
+
+  // One fabric/route-request pair at the running upper bound, resized
+  // (rebuilt wider) only while the doubling probe is still climbing;
+  // narrower trials mask tracks instead. Node ids are stable from the
+  // first routable width on, which is what makes warm seeding possible.
+  std::unique_ptr<Fabric> fabric;
+  RouteRequest base_request;
+  int fabric_w = 0;
+  std::vector<NetRoute> warm;  // last routable solution (narrowest so far)
+
+  auto trial = [&](int width) {
+    ++res.trials;
+    const auto t0 = Clock::now();
+    if (width > fabric_w) {
+      ArchSpec spec = base_spec;
+      spec.chan_width = width;
+      fabric = std::make_unique<Fabric>(spec, pl.grid_w, pl.grid_h);
+      // I/O ports counted from the top of the channel, like the kept
+      // tracks of a masked trial: the request stays valid at every
+      // narrower width whose I/O feasibility check passes.
+      base_request = build_route_request(*fabric, nl, pd, pl,
+                                         /*io_tracks_from_top=*/true);
+      fabric_w = width;
+    }
+    PathfinderRouter router(*fabric, base_request,
+                            width < fabric_w ? width : 0);
+    RouterOptions ropts = opts.router;
+    const bool seeded = opts.warm_start && !warm.empty();
+    if (seeded) {
+      router.seed_routes(warm);
+      // A seed can corner the negotiation where a cold route would have
+      // converged; a stalled seeded trial rips everything (trees AND
+      // history) and reroutes once, so a post-restart verdict is exactly
+      // a cold route's verdict.
+      if (ropts.stall_restarts == 0) ropts.stall_restarts = 1;
+    }
+    RoutingResult rr = router.route(ropts);
+    McwTrial t;
+    t.width = width;
+    t.routable = rr.success;
+    t.iterations = rr.iterations;
+    t.heap_pops = rr.heap_pops;
+    t.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    res.heap_pops += rr.heap_pops;
+    res.trial_log.push_back(t);
+    log_debug("mcw trial W=" + std::to_string(width) + ": " +
+              (rr.success ? "routable" : "unroutable") + " (" +
+              std::to_string(rr.heap_pops) + " pops)");
+    if (rr.success) warm = std::move(rr.routes);  // narrowest success so far
+    return rr.success;
+  };
 
   // Find a routable upper bound by doubling from the probe hint.
   int known_good = -1;
-  int probe = std::max(lo, opts.hint > 0 ? opts.hint : 5);
+  int probe = std::max(lo, opts.hint > 0 ? opts.hint : kMcwDefaultProbe);
+  probe = std::min(probe, hi);
   while (probe <= hi) {
-    ++res.trials;
-    if (routable_at(base_spec, probe, nl, pd, pl, opts.router,
-                    &res.heap_pops)) {
+    if (trial(probe)) {
       known_good = probe;
       break;
     }
     lo = probe + 1;
-    probe *= 2;
+    if (probe == hi) break;
+    probe = std::min(probe * 2, hi);
   }
   if (known_good < 0) {
-    res.mcw = -1;
-    return res;
+    res.seconds =
+        std::chrono::duration<double>(Clock::now() - search_start).count();
+    return res;  // mcw = -1
   }
 
   // Binary search in [lo, known_good].
   int good = known_good;
   while (lo < good) {
     const int mid = lo + (good - lo) / 2;
-    ++res.trials;
-    if (routable_at(base_spec, mid, nl, pd, pl, opts.router, &res.heap_pops)) {
+    if (trial(mid)) {
       good = mid;
     } else {
       lo = mid + 1;
     }
   }
   res.mcw = good;
+  res.seconds =
+      std::chrono::duration<double>(Clock::now() - search_start).count();
   return res;
 }
 

@@ -1,11 +1,13 @@
 #include "route/route_request.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace vbs {
 
 RouteRequest build_route_request(const Fabric& fabric, const Netlist& nl,
-                                 const PackedDesign& pd, const Placement& pl) {
+                                 const PackedDesign& pd, const Placement& pl,
+                                 bool io_tracks_from_top) {
   if (pl.grid_w != fabric.width() || pl.grid_h != fabric.height()) {
     throw std::invalid_argument("route request: placement/fabric size mismatch");
   }
@@ -36,7 +38,8 @@ RouteRequest build_route_request(const Fabric& fabric, const Netlist& nl,
   for (int i = 0; i < pd.num_ios(); ++i) {
     const BlockId bi = pd.ios[static_cast<std::size_t>(i)];
     const Block& b = nl.block(bi);
-    const IoSlot slot = pl.io_loc[static_cast<std::size_t>(i)];
+    IoSlot slot = pl.io_loc[static_cast<std::size_t>(i)];
+    if (io_tracks_from_top) slot.track = spec.chan_width - 1 - slot.track;
     const Point tile = pl.io_tile(slot);
     const int node =
         fabric.port_global(tile.x, tile.y, io_port_id(slot, spec));
@@ -56,6 +59,12 @@ RouteRequest build_route_request(const Fabric& fabric, const Netlist& nl,
     req.nets.push_back(std::move(s));
   }
   return req;
+}
+
+int min_channel_width_for_io(const Placement& pl) {
+  int floor = 2;
+  for (const IoSlot& s : pl.io_loc) floor = std::max(floor, s.track + 1);
+  return floor;
 }
 
 }  // namespace vbs

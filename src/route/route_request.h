@@ -13,7 +13,21 @@ namespace vbs {
 
 /// The physical macro pin index of LUT input pin k is k; the LUT output is
 /// pin L-1 (the last stub, crossing ChanY).
+///
+/// `io_tracks_from_top` reflects every I/O slot's track index to count from
+/// the top of the channel (logical track l lands on physical track W-1-l) —
+/// a pure renaming of which boundary wires the I/Os occupy. The MCW search
+/// uses it so one wide fabric's request stays valid across narrower trial
+/// widths: a trial keeps the TOP `w` tracks (PathfinderRouter width_limit),
+/// and a from-top port exists there exactly when l < w, the same
+/// feasibility condition as a real w-track fabric.
 RouteRequest build_route_request(const Fabric& fabric, const Netlist& nl,
-                                 const PackedDesign& pd, const Placement& pl);
+                                 const PackedDesign& pd, const Placement& pl,
+                                 bool io_tracks_from_top = false);
+
+/// Smallest channel width whose boundary ports can carry every placed I/O
+/// (max used track + 1, floor 2). Any narrower fabric cannot even express
+/// the placement's terminals, so the MCW search starts here.
+int min_channel_width_for_io(const Placement& pl);
 
 }  // namespace vbs

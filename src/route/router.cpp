@@ -7,29 +7,70 @@
 #include <functional>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace vbs {
 
-PathfinderRouter::PathfinderRouter(const Fabric& fabric, RouteRequest request)
+void PathfinderRouter::Scratch::init(int num_nodes) {
+  const auto n = static_cast<std::size_t>(num_nodes);
+  path_cost.assign(n, 0.0f);
+  back_node.assign(n, -1);
+  back_edge.assign(n, -1);
+  epoch_of.assign(n, 0);
+  epoch = 0;
+  sink_mark.assign(n, 0);
+  tree_idx_of.assign(n, -1);
+  tree_epoch_of.assign(n, 0);
+  tree_epoch = 0;
+  occ_delta.assign(n, 0);
+  delta_epoch_of.assign(n, 0);
+  delta_epoch = 0;
+}
+
+PathfinderRouter::PathfinderRouter(const Fabric& fabric, RouteRequest request,
+                                   int width_limit)
     : fabric_(fabric), request_(std::move(request)) {
   const int n = fabric_.num_nodes();
   occ_.assign(static_cast<std::size_t>(n), 0);
   hist_.assign(static_cast<std::size_t>(n), 0.0f);
-  path_cost_.assign(static_cast<std::size_t>(n), 0.0f);
-  back_node_.assign(static_cast<std::size_t>(n), -1);
-  back_edge_.assign(static_cast<std::size_t>(n), -1);
-  epoch_of_.assign(static_cast<std::size_t>(n), 0);
-  tree_idx_of_.assign(static_cast<std::size_t>(n), -1);
-  tree_epoch_of_.assign(static_cast<std::size_t>(n), 0);
+  dirty_epoch_of_.assign(static_cast<std::size_t>(n), 0);
+  main_.init(n);
 
-  // Mark pin seg-0 nodes as reserved terminals.
-  is_pin_.assign(static_cast<std::size_t>(n), 0);
+  // Mark pin seg-0 nodes as reserved terminals, then mask out every track
+  // wire at or above the width limit (the MCW search's narrower trial
+  // fabrics are this fabric minus those tracks).
+  node_class_.assign(static_cast<std::size_t>(n), kFree);
   const MacroModel& mm = fabric_.macro();
+  const ArchSpec& spec = fabric_.spec();
   for (int my = 0; my < fabric_.height(); ++my) {
     for (int mx = 0; mx < fabric_.width(); ++mx) {
-      for (int p = 0; p < mm.spec().lb_pins(); ++p) {
-        is_pin_[static_cast<std::size_t>(
-            fabric_.global_node(mx, my, mm.pin_node(p)))] = 1;
+      for (int p = 0; p < spec.lb_pins(); ++p) {
+        node_class_[static_cast<std::size_t>(
+            fabric_.global_node(mx, my, mm.pin_node(p)))] = kPinOnly;
+      }
+    }
+  }
+  if (width_limit > 0 && width_limit < spec.chan_width) {
+    // Keep the TOP width_limit tracks: pin stubs cross track W-1 first, so
+    // the top tracks of this fabric are wired to the pins exactly like the
+    // (full) tracks of a width_limit-wide fabric — the masked subgraph is
+    // the narrow fabric plus dead stub tails, not an elongated detour. It
+    // also means solutions at a wider limit concentrate on wires that
+    // survive a narrower one, which is what makes MCW warm seeds live.
+    const int px = spec.pins_on_x();
+    const int py = spec.pins_on_y();
+    auto mask = [&](int mx, int my, int local) {
+      node_class_[static_cast<std::size_t>(
+          fabric_.global_node(mx, my, local))] = kMasked;
+    };
+    for (int my = 0; my < fabric_.height(); ++my) {
+      for (int mx = 0; mx < fabric_.width(); ++mx) {
+        for (int t = 0; t < spec.chan_width - width_limit; ++t) {
+          mask(mx, my, mm.xw(t));
+          mask(mx, my, mm.ys(t));
+          for (int s = 0; s <= px; ++s) mask(mx, my, mm.x(t, s));
+          for (int s = 0; s <= py; ++s) mask(mx, my, mm.y(t, s));
+        }
       }
     }
   }
@@ -38,13 +79,13 @@ PathfinderRouter::PathfinderRouter(const Fabric& fabric, RouteRequest request)
   // The terminal bounding box of each net doubles as its default expansion
   // window when bounded-box routing is on.
   net_box_.reserve(request_.nets.size());
-  for (NetSpec& spec : request_.nets) {
-    const Point s = fabric_.node_pos(spec.source);
-    std::stable_sort(spec.sinks.begin(), spec.sinks.end(), [&](int a, int b) {
+  for (NetSpec& nspec : request_.nets) {
+    const Point s = fabric_.node_pos(nspec.source);
+    std::stable_sort(nspec.sinks.begin(), nspec.sinks.end(), [&](int a, int b) {
       return manhattan(fabric_.node_pos(a), s) > manhattan(fabric_.node_pos(b), s);
     });
     BBox box{s.x, s.y, s.x, s.y};
-    for (const int sink : spec.sinks) {
+    for (const int sink : nspec.sinks) {
       const Point p = fabric_.node_pos(sink);
       box.x0 = std::min(box.x0, p.x);
       box.x1 = std::max(box.x1, p.x);
@@ -56,9 +97,91 @@ PathfinderRouter::PathfinderRouter(const Fabric& fabric, RouteRequest request)
   routes_.resize(request_.nets.size());
 }
 
-double PathfinderRouter::node_cost(int v, double pres_fac) const {
+PathfinderRouter::~PathfinderRouter() = default;
+
+void PathfinderRouter::seed_routes(const std::vector<NetRoute>& prior) {
+  assert(prior.size() == request_.nets.size());
+  Scratch& s = main_;
+  for (std::size_t i = 0; i < prior.size() && i < routes_.size(); ++i) {
+    const auto& src = prior[i].nodes;
+    auto& dst = routes_[i].nodes;
+    assert(dst.empty());
+    if (src.empty()) continue;
+    // Pass 1 (parents precede children): survives = not masked, surviving
+    // parent. The source is a terminal and is never masked.
+    s.keep.assign(src.size(), 0);
+    for (std::size_t k = 0; k < src.size(); ++k) {
+      s.keep[k] =
+          node_class_[static_cast<std::size_t>(src[k].rr)] != kMasked &&
+          (src[k].parent < 0 ||
+           s.keep[static_cast<std::size_t>(src[k].parent)]);
+    }
+    // Pass 2 (children before parents): drop surviving branches that no
+    // longer reach any sink.
+    ++s.tree_epoch;
+    for (const int sink : request_.nets[i].sinks) {
+      s.sink_mark[static_cast<std::size_t>(sink)] = s.tree_epoch;
+    }
+    s.useful.assign(src.size(), 0);
+    for (std::size_t k = src.size(); k-- > 0;) {
+      if (s.keep[k] != 0 &&
+          s.sink_mark[static_cast<std::size_t>(src[k].rr)] == s.tree_epoch) {
+        s.useful[k] = 1;
+      }
+      if (s.useful[k] != 0 && src[k].parent >= 0) {
+        s.useful[static_cast<std::size_t>(src[k].parent)] = 1;
+      }
+    }
+    s.useful[0] = 1;
+    // Pass 3: compact with parent remap, occupy the kept wires.
+    s.remap.assign(src.size(), -1);
+    for (std::size_t k = 0; k < src.size(); ++k) {
+      if (s.keep[k] == 0 || s.useful[k] == 0) continue;
+      s.remap[k] = static_cast<std::int32_t>(dst.size());
+      dst.push_back({src[k].rr,
+                     src[k].parent >= 0
+                         ? s.remap[static_cast<std::size_t>(src[k].parent)]
+                         : -1,
+                     src[k].fabric_edge});
+      ++occ_[static_cast<std::size_t>(src[k].rr)];
+    }
+  }
+}
+
+namespace {
+inline double node_cost_of(double hist, double pres_fac, int occ) {
+  return (1.0 + hist) * (1.0 + pres_fac * occ);
+}
+}  // namespace
+
+template <bool kSpec>
+int PathfinderRouter::occ_of(const Scratch& s, int v) const {
   const auto sv = static_cast<std::size_t>(v);
-  return (1.0 + hist_[sv]) * (1.0 + pres_fac * occ_[sv]);
+  int occ = occ_[sv];
+  if constexpr (kSpec) {
+    if (s.delta_epoch_of[sv] == s.delta_epoch) occ += s.occ_delta[sv];
+  }
+  return occ;
+}
+
+void PathfinderRouter::bump_delta(Scratch& s, int v, int d) {
+  const auto sv = static_cast<std::size_t>(v);
+  if (s.delta_epoch_of[sv] != s.delta_epoch) {
+    s.delta_epoch_of[sv] = s.delta_epoch;
+    s.occ_delta[sv] = 0;
+    s.delta_touched.push_back(v);
+  }
+  s.occ_delta[sv] += d;
+}
+
+template <bool kSpec>
+void PathfinderRouter::add_occ(Scratch& s, int v, int d) {
+  if constexpr (kSpec) {
+    bump_delta(s, v, d);
+  } else {
+    const auto sv = static_cast<std::size_t>(v);
+    occ_[sv] = static_cast<std::uint16_t>(static_cast<int>(occ_[sv]) + d);
+  }
 }
 
 void PathfinderRouter::rip_up(std::size_t net_idx) {
@@ -68,60 +191,67 @@ void PathfinderRouter::rip_up(std::size_t net_idx) {
   routes_[net_idx].nodes.clear();
 }
 
-void PathfinderRouter::prune_overused(std::size_t net_idx) {
-  auto& nodes = routes_[net_idx].nodes;
-  if (nodes.empty()) return;
-  if (sink_mark_.empty()) {
-    sink_mark_.assign(static_cast<std::size_t>(fabric_.num_nodes()), 0);
+template <bool kSpec>
+bool PathfinderRouter::net_congested(const NetRoute& route,
+                                     const Scratch& s) const {
+  for (const NetRoute::TreeNode& tn : route.nodes) {
+    if (occ_of<kSpec>(s, tn.rr) > 1) return true;
   }
+  return false;
+}
+
+template <bool kSpec>
+void PathfinderRouter::prune_overused(std::size_t net_idx, Scratch& s,
+                                      NetRoute& route) {
+  auto& nodes = route.nodes;
+  if (nodes.empty()) return;
   for (const int sink : request_.nets[net_idx].sinks) {
-    sink_mark_[static_cast<std::size_t>(sink)] = tree_epoch_;
+    s.sink_mark[static_cast<std::size_t>(sink)] = s.tree_epoch;
   }
 
   // Pass 1 (parents precede children): legal = not overused, legal parent.
-  keep_scratch_.assign(nodes.size(), 0);
+  s.keep.assign(nodes.size(), 0);
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (i == 0) {
       // The source terminal is fixed; rerouting this net cannot relieve
       // overuse on it, so it always survives.
-      keep_scratch_[0] = 1;
+      s.keep[0] = 1;
       continue;
     }
-    keep_scratch_[i] =
-        occ_[static_cast<std::size_t>(nodes[i].rr)] <= 1 &&
-        keep_scratch_[static_cast<std::size_t>(nodes[i].parent)];
+    s.keep[i] = occ_of<kSpec>(s, nodes[i].rr) <= 1 &&
+                s.keep[static_cast<std::size_t>(nodes[i].parent)];
   }
   // Pass 2 (children before parents): drop surviving branches that no
   // longer reach any sink — dead stubs would otherwise leak into the final
   // tree as programmed-but-useless switches.
-  useful_scratch_.assign(nodes.size(), 0);
+  s.useful.assign(nodes.size(), 0);
   for (std::size_t i = nodes.size(); i-- > 0;) {
-    if (keep_scratch_[i] != 0 &&
-        sink_mark_[static_cast<std::size_t>(nodes[i].rr)] == tree_epoch_) {
-      useful_scratch_[i] = 1;
+    if (s.keep[i] != 0 &&
+        s.sink_mark[static_cast<std::size_t>(nodes[i].rr)] == s.tree_epoch) {
+      s.useful[i] = 1;
     }
-    if (useful_scratch_[i] != 0 && nodes[i].parent >= 0) {
-      useful_scratch_[static_cast<std::size_t>(nodes[i].parent)] = 1;
+    if (s.useful[i] != 0 && nodes[i].parent >= 0) {
+      s.useful[static_cast<std::size_t>(nodes[i].parent)] = 1;
     }
   }
-  useful_scratch_[0] = 1;
+  s.useful[0] = 1;
   // Pass 3: compact, remap parents, release dropped occupancy.
-  remap_scratch_.assign(nodes.size(), -1);
+  s.remap.assign(nodes.size(), -1);
   std::size_t w = 0;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    if (keep_scratch_[i] == 0 || useful_scratch_[i] == 0) {
-      --occ_[static_cast<std::size_t>(nodes[i].rr)];
+    if (s.keep[i] == 0 || s.useful[i] == 0) {
+      add_occ<kSpec>(s, nodes[i].rr, -1);
       continue;
     }
-    remap_scratch_[i] = static_cast<std::int32_t>(w);
+    s.remap[i] = static_cast<std::int32_t>(w);
     nodes[w] = {nodes[i].rr,
                 nodes[i].parent >= 0
-                    ? remap_scratch_[static_cast<std::size_t>(nodes[i].parent)]
+                    ? s.remap[static_cast<std::size_t>(nodes[i].parent)]
                     : -1,
                 nodes[i].fabric_edge};
-    tree_idx_of_[static_cast<std::size_t>(nodes[i].rr)] =
+    s.tree_idx_of[static_cast<std::size_t>(nodes[i].rr)] =
         static_cast<std::int32_t>(w);
-    tree_epoch_of_[static_cast<std::size_t>(nodes[i].rr)] = tree_epoch_;
+    s.tree_epoch_of[static_cast<std::size_t>(nodes[i].rr)] = s.tree_epoch;
     ++w;
   }
   nodes.resize(w);
@@ -160,10 +290,10 @@ PathfinderRouter::BBox PathfinderRouter::expansion_box(
           std::min(fabric_.height() - 1, box.y1 + margin)};
 }
 
-bool PathfinderRouter::expand_to_sink(std::size_t net_idx, int sink,
+template <bool kSpec>
+bool PathfinderRouter::expand_to_sink(const NetRoute& route, int sink,
                                       double pres_fac, double astar_fac,
-                                      const BBox& box) {
-  const NetRoute& route = routes_[net_idx];
+                                      const BBox& box, Scratch& s) {
   const int px1 = fabric_.spec().pins_on_x() + 1;
   const int py1 = fabric_.spec().pins_on_y() + 1;
   const Point sink_pos = fabric_.node_pos(sink);
@@ -174,8 +304,8 @@ bool PathfinderRouter::expand_to_sink(std::size_t net_idx, int sink,
                      std::abs(p.y - sink_pos.y) * py1));
   };
 
-  ++epoch_;
-  heap_.clear();
+  ++s.epoch;
+  s.heap.clear();
   // Multi-source expansion from the tree nodes inside the box (all of them
   // when unbounded). Out-of-box branches cannot be junctions for this
   // connection, and not seeding them is most of the bounded-box win: a
@@ -183,63 +313,73 @@ bool PathfinderRouter::expand_to_sink(std::size_t net_idx, int sink,
   for (const NetRoute::TreeNode& tn : route.nodes) {
     if (!box.contains(fabric_.node_pos(tn.rr))) continue;
     const auto v = static_cast<std::size_t>(tn.rr);
-    epoch_of_[v] = epoch_;
-    path_cost_[v] = 0.0f;
-    back_node_[v] = -1;
-    back_edge_[v] = -1;
-    heap_.push_back({heur(tn.rr), 0.0f, tn.rr});
+    s.epoch_of[v] = s.epoch;
+    s.path_cost[v] = 0.0f;
+    s.back_node[v] = -1;
+    s.back_edge[v] = -1;
+    s.heap.push_back({heur(tn.rr), 0.0f, tn.rr});
   }
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  std::make_heap(s.heap.begin(), s.heap.end(), std::greater<>{});
 
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    const HeapEntry top = heap_.back();
-    heap_.pop_back();
-    ++heap_pops_;
+  while (!s.heap.empty()) {
+    std::pop_heap(s.heap.begin(), s.heap.end(), std::greater<>{});
+    const HeapEntry top = s.heap.back();
+    s.heap.pop_back();
+    ++s.heap_pops;
     const auto u = static_cast<std::size_t>(top.node);
-    if (epoch_of_[u] != epoch_ || top.path != path_cost_[u]) continue;
+    if (s.epoch_of[u] != s.epoch || top.path != s.path_cost[u]) continue;
     if (top.node == sink) return true;
     const auto edge_base = fabric_.edge_offset(top.node);
     const auto edges = fabric_.edges(top.node);
     for (std::size_t k = 0; k < edges.size(); ++k) {
       const int v = edges[k].to;
       const auto sv = static_cast<std::size_t>(v);
-      if (is_pin_[sv] && v != sink) continue;  // pins are terminals only
+      // Pins are terminals only; masked tracks are not in this fabric.
+      const std::uint8_t cls = node_class_[sv];
+      if (cls != kFree && (cls == kMasked || v != sink)) continue;
       if (!box.contains(fabric_.node_pos(v))) continue;
-      const float npc = top.path + static_cast<float>(node_cost(v, pres_fac));
-      if (epoch_of_[sv] != epoch_ || npc < path_cost_[sv]) {
-        epoch_of_[sv] = epoch_;
-        path_cost_[sv] = npc;
-        back_node_[sv] = top.node;
-        back_edge_[sv] = static_cast<std::int64_t>(edge_base + k);
-        heap_.push_back({npc + heur(v), npc, v});
-        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      const float npc =
+          top.path + static_cast<float>(node_cost_of(
+                         hist_[sv], pres_fac, occ_of<kSpec>(s, v)));
+      if (s.epoch_of[sv] != s.epoch || npc < s.path_cost[sv]) {
+        if constexpr (kSpec) {
+          // First stamp this search == first congestion read: record the
+          // dependency. (Re-relaxed nodes are already recorded.)
+          if (s.epoch_of[sv] != s.epoch) s.visited.push_back(v);
+        }
+        s.epoch_of[sv] = s.epoch;
+        s.path_cost[sv] = npc;
+        s.back_node[sv] = top.node;
+        s.back_edge[sv] = static_cast<std::int64_t>(edge_base + k);
+        s.heap.push_back({npc + heur(v), npc, v});
+        std::push_heap(s.heap.begin(), s.heap.end(), std::greater<>{});
       }
     }
   }
   return false;
 }
 
+template <bool kSpec>
 bool PathfinderRouter::route_net(std::size_t net_idx, double pres_fac,
-                                 const RouterOptions& opts) {
+                                 const RouterOptions& opts, Scratch& s,
+                                 NetRoute& route) {
   const NetSpec& spec = request_.nets[net_idx];
-  NetRoute& route = routes_[net_idx];
-  ++tree_epoch_;
+  ++s.tree_epoch;
   if (route.nodes.empty()) {
     route.nodes.push_back({spec.source, -1, -1});
-    tree_idx_of_[static_cast<std::size_t>(spec.source)] = 0;
-    tree_epoch_of_[static_cast<std::size_t>(spec.source)] = tree_epoch_;
-    ++occ_[static_cast<std::size_t>(spec.source)];
+    s.tree_idx_of[static_cast<std::size_t>(spec.source)] = 0;
+    s.tree_epoch_of[static_cast<std::size_t>(spec.source)] = s.tree_epoch;
+    add_occ<kSpec>(s, spec.source, +1);
   } else {
     // Incremental reroute: keep the legal part of the previous tree (this
-    // re-stamps tree_idx_of_, so connected sinks are detected below).
-    prune_overused(net_idx);
+    // re-stamps tree_idx_of, so connected sinks are detected below).
+    prune_overused<kSpec>(net_idx, s, route);
   }
 
   for (const int sink : spec.sinks) {
     if (sink == spec.source) continue;
     // Still legally connected through the kept tree: nothing to do.
-    if (tree_epoch_of_[static_cast<std::size_t>(sink)] == tree_epoch_) {
+    if (s.tree_epoch_of[static_cast<std::size_t>(sink)] == s.tree_epoch) {
       continue;
     }
     // Nearest tree node to the sink anchors the connection box (level 0).
@@ -262,76 +402,267 @@ bool PathfinderRouter::route_net(std::size_t net_idx, double pres_fac,
       // just failed (small grids): searching it again finds nothing new.
       if (level > 0 && box == prev_box) continue;
       prev_box = box;
-      found = expand_to_sink(net_idx, sink, pres_fac, opts.astar_fac, box);
+      found = expand_to_sink<kSpec>(route, sink, pres_fac, opts.astar_fac,
+                                    box, s);
       if (!found) {
         const bool whole_fabric = box.x0 == 0 && box.y0 == 0 &&
                                   box.x1 == fabric_.width() - 1 &&
                                   box.y1 == fabric_.height() - 1;
         if (whole_fabric) return false;
-        ++bbox_retries_;
+        ++s.bbox_retries;
       }
     }
     if (!found) return false;
 
     // Backtrack: collect the new path (sink up to the tree junction), then
     // append in tree order (junction -> sink).
-    path_scratch_.clear();
+    s.path_scratch.clear();
     int v = sink;
-    while (back_node_[static_cast<std::size_t>(v)] != -1) {
-      path_scratch_.push_back({v, back_edge_[static_cast<std::size_t>(v)]});
-      v = back_node_[static_cast<std::size_t>(v)];
+    while (s.back_node[static_cast<std::size_t>(v)] != -1) {
+      s.path_scratch.push_back({v, s.back_edge[static_cast<std::size_t>(v)]});
+      v = s.back_node[static_cast<std::size_t>(v)];
     }
     // v is a tree node; its tree index is epoch-stamped, O(1).
-    assert(tree_epoch_of_[static_cast<std::size_t>(v)] == tree_epoch_);
-    std::int32_t parent_idx = tree_idx_of_[static_cast<std::size_t>(v)];
+    assert(s.tree_epoch_of[static_cast<std::size_t>(v)] == s.tree_epoch);
+    std::int32_t parent_idx = s.tree_idx_of[static_cast<std::size_t>(v)];
     assert(parent_idx >= 0 &&
            route.nodes[static_cast<std::size_t>(parent_idx)].rr == v);
-    for (auto it = path_scratch_.rbegin(); it != path_scratch_.rend(); ++it) {
+    for (auto it = s.path_scratch.rbegin(); it != s.path_scratch.rend();
+         ++it) {
       route.nodes.push_back({it->first, parent_idx, it->second});
-      ++occ_[static_cast<std::size_t>(it->first)];
+      add_occ<kSpec>(s, it->first, +1);
       parent_idx = static_cast<std::int32_t>(route.nodes.size() - 1);
-      tree_idx_of_[static_cast<std::size_t>(it->first)] = parent_idx;
-      tree_epoch_of_[static_cast<std::size_t>(it->first)] = tree_epoch_;
+      s.tree_idx_of[static_cast<std::size_t>(it->first)] = parent_idx;
+      s.tree_epoch_of[static_cast<std::size_t>(it->first)] = s.tree_epoch;
     }
+  }
+  return true;
+}
+
+bool PathfinderRouter::serial_iteration_net(std::size_t net_idx, bool full,
+                                            double pres_fac,
+                                            const RouterOptions& opts,
+                                            std::size_t* rerouted) {
+  if (!full) {
+    // Only reroute nets currently crossing an overused node.
+    if (!net_congested<false>(routes_[net_idx], main_)) return true;
+    // Textbook mode rebuilds the whole net; incremental mode lets
+    // route_net prune and repair just the congested connections.
+    if (!opts.incremental_reroute) rip_up(net_idx);
+  }
+  ++*rerouted;
+  return route_net<false>(net_idx, pres_fac, opts, main_, routes_[net_idx]);
+}
+
+void PathfinderRouter::run_spec_task(std::size_t net_idx, bool full,
+                                     double pres_fac,
+                                     const RouterOptions& opts, Scratch& s,
+                                     SpecTask& task) {
+  task.net = net_idx;
+  task.attempted = false;
+  task.ok = false;
+  task.pops = 0;
+  task.retries = 0;
+  task.deps.clear();
+  task.tree.nodes.clear();
+  ++s.delta_epoch;  // fresh occupancy overlay for this task
+  s.delta_touched.clear();
+  s.visited.clear();
+
+  // The congested check and the prune read the occupancy of every current
+  // tree node, so the whole tree is a dependency of the result.
+  const NetRoute& cur = routes_[net_idx];
+  task.deps.reserve(cur.nodes.size());
+  for (const NetRoute::TreeNode& tn : cur.nodes) task.deps.push_back(tn.rr);
+
+  if (!full && !net_congested<true>(cur, s)) return;  // speculative skip
+
+  task.attempted = true;
+  task.tree = cur;
+  if (!full && !opts.incremental_reroute) {
+    // Textbook whole-net rip-up, against the overlay.
+    for (const NetRoute::TreeNode& tn : task.tree.nodes) {
+      bump_delta(s, tn.rr, -1);
+    }
+    task.tree.nodes.clear();
+  }
+  const long long pops0 = s.heap_pops;
+  const long long retries0 = s.bbox_retries;
+  task.ok = route_net<true>(net_idx, pres_fac, opts, s, task.tree);
+  task.pops = s.heap_pops - pops0;
+  task.retries = s.bbox_retries - retries0;
+  task.deps.insert(task.deps.end(), s.visited.begin(), s.visited.end());
+}
+
+void PathfinderRouter::apply_occ_diff(
+    const std::vector<NetRoute::TreeNode>& old_nodes,
+    const std::vector<NetRoute::TreeNode>& new_nodes) {
+  Scratch& s = main_;
+  ++s.delta_epoch;
+  s.delta_touched.clear();
+  for (const NetRoute::TreeNode& tn : old_nodes) bump_delta(s, tn.rr, -1);
+  for (const NetRoute::TreeNode& tn : new_nodes) bump_delta(s, tn.rr, +1);
+  for (const int v : s.delta_touched) {
+    const auto sv = static_cast<std::size_t>(v);
+    const int d = s.occ_delta[sv];
+    if (d == 0) continue;
+    occ_[sv] = static_cast<std::uint16_t>(static_cast<int>(occ_[sv]) + d);
+    dirty_epoch_of_[sv] = dirty_epoch_;
+  }
+}
+
+bool PathfinderRouter::parallel_iteration(const std::vector<std::size_t>& work,
+                                          bool full, double pres_fac,
+                                          const RouterOptions& opts,
+                                          ThreadPool& pool,
+                                          RoutingResult& result,
+                                          std::size_t* rerouted) {
+  const std::size_t batch_cap = static_cast<std::size_t>(pool.size()) *
+                                static_cast<std::size_t>(
+                                    std::max(1, opts.spec_batch_per_thread));
+  if (tasks_.size() < batch_cap) tasks_.resize(batch_cap);
+  std::vector<NetRoute::TreeNode> old_nodes;  // redo-path diff snapshot
+
+  std::size_t pos = 0;
+  while (pos < work.size()) {
+    const std::size_t batch = std::min(batch_cap, work.size() - pos);
+    // Dirty marks are relative to this batch's congestion snapshot.
+    ++dirty_epoch_;
+    pool.parallel_for(batch, [&](int rank, std::size_t k) {
+      run_spec_task(work[pos + k], full, pres_fac, opts,
+                    *spec_scratch_[static_cast<std::size_t>(rank)],
+                    tasks_[k]);
+    });
+    // Commit in net order: a result is valid exactly when nothing it read
+    // has changed since the snapshot; otherwise redo it serially — so the
+    // state after each commit is byte-identical to the serial router's.
+    for (std::size_t k = 0; k < batch; ++k) {
+      SpecTask& t = tasks_[k];
+      bool clean = true;
+      for (const std::int32_t v : t.deps) {
+        if (dirty_epoch_of_[static_cast<std::size_t>(v)] == dirty_epoch_) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) {
+        if (!t.attempted) continue;  // uncongested: serial would skip too
+        committed_pops_ += t.pops;
+        committed_retries_ += t.retries;
+        if (!t.ok) return false;  // serial would fail on this net as well
+        ++*rerouted;
+        ++result.spec_commits;
+        apply_occ_diff(routes_[t.net].nodes, t.tree.nodes);
+        routes_[t.net].nodes.swap(t.tree.nodes);
+      } else {
+        ++result.spec_rejected;
+        result.spec_wasted_pops += t.pops;
+        old_nodes = routes_[t.net].nodes;
+        if (!serial_iteration_net(t.net, full, pres_fac, opts, rerouted)) {
+          return false;
+        }
+        // Conservative dirty-marking: every wire whose occupancy the redo
+        // moved invalidates later speculative results of this batch.
+        Scratch& s = main_;
+        ++s.delta_epoch;
+        s.delta_touched.clear();
+        for (const NetRoute::TreeNode& tn : old_nodes) {
+          bump_delta(s, tn.rr, -1);
+        }
+        for (const NetRoute::TreeNode& tn : routes_[t.net].nodes) {
+          bump_delta(s, tn.rr, +1);
+        }
+        for (const int v : s.delta_touched) {
+          if (s.occ_delta[static_cast<std::size_t>(v)] != 0) {
+            dirty_epoch_of_[static_cast<std::size_t>(v)] = dirty_epoch_;
+          }
+        }
+      }
+    }
+    pos += batch;
   }
   return true;
 }
 
 RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
   RoutingResult result;
+  const int threads = std::max(1, opts.threads);
+  result.threads_used = threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    spec_scratch_.clear();
+    for (int i = 0; i < threads; ++i) {
+      spec_scratch_.push_back(std::make_unique<Scratch>());
+      spec_scratch_.back()->init(fabric_.num_nodes());
+    }
+  }
+
+  // The per-iteration work list: nets with sinks, spatially interleaved.
+  // Request order follows netlist construction, so consecutive nets tend
+  // to sit in the same fabric region; round-robining over coarse tile
+  // cells spreads each speculation batch across the fabric, which is what
+  // keeps the batches conflict-free. The order is a pure function of the
+  // request, used identically by the serial and parallel engines — it IS
+  // the canonical net order both commit in.
+  std::vector<std::size_t> work;
+  work.reserve(request_.nets.size());
+  {
+    constexpr int kCells = 4;  // kCells^2 buckets over the fabric
+    std::vector<std::vector<std::size_t>> buckets(kCells * kCells);
+    for (std::size_t i = 0; i < request_.nets.size(); ++i) {
+      if (request_.nets[i].sinks.empty()) continue;
+      const BBox& b = net_box_[i];
+      const int cx = std::min(kCells - 1, (b.x0 + b.x1) * kCells /
+                                              (2 * fabric_.width()));
+      const int cy = std::min(kCells - 1, (b.y0 + b.y1) * kCells /
+                                              (2 * fabric_.height()));
+      buckets[static_cast<std::size_t>(cy * kCells + cx)].push_back(i);
+    }
+    for (std::size_t k = 0;; ++k) {
+      bool any = false;
+      for (const auto& bucket : buckets) {
+        if (k < bucket.size()) {
+          work.push_back(bucket[k]);
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+  }
+
   double pres_fac = opts.first_iter_pres;
   std::size_t best_overused = static_cast<std::size_t>(-1);
   int best_iter = 0;
+  int restarts_left = opts.stall_restarts;
+  bool full_iter = true;  // route everything: iteration 1, or post-restart
+  int schedule_start = 0;  // iteration before the current pres schedule
+  int iter_limit = opts.max_iterations;
 
-  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+  for (int iter = 1; iter <= iter_limit; ++iter) {
     const auto iter_start = std::chrono::steady_clock::now();
-    const long long pops_before = heap_pops_;
+    const long long pops_before = total_pops();
     std::size_t rerouted = 0;
     result.iterations = iter;
-    for (std::size_t i = 0; i < request_.nets.size(); ++i) {
-      if (request_.nets[i].sinks.empty()) continue;
-      if (iter > 1) {
-        // Only reroute nets currently crossing an overused node.
-        bool congested = false;
-        for (const NetRoute::TreeNode& tn : routes_[i].nodes) {
-          if (occ_[static_cast<std::size_t>(tn.rr)] > 1) {
-            congested = true;
-            break;
-          }
+    bool routable = true;
+    if (pool) {
+      routable = parallel_iteration(work, full_iter, pres_fac, opts, *pool,
+                                    result, &rerouted);
+    } else {
+      for (const std::size_t i : work) {
+        if (!serial_iteration_net(i, full_iter, pres_fac, opts, &rerouted)) {
+          routable = false;
+          break;
         }
-        if (!congested) continue;
-        // Textbook mode rebuilds the whole net; incremental mode lets
-        // route_net prune and repair just the congested connections.
-        if (!opts.incremental_reroute) rip_up(i);
       }
-      ++rerouted;
-      if (!route_net(i, pres_fac, opts)) {
-        // Disconnected graph (e.g. W too small for a pin): unroutable.
-        result.success = false;
-        result.heap_pops = heap_pops_;
-        result.bbox_retries = bbox_retries_;
-        return result;
-      }
+    }
+    full_iter = false;
+    if (!routable) {
+      // Disconnected graph (e.g. W too small for a pin): unroutable.
+      result.success = false;
+      result.heap_pops = total_pops();
+      result.bbox_retries = total_retries();
+      return result;
     }
 
     std::size_t overused = 0;
@@ -347,18 +678,66 @@ RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
          std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        iter_start)
              .count(),
-         heap_pops_ - pops_before, rerouted, overused});
+         total_pops() - pops_before, rerouted, overused});
     if (overused == 0) {
       result.success = true;
       break;
     }
-    if (overused < best_overused) {
+    // The stall window only resets on a meaningful improvement (> ~3%
+    // while overuse is still large): a hopeless trial shedding one node
+    // per iteration must not keep a width trial alive indefinitely, while
+    // near convergence (small counts) every step counts.
+    if (overused < best_overused - best_overused / 32) {
       best_overused = overused;
       best_iter = iter;
-    } else if (opts.stall_abort > 0 && iter - best_iter >= opts.stall_abort) {
+    } else {
+      best_overused = std::min(best_overused, overused);
+    }
+    bool give_up =
+        opts.stall_abort > 0 && iter - best_iter >= opts.stall_abort;
+    // Convergence predictor (also gated on stall_abort): when overuse is
+    // still declining but too slowly to reach zero inside the remaining
+    // iteration budget, the trial is hopeless — give up now instead of
+    // grinding tens of near-identical congested iterations first.
+    if (!give_up && opts.stall_abort > 0 && iter - schedule_start > 8) {
+      const std::size_t prev =
+          result.iter_stats[result.iter_stats.size() - 9].overused_nodes;
+      if (prev > overused) {
+        const double decline = static_cast<double>(prev - overused) / 8.0;
+        give_up = static_cast<double>(overused) / decline >
+                  static_cast<double>(iter_limit - iter);
+      }
+    }
+    if (give_up) {
+      // A restart is a second opinion for near-misses: a seed can corner
+      // the negotiation a handful of overused nodes short of legality,
+      // where an unseeded attempt might converge. An attempt stuck
+      // hundreds of nodes over capacity is genuinely unroutable — a cold
+      // repeat would grind the same iterations to the same verdict.
+      constexpr std::size_t kRestartOveruseCap = 64;
+      if (restarts_left > 0 && best_overused <= kRestartOveruseCap) {
+        // Rip up everything — trees, occupancy AND history — and
+        // renegotiate from scratch: a seeded route that cornered itself
+        // gets an attempt identical to the unseeded router's, so a
+        // post-restart verdict matches a cold route exactly.
+        --restarts_left;
+        for (std::size_t i = 0; i < routes_.size(); ++i) rip_up(i);
+        std::fill(hist_.begin(), hist_.end(), 0.0f);
+        pres_fac = opts.first_iter_pres;
+        best_overused = static_cast<std::size_t>(-1);
+        best_iter = iter;
+        schedule_start = iter;
+        iter_limit = iter + opts.max_iterations;  // fresh budget: the
+        // restarted attempt must behave exactly like an unseeded route
+        full_iter = true;
+        log_debug("pathfinder iter " + std::to_string(iter) +
+                  ": stalled, restarting negotiation");
+        continue;
+      }
       break;  // congestion negotiation has stalled: treat as unroutable
     }
-    pres_fac = iter == 1 ? opts.initial_pres : pres_fac * opts.pres_mult;
+    pres_fac = iter == schedule_start + 1 ? opts.initial_pres
+                                          : pres_fac * opts.pres_mult;
     log_debug("pathfinder iter " + std::to_string(iter) + ": " +
               std::to_string(overused) + " overused nodes");
   }
@@ -367,8 +746,8 @@ RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
   for (const NetRoute& r : result.routes) {
     result.total_wire_nodes += r.nodes.size();
   }
-  result.heap_pops = heap_pops_;
-  result.bbox_retries = bbox_retries_;
+  result.heap_pops = total_pops();
+  result.bbox_retries = total_retries();
   return result;
 }
 

@@ -17,15 +17,25 @@
 //     of their tree across iterations and reroute only the connections
 //     crossing overused nodes, instead of whole-net rip-up.
 //   * astar_fac (default 1.5): calibrated heuristic weight, see below.
+//   * threads (default serial): deterministic parallel routing. The nets of
+//     one negotiation iteration are routed speculatively against a frozen
+//     congestion snapshot on N threads, then committed in net order; a net
+//     whose search touched any wire an earlier commit changed is rerouted
+//     serially. The commit check is conservative, so the resulting trees,
+//     heap-pop counts and iteration stats are byte-identical to the serial
+//     router for every thread count — only wall time changes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fabric/fabric.h"
 #include "netlist/netlist.h"
 
 namespace vbs {
+
+class ThreadPool;
 
 /// Routing terminals of one net, as global RR nodes.
 struct NetSpec {
@@ -67,6 +77,13 @@ struct RouterOptions {
   /// this many iterations (0 = disabled). Used by the minimum-channel-width
   /// search to cut hopeless trials short.
   int stall_abort = 0;
+  /// Stalls to absorb by ripping up EVERY net — trees, occupancy and
+  /// history — and renegotiating from scratch instead of aborting (0 =
+  /// abort on first stall). A seeded route (seed_routes) that painted
+  /// itself into a corner gets a second attempt identical to an unseeded
+  /// route this way, so its verdict after the restart matches a cold
+  /// router's exactly. Only meaningful with stall_abort > 0.
+  int stall_restarts = 0;
   /// Restrict each connection's expansion (and its tree seeds) to the box
   /// around the sink and the nearest point of the current route tree,
   /// grown by `bb_margin` tiles (default on). A failing connection
@@ -80,6 +97,17 @@ struct RouterOptions {
   /// instead of ripping up and rebuilding the whole net (default on).
   /// Off = the textbook whole-net rip-up, the flow_bench baseline.
   bool incremental_reroute = true;
+  /// Worker threads for the speculative route/commit engine. 0 means
+  /// "inherit" (FlowOptions::threads fills it in; standalone use treats it
+  /// as serial), 1 is serial, N > 1 routes each iteration's nets on N
+  /// threads. Output is byte-identical for every value.
+  int threads = 0;
+  /// Speculation batch size as a multiple of the thread count (the nets of
+  /// one batch are routed against the same congestion snapshot). Larger
+  /// batches expose more work-stealing slack but go stale faster: on the
+  /// circuit suite one batch per thread commits ~80% of speculations
+  /// clean, two per thread only ~60%.
+  int spec_batch_per_thread = 1;
 };
 
 /// Per-PathFinder-iteration counters, for perf trajectories (flow_bench)
@@ -98,16 +126,41 @@ struct RoutingResult {
   std::vector<NetRoute> routes;  ///< parallel to RouteRequest::nets
   std::size_t total_wire_nodes = 0;
   std::size_t overused_nodes = 0;  ///< at exit (0 on success)
+  /// Pops of committed searches only — identical to the serial router for
+  /// every thread count. Wasted speculative work is tracked separately.
   long long heap_pops = 0;
   /// Connections that failed inside their bounding box and were retried
   /// with a grown / unbounded box (0 unless the box was too tight).
   long long bbox_retries = 0;
+  int threads_used = 1;
+  long long spec_commits = 0;      ///< speculative routes committed clean
+  long long spec_rejected = 0;     ///< misspeculations rerouted serially
+  long long spec_wasted_pops = 0;  ///< heap pops discarded with them
   std::vector<RouteIterStats> iter_stats;  ///< one entry per iteration
 };
 
 class PathfinderRouter {
  public:
-  PathfinderRouter(const Fabric& fabric, RouteRequest request);
+  /// `width_limit` > 0 keeps only the TOP width_limit channel tracks
+  /// (track >= chan_width - width_limit); the rest are masked out of the
+  /// routing graph, emulating a narrower fabric without rebuilding it
+  /// (node ids stay stable). Because pin stubs cross the highest track
+  /// first, the kept subgraph is connectivity-isomorphic to a real
+  /// width_limit-wide fabric (plus dead stub tails past the lowest kept
+  /// track). Used by the minimum-channel-width search to share one fabric
+  /// across trial widths; terminals must sit on unmasked wires (I/O ports
+  /// come from build_route_request's io_tracks_from_top mode).
+  /// 0 = the fabric's full width.
+  PathfinderRouter(const Fabric& fabric, RouteRequest request,
+                   int width_limit = 0);
+  ~PathfinderRouter();
+
+  /// Seeds the router with a prior solution (parallel to the request's
+  /// nets), e.g. the surviving tree of a wider-channel routing in the MCW
+  /// search. For each net the maximal legal subtree is kept: nodes on
+  /// masked tracks are dropped (with their subtrees), then branches that no
+  /// longer reach a sink. Must be called before route(), at most once.
+  void seed_routes(const std::vector<NetRoute>& prior);
 
   RoutingResult route(const RouterOptions& opts = {});
 
@@ -121,46 +174,7 @@ class PathfinderRouter {
     friend bool operator==(const BBox&, const BBox&) = default;
   };
 
-  bool route_net(std::size_t net_idx, double pres_fac,
-                 const RouterOptions& opts);
-  /// One A* wave from the current tree of `net_idx` to `sink` within `box`.
-  bool expand_to_sink(std::size_t net_idx, int sink, double pres_fac,
-                      double astar_fac, const BBox& box);
-  /// Expansion window for escalation level 0 (sink-to-tree connection box
-  /// plus margin), 1 (whole terminal box, grown margin), 2 (whole fabric).
-  BBox expansion_box(std::size_t net_idx, Point sink_pos, Point near_pos,
-                     int level, const RouterOptions& opts) const;
-  void rip_up(std::size_t net_idx);
-  /// Drops tree nodes sitting on (or downstream of) an overused node, plus
-  /// any surviving branch that no longer leads to a sink, releasing their
-  /// occupancy. Keeps the source. Re-stamps tree_idx_of_ for the kept
-  /// nodes under the current tree_epoch_.
-  void prune_overused(std::size_t net_idx);
-  double node_cost(int v, double pres_fac) const;
-
-  const Fabric& fabric_;
-  RouteRequest request_;
-  std::vector<NetRoute> routes_;
-
-  // Per-RR-node congestion state.
-  std::vector<std::uint16_t> occ_;
-  std::vector<float> hist_;
-  /// Pin-stub seg-0 nodes are reserved: usable only as a net's own terminal
-  /// (prevents shorting foreign signals onto LUT pins).
-  std::vector<std::uint8_t> is_pin_;
-
-  /// Terminal bounding box of each net (tile coordinates, no margin).
-  std::vector<BBox> net_box_;
-
-  // Per-connection search state, epoch-stamped to avoid O(V) clears.
-  std::vector<float> path_cost_;
-  std::vector<std::int32_t> back_node_;
-  std::vector<std::int64_t> back_edge_;
-  std::vector<std::uint32_t> epoch_of_;
-  std::uint32_t epoch_ = 0;
-
-  // Reusable scratch arenas: the heap and backtrack path keep their
-  // capacity across sinks, nets and iterations instead of reallocating.
+  // Reusable search heap entry.
   struct HeapEntry {
     float est;   ///< path cost + weighted heuristic
     float path;  ///< path cost so far
@@ -172,23 +186,139 @@ class PathfinderRouter {
       return node > o.node;
     }
   };
-  std::vector<HeapEntry> heap_;
-  std::vector<std::pair<int, std::int64_t>> path_scratch_;
-  // prune_overused scratch: per-tree-node keep flags and index remap, plus
-  // an epoch-stamped sink marker per RR node.
-  std::vector<std::uint8_t> keep_scratch_;
-  std::vector<std::uint8_t> useful_scratch_;
-  std::vector<std::int32_t> remap_scratch_;
-  std::vector<std::uint32_t> sink_mark_;
 
-  // O(1) tree-junction lookup in backtrack: rr node -> index in the current
-  // net's route tree, epoch-stamped per route_net call.
-  std::vector<std::int32_t> tree_idx_of_;
-  std::vector<std::uint32_t> tree_epoch_of_;
-  std::uint32_t tree_epoch_ = 0;
+  /// Per-thread search state: everything one speculative (or serial) net
+  /// route touches besides the shared occ_/hist_ arrays. The arenas keep
+  /// their capacity across sinks, nets and iterations.
+  struct Scratch {
+    // Per-connection A* state, epoch-stamped to avoid O(V) clears.
+    std::vector<float> path_cost;
+    std::vector<std::int32_t> back_node;
+    std::vector<std::int64_t> back_edge;
+    std::vector<std::uint32_t> epoch_of;
+    std::uint32_t epoch = 0;
+    std::vector<HeapEntry> heap;
+    std::vector<std::pair<int, std::int64_t>> path_scratch;
+    // Tree compaction scratch: keep flags, usefulness, index remap, and an
+    // epoch-stamped sink marker per RR node.
+    std::vector<std::uint8_t> keep;
+    std::vector<std::uint8_t> useful;
+    std::vector<std::int32_t> remap;
+    std::vector<std::uint32_t> sink_mark;
+    // O(1) tree-junction lookup in backtrack: rr node -> index in the
+    // current net's route tree, epoch-stamped per route_net call.
+    std::vector<std::int32_t> tree_idx_of;
+    std::vector<std::uint32_t> tree_epoch_of;
+    std::uint32_t tree_epoch = 0;
+    // Speculative occupancy overlay: this net's own rip-ups and additions
+    // relative to the frozen shared occ_, epoch-stamped per task. Also used
+    // by the commit step to net out occupancy deltas.
+    std::vector<std::int32_t> occ_delta;
+    std::vector<std::uint32_t> delta_epoch_of;
+    std::uint32_t delta_epoch = 0;
+    std::vector<std::int32_t> delta_touched;
+    // Dependency recording (speculative mode): every node whose occupancy
+    // the task read, i.e. every node its searches stamped.
+    std::vector<std::int32_t> visited;
+    long long heap_pops = 0;
+    long long bbox_retries = 0;
 
-  long long heap_pops_ = 0;
-  long long bbox_retries_ = 0;
+    void init(int num_nodes);
+  };
+
+  /// One net's speculative result, produced in parallel against a frozen
+  /// congestion snapshot and committed (or rejected) in net order.
+  struct SpecTask {
+    std::size_t net = 0;
+    bool attempted = false;  ///< routed (first iteration or congested)
+    bool ok = false;         ///< search succeeded (valid only if attempted)
+    NetRoute tree;           ///< full new tree (valid only if attempted&&ok)
+    std::vector<std::int32_t> deps;  ///< nodes the result depends on
+    long long pops = 0;
+    long long retries = 0;
+  };
+
+  template <bool kSpec>
+  int occ_of(const Scratch& s, int v) const;
+  template <bool kSpec>
+  void add_occ(Scratch& s, int v, int d);
+  void bump_delta(Scratch& s, int v, int d);
+
+  template <bool kSpec>
+  bool route_net(std::size_t net_idx, double pres_fac,
+                 const RouterOptions& opts, Scratch& s, NetRoute& route);
+  /// One A* wave from the current tree of `net_idx` to `sink` within `box`.
+  template <bool kSpec>
+  bool expand_to_sink(const NetRoute& route, int sink, double pres_fac,
+                      double astar_fac, const BBox& box, Scratch& s);
+  /// Expansion window for escalation level 0 (sink-to-tree connection box
+  /// plus margin), 1 (whole terminal box, grown margin), 2 (whole fabric).
+  BBox expansion_box(std::size_t net_idx, Point sink_pos, Point near_pos,
+                     int level, const RouterOptions& opts) const;
+  void rip_up(std::size_t net_idx);
+  /// Drops tree nodes sitting on (or downstream of) an overused node, plus
+  /// any surviving branch that no longer leads to a sink, releasing their
+  /// occupancy. Keeps the source. Re-stamps s.tree_idx_of for the kept
+  /// nodes under the current tree epoch.
+  template <bool kSpec>
+  void prune_overused(std::size_t net_idx, Scratch& s, NetRoute& route);
+  template <bool kSpec>
+  bool net_congested(const NetRoute& route, const Scratch& s) const;
+
+  /// Serial per-net iteration body (congested check + route); returns false
+  /// on an unroutable net. `full` forces routing regardless of congestion
+  /// (first iteration, or the iteration after a stall restart). Mirrored
+  /// exactly by the speculative tasks.
+  bool serial_iteration_net(std::size_t net_idx, bool full, double pres_fac,
+                            const RouterOptions& opts, std::size_t* rerouted);
+  /// Speculative task: route `net_idx` against the frozen congestion
+  /// snapshot into `task`, recording every dependency.
+  void run_spec_task(std::size_t net_idx, bool full, double pres_fac,
+                     const RouterOptions& opts, Scratch& s, SpecTask& task);
+  /// Batched speculate/commit loop over `work`; same contract as the serial
+  /// loop (returns false when a net is unroutable).
+  bool parallel_iteration(const std::vector<std::size_t>& work, bool full,
+                          double pres_fac, const RouterOptions& opts,
+                          ThreadPool& pool, RoutingResult& result,
+                          std::size_t* rerouted);
+  /// Nets out `old_nodes` -> routes_[net]'s occupancy into occ_ (no-op for
+  /// unchanged nodes) and dirty-marks every node whose occupancy moved.
+  void apply_occ_diff(const std::vector<NetRoute::TreeNode>& old_nodes,
+                      const std::vector<NetRoute::TreeNode>& new_nodes);
+
+  long long total_pops() const { return main_.heap_pops + committed_pops_; }
+  long long total_retries() const {
+    return main_.bbox_retries + committed_retries_;
+  }
+
+  const Fabric& fabric_;
+  RouteRequest request_;
+  std::vector<NetRoute> routes_;
+
+  // Per-RR-node congestion state (shared; frozen during parallel phases).
+  std::vector<std::uint16_t> occ_;
+  std::vector<float> hist_;
+  /// kFree = plain wire; kPinOnly = pin-stub seg-0 node, usable only as a
+  /// net's own terminal (prevents shorting foreign signals onto LUT pins);
+  /// kMasked = track >= width_limit, not part of this trial's fabric.
+  enum NodeClass : std::uint8_t { kFree = 0, kPinOnly = 1, kMasked = 2 };
+  std::vector<std::uint8_t> node_class_;
+
+  /// Terminal bounding box of each net (tile coordinates, no margin).
+  std::vector<BBox> net_box_;
+
+  Scratch main_;  ///< serial routing, misspeculation redo, and commits
+  std::vector<std::unique_ptr<Scratch>> spec_scratch_;  ///< one per thread
+  std::vector<SpecTask> tasks_;
+
+  /// Nodes whose occupancy changed since the current batch's snapshot.
+  std::vector<std::uint32_t> dirty_epoch_of_;
+  std::uint32_t dirty_epoch_ = 0;
+
+  /// Pops/retries adopted from committed speculative tasks; totals are
+  /// main_'s counters plus these (byte-identical to a serial run).
+  long long committed_pops_ = 0;
+  long long committed_retries_ = 0;
 };
 
 }  // namespace vbs

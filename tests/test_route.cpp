@@ -181,6 +181,85 @@ TEST(Route, McwSearchFindsMinimum) {
   }
 }
 
+TEST(Route, WidthLimitMasksExcessTracks) {
+  // Routing a W=12 fabric with width_limit 6 must behave like a 6-track
+  // fabric: only the top 6 tracks survive, so no route may touch a wire of
+  // tracks 0..5, and I/O terminals (from-top ports) stay reachable.
+  GenParams p;
+  p.n_lut = 60;
+  p.n_pi = 6;
+  p.n_po = 6;
+  p.seed = 11;
+  const Netlist nl = generate_netlist(p);
+  ArchSpec spec;
+  spec.chan_width = 12;
+  const PackedDesign pd = pack_netlist(nl, spec);
+  PlaceOptions popts;
+  popts.io_per_tile = 3;  // keep logical I/O tracks below the limit
+  const Placement pl = place_design(nl, pd, spec, 9, 9, popts);
+  for (const IoSlot& s : pl.io_loc) ASSERT_LT(s.track, 6);
+  const Fabric fabric(spec, 9, 9);
+  const RouteRequest req =
+      build_route_request(fabric, nl, pd, pl, /*io_tracks_from_top=*/true);
+
+  const int limit = 6;
+  PathfinderRouter router(fabric, req, limit);
+  const RoutingResult rr = router.route({});
+  ASSERT_TRUE(rr.success);
+
+  const MacroModel& mm = fabric.macro();
+  std::set<int> masked;
+  for (int my = 0; my < fabric.height(); ++my) {
+    for (int mx = 0; mx < fabric.width(); ++mx) {
+      for (int t = 0; t < spec.chan_width - limit; ++t) {
+        masked.insert(fabric.global_node(mx, my, mm.xw(t)));
+        masked.insert(fabric.global_node(mx, my, mm.ys(t)));
+        for (int s = 0; s <= spec.pins_on_x(); ++s) {
+          masked.insert(fabric.global_node(mx, my, mm.x(t, s)));
+        }
+        for (int s = 0; s <= spec.pins_on_y(); ++s) {
+          masked.insert(fabric.global_node(mx, my, mm.y(t, s)));
+        }
+      }
+    }
+  }
+  for (const NetRoute& route : rr.routes) {
+    for (const auto& tn : route.nodes) {
+      EXPECT_FALSE(masked.count(tn.rr)) << "route uses a masked track wire";
+    }
+  }
+}
+
+TEST(Route, SeededRouterReusesPriorSolution) {
+  // Seeding a fresh router with a full prior solution leaves nothing to
+  // search on the first iteration: the reroute converges with a fraction
+  // of the cold pops and identical sink connectivity.
+  GenParams p;
+  p.n_lut = 60;
+  p.n_pi = 6;
+  p.n_po = 6;
+  p.seed = 11;
+  const Netlist nl = generate_netlist(p);
+  ArchSpec spec;
+  spec.chan_width = 10;
+  const PackedDesign pd = pack_netlist(nl, spec);
+  const Placement pl = place_design(nl, pd, spec, 9, 9, {});
+  const Fabric fabric(spec, 9, 9);
+  const RouteRequest req = build_route_request(fabric, nl, pd, pl);
+
+  PathfinderRouter cold(fabric, req);
+  const RoutingResult base = cold.route({});
+  ASSERT_TRUE(base.success);
+
+  PathfinderRouter seeded(fabric, req);
+  seeded.seed_routes(base.routes);
+  const RoutingResult warm = seeded.route({});
+  ASSERT_TRUE(warm.success);
+  EXPECT_EQ(warm.iterations, 1);
+  EXPECT_LT(warm.heap_pops, base.heap_pops / 4);
+  EXPECT_EQ(warm.total_wire_nodes, base.total_wire_nodes);
+}
+
 TEST(RoutingStats, CountsSwitchesAndCorrelation) {
   GenParams p;
   p.n_lut = 40;

@@ -1,5 +1,13 @@
-// Unit tests for the util layer: bit vectors, bit I/O, RNG, statistics.
+// Unit tests for the util layer: bit vectors, bit I/O, RNG, statistics,
+// and the work-stealing thread pool.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/bitio.h"
 #include "util/bitvector.h"
@@ -7,6 +15,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace vbs {
 namespace {
@@ -190,6 +199,64 @@ TEST(Table, FormatsBits) {
   EXPECT_EQ(TablePrinter::fmt_bits(0), "0");
   EXPECT_EQ(TablePrinter::fmt_bits(999), "999");
   EXPECT_EQ(TablePrinter::fmt_bits(1234567), "1,234,567");
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{3}, std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for(n, [&](int rank, std::size_t i) {
+        ASSERT_GE(rank, 0);
+        ASSERT_LT(rank, pool.size());
+        ++hits[i];
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.parallel_for(100, [&](int, std::size_t i) {
+      sum += static_cast<long long>(i);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50LL * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, StealsSkewedWork) {
+  // One early index is much slower than the rest; stealing must let the
+  // other participants drain the remainder instead of idling behind it.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.parallel_for(64, [&](int, std::size_t i) {
+    if (i == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ++done;
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   32,
+                   [&](int, std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  // The pool must survive a failed job.
+  std::atomic<int> done{0};
+  pool.parallel_for(16, [&](int, std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), 16);
 }
 
 }  // namespace

@@ -6,7 +6,11 @@
 //
 // Usage:
 //   vbsgen <netlist.netl> --out task.vbs [--arch arch.txt] [--grid N]
-//          [--cluster C] [--seed S] [--raw-out raw.bin] [--verbose]
+//          [--cluster C] [--seed S] [--threads T] [--raw-out raw.bin]
+//          [--verbose]
+//
+// --threads routes with the deterministic parallel engine: the stream is
+// byte-identical for every thread count, only wall time changes.
 //
 // Exit status: 0 on success, 1 on unroutable design or bad input.
 #include <cmath>
@@ -28,14 +32,15 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(
         argc, argv,
-        {"--out", "--arch", "--grid", "--cluster", "--seed", "--raw-out"},
+        {"--out", "--arch", "--grid", "--cluster", "--seed", "--threads",
+         "--raw-out"},
         {"--verbose", "--help"});
     if (args.has_flag("--help") || args.positional().size() != 1 ||
         !args.value("--out")) {
       std::fprintf(stderr,
                    "usage: vbsgen <netlist.netl> --out task.vbs "
                    "[--arch arch.txt] [--grid N] [--cluster C] [--seed S] "
-                   "[--raw-out raw.bin] [--verbose]\n");
+                   "[--threads T] [--raw-out raw.bin] [--verbose]\n");
       return args.has_flag("--help") ? 0 : 1;
     }
     if (args.has_flag("--verbose")) set_log_level(LogLevel::kInfo);
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
       opts.arch = read_arch_file(*arch);
     }
     opts.seed = static_cast<std::uint64_t>(args.int_or("--seed", 1));
+    opts.threads = static_cast<int>(args.int_or("--threads", 1));
     int grid = static_cast<int>(args.int_or("--grid", -1));
     if (grid < 0) {
       grid = static_cast<int>(
