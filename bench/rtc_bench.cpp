@@ -1,0 +1,455 @@
+// Trace-driven benchmark of the multi-tenant reconfiguration service: the
+// online-workload counterpart of flow_bench.
+//
+// For each trace (the bundled steady/bursty/diurnal/churn suite, or a
+// vbs.rtc_trace.v1 file via --trace) the harness builds the trace's task
+// library through the offline flow once, then replays the event sequence
+// against a ReconfigService tick by tick and records throughput, load
+// latency percentiles, cache effectiveness, fragmentation and evictions.
+//
+// Each trace is replayed four times:
+//   warm @ --threads  the headline run (decoded-stream cache enabled);
+//   cold @ --threads  cache capacity 0 — loads and relocations re-pay
+//                     devirtualization (batch-level dedup of identical
+//                     streams stays active, so the cold/warm ratio is a
+//                     conservative cache headline), and the final
+//                     configuration memory must be byte-identical to the
+//                     warm run (cached payloads are real decodes);
+//   warm @ 1, warm @ 2  determinism legs: final config_memory and the
+//                     eviction log must be byte-identical to the headline
+//                     run at any thread count.
+//
+// Results go to stdout as a table and to a JSON file (vbs.rtc_bench.v1,
+// documented in bench/README.md). BENCH_rtc.json at the repo root is the
+// committed trajectory.
+//
+// Usage:
+//   rtc_bench [--smoke] [--trace FILE] [--policy P] [--threads T]
+//             [--cache-bits N] [--events N] [--ticks K] [--seed S]
+//             [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "flow/flow.h"
+#include "netlist/generator.h"
+#include "rtc/service/service.h"
+#include "rtc/service/trace.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "vbs/encoder.h"
+
+using namespace vbs;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Offline flow per distinct task recipe, shared across traces.
+class StreamLibrary {
+ public:
+  explicit StreamLibrary(const ArchSpec& arch) : arch_(arch) {}
+
+  const BitVector& stream_for(const TraceTaskKind& kind) {
+    const auto key = std::make_tuple(kind.n_lut, kind.grid, kind.seed,
+                                     kind.cluster);
+    const auto it = streams_.find(key);
+    if (it != streams_.end()) return it->second;
+    GenParams gp;
+    gp.n_lut = kind.n_lut;
+    gp.n_pi = 3;
+    gp.n_po = 3;
+    gp.seed = kind.seed;
+    FlowOptions opts;
+    opts.arch = arch_;
+    opts.seed = kind.seed;
+    FlowResult flow =
+        run_flow(generate_netlist(gp), kind.grid, kind.grid, opts);
+    if (!flow.routed()) {
+      throw std::runtime_error("library task unroutable: " + kind.name);
+    }
+    EncodeOptions eo;
+    eo.cluster = kind.cluster;
+    BitVector stream =
+        serialize_vbs(encode_vbs(*flow.fabric, flow.netlist, flow.packed,
+                                 flow.placement, flow.routing.routes, eo));
+    return streams_.emplace(key, std::move(stream)).first->second;
+  }
+
+ private:
+  ArchSpec arch_;
+  std::map<std::tuple<int, int, std::uint64_t, int>, BitVector> streams_;
+};
+
+struct Replay {
+  ServiceStats stats;
+  BitVector config;
+  std::vector<EvictionEvent> evictions;
+  std::vector<double> load_latencies;  ///< seconds, committed loads only
+  long long done = 0, rejected = 0, failed = 0;
+  double drain_seconds = 0.0;
+  double frag_sum = 0.0;
+  int frag_samples = 0;
+  double frag_final = 0.0;
+  double occupancy_final = 0.0;
+  long long cache_hits = 0, cache_misses = 0;
+  long long cache_insertions = 0, cache_evictions = 0;
+  std::size_t cache_size_bits = 0;
+};
+
+Replay replay_trace(const Trace& trace, StreamLibrary& lib,
+                    const ArchSpec& arch, const ServiceOptions& opts) {
+  ReconfigService svc(arch, trace.fabric_w, trace.fabric_h, opts);
+  Replay out;
+  std::vector<RequestId> request_of_event(trace.events.size(), kNoRequest);
+
+  std::size_t next = 0;
+  while (next < trace.events.size()) {
+    const int tick = trace.events[next].tick;
+    // Admit everything that arrives this tick, then let the service drain
+    // the queue — the batching the bursty pattern exists to exercise.
+    while (next < trace.events.size() && trace.events[next].tick == tick) {
+      const TraceEvent& e = trace.events[next];
+      switch (e.kind) {
+        case TraceEvent::Kind::kLoad:
+          request_of_event[next] = svc.submit_load(lib.stream_for(
+              trace.kinds[static_cast<std::size_t>(e.task_kind)]));
+          break;
+        case TraceEvent::Kind::kUnload:
+          request_of_event[next] = svc.submit_unload(
+              request_of_event[static_cast<std::size_t>(e.ref)]);
+          break;
+        case TraceEvent::Kind::kRelocate:
+          request_of_event[next] = svc.submit_relocate(
+              request_of_event[static_cast<std::size_t>(e.ref)]);
+          break;
+      }
+      ++next;
+    }
+    const auto t0 = Clock::now();
+    const std::vector<RequestResult> results = svc.drain();
+    out.drain_seconds += seconds_since(t0);
+    for (const RequestResult& r : results) {
+      switch (r.status) {
+        case RequestStatus::kDone: ++out.done; break;
+        case RequestStatus::kRejected: ++out.rejected; break;
+        case RequestStatus::kFailed: ++out.failed; break;
+        case RequestStatus::kQueued: break;
+      }
+      if (r.kind == RequestKind::kLoad && r.status == RequestStatus::kDone) {
+        out.load_latencies.push_back(r.latency_seconds);
+      }
+    }
+    out.frag_sum += svc.fragmentation();
+    ++out.frag_samples;
+  }
+
+  out.stats = svc.stats();
+  out.config = svc.controller().config_memory();
+  out.evictions = svc.eviction_log();
+  out.frag_final = svc.fragmentation();
+  out.occupancy_final = svc.controller().occupancy();
+  out.cache_hits = svc.cache().hits();
+  out.cache_misses = svc.cache().misses();
+  out.cache_insertions = svc.cache().insertions();
+  out.cache_evictions = svc.cache().evictions();
+  out.cache_size_bits = svc.cache().size_bits();
+  return out;
+}
+
+bool same_evictions(const std::vector<EvictionEvent>& a,
+                    const std::vector<EvictionEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].seq != b[i].seq || a[i].task != b[i].task ||
+        !(a[i].rect == b[i].rect) || a[i].cause != b[i].cause) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  return xs[static_cast<std::size_t>(std::llround(idx))];
+}
+
+struct TraceRecord {
+  Trace trace;
+  Replay warm;       ///< headline run at --threads
+  long long cold_nodes = 0;
+  bool warm_equals_cold = false;
+  bool deterministic = false;
+  double p50_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+  double throughput = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
+                bool smoke, const ServiceOptions& sopts, std::uint64_t seed) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"vbs.rtc_bench.v1\",\n");
+  std::fprintf(f,
+               "  \"options\": {\"smoke\": %s, \"policy\": \"%s\", "
+               "\"threads\": %d, \"cache_bits\": %zu, \"evict_to_fit\": %s, "
+               "\"max_batch\": %d, \"seed\": %llu},\n",
+               smoke ? "true" : "false", sopts.policy.c_str(), sopts.threads,
+               sopts.cache_capacity_bits, sopts.evict_to_fit ? "true" : "false",
+               sopts.max_batch, static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"traces\": [\n");
+  long long tot_events = 0, tot_warm = 0, tot_cold = 0, tot_evict = 0;
+  long long tot_hits = 0, tot_lookups = 0;
+  double tot_seconds = 0.0;
+  bool all_det = true, all_wc = true;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const TraceRecord& r = recs[i];
+    const Replay& w = r.warm;
+    tot_events += static_cast<long long>(r.trace.events.size());
+    tot_warm += w.stats.decode.nodes_expanded;
+    tot_cold += r.cold_nodes;
+    tot_evict += w.stats.task_evictions;
+    tot_hits += w.cache_hits;
+    tot_lookups += w.cache_hits + w.cache_misses;
+    tot_seconds += w.drain_seconds;
+    all_det &= r.deterministic;
+    all_wc &= r.warm_equals_cold;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"fabric\": {\"w\": %d, \"h\": %d}, "
+                 "\"events\": %zu, \"kinds\": %zu,\n",
+                 r.trace.name.c_str(), r.trace.fabric_w, r.trace.fabric_h,
+                 r.trace.events.size(), r.trace.kinds.size());
+    std::fprintf(f,
+                 "     \"requests\": {\"loads\": %lld, \"unloads\": %lld, "
+                 "\"relocates\": %lld, \"done\": %lld, \"rejected\": %lld, "
+                 "\"failed\": %lld},\n",
+                 w.stats.loads, w.stats.unloads, w.stats.relocates, w.done,
+                 w.rejected, w.failed);
+    std::fprintf(f,
+                 "     \"replay_seconds\": %.4f, \"throughput_rps\": %.0f, "
+                 "\"load_latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, "
+                 "\"max\": %.3f},\n",
+                 w.drain_seconds, r.throughput, r.p50_ms, r.p99_ms, r.max_ms);
+    std::fprintf(f,
+                 "     \"cache\": {\"hits\": %lld, \"misses\": %lld, "
+                 "\"hit_rate\": %.3f, \"insertions\": %lld, \"evictions\": "
+                 "%lld, \"size_bits\": %zu},\n",
+                 w.cache_hits, w.cache_misses,
+                 w.cache_hits + w.cache_misses > 0
+                     ? static_cast<double>(w.cache_hits) /
+                           static_cast<double>(w.cache_hits + w.cache_misses)
+                     : 0.0,
+                 w.cache_insertions, w.cache_evictions, w.cache_size_bits);
+    std::fprintf(f,
+                 "     \"warm_loads\": %lld, \"cold_loads\": %lld, "
+                 "\"relocates_cached\": %lld, \"relocates_decoded\": %lld,\n",
+                 w.stats.warm_loads, w.stats.cold_loads,
+                 w.stats.relocates_cached, w.stats.relocates_decoded);
+    std::fprintf(f,
+                 "     \"decode_nodes_warm\": %lld, \"decode_nodes_cold\": "
+                 "%lld, \"decode_node_ratio\": %.2f,\n",
+                 w.stats.decode.nodes_expanded, r.cold_nodes,
+                 w.stats.decode.nodes_expanded > 0
+                     ? static_cast<double>(r.cold_nodes) /
+                           static_cast<double>(w.stats.decode.nodes_expanded)
+                     : 0.0);
+    std::fprintf(f,
+                 "     \"task_evictions\": %lld, \"fragmentation_avg\": %.3f, "
+                 "\"fragmentation_final\": %.3f, \"occupancy_final\": %.3f,\n",
+                 w.stats.task_evictions,
+                 w.frag_samples > 0 ? w.frag_sum / w.frag_samples : 0.0,
+                 w.frag_final, w.occupancy_final);
+    std::fprintf(f,
+                 "     \"warm_equals_cold_config\": %s, \"determinism\": "
+                 "{\"thread_counts\": [1, 2, %d], \"identical\": %s}}%s\n",
+                 r.warm_equals_cold ? "true" : "false", sopts.threads,
+                 r.deterministic ? "true" : "false",
+                 i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(
+      f,
+      "  \"summary\": {\"traces\": %zu, \"events\": %lld, "
+      "\"replay_seconds\": %.4f, \"throughput_rps\": %.0f, "
+      "\"decode_nodes_warm\": %lld, \"decode_nodes_cold\": %lld, "
+      "\"decode_node_ratio\": %.2f, \"cache_hit_rate\": %.3f, "
+      "\"task_evictions\": %lld, \"determinism_ok\": %s, "
+      "\"warm_equals_cold_ok\": %s}\n",
+      recs.size(), tot_events, tot_seconds,
+      tot_seconds > 0 ? static_cast<double>(tot_events) / tot_seconds : 0.0,
+      tot_warm, tot_cold,
+      tot_warm > 0 ? static_cast<double>(tot_cold) / static_cast<double>(tot_warm)
+                   : 0.0,
+      tot_lookups > 0
+          ? static_cast<double>(tot_hits) / static_cast<double>(tot_lookups)
+          : 0.0,
+      tot_evict, all_det ? "true" : "false", all_wc ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliArgs args(argc, argv,
+               {"--trace", "--policy", "--threads", "--cache-bits",
+                "--events", "--ticks", "--seed", "--out"},
+               {"--smoke", "--no-evict"});
+  const bool smoke = args.has_flag("--smoke");
+  ServiceOptions sopts;
+  sopts.policy = args.value_or("--policy", "first_fit");
+  sopts.threads = static_cast<int>(args.int_or("--threads", 8));
+  sopts.cache_capacity_bits = static_cast<std::size_t>(
+      args.int_or("--cache-bits",
+                  static_cast<long long>(sopts.cache_capacity_bits)));
+  sopts.evict_to_fit = !args.has_flag("--no-evict");
+  const auto seed = static_cast<std::uint64_t>(args.int_or("--seed", 1));
+  const std::string out = args.value_or("--out", "BENCH_rtc.json");
+
+  ArchSpec arch;
+  arch.chan_width = 8;  // small tasks; W=8 keeps the library flow fast
+
+  // The bundled suite: one trace per arrival pattern, or a caller trace.
+  std::vector<Trace> traces;
+  if (const auto path = args.value("--trace")) {
+    traces.push_back(read_trace_file(*path));
+  } else {
+    TraceGenOptions gopts;
+    gopts.events = static_cast<int>(args.int_or("--events", smoke ? 48 : 160));
+    gopts.ticks = static_cast<int>(args.int_or("--ticks", smoke ? 24 : 64));
+    gopts.kinds = smoke ? 4 : 6;
+    gopts.seed = seed;
+    for (const ArrivalPattern p :
+         {ArrivalPattern::kSteady, ArrivalPattern::kBursty,
+          ArrivalPattern::kDiurnal, ArrivalPattern::kChurn}) {
+      gopts.pattern = p;
+      traces.push_back(generate_trace(gopts));
+    }
+  }
+
+  std::printf("building task libraries (offline flow, shared across traces)"
+              "...\n");
+  StreamLibrary lib(arch);
+  for (const Trace& t : traces) {
+    for (const TraceTaskKind& k : t.kinds) lib.stream_for(k);
+  }
+
+  std::vector<TraceRecord> recs;
+  for (const Trace& t : traces) {
+    TraceRecord rec;
+    rec.trace = t;
+    std::printf("replaying %-8s (%zu events, %dx%d fabric)...\n",
+                t.name.c_str(), t.events.size(), t.fabric_w, t.fabric_h);
+    rec.warm = replay_trace(t, lib, arch, sopts);
+
+    ServiceOptions cold = sopts;
+    cold.cache_capacity_bits = 0;
+    const Replay cold_run = replay_trace(t, lib, arch, cold);
+    rec.cold_nodes = cold_run.stats.decode.nodes_expanded;
+    rec.warm_equals_cold = rec.warm.config == cold_run.config &&
+                           same_evictions(rec.warm.evictions,
+                                          cold_run.evictions);
+
+    rec.deterministic = true;
+    for (const int threads : {1, 2}) {
+      ServiceOptions d = sopts;
+      d.threads = threads;
+      const Replay run = replay_trace(t, lib, arch, d);
+      rec.deterministic &= run.config == rec.warm.config &&
+                           same_evictions(run.evictions, rec.warm.evictions);
+    }
+
+    rec.p50_ms = 1e3 * percentile(rec.warm.load_latencies, 0.50);
+    rec.p99_ms = 1e3 * percentile(rec.warm.load_latencies, 0.99);
+    rec.max_ms = 1e3 * percentile(rec.warm.load_latencies, 1.0);
+    rec.throughput =
+        rec.warm.drain_seconds > 0
+            ? static_cast<double>(t.events.size()) / rec.warm.drain_seconds
+            : 0.0;
+    recs.push_back(std::move(rec));
+  }
+
+  TablePrinter table({"trace", "events", "rps", "p50 ms", "p99 ms",
+                      "hit rate", "nodes w/c", "evict", "frag", "det"});
+  for (const TraceRecord& r : recs) {
+    const long long lookups = r.warm.cache_hits + r.warm.cache_misses;
+    table.add_row(
+        {r.trace.name, TablePrinter::fmt_int(static_cast<long long>(
+                           r.trace.events.size())),
+         TablePrinter::fmt(r.throughput, 0), TablePrinter::fmt(r.p50_ms, 2),
+         TablePrinter::fmt(r.p99_ms, 2),
+         TablePrinter::fmt(lookups > 0 ? static_cast<double>(r.warm.cache_hits) /
+                                             static_cast<double>(lookups)
+                                       : 0.0,
+                           2),
+         TablePrinter::fmt_int(r.warm.stats.decode.nodes_expanded) + "/" +
+             TablePrinter::fmt_int(r.cold_nodes),
+         TablePrinter::fmt_int(r.warm.stats.task_evictions),
+         TablePrinter::fmt(r.warm.frag_samples > 0
+                               ? r.warm.frag_sum / r.warm.frag_samples
+                               : 0.0,
+                           2),
+         r.deterministic && r.warm_equals_cold ? "ok" : "FAIL"});
+  }
+  table.print();
+
+  write_json(out, recs, smoke, sopts, seed);
+  std::printf("\nwrote %s\n", out.c_str());
+
+  // Fail loudly: a nondeterministic replay or a cached commit that diverges
+  // from a fresh decode would invalidate every number above.
+  bool ok = true;
+  long long warm_nodes = 0, cold_nodes = 0;
+  for (const TraceRecord& r : recs) {
+    warm_nodes += r.warm.stats.decode.nodes_expanded;
+    cold_nodes += r.cold_nodes;
+    if (!r.deterministic) {
+      std::fprintf(stderr, "FAIL: %s replay differs across thread counts\n",
+                   r.trace.name.c_str());
+      ok = false;
+    }
+    if (!r.warm_equals_cold) {
+      std::fprintf(stderr,
+                   "FAIL: %s warm (cached) config diverged from cold decode\n",
+                   r.trace.name.c_str());
+      ok = false;
+    }
+  }
+  // The cache headline the bundled suite promises: a warm replay does >=
+  // 10x less devirtualization than a cold one. Smoke traces are too short
+  // to promise a fixed ratio; there the check is only that caching helps.
+  const double ratio = warm_nodes > 0 ? static_cast<double>(cold_nodes) /
+                                            static_cast<double>(warm_nodes)
+                                      : 0.0;
+  const double floor = smoke || args.value("--trace") ? 1.0 : 10.0;
+  if (ratio < floor) {
+    std::fprintf(stderr, "FAIL: decode node ratio %.2f below %.1f\n", ratio,
+                 floor);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr,
+               "rtc_bench: %s\n"
+               "usage: rtc_bench [--smoke] [--trace FILE] [--policy P] "
+               "[--threads T] [--cache-bits N] [--events N] [--ticks K] "
+               "[--seed S] [--no-evict] [--out PATH]\n",
+               e.what());
+  return 1;
+}

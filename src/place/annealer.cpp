@@ -492,12 +492,18 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
     }
   }
 
+  // The drift bound is a property of the annealing bookkeeping, so it is
+  // taken before the I/O refinement below invalidates the anneal state.
+  if (stats) stats->cost_drift = state.cost_drift();
+
   // Final I/O refinement against the annealed logic placement.
   assign_ios(nl, pd, pl, io_per_tile);
 
   if (stats) {
-    stats->final_cost = state.total_cost();
-    stats->cost_drift = state.cost_drift();
+    // Measured after the refinement (the anneal state still holds the
+    // pre-refinement I/O slots): final_cost is the cost of the placement
+    // actually returned, and equals placement_hpwl(nl, pd, result).
+    stats->final_cost = placement_hpwl(nl, pd, pl);
   }
   pl.validate(pd);
   return pl;

@@ -32,6 +32,8 @@ struct PlaceOptions {
 
 struct PlaceStats {
   double initial_cost = 0.0;
+  /// Cost of the returned placement, measured after the final I/O
+  /// refinement pass; equals placement_hpwl(nl, pd, result) exactly.
   double final_cost = 0.0;
   long long moves = 0;
   long long accepted = 0;

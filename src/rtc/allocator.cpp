@@ -1,5 +1,6 @@
 #include "rtc/allocator.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace vbs {
@@ -10,24 +11,44 @@ RectAllocator::RectAllocator(int width, int height)
     throw std::invalid_argument("allocator: bad fabric dimensions");
   }
   grid_.assign(static_cast<std::size_t>(width) * height, 0);
+  sat_.assign(static_cast<std::size_t>(width + 1) * (height + 1), 0);
+}
+
+void RectAllocator::rebuild_sat() {
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      sat_[static_cast<std::size_t>(y + 1) * (width_ + 1) + x + 1] =
+          (tile(x, y) ? 1 : 0) + prefix(x, y + 1) + prefix(x + 1, y) -
+          prefix(x, y);
+    }
+  }
+}
+
+int RectAllocator::occupied_in(const Rect& r) const {
+  const int x0 = std::max(0, r.x), y0 = std::max(0, r.y);
+  const int x1 = std::min(width_, r.x + r.w), y1 = std::min(height_, r.y + r.h);
+  if (x0 >= x1 || y0 >= y1) return 0;
+  return prefix(x1, y1) - prefix(x0, y1) - prefix(x1, y0) + prefix(x0, y0);
 }
 
 std::optional<Point> RectAllocator::find_free(int w, int h) const {
   if (w < 1 || h < 1 || w > width_ || h > height_) return std::nullopt;
   for (int y = 0; y + h <= height_; ++y) {
     for (int x = 0; x + w <= width_;) {
-      // Scan the candidate rectangle; on collision, jump past the blocker.
-      int skip_to = -1;
-      for (int dy = 0; dy < h && skip_to < 0; ++dy) {
-        for (int dx = 0; dx < w; ++dx) {
-          if (tile(x + dx, y + dy)) {
-            skip_to = x + dx + 1;
-            break;
-          }
+      if (occupied_in({x, y, w, h}) == 0) return Point{x, y};
+      // Skip past the rightmost blocking column of the window: binary
+      // search on the monotone "columns [c, x+w) contain an occupied tile"
+      // predicate, each probe O(1) on the summed-area table.
+      int lo = x, hi = x + w - 1;
+      while (lo < hi) {
+        const int mid = (lo + hi + 1) / 2;
+        if (occupied_in({mid, y, x + w - mid, h}) > 0) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
         }
       }
-      if (skip_to < 0) return Point{x, y};
-      x = skip_to;
+      x = lo + 1;
     }
   }
   return std::nullopt;
@@ -37,12 +58,7 @@ bool RectAllocator::is_free(const Rect& r) const {
   if (r.x < 0 || r.y < 0 || r.x + r.w > width_ || r.y + r.h > height_) {
     return false;
   }
-  for (int y = r.y; y < r.y + r.h; ++y) {
-    for (int x = r.x; x < r.x + r.w; ++x) {
-      if (tile(x, y)) return false;
-    }
-  }
-  return true;
+  return occupied_in(r) == 0;
 }
 
 void RectAllocator::occupy(const Rect& r) {
@@ -55,23 +71,56 @@ void RectAllocator::occupy(const Rect& r) {
     }
   }
   occupied_count_ += r.area();
+  rebuild_sat();
 }
 
 void RectAllocator::release(const Rect& r) {
+  // Validate before mutating (an O(1) SAT probe) so a bad release throws
+  // without leaving grid_, sat_ and occupied_count_ inconsistent.
+  if (r.x < 0 || r.y < 0 || r.x + r.w > width_ || r.y + r.h > height_ ||
+      occupied_in(r) != r.area()) {
+    throw std::logic_error("allocator: releasing free tile: " + to_string(r));
+  }
   for (int y = r.y; y < r.y + r.h; ++y) {
     for (int x = r.x; x < r.x + r.w; ++x) {
-      if (!tile(x, y)) {
-        throw std::logic_error("allocator: releasing free tile");
-      }
       grid_[static_cast<std::size_t>(y) * width_ + x] = 0;
     }
   }
   occupied_count_ -= r.area();
+  rebuild_sat();
 }
 
 double RectAllocator::occupancy() const {
   return static_cast<double>(occupied_count_) /
          (static_cast<double>(width_) * height_);
+}
+
+int RectAllocator::largest_free_rect_area() const {
+  // Largest rectangle of zeros: per row, the histogram of free-run heights
+  // above it, then the classic monotone-stack largest-rectangle sweep.
+  std::vector<int> heights(static_cast<std::size_t>(width_), 0);
+  std::vector<int> stack;
+  int best = 0;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      heights[static_cast<std::size_t>(x)] =
+          tile(x, y) ? 0 : heights[static_cast<std::size_t>(x)] + 1;
+    }
+    stack.clear();
+    for (int x = 0; x <= width_; ++x) {
+      const int h = x < width_ ? heights[static_cast<std::size_t>(x)] : 0;
+      while (!stack.empty() &&
+             heights[static_cast<std::size_t>(stack.back())] >= h) {
+        const int top = stack.back();
+        stack.pop_back();
+        const int left = stack.empty() ? 0 : stack.back() + 1;
+        best = std::max(best,
+                        heights[static_cast<std::size_t>(top)] * (x - left));
+      }
+      stack.push_back(x);
+    }
+  }
+  return best;
 }
 
 }  // namespace vbs

@@ -28,6 +28,14 @@ const TaskRecord& ReconfigController::record(TaskId id) const {
   return it->second.rec;
 }
 
+const VbsImage& ReconfigController::image_of(TaskId id) const {
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    throw std::out_of_range("rtc: unknown task " + std::to_string(id));
+  }
+  return it->second.image;
+}
+
 std::vector<TaskId> ReconfigController::task_ids() const {
   std::vector<TaskId> ids;
   ids.reserve(tasks_.size());
@@ -112,6 +120,93 @@ void ReconfigController::clear_region(const Rect& r) {
   }
 }
 
+void ReconfigController::write_decoded(const VbsImage& img,
+                                       const std::vector<BitVector>& payloads,
+                                       Point origin) {
+  for (std::size_t i = 0; i < img.entries.size(); ++i) {
+    write_entry_config(img, img.entries[i], payloads[i], fabric_, origin,
+                       config_);
+  }
+}
+
+void ReconfigController::check_arch(const VbsImage& img) const {
+  if (img.spec.chan_width != fabric_.spec().chan_width ||
+      img.spec.lut_k != fabric_.spec().lut_k ||
+      img.spec.sb_pattern != fabric_.spec().sb_pattern) {
+    throw std::logic_error("rtc: task architecture mismatch");
+  }
+}
+
+void ReconfigController::check_payloads(
+    const VbsImage& img, const std::vector<BitVector>& payloads) const {
+  if (payloads.size() != img.entries.size()) {
+    throw std::logic_error("rtc: payload count does not match entries");
+  }
+  // Every decoded payload (and every raw fallback) is exactly the region's
+  // c^2 * (Nraw - NLB) routing bits; anything else would read or write out
+  // of bounds in write_entry_config.
+  const std::size_t want = static_cast<std::size_t>(img.cluster) *
+                           static_cast<std::size_t>(img.cluster) *
+                           static_cast<std::size_t>(img.spec.nroute_bits());
+  for (const BitVector& p : payloads) {
+    if (p.size() != want) {
+      throw std::logic_error("rtc: payload size mismatch");
+    }
+  }
+}
+
+TaskId ReconfigController::load_decoded(const VbsImage& img,
+                                        const std::vector<BitVector>& payloads,
+                                        std::size_t stream_bits, Point origin,
+                                        const DecodeStats& decode,
+                                        double decode_seconds,
+                                        int threads_used) {
+  check_arch(img);
+  check_payloads(img, payloads);
+  const Rect rect{origin.x, origin.y, img.task_w, img.task_h};
+  alloc_.occupy(rect);  // throws if not free / out of bounds
+
+  LoadedTask task;
+  task.rec.id = next_id_++;
+  task.rec.rect = rect;
+  task.rec.stream_bits = stream_bits;
+  task.rec.decode = decode;
+  task.rec.decode_seconds = decode_seconds;
+  task.rec.threads_used = threads_used;
+  try {
+    write_decoded(img, payloads, origin);
+  } catch (...) {
+    alloc_.release(rect);
+    throw;
+  }
+  total_stats_ += decode;
+  task.image = img;
+  const TaskId id = task.rec.id;
+  tasks_.emplace(id, std::move(task));
+  return id;
+}
+
+void ReconfigController::relocate_decoded(
+    TaskId id, Point new_origin, const std::vector<BitVector>& payloads) {
+  LoadedTask& task = lookup(id);
+  check_payloads(task.image, payloads);
+  const Rect old_rect = task.rec.rect;
+  const Rect new_rect{new_origin.x, new_origin.y, old_rect.w, old_rect.h};
+  if (new_rect == old_rect) return;
+  // Same constraint as relocate: no shadow configuration plane, so the new
+  // region may not overlap the old one.
+  alloc_.occupy(new_rect);
+  try {
+    write_decoded(task.image, payloads, new_origin);
+  } catch (...) {
+    alloc_.release(new_rect);
+    throw;
+  }
+  clear_region(old_rect);
+  alloc_.release(old_rect);
+  task.rec.rect = new_rect;
+}
+
 TaskId ReconfigController::load(const BitVector& vbs_stream, int threads) {
   const VbsImage img = deserialize_vbs(vbs_stream);
   const auto slot = alloc_.find_free(img.task_w, img.task_h);
@@ -122,11 +217,7 @@ TaskId ReconfigController::load(const BitVector& vbs_stream, int threads) {
 TaskId ReconfigController::load_at(const BitVector& vbs_stream, Point origin,
                                    int threads) {
   VbsImage img = deserialize_vbs(vbs_stream);
-  if (img.spec.chan_width != fabric_.spec().chan_width ||
-      img.spec.lut_k != fabric_.spec().lut_k ||
-      img.spec.sb_pattern != fabric_.spec().sb_pattern) {
-    throw std::logic_error("rtc: task architecture mismatch");
-  }
+  check_arch(img);
   const Rect rect{origin.x, origin.y, img.task_w, img.task_h};
   alloc_.occupy(rect);  // throws if not free / out of bounds
 

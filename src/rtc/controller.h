@@ -59,11 +59,33 @@ class ReconfigController {
   /// Compacts all tasks toward the origin to fight fragmentation.
   void defragment(int threads = 1);
 
+  /// Commits a pre-decoded image at `origin` without running the
+  /// devirtualizer: `payloads[i]` is the decoded routing payload of
+  /// `img.entries[i]` (what the decode phase of load_at produces, and what
+  /// a DecodedStreamCache retains). `decode` is whatever devirtualization
+  /// cost produced the payloads — zero for a cache hit — and is recorded
+  /// verbatim in the task record and the aggregate stats.
+  TaskId load_decoded(const VbsImage& img,
+                      const std::vector<BitVector>& payloads,
+                      std::size_t stream_bits, Point origin,
+                      const DecodeStats& decode = {},
+                      double decode_seconds = 0.0, int threads_used = 1);
+
+  /// Migrates a loaded task by copying pre-decoded payloads to the new
+  /// origin — no devirtualization, the relocation fast path the stream
+  /// cache enables. Same overlap rules as relocate.
+  void relocate_decoded(TaskId id, Point new_origin,
+                        const std::vector<BitVector>& payloads);
+
   const TaskRecord& record(TaskId id) const;
+  /// The retained (parsed) VBS of a loaded task — what relocation decodes.
+  const VbsImage& image_of(TaskId id) const;
   std::vector<TaskId> task_ids() const;
   std::optional<Point> find_free_slot(int w, int h) const {
     return alloc_.find_free(w, h);
   }
+  /// Read-only view of the tile allocator; placement policies probe it.
+  const RectAllocator& allocator() const { return alloc_; }
 
   /// Aggregate decode throughput counters across all loads.
   const DecodeStats& total_decode_stats() const { return total_stats_; }
@@ -77,6 +99,13 @@ class ReconfigController {
   /// Decodes `img` into the configuration memory at `origin`.
   void decode_into(const VbsImage& img, Point origin, int threads,
                    TaskRecord& rec);
+  /// Writes already-decoded entry payloads into the configuration memory.
+  void write_decoded(const VbsImage& img,
+                     const std::vector<BitVector>& payloads, Point origin);
+  void check_arch(const VbsImage& img) const;
+  /// Validates payload count and per-entry bit length against `img`.
+  void check_payloads(const VbsImage& img,
+                      const std::vector<BitVector>& payloads) const;
   void clear_region(const Rect& r);
   LoadedTask& lookup(TaskId id);
 

@@ -1,0 +1,176 @@
+#include "rtc/service/placement_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace vbs {
+
+namespace {
+
+class FirstFitPolicy : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "first_fit";
+    return n;
+  }
+  std::optional<Point> place(const RectAllocator& alloc, int w,
+                             int h) const override {
+    return alloc.find_free(w, h);
+  }
+};
+
+/// Contact score of a candidate rectangle: perimeter cells that touch an
+/// occupied tile or the fabric edge. Maximizing it packs tasks tightly and
+/// leaves the remaining free space in large contiguous blocks.
+int contact_score(const RectAllocator& alloc, const Rect& r) {
+  int score = 0;
+  auto edge = [&](int x, int y) {
+    if (x < 0 || y < 0 || x >= alloc.width() || y >= alloc.height()) return 1;
+    return alloc.occupied(x, y) ? 1 : 0;
+  };
+  for (int x = r.x; x < r.x + r.w; ++x) {
+    score += edge(x, r.y - 1) + edge(x, r.y + r.h);
+  }
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    score += edge(r.x - 1, y) + edge(r.x + r.w, y);
+  }
+  return score;
+}
+
+class BestFitPolicy : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "best_fit";
+    return n;
+  }
+  std::optional<Point> place(const RectAllocator& alloc, int w,
+                             int h) const override {
+    std::optional<Point> best;
+    int best_score = -1;
+    for (int y = 0; y + h <= alloc.height(); ++y) {
+      for (int x = 0; x + w <= alloc.width(); ++x) {
+        const Rect r{x, y, w, h};
+        if (alloc.occupied_in(r) != 0) continue;
+        const int score = contact_score(alloc, r);
+        if (score > best_score) {
+          best_score = score;
+          best = Point{x, y};
+        }
+      }
+    }
+    return best;
+  }
+};
+
+class SkylinePolicy : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "skyline";
+    return n;
+  }
+  std::optional<Point> place(const RectAllocator& alloc, int w,
+                             int h) const override {
+    // Classic skyline packing: every column keeps only its highest
+    // occupied tile, and tasks rest on top of that profile — holes buried
+    // below the skyline are deliberately invisible (the trade-off that
+    // makes skyline allocators O(width) in hardware). Candidates are
+    // scored by lowest resulting top edge, then least buried free area,
+    // then leftmost x.
+    std::vector<int> sky(static_cast<std::size_t>(alloc.width()), 0);
+    for (int x = 0; x < alloc.width(); ++x) {
+      for (int y = alloc.height() - 1; y >= 0; --y) {
+        if (alloc.occupied(x, y)) {
+          sky[static_cast<std::size_t>(x)] = y + 1;
+          break;
+        }
+      }
+    }
+    std::optional<Point> best;
+    int best_top = 0, best_waste = 0;
+    for (int x = 0; x + w <= alloc.width(); ++x) {
+      int y = 0, waste = 0;
+      for (int c = x; c < x + w; ++c) y = std::max(y, sky[static_cast<std::size_t>(c)]);
+      if (y + h > alloc.height()) continue;
+      for (int c = x; c < x + w; ++c) {
+        waste += y - sky[static_cast<std::size_t>(c)];
+      }
+      if (!best || y + h < best_top ||
+          (y + h == best_top && waste < best_waste)) {
+        best = Point{x, y};
+        best_top = y + h;
+        best_waste = waste;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string& name) {
+  if (name == "first_fit") return std::make_unique<FirstFitPolicy>();
+  if (name == "best_fit") return std::make_unique<BestFitPolicy>();
+  if (name == "skyline") return std::make_unique<SkylinePolicy>();
+  throw std::invalid_argument("unknown placement policy: " + name);
+}
+
+const std::vector<std::string>& placement_policy_names() {
+  static const std::vector<std::string> names = {"first_fit", "best_fit",
+                                                 "skyline"};
+  return names;
+}
+
+std::optional<EvictionPlan> plan_eviction(
+    const RectAllocator& alloc, const std::vector<VictimCandidate>& tasks,
+    int w, int h) {
+  if (w < 1 || h < 1 || w > alloc.width() || h > alloc.height()) {
+    return std::nullopt;
+  }
+  // Cost of clearing a candidate origin: (evicted area, most-recent victim
+  // stamp, victim count). Lower is better; the row-major scan breaks ties.
+  std::optional<EvictionPlan> best;
+  std::tuple<int, std::uint64_t, std::size_t> best_cost{};
+  std::vector<int> victims;
+  for (int y = 0; y + h <= alloc.height(); ++y) {
+    for (int x = 0; x + w <= alloc.width(); ++x) {
+      const Rect r{x, y, w, h};
+      victims.clear();
+      int area = 0;
+      std::uint64_t newest = 0;
+      for (const VictimCandidate& t : tasks) {
+        if (!t.rect.overlaps(r)) continue;
+        victims.push_back(t.task);
+        area += t.rect.area();
+        newest = std::max(newest, t.last_use);
+      }
+      const std::tuple<int, std::uint64_t, std::size_t> cost{area, newest,
+                                                             victims.size()};
+      if (!best || cost < best_cost) {
+        best_cost = cost;
+        best = EvictionPlan{{x, y}, victims};
+      }
+    }
+  }
+  if (best) {
+    // Evict in ascending last-use order (oldest first) for a stable,
+    // meaningful eviction log; task id breaks exact ties.
+    std::vector<VictimCandidate> chosen;
+    for (const int id : best->victims) {
+      for (const VictimCandidate& t : tasks) {
+        if (t.task == id) chosen.push_back(t);
+      }
+    }
+    std::sort(chosen.begin(), chosen.end(),
+              [](const VictimCandidate& a, const VictimCandidate& b) {
+                if (a.last_use != b.last_use) return a.last_use < b.last_use;
+                return a.task < b.task;
+              });
+    best->victims.clear();
+    for (const VictimCandidate& t : chosen) best->victims.push_back(t.task);
+  }
+  return best;
+}
+
+}  // namespace vbs

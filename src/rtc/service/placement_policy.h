@@ -1,0 +1,68 @@
+// Pluggable placement and eviction policies for the reconfiguration
+// service.
+//
+// The seed controller hardwired one scan (first fit, row-major) into
+// RectAllocator::find_free; online workloads want a choice — where a task
+// lands determines external fragmentation, and under pressure the service
+// must also decide *whom to evict* to make room (the paper's migration /
+// eviction scenario, Section V). Policies only read the allocator (O(1)
+// rectangle probes via its summed-area table) and are strictly
+// deterministic: identical occupancy always yields identical decisions, a
+// prerequisite for the service's replay-identical guarantee.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtc/allocator.h"
+#include "util/geometry.h"
+
+namespace vbs {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual const std::string& name() const = 0;
+  /// Chooses an origin for a w x h task on the current occupancy, or
+  /// nullopt if no free rectangle is large enough.
+  virtual std::optional<Point> place(const RectAllocator& alloc, int w,
+                                     int h) const = 0;
+};
+
+/// Factory: "first_fit" (row-major scan, the seed behaviour), "best_fit"
+/// (maximize contact with occupied tiles / the fabric boundary — packs
+/// tasks against each other to keep free space contiguous), "skyline"
+/// (rest on top of the per-column skyline profile, lowest top edge then
+/// least buried area — ignores holes below the skyline, the classic
+/// packing trade-off). Throws std::invalid_argument on an unknown name.
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string& name);
+
+/// Names accepted by make_placement_policy.
+const std::vector<std::string>& placement_policy_names();
+
+/// A loaded task as the eviction planner sees it.
+struct VictimCandidate {
+  int task = -1;           ///< controller TaskId
+  Rect rect;
+  std::uint64_t last_use = 0;  ///< monotone use stamp (service request seq)
+};
+
+/// Where to load after evicting `victims` (in eviction order).
+struct EvictionPlan {
+  Point origin;
+  std::vector<int> victims;
+};
+
+/// Victim selection for evict-to-fit: chooses the origin whose overlapping
+/// tasks are cheapest to evict — minimal evicted area, then least-recently
+/// used, then row-major. Deterministic. Returns nullopt only if the task
+/// exceeds the fabric outright.
+std::optional<EvictionPlan> plan_eviction(
+    const RectAllocator& alloc, const std::vector<VictimCandidate>& tasks,
+    int w, int h);
+
+}  // namespace vbs

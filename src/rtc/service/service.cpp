@@ -1,0 +1,389 @@
+#include "rtc/service/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vbs {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+ReconfigService::ReconfigService(const ArchSpec& spec, int width, int height,
+                                 ServiceOptions opts)
+    : rtc_(spec, width, height),
+      opts_(std::move(opts)),
+      policy_(make_placement_policy(opts_.policy)),
+      cache_(opts_.cache_capacity_bits),
+      pool_(std::max(1, opts_.threads)) {
+  if (opts_.max_batch < 1) {
+    throw std::invalid_argument("service: max_batch must be >= 1");
+  }
+}
+
+RequestId ReconfigService::submit_load(BitVector stream) {
+  Request req;
+  req.id = next_request_++;
+  req.kind = RequestKind::kLoad;
+  req.stream = std::move(stream);
+  req.submitted = Clock::now();
+  queue_.push_back(std::move(req));
+  return queue_.back().id;
+}
+
+RequestId ReconfigService::submit_unload(RequestId load_request) {
+  Request req;
+  req.id = next_request_++;
+  req.kind = RequestKind::kUnload;
+  req.target = load_request;
+  req.submitted = Clock::now();
+  queue_.push_back(std::move(req));
+  return queue_.back().id;
+}
+
+RequestId ReconfigService::submit_relocate(RequestId load_request) {
+  Request req;
+  req.id = next_request_++;
+  req.kind = RequestKind::kRelocate;
+  req.target = load_request;
+  req.submitted = Clock::now();
+  queue_.push_back(std::move(req));
+  return queue_.back().id;
+}
+
+TaskId ReconfigService::task_of(RequestId load_request) const {
+  const auto it = task_of_request_.find(load_request);
+  return it == task_of_request_.end() ? kNoTask : it->second;
+}
+
+RequestResult ReconfigService::make_result(const Request& req) const {
+  RequestResult res;
+  res.request = req.id;
+  res.kind = req.kind;
+  return res;
+}
+
+double ReconfigService::fragmentation() const {
+  const RectAllocator& a = rtc_.allocator();
+  const int free_tiles = a.width() * a.height() - a.occupied_tiles();
+  if (free_tiles <= 0) return 0.0;
+  return 1.0 - static_cast<double>(a.largest_free_rect_area()) / free_tiles;
+}
+
+std::vector<RequestResult> ReconfigService::drain() {
+  std::vector<RequestResult> results;
+  results.reserve(queue_.size());
+  while (!queue_.empty()) {
+    if (queue_.front().kind == RequestKind::kLoad) {
+      // Maximal run of consecutive loads, capped at max_batch: one
+      // parallel devirtualization batch. The cap only bounds memory; batch
+      // boundaries depend on the queue alone, never on thread count.
+      std::vector<Request*> batch;
+      for (std::size_t i = 0; i < queue_.size() &&
+                              static_cast<int>(batch.size()) < opts_.max_batch;
+           ++i) {
+        if (queue_[i].kind != RequestKind::kLoad) break;
+        batch.push_back(&queue_[i]);
+      }
+      process_load_batch(batch, results);
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(batch.size()));
+    } else {
+      const Request req = std::move(queue_.front());
+      queue_.pop_front();
+      if (req.kind == RequestKind::kUnload) {
+        process_unload(req, results);
+      } else {
+        process_relocate(req, results);
+      }
+    }
+  }
+  return results;
+}
+
+std::optional<Point> ReconfigService::admit_placement(int w, int h,
+                                                      RequestId cause,
+                                                      RequestResult& res) {
+  if (const auto slot = policy_->place(rtc_.allocator(), w, h)) return slot;
+  if (!opts_.evict_to_fit) return std::nullopt;
+
+  std::vector<VictimCandidate> candidates;
+  candidates.reserve(task_info_.size());
+  for (const auto& [id, info] : task_info_) {
+    candidates.push_back({id, rtc_.record(id).rect, info.last_use});
+  }
+  const auto plan = plan_eviction(rtc_.allocator(), candidates, w, h);
+  if (!plan) return std::nullopt;
+  for (const TaskId victim : plan->victims) {
+    const Rect r = rtc_.record(victim).rect;
+    rtc_.unload(victim);
+    forget_task(victim);
+    eviction_log_.push_back(
+        {static_cast<long long>(eviction_log_.size()), victim, r, cause});
+    ++stats_.task_evictions;
+    ++res.evicted_tasks;
+  }
+  return plan->origin;
+}
+
+void ReconfigService::forget_task(TaskId id) {
+  const auto it = task_info_.find(id);
+  if (it == task_info_.end()) return;
+  task_of_request_.erase(it->second.origin_request);
+  task_info_.erase(it);
+}
+
+void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
+                                         std::vector<RequestResult>& out) {
+  // Per-request resolution: which decoded stream serves it, or why not.
+  struct Pending {
+    std::uint64_t hash = 0;
+    std::shared_ptr<const DecodedStream> decoded;  ///< cache or batch dup
+    int job = -1;          ///< fresh decode job index, -1 if cached/failed
+    bool cache_hit = false;
+    std::string parse_error;
+  };
+  /// One fresh devirtualization of a distinct stream.
+  struct Job {
+    std::shared_ptr<DecodedStream> decoded = std::make_shared<DecodedStream>();
+    std::size_t entry_base = 0;  ///< offset into the flat item arrays
+    double decode_seconds = 0.0;
+    std::string error;
+  };
+  std::vector<Pending> pending(batch.size());
+  std::vector<Job> jobs;
+  std::map<std::uint64_t, int> job_of_hash;
+
+  // Admission-order resolution: cache lookups and batch deduplication are
+  // serial, so LRU order and hit counters never depend on thread count.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = pending[i];
+    p.hash = stream_content_hash(batch[i]->stream);
+    if (auto cached = cache_.find(p.hash)) {
+      p.decoded = std::move(cached);
+      p.cache_hit = true;
+      continue;
+    }
+    if (const auto dup = job_of_hash.find(p.hash); dup != job_of_hash.end()) {
+      p.job = dup->second;
+      p.cache_hit = true;  // decode skipped: the batch twin pays for it
+      continue;
+    }
+    try {
+      Job job;
+      job.decoded->image = deserialize_vbs(batch[i]->stream);
+      job.decoded->payloads.resize(job.decoded->image.entries.size());
+      p.job = static_cast<int>(jobs.size());
+      job_of_hash.emplace(p.hash, p.job);
+      jobs.push_back(std::move(job));
+    } catch (const std::exception& ex) {
+      p.parse_error = ex.what();
+    }
+  }
+
+  // Batched asynchronous devirtualization: entries of all jobs become one
+  // flat work list on the pool. Decoding an entry is pure (stateless
+  // across entries, position-independent), so any schedule produces the
+  // same payloads; per-item stats are merged in item order below.
+  struct Item {
+    int job;
+    std::size_t entry;
+  };
+  std::vector<Item> items;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    jobs[j].entry_base = items.size();
+    for (std::size_t e = 0; e < jobs[j].decoded->image.entries.size(); ++e) {
+      items.push_back({static_cast<int>(j), e});
+    }
+  }
+  if (!items.empty()) {
+    ++stats_.batches;
+    std::vector<DecodeStats> item_stats(items.size());
+    std::vector<double> item_seconds(items.size(), 0.0);
+    std::vector<std::string> item_errors(items.size());
+    // Region models are shared per (rank, job): ranks only touch their own
+    // row, and a Devirtualizer is reusable but not thread-safe.
+    std::vector<std::vector<std::unique_ptr<RegionDecoderCache>>> decoders(
+        static_cast<std::size_t>(pool_.size()));
+    for (auto& row : decoders) row.resize(jobs.size());
+    pool_.parallel_for(items.size(), [&](int rank, std::size_t idx) {
+      const Item item = items[idx];
+      const auto t0 = Clock::now();
+      try {
+        const VbsImage& img =
+            jobs[static_cast<std::size_t>(item.job)].decoded->image;
+        auto& slot =
+            decoders[static_cast<std::size_t>(rank)]
+                    [static_cast<std::size_t>(item.job)];
+        if (!slot) {
+          slot = std::make_unique<RegionDecoderCache>(
+              img.spec, img.cluster, img.task_w, img.task_h);
+        }
+        const VbsEntry& e = img.entries[item.entry];
+        if (!slot->decoder_for(e.cx, e.cy).decode_entry(
+                e,
+                jobs[static_cast<std::size_t>(item.job)]
+                    .decoded->payloads[item.entry],
+                &item_stats[idx])) {
+          item_errors[idx] = "entry " + std::to_string(e.cx) + "," +
+                             std::to_string(e.cy) + " failed to decode";
+        }
+      } catch (const std::exception& ex) {
+        item_errors[idx] = ex.what();
+      }
+      item_seconds[idx] = seconds_between(t0, Clock::now());
+    });
+    for (std::size_t idx = 0; idx < items.size(); ++idx) {
+      Job& job = jobs[static_cast<std::size_t>(items[idx].job)];
+      job.decoded->decode += item_stats[idx];
+      job.decode_seconds += item_seconds[idx];
+      if (!item_errors[idx].empty() && job.error.empty()) {
+        job.error = item_errors[idx];
+      }
+    }
+    for (const Job& job : jobs) stats_.decode += job.decoded->decode;
+  }
+
+  // Commit strictly in admission order.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& req = *batch[i];
+    Pending& p = pending[i];
+    RequestResult res = make_result(req);
+    ++stats_.loads;
+
+    std::shared_ptr<const DecodedStream> decoded = p.decoded;
+    double decode_seconds = 0.0;
+    DecodeStats decode_cost;  // stays zero for warm loads
+    std::string error = p.parse_error;
+    if (!decoded && p.job >= 0) {
+      Job& job = jobs[static_cast<std::size_t>(p.job)];
+      if (job.error.empty()) {
+        decoded = job.decoded;
+        // The first committer of a fresh decode carries its cost; batch
+        // twins of the same content count as warm.
+        if (!p.cache_hit) {
+          decode_seconds = job.decode_seconds;
+          decode_cost = job.decoded->decode;
+        }
+        // A fresh decode warms the cache even if placement fails below: a
+        // retry after departures should not pay for routing again.
+        cache_.insert(p.hash, job.decoded);
+      } else {
+        error = job.error;
+      }
+    }
+
+    if (!decoded) {
+      res.status = RequestStatus::kFailed;
+      res.error = error;
+      ++stats_.failed;
+      res.latency_seconds = seconds_between(req.submitted, Clock::now());
+      out.push_back(std::move(res));
+      continue;
+    }
+
+    res.cache_hit = p.cache_hit;
+    if (p.cache_hit) {
+      ++stats_.warm_loads;
+    } else {
+      ++stats_.cold_loads;
+    }
+    const VbsImage& img = decoded->image;
+    const auto slot = admit_placement(img.task_w, img.task_h, req.id, res);
+    if (!slot) {
+      res.status = RequestStatus::kRejected;
+      res.error = "no placement for " + std::to_string(img.task_w) + "x" +
+                  std::to_string(img.task_h);
+      ++stats_.rejected;
+      res.latency_seconds = seconds_between(req.submitted, Clock::now());
+      out.push_back(std::move(res));
+      continue;
+    }
+    const TaskId id =
+        rtc_.load_decoded(img, decoded->payloads, req.stream.size(), *slot,
+                          decode_cost, decode_seconds, pool_.size());
+    task_of_request_[req.id] = id;
+    task_info_[id] = {p.hash, ++use_seq_, req.id};
+    res.status = RequestStatus::kDone;
+    res.task = id;
+    res.rect = rtc_.record(id).rect;
+    res.decode_seconds = decode_seconds;
+    res.latency_seconds = seconds_between(req.submitted, Clock::now());
+    out.push_back(std::move(res));
+  }
+}
+
+void ReconfigService::process_unload(const Request& req,
+                                     std::vector<RequestResult>& out) {
+  RequestResult res = make_result(req);
+  ++stats_.unloads;
+  const TaskId id = task_of(req.target);
+  if (id == kNoTask) {
+    // Already evicted (or the load never committed): an unload of a gone
+    // task is not an error in a multi-tenant queue, just a no-op.
+    res.status = RequestStatus::kRejected;
+    res.error = "task of request " + std::to_string(req.target) + " is gone";
+    ++stats_.rejected;
+  } else {
+    res.task = id;
+    res.rect = rtc_.record(id).rect;
+    rtc_.unload(id);
+    forget_task(id);
+    res.status = RequestStatus::kDone;
+  }
+  res.latency_seconds = seconds_between(req.submitted, Clock::now());
+  out.push_back(std::move(res));
+}
+
+void ReconfigService::process_relocate(const Request& req,
+                                       std::vector<RequestResult>& out) {
+  RequestResult res = make_result(req);
+  ++stats_.relocates;
+  const TaskId id = task_of(req.target);
+  if (id == kNoTask) {
+    res.status = RequestStatus::kRejected;
+    res.error = "task of request " + std::to_string(req.target) + " is gone";
+    ++stats_.rejected;
+    res.latency_seconds = seconds_between(req.submitted, Clock::now());
+    out.push_back(std::move(res));
+    return;
+  }
+  const Rect cur = rtc_.record(id).rect;
+  res.task = id;
+  res.rect = cur;
+  // Destination by policy on the live occupancy (own tiles still marked, so
+  // the choice can never overlap the task itself — the controller has no
+  // shadow plane). No free slot means the relocation is a no-op.
+  const auto slot = policy_->place(rtc_.allocator(), cur.w, cur.h);
+  if (slot) {
+    TaskInfo& info = task_info_.at(id);
+    const auto t0 = Clock::now();
+    if (const auto cached = cache_.find(info.content_hash)) {
+      rtc_.relocate_decoded(id, *slot, cached->payloads);
+      ++stats_.relocates_cached;
+    } else {
+      // Cache miss (evicted or capacity 0): re-decode the retained image
+      // once — serially, a relocation is a single stream — then warm the
+      // cache with the result so N uncached relocations of the same
+      // content pay for one decode, not N.
+      const auto fresh = decode_stream(rtc_.image_of(id));
+      stats_.decode += fresh->decode;
+      cache_.insert(info.content_hash, fresh);
+      rtc_.relocate_decoded(id, *slot, fresh->payloads);
+      ++stats_.relocates_decoded;
+    }
+    res.decode_seconds = seconds_between(t0, Clock::now());
+    res.rect = rtc_.record(id).rect;
+    info.last_use = ++use_seq_;
+  }
+  res.status = RequestStatus::kDone;
+  res.latency_seconds = seconds_between(req.submitted, Clock::now());
+  out.push_back(std::move(res));
+}
+
+}  // namespace vbs

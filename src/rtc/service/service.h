@@ -1,0 +1,181 @@
+// Multi-tenant reconfiguration service: the online layer above
+// ReconfigController.
+//
+// The controller is a synchronous, single-request device model; a chip
+// serving many tenants sees *queues* of load / unload / relocate requests.
+// ReconfigService adds:
+//
+//   admit   submit_* enqueues a request and returns immediately with an id.
+//   decode  drain() walks the queue in admission order; maximal runs of
+//           consecutive loads are devirtualized as one batch on the shared
+//           ThreadPool (entries of all batched streams are one flat work
+//           list — decoding is pure, so scheduling never affects results).
+//           Streams already in the DecodedStreamCache (or duplicated
+//           within the batch) skip devirtualization entirely.
+//   commit  requests complete strictly in admission order against the
+//           placement policy; when a load does not fit and evict_to_fit is
+//           on, the eviction planner clears the cheapest region and the
+//           victims are appended to the eviction log.
+//   evict   both layers are bounded: the stream cache by capacity_bits
+//           (LRU), the fabric by evict-to-fit victim selection.
+//
+// Determinism: for a fixed request sequence the final config_memory(), all
+// task ids, the eviction log and every counter except wall-clock times are
+// byte-identical at any thread count — decode is pure per entry, and every
+// decision (placement, eviction, cache order) happens serially in
+// admission order. A trace therefore replays identically at threads 1 or 8
+// (tests/test_service.cpp holds this as a hard invariant).
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtc/controller.h"
+#include "rtc/service/placement_policy.h"
+#include "rtc/service/stream_cache.h"
+#include "util/thread_pool.h"
+
+namespace vbs {
+
+using RequestId = long long;
+inline constexpr RequestId kNoRequest = -1;
+
+enum class RequestKind { kLoad, kUnload, kRelocate };
+enum class RequestStatus {
+  kQueued,
+  kDone,      ///< committed (for relocate: possibly a no-op)
+  kRejected,  ///< no placement even after eviction, or target task gone
+  kFailed,    ///< malformed stream or decode failure
+};
+
+struct RequestResult {
+  RequestId request = kNoRequest;
+  RequestKind kind = RequestKind::kLoad;
+  RequestStatus status = RequestStatus::kQueued;
+  TaskId task = kNoTask;  ///< task created (load) or affected
+  Rect rect;              ///< final region of the task (load/relocate)
+  bool cache_hit = false;   ///< decode skipped (cache or batch duplicate)
+  int evicted_tasks = 0;    ///< evict-to-fit victims this request caused
+  double latency_seconds = 0.0;  ///< submit -> commit wall time
+  double decode_seconds = 0.0;   ///< devirtualization time spent on it
+  std::string error;
+};
+
+struct ServiceStats {
+  long long loads = 0, unloads = 0, relocates = 0;
+  long long rejected = 0, failed = 0;
+  /// Load requests that skipped devirtualization vs paid for it.
+  long long warm_loads = 0, cold_loads = 0;
+  /// Relocations served from cached payloads vs re-decoded.
+  long long relocates_cached = 0, relocates_decoded = 0;
+  long long batches = 0;         ///< parallel decode batches run
+  long long task_evictions = 0;  ///< evict-to-fit unloads
+  /// Devirtualization actually performed by the service (batch decodes and
+  /// uncached relocations); cache hits add nothing here.
+  DecodeStats decode;
+};
+
+/// One evict-to-fit victim, in eviction order.
+struct EvictionEvent {
+  long long seq = 0;  ///< monotone across the service lifetime
+  TaskId task = kNoTask;
+  Rect rect;
+  RequestId cause = kNoRequest;  ///< the load that needed the room
+};
+
+struct ServiceOptions {
+  /// ThreadPool participants for batch devirtualization (1 = serial).
+  int threads = 1;
+  /// DecodedStreamCache capacity in payload bits; 0 disables caching.
+  std::size_t cache_capacity_bits = std::size_t{64} << 20;
+  /// "first_fit", "best_fit" or "skyline" (placement_policy.h).
+  std::string policy = "first_fit";
+  /// Evict least-valuable tasks when a load does not fit.
+  bool evict_to_fit = true;
+  /// Max consecutive load requests devirtualized as one batch.
+  int max_batch = 16;
+};
+
+class ReconfigService {
+ public:
+  ReconfigService(const ArchSpec& spec, int width, int height,
+                  ServiceOptions opts = {});
+
+  /// Enqueues a load of a serialized VBS.
+  RequestId submit_load(BitVector stream);
+  /// Enqueues an unload/relocate of the task created by load request
+  /// `load_request` (resolved at commit time; tolerant of the task having
+  /// been evicted meanwhile — the request then completes kRejected).
+  RequestId submit_unload(RequestId load_request);
+  RequestId submit_relocate(RequestId load_request);
+
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Processes the whole queue; returns one result per request, in
+  /// admission order.
+  std::vector<RequestResult> drain();
+
+  /// Task created by a completed load request, or kNoTask if the request
+  /// failed / was rejected / the task is gone again.
+  TaskId task_of(RequestId load_request) const;
+
+  const ReconfigController& controller() const { return rtc_; }
+  const DecodedStreamCache& cache() const { return cache_; }
+  const ServiceStats& stats() const { return stats_; }
+  const std::vector<EvictionEvent>& eviction_log() const {
+    return eviction_log_;
+  }
+
+  /// External fragmentation of the fabric right now: 1 - largest free
+  /// rectangle / total free area (0 when empty or unfragmented).
+  double fragmentation() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    RequestId id = kNoRequest;
+    RequestKind kind = RequestKind::kLoad;
+    BitVector stream;               ///< loads only
+    RequestId target = kNoRequest;  ///< unload/relocate: the load request
+    Clock::time_point submitted;
+  };
+
+  /// Loaded-task bookkeeping the controller does not track.
+  struct TaskInfo {
+    std::uint64_t content_hash = 0;
+    std::uint64_t last_use = 0;  ///< request sequence, for victim selection
+    RequestId origin_request = kNoRequest;
+  };
+
+  void process_load_batch(const std::vector<Request*>& batch,
+                          std::vector<RequestResult>& out);
+  void process_unload(const Request& req, std::vector<RequestResult>& out);
+  void process_relocate(const Request& req, std::vector<RequestResult>& out);
+  /// Chooses an origin, evicting victims if allowed; fills result's
+  /// eviction fields. Returns nullopt when the load must be rejected.
+  std::optional<Point> admit_placement(int w, int h, RequestId cause,
+                                       RequestResult& res);
+  void forget_task(TaskId id);
+  RequestResult make_result(const Request& req) const;
+
+  ReconfigController rtc_;
+  ServiceOptions opts_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  DecodedStreamCache cache_;
+  ThreadPool pool_;
+
+  std::deque<Request> queue_;
+  RequestId next_request_ = 0;
+  std::uint64_t use_seq_ = 0;
+  std::map<RequestId, TaskId> task_of_request_;
+  std::map<TaskId, TaskInfo> task_info_;
+  std::vector<EvictionEvent> eviction_log_;
+  ServiceStats stats_;
+};
+
+}  // namespace vbs

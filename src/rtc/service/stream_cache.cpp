@@ -1,0 +1,89 @@
+#include "rtc/service/stream_cache.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace vbs {
+
+std::uint64_t stream_content_hash(const BitVector& stream) {
+  // FNV-1a over the 64-bit words, then the bit length (trailing padding
+  // bits inside the last word are always zero, so words + length identify
+  // the content exactly).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const std::uint64_t w : stream.words()) mix(w);
+  mix(static_cast<std::uint64_t>(stream.size()));
+  return h;
+}
+
+std::shared_ptr<DecodedStream> decode_stream(VbsImage image) {
+  auto out = std::make_shared<DecodedStream>();
+  out->image = std::move(image);
+  const VbsImage& img = out->image;
+  out->payloads.resize(img.entries.size());
+  RegionDecoderCache cache(img.spec, img.cluster, img.task_w, img.task_h);
+  for (std::size_t i = 0; i < img.entries.size(); ++i) {
+    const VbsEntry& e = img.entries[i];
+    if (!cache.decoder_for(e.cx, e.cy)
+             .decode_entry(e, out->payloads[i], &out->decode)) {
+      throw std::runtime_error("decode_stream: entry " + std::to_string(e.cx) +
+                               "," + std::to_string(e.cy) +
+                               " failed to decode");
+    }
+  }
+  return out;
+}
+
+std::size_t DecodedStream::footprint_bits() const {
+  std::size_t bits = 0;
+  for (const BitVector& p : payloads) bits += p.size();
+  return bits;
+}
+
+DecodedStreamCache::DecodedStreamCache(std::size_t capacity_bits)
+    : capacity_bits_(capacity_bits) {}
+
+std::shared_ptr<const DecodedStream> DecodedStreamCache::find(
+    std::uint64_t key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void DecodedStreamCache::insert(std::uint64_t key,
+                                std::shared_ptr<const DecodedStream> value) {
+  if (const auto it = map_.find(key); it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  const std::size_t bits = value->footprint_bits();
+  if (bits > capacity_bits_) return;  // would evict everything and still miss
+  lru_.push_front({key, std::move(value)});
+  map_.emplace(key, lru_.begin());
+  size_bits_ += bits;
+  ++insertions_;
+  evict_until_fits();
+}
+
+void DecodedStreamCache::evict_until_fits() {
+  while (size_bits_ > capacity_bits_ && !lru_.empty()) {
+    const Node& victim = lru_.back();
+    size_bits_ -= victim.value->footprint_bits();
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace vbs

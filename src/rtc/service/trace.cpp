@@ -1,0 +1,236 @@
+#include "rtc/service/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace vbs {
+
+const char* to_string(ArrivalPattern p) {
+  switch (p) {
+    case ArrivalPattern::kSteady: return "steady";
+    case ArrivalPattern::kBursty: return "bursty";
+    case ArrivalPattern::kDiurnal: return "diurnal";
+    case ArrivalPattern::kChurn: return "churn";
+  }
+  return "?";
+}
+
+ArrivalPattern arrival_pattern_from_string(const std::string& name) {
+  if (name == "steady") return ArrivalPattern::kSteady;
+  if (name == "bursty") return ArrivalPattern::kBursty;
+  if (name == "diurnal") return ArrivalPattern::kDiurnal;
+  if (name == "churn") return ArrivalPattern::kChurn;
+  throw std::invalid_argument("unknown arrival pattern: " + name);
+}
+
+namespace {
+
+/// Expected arrivals at `tick`, shaped by the pattern.
+double arrival_rate(ArrivalPattern p, int tick, int ticks, double base) {
+  const double phase = static_cast<double>(tick) / ticks;
+  switch (p) {
+    case ArrivalPattern::kSteady:
+      return base;
+    case ArrivalPattern::kBursty:
+      // Four bursts per trace: rate spikes 4x inside a burst window,
+      // near-zero between them.
+      return std::fmod(phase * 4.0, 1.0) < 0.3 ? base * 4.0 : base * 0.15;
+    case ArrivalPattern::kDiurnal:
+      // One "day": sinusoidal load with a quiet night.
+      return base * (1.0 + std::sin(2.0 * 3.14159265358979 * phase)) * 1.0;
+    case ArrivalPattern::kChurn:
+      return base * 1.5;
+  }
+  return base;
+}
+
+/// Per-tick probability that a live task departs.
+double departure_prob(ArrivalPattern p) {
+  switch (p) {
+    case ArrivalPattern::kSteady: return 0.10;
+    case ArrivalPattern::kBursty: return 0.12;
+    case ArrivalPattern::kDiurnal: return 0.10;
+    case ArrivalPattern::kChurn: return 0.45;  // short-lived tasks
+  }
+  return 0.1;
+}
+
+}  // namespace
+
+Trace generate_trace(const TraceGenOptions& opts) {
+  if (opts.events < 1 || opts.ticks < 1 || opts.kinds < 1) {
+    throw std::invalid_argument("trace generator: bad options");
+  }
+  Trace t;
+  t.name = to_string(opts.pattern);
+  t.fabric_w = opts.fabric_w;
+  t.fabric_h = opts.fabric_h;
+
+  // Small footprints (3..6 tiles square) so several tenants coexist; the
+  // kind library cycles sizes and seeds, deliberately small so the same
+  // content recurs and the decoded-stream cache has something to do.
+  for (int k = 0; k < opts.kinds; ++k) {
+    TraceTaskKind kind;
+    const int grid = 3 + k % 4;
+    kind.grid = grid;
+    kind.n_lut = grid * grid - grid + 1;
+    kind.seed = 1000 + static_cast<std::uint64_t>(k);
+    kind.cluster = k % 2 == 0 ? 1 : 2;
+    kind.name = std::string(to_string(opts.pattern)) + "_k" +
+                std::to_string(k) + "_" + std::to_string(grid) + "x" +
+                std::to_string(grid);
+    t.kinds.push_back(std::move(kind));
+  }
+
+  Rng rng(opts.seed ^ (static_cast<std::uint64_t>(opts.pattern) << 32));
+  // Base rate calibrated so ~opts.events events fit in opts.ticks ticks
+  // (arrivals plus the departures/relocates they trigger, roughly 2x).
+  const double base =
+      static_cast<double>(opts.events) / (2.0 * opts.ticks);
+
+  std::vector<int> live;  ///< indices of load events still loaded
+  for (int tick = 0;
+       tick < opts.ticks && static_cast<int>(t.events.size()) < opts.events;
+       ++tick) {
+    // Departures and relocations of live tasks first (frees room for the
+    // tick's arrivals).
+    const double dep = departure_prob(opts.pattern);
+    for (std::size_t i = 0;
+         i < live.size() && static_cast<int>(t.events.size()) < opts.events;) {
+      if (rng.next_bool(dep)) {
+        t.events.push_back(
+            {TraceEvent::Kind::kUnload, tick, -1, live[i]});
+        live[i] = live.back();
+        live.pop_back();
+        continue;
+      }
+      if (rng.next_bool(opts.relocate_prob)) {
+        t.events.push_back(
+            {TraceEvent::Kind::kRelocate, tick, -1, live[i]});
+      }
+      ++i;
+    }
+    // Arrivals: Bernoulli-thinned rate, at most a handful per tick.
+    const double rate = arrival_rate(opts.pattern, tick, opts.ticks, base);
+    int arrivals = static_cast<int>(rate);
+    if (rng.next_bool(rate - arrivals)) ++arrivals;
+    for (int a = 0;
+         a < arrivals && static_cast<int>(t.events.size()) < opts.events;
+         ++a) {
+      const int kind = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(opts.kinds)));
+      live.push_back(static_cast<int>(t.events.size()));
+      t.events.push_back({TraceEvent::Kind::kLoad, tick, kind, -1});
+    }
+  }
+  return t;
+}
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream out;
+  out << "# vbs.rtc_trace.v1\n";
+  out << "trace " << trace.name << "\n";
+  out << "fabric " << trace.fabric_w << " " << trace.fabric_h << "\n";
+  for (const TraceTaskKind& k : trace.kinds) {
+    out << "kind " << k.name << " " << k.n_lut << " " << k.grid << " "
+        << k.seed << " " << k.cluster << "\n";
+  }
+  for (const TraceEvent& e : trace.events) {
+    out << "ev " << e.tick << " ";
+    switch (e.kind) {
+      case TraceEvent::Kind::kLoad:
+        out << "load " << e.task_kind;
+        break;
+      case TraceEvent::Kind::kUnload:
+        out << "unload " << e.ref;
+        break;
+      case TraceEvent::Kind::kRelocate:
+        out << "relocate " << e.ref;
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Trace trace_from_string(const std::string& text) {
+  Trace t;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) {
+    throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
+                             what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;  // blank / comment line
+    if (tag == "trace") {
+      if (!(ls >> t.name)) fail("trace needs a name");
+    } else if (tag == "fabric") {
+      if (!(ls >> t.fabric_w >> t.fabric_h)) fail("fabric needs w h");
+    } else if (tag == "kind") {
+      TraceTaskKind k;
+      if (!(ls >> k.name >> k.n_lut >> k.grid >> k.seed >> k.cluster)) {
+        fail("kind needs name n_lut grid seed cluster");
+      }
+      t.kinds.push_back(std::move(k));
+    } else if (tag == "ev") {
+      TraceEvent e;
+      std::string op;
+      if (!(ls >> e.tick >> op)) fail("ev needs tick and op");
+      int arg = -1;
+      if (!(ls >> arg)) fail("ev " + op + " needs an argument");
+      if (op == "load") {
+        e.kind = TraceEvent::Kind::kLoad;
+        if (arg < 0 || arg >= static_cast<int>(t.kinds.size())) {
+          fail("load kind index out of range");
+        }
+        e.task_kind = arg;
+      } else if (op == "unload" || op == "relocate") {
+        e.kind = op == "unload" ? TraceEvent::Kind::kUnload
+                                : TraceEvent::Kind::kRelocate;
+        if (arg < 0 || arg >= static_cast<int>(t.events.size()) ||
+            t.events[static_cast<std::size_t>(arg)].kind !=
+                TraceEvent::Kind::kLoad) {
+          fail(op + " must reference an earlier load event");
+        }
+        e.ref = arg;
+      } else {
+        fail("unknown event op: " + op);
+      }
+      t.events.push_back(e);
+    } else {
+      fail("unknown record: " + tag);
+    }
+  }
+  if (t.fabric_w < 1 || t.fabric_h < 1) {
+    throw std::runtime_error("trace: missing or bad fabric record");
+  }
+  return t;
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << trace_to_string(trace);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return trace_from_string(buf.str());
+}
+
+}  // namespace vbs

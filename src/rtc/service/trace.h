@@ -1,0 +1,95 @@
+// Reconfiguration traces: the online-workload input of the service layer.
+//
+// A trace is a deterministic sequence of load / unload / relocate events
+// against one fabric, each stamped with an arrival tick. Task payloads are
+// referenced by *kind* — a (n_lut, grid, seed, cluster) recipe the replayer
+// turns into a real VBS via the offline flow — so traces stay tiny and
+// self-describing. Unload/relocate events reference the index of an
+// earlier load event, not a task id: ids are assigned at replay time.
+//
+// The generator produces four arrival patterns (tools/rtcgen exposes it on
+// the command line; bench/rtc_bench.cpp replays the bundled suite):
+//   steady   uniform arrivals, moderate lifetimes
+//   bursty   on/off arrival bursts that spike queue depth
+//   diurnal  sinusoidal arrival rate over the trace (a day of traffic)
+//   churn    short lifetimes, high load/unload turnover
+//
+// Text format (`vbs.rtc_trace.v1`, one record per line, '#' comments):
+//   trace <name>
+//   fabric <w> <h>
+//   kind <name> <n_lut> <grid> <seed> <cluster>
+//   ev <tick> load <kind_index>
+//   ev <tick> unload <load_event_index>
+//   ev <tick> relocate <load_event_index>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbs {
+
+/// Recipe for one task payload: a synthetic netlist of `n_lut` LUTs placed
+/// and routed on a grid x grid fabric, encoded at `cluster`.
+struct TraceTaskKind {
+  std::string name;
+  int n_lut = 0;
+  int grid = 0;
+  std::uint64_t seed = 0;
+  int cluster = 1;
+
+  friend bool operator==(const TraceTaskKind&, const TraceTaskKind&) = default;
+};
+
+struct TraceEvent {
+  enum class Kind { kLoad, kUnload, kRelocate };
+  Kind kind = Kind::kLoad;
+  int tick = 0;
+  int task_kind = -1;  ///< kLoad: index into Trace::kinds
+  int ref = -1;        ///< kUnload/kRelocate: index of the load event
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct Trace {
+  std::string name;
+  int fabric_w = 0;
+  int fabric_h = 0;
+  std::vector<TraceTaskKind> kinds;
+  std::vector<TraceEvent> events;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+enum class ArrivalPattern { kSteady, kBursty, kDiurnal, kChurn };
+
+const char* to_string(ArrivalPattern p);
+/// Throws std::invalid_argument on an unknown name.
+ArrivalPattern arrival_pattern_from_string(const std::string& name);
+
+struct TraceGenOptions {
+  ArrivalPattern pattern = ArrivalPattern::kSteady;
+  int events = 160;    ///< total events to generate (upper bound)
+  int ticks = 64;      ///< arrival-time resolution
+  std::uint64_t seed = 1;
+  int fabric_w = 16;
+  int fabric_h = 12;
+  /// Task-kind library size; kinds cycle through small footprints so
+  /// repeated loads of the same content exercise the stream cache.
+  int kinds = 6;
+  /// Probability that a touch of a live task relocates instead of staying.
+  double relocate_prob = 0.05;
+};
+
+/// Deterministic in the options; the same options always yield the same
+/// trace.
+Trace generate_trace(const TraceGenOptions& opts);
+
+std::string trace_to_string(const Trace& trace);
+/// Parses the text format; throws std::runtime_error on malformed input.
+Trace trace_from_string(const std::string& text);
+
+void write_trace_file(const std::string& path, const Trace& trace);
+Trace read_trace_file(const std::string& path);
+
+}  // namespace vbs

@@ -121,10 +121,10 @@ TEST(Place, HpwlConsistentWithStats) {
   Fixture f(80, 3);
   PlaceStats stats;
   const Placement pl = place_design(f.nl, f.pd, f.spec, 10, 10, {}, &stats);
-  // final_cost is measured before the last I/O refinement, so allow slack;
-  // the independent recomputation must be in the same ballpark.
+  // final_cost is measured after the last I/O refinement pass, so an
+  // independent recomputation over the returned placement matches exactly.
   const double recomputed = placement_hpwl(f.nl, f.pd, pl);
-  EXPECT_NEAR(recomputed, stats.final_cost, 0.35 * stats.final_cost + 1.0);
+  EXPECT_DOUBLE_EQ(recomputed, stats.final_cost);
 }
 
 TEST(Place, RejectsOverfullGrid) {

@@ -1,0 +1,483 @@
+// Reconfiguration-service tests: decoded-stream cache, placement/eviction
+// policies, trace generation/round-trip, batched async devirtualization,
+// and the replay-determinism guarantee (byte-identical config_memory and
+// eviction log at any thread count).
+#include <gtest/gtest.h>
+
+#include "flow/flow.h"
+#include "netlist/generator.h"
+#include "rtc/service/placement_policy.h"
+#include "rtc/service/service.h"
+#include "rtc/service/stream_cache.h"
+#include "rtc/service/trace.h"
+#include "vbs/encoder.h"
+
+namespace vbs {
+namespace {
+
+BitVector make_stream(int n_lut, int grid, std::uint64_t seed,
+                      const ArchSpec& arch, int cluster = 1) {
+  GenParams p;
+  p.n_lut = n_lut;
+  p.n_pi = 3;
+  p.n_po = 3;
+  p.seed = seed;
+  FlowOptions o;
+  o.arch = arch;
+  o.seed = seed;
+  FlowResult r = run_flow(generate_netlist(p), grid, grid, o);
+  EXPECT_TRUE(r.routed());
+  EncodeOptions eo;
+  eo.cluster = cluster;
+  return serialize_vbs(encode_vbs(*r.fabric, r.netlist, r.packed, r.placement,
+                                  r.routing.routes, eo));
+}
+
+ArchSpec test_arch() {
+  ArchSpec arch;
+  arch.chan_width = 8;
+  return arch;
+}
+
+// --- content hash & cache ---------------------------------------------------
+
+TEST(StreamHash, IdenticalContentSameHash) {
+  const ArchSpec arch = test_arch();
+  const BitVector a = make_stream(12, 4, 7, arch);
+  const BitVector b = make_stream(12, 4, 7, arch);
+  const BitVector c = make_stream(12, 4, 8, arch);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(stream_content_hash(a), stream_content_hash(b));
+  EXPECT_NE(stream_content_hash(a), stream_content_hash(c));
+}
+
+std::shared_ptr<DecodedStream> fake_decoded(std::size_t payload_bits) {
+  auto d = std::make_shared<DecodedStream>();
+  d->payloads.emplace_back(payload_bits);
+  return d;
+}
+
+TEST(DecodedStreamCache, LruEvictionRespectsCapacityAndTouch) {
+  DecodedStreamCache cache(300);
+  cache.insert(1, fake_decoded(100));
+  cache.insert(2, fake_decoded(100));
+  cache.insert(3, fake_decoded(100));
+  EXPECT_EQ(cache.entries(), 3u);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_NE(cache.find(1), nullptr);
+  cache.insert(4, fake_decoded(100));
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.find(2), nullptr);  // evicted
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_NE(cache.find(4), nullptr);
+  EXPECT_EQ(cache.size_bits(), 300u);
+}
+
+TEST(DecodedStreamCache, ZeroCapacityDisables) {
+  DecodedStreamCache cache(0);
+  cache.insert(1, fake_decoded(10));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.insertions(), 0);
+}
+
+TEST(DecodedStreamCache, OversizedEntryNotCached) {
+  DecodedStreamCache cache(50);
+  cache.insert(1, fake_decoded(100));
+  EXPECT_EQ(cache.entries(), 0u);
+  cache.insert(2, fake_decoded(50));
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+// --- placement policies -----------------------------------------------------
+
+TEST(PlacementPolicy, FirstFitMatchesAllocatorScan) {
+  RectAllocator a(10, 6);
+  a.occupy({0, 0, 4, 6});
+  const auto policy = make_placement_policy("first_fit");
+  EXPECT_EQ(policy->place(a, 3, 3), a.find_free(3, 3));
+  EXPECT_EQ(*policy->place(a, 3, 3), (Point{4, 0}));
+}
+
+TEST(PlacementPolicy, BestFitHugsOccupiedNeighbours) {
+  RectAllocator a(10, 10);
+  a.occupy({0, 0, 4, 4});
+  const auto policy = make_placement_policy("best_fit");
+  // The corner pocket right of the occupied block touches both the block
+  // and the fabric edge: more contact than any open-field position.
+  const auto p = policy->place(a, 3, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Point{4, 0}));
+}
+
+TEST(PlacementPolicy, SkylinePrefersLowestTopEdge) {
+  RectAllocator a(10, 10);
+  a.occupy({0, 0, 10, 2});  // a full band: everything must sit above it
+  a.occupy({0, 2, 3, 3});
+  const auto policy = make_placement_policy("skyline");
+  const auto p = policy->place(a, 4, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Point{3, 2}));  // lowest available top edge, leftmost x
+}
+
+TEST(PlacementPolicy, SkylineIgnoresHolesBelowProfile) {
+  RectAllocator a(6, 8);
+  a.occupy({0, 0, 2, 4});
+  a.occupy({4, 0, 2, 4});
+  a.occupy({2, 3, 2, 1});  // bridge: a 2x3 hole is buried at (2,0)
+  const auto sky = make_placement_policy("skyline");
+  const auto ff = make_placement_policy("first_fit");
+  // First fit reuses the buried hole; skyline only sees the profile and
+  // rests on top of it — the defining difference between the two.
+  EXPECT_EQ(*ff->place(a, 2, 2), (Point{2, 0}));
+  EXPECT_EQ(*sky->place(a, 2, 2), (Point{0, 4}));
+}
+
+TEST(PlacementPolicy, UnknownNameThrows) {
+  EXPECT_THROW(make_placement_policy("round_robin"), std::invalid_argument);
+  for (const std::string& name : placement_policy_names()) {
+    EXPECT_NE(make_placement_policy(name), nullptr);
+  }
+}
+
+TEST(PlacementPolicy, EvictionPlanPrefersCheapestRegion) {
+  RectAllocator a(12, 6);
+  a.occupy({0, 0, 6, 6});   // big old task
+  a.occupy({8, 0, 4, 4});   // small recent task
+  const std::vector<VictimCandidate> tasks = {
+      {1, {0, 0, 6, 6}, /*last_use=*/1},
+      {2, {8, 0, 4, 4}, /*last_use=*/2},
+  };
+  // A 4x4 fits at (8,0)-ish only by evicting task 2 (area 16) — cheaper
+  // than clearing the 6x6 (area 36) even though task 2 is more recent.
+  const auto plan = plan_eviction(a, tasks, 4, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->victims, (std::vector<int>{2}));
+  // A fabric-wide request must take both, oldest first in the log order.
+  const auto both = plan_eviction(a, tasks, 12, 6);
+  ASSERT_TRUE(both.has_value());
+  EXPECT_EQ(both->victims, (std::vector<int>{1, 2}));
+  // Impossible footprint.
+  EXPECT_FALSE(plan_eviction(a, tasks, 13, 2).has_value());
+}
+
+TEST(PlacementPolicy, EvictionPlanUsesFreeRegionWhenPossible) {
+  RectAllocator a(12, 6);
+  a.occupy({0, 0, 6, 6});
+  const std::vector<VictimCandidate> tasks = {{1, {0, 0, 6, 6}, 1}};
+  const auto plan = plan_eviction(a, tasks, 4, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->victims.empty());  // the free half costs nothing
+  EXPECT_TRUE(a.is_free({plan->origin.x, plan->origin.y, 4, 4}));
+}
+
+// --- traces -----------------------------------------------------------------
+
+TEST(Trace, GenerationIsDeterministic) {
+  TraceGenOptions opts;
+  opts.pattern = ArrivalPattern::kBursty;
+  opts.events = 80;
+  const Trace a = generate_trace(opts);
+  const Trace b = generate_trace(opts);
+  EXPECT_EQ(a, b);
+  opts.seed = 2;
+  EXPECT_NE(generate_trace(opts), a);
+}
+
+TEST(Trace, AllPatternsProduceValidReferences) {
+  for (const ArrivalPattern p :
+       {ArrivalPattern::kSteady, ArrivalPattern::kBursty,
+        ArrivalPattern::kDiurnal, ArrivalPattern::kChurn}) {
+    TraceGenOptions opts;
+    opts.pattern = p;
+    opts.events = 120;
+    const Trace t = generate_trace(opts);
+    EXPECT_GT(t.events.size(), 20u) << to_string(p);
+    int loads = 0;
+    int last_tick = 0;
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      const TraceEvent& e = t.events[i];
+      EXPECT_GE(e.tick, last_tick);
+      last_tick = e.tick;
+      if (e.kind == TraceEvent::Kind::kLoad) {
+        ++loads;
+        ASSERT_GE(e.task_kind, 0);
+        ASSERT_LT(e.task_kind, static_cast<int>(t.kinds.size()));
+      } else {
+        ASSERT_GE(e.ref, 0);
+        ASSERT_LT(e.ref, static_cast<int>(i));
+        EXPECT_EQ(t.events[static_cast<std::size_t>(e.ref)].kind,
+                  TraceEvent::Kind::kLoad);
+      }
+    }
+    EXPECT_GT(loads, 10) << to_string(p);
+  }
+}
+
+TEST(Trace, TextRoundTrip) {
+  TraceGenOptions opts;
+  opts.pattern = ArrivalPattern::kChurn;
+  opts.events = 60;
+  const Trace t = generate_trace(opts);
+  EXPECT_EQ(trace_from_string(trace_to_string(t)), t);
+}
+
+TEST(Trace, ParserDiagnosesBadInput) {
+  EXPECT_THROW(trace_from_string("ev 0 load 0\n"), std::runtime_error);
+  EXPECT_THROW(trace_from_string("fabric 4 4\nev 0 unload 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(trace_from_string("fabric 4 4\nev 0 explode 1\n"),
+               std::runtime_error);
+  EXPECT_NO_THROW(trace_from_string("# comment\nfabric 4 4\n\n"));
+}
+
+// --- service ----------------------------------------------------------------
+
+TEST(Service, BatchedLoadsMatchControllerAndDedupe) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 21, arch);
+  ServiceOptions opts;
+  opts.threads = 2;
+  ReconfigService svc(arch, 8, 4, opts);
+  svc.submit_load(s);
+  svc.submit_load(s);  // same content, same batch
+  const auto results = svc.drain();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, RequestStatus::kDone);
+  EXPECT_EQ(results[1].status, RequestStatus::kDone);
+  EXPECT_FALSE(results[0].cache_hit);
+  EXPECT_TRUE(results[1].cache_hit);  // batch twin decoded once
+
+  // Same fabric contents as the synchronous controller.
+  ReconfigController ref(arch, 8, 4);
+  ref.load_at(s, {0, 0});
+  ref.load_at(s, {4, 0});
+  EXPECT_EQ(svc.controller().config_memory(), ref.config_memory());
+  EXPECT_EQ(svc.stats().warm_loads, 1);
+  EXPECT_EQ(svc.stats().cold_loads, 1);
+}
+
+TEST(Service, WarmLoadSkipsDevirtualization) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 22, arch);
+  ReconfigService svc(arch, 8, 8);
+  const RequestId first = svc.submit_load(s);
+  svc.drain();
+  const long long cold_nodes = svc.stats().decode.nodes_expanded;
+  ASSERT_GT(cold_nodes, 0);
+
+  // Second load of the same content in a later drain: pure cache hit, the
+  // acceptance bar (>= 10x fewer node expansions) is met with literal zero.
+  svc.submit_load(s);
+  const auto results = svc.drain();
+  EXPECT_TRUE(results[0].cache_hit);
+  EXPECT_EQ(svc.stats().decode.nodes_expanded, cold_nodes);
+  EXPECT_GE(svc.cache().hits(), 1);
+
+  // And the cached commit wrote the same bits a fresh decode would.
+  ReconfigController ref(arch, 8, 8);
+  ref.load_at(s, {0, 0});
+  ref.load_at(s, {4, 0});
+  EXPECT_EQ(svc.controller().config_memory(), ref.config_memory());
+  (void)first;
+}
+
+TEST(Service, EvictToFitLogsVictims) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(21, 5, 23, arch);
+  ServiceOptions opts;
+  opts.evict_to_fit = true;
+  ReconfigService svc(arch, 10, 5, opts);  // room for two 5x5 tasks
+  const RequestId a = svc.submit_load(s);
+  const RequestId b = svc.submit_load(s);
+  const RequestId c = svc.submit_load(s);  // must evict the oldest
+  const auto results = svc.drain();
+  EXPECT_EQ(results[2].status, RequestStatus::kDone);
+  EXPECT_EQ(results[2].evicted_tasks, 1);
+  ASSERT_EQ(svc.eviction_log().size(), 1u);
+  EXPECT_EQ(svc.eviction_log()[0].task, results[0].task);
+  // The evicted task was the least recently used: request a's.
+  EXPECT_EQ(svc.task_of(a), kNoTask);
+  EXPECT_NE(svc.task_of(b), kNoTask);
+  EXPECT_NE(svc.task_of(c), kNoTask);
+  EXPECT_EQ(svc.eviction_log()[0].cause, c);
+}
+
+TEST(Service, RejectsWhenEvictionDisabledOrImpossible) {
+  const ArchSpec arch = test_arch();
+  const BitVector small = make_stream(13, 4, 24, arch);
+  const BitVector big = make_stream(31, 6, 25, arch);
+  ServiceOptions opts;
+  opts.evict_to_fit = false;
+  ReconfigService svc(arch, 5, 5, opts);
+  svc.submit_load(small);
+  svc.submit_load(small);  // no second 4x4 slot on a 5x5 chip
+  svc.submit_load(big);    // 6x6 exceeds the fabric outright
+  const auto results = svc.drain();
+  EXPECT_EQ(results[0].status, RequestStatus::kDone);
+  EXPECT_EQ(results[1].status, RequestStatus::kRejected);
+  EXPECT_EQ(results[2].status, RequestStatus::kRejected);
+  EXPECT_EQ(svc.stats().rejected, 2);
+  EXPECT_TRUE(svc.eviction_log().empty());
+}
+
+TEST(Service, UnloadAndRelocateOfGoneTaskAreTolerated) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 26, arch);
+  ReconfigService svc(arch, 8, 4);
+  const RequestId load = svc.submit_load(s);
+  const RequestId unload = svc.submit_unload(load);
+  const RequestId again = svc.submit_unload(load);
+  const RequestId move = svc.submit_relocate(load);
+  const auto results = svc.drain();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].status, RequestStatus::kDone);
+  EXPECT_EQ(results[1].status, RequestStatus::kDone);
+  EXPECT_EQ(results[2].status, RequestStatus::kRejected);  // double unload
+  EXPECT_EQ(results[3].status, RequestStatus::kRejected);  // gone task
+  EXPECT_EQ(svc.controller().num_tasks(), 0);
+  (void)unload;
+  (void)again;
+  (void)move;
+}
+
+TEST(Service, RelocateCopiesCachedPayload) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 27, arch, /*cluster=*/2);
+  ReconfigService svc(arch, 12, 4);
+  const RequestId load = svc.submit_load(s);
+  svc.drain();
+  const long long nodes_before = svc.stats().decode.nodes_expanded;
+  svc.submit_relocate(load);
+  const auto results = svc.drain();
+  EXPECT_EQ(results[0].status, RequestStatus::kDone);
+  // Moved somewhere, by copying cached payloads — no new decode work.
+  EXPECT_EQ(svc.stats().relocates_cached, 1);
+  EXPECT_EQ(svc.stats().decode.nodes_expanded, nodes_before);
+  const TaskId id = svc.task_of(load);
+  ASSERT_NE(id, kNoTask);
+  // The moved configuration is a fresh decode's worth of bits.
+  const Rect r = svc.controller().record(id).rect;
+  ReconfigController ref(arch, 12, 4);
+  ref.load_at(s, {r.x, r.y});
+  EXPECT_EQ(svc.controller().config_memory(), ref.config_memory());
+}
+
+TEST(Service, UncachedRelocateRedecodesCorrectly) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 28, arch);
+  ServiceOptions opts;
+  opts.cache_capacity_bits = 0;  // every relocation is a cache miss
+  ReconfigService svc(arch, 12, 4, opts);
+  const RequestId load = svc.submit_load(s);
+  svc.drain();
+  const long long nodes = svc.stats().decode.nodes_expanded;
+  svc.submit_relocate(load);
+  const auto results = svc.drain();
+  EXPECT_EQ(results[0].status, RequestStatus::kDone);
+  EXPECT_EQ(svc.stats().relocates_decoded, 1);
+  EXPECT_EQ(svc.stats().relocates_cached, 0);
+  EXPECT_GT(svc.stats().decode.nodes_expanded, nodes);  // paid a re-decode
+  const TaskId id = svc.task_of(load);
+  ASSERT_NE(id, kNoTask);
+  const Rect r = svc.controller().record(id).rect;
+  ReconfigController ref(arch, 12, 4);
+  ref.load_at(s, {r.x, r.y});
+  EXPECT_EQ(svc.controller().config_memory(), ref.config_memory());
+}
+
+// --- trace replay determinism ----------------------------------------------
+
+struct ReplayOutcome {
+  BitVector config;
+  std::vector<EvictionEvent> evictions;
+  long long warm_loads = 0;
+  long long decode_nodes = 0;
+};
+
+ReplayOutcome replay(const Trace& trace,
+                     const std::vector<BitVector>& kind_streams,
+                     const ArchSpec& arch, int threads,
+                     std::size_t cache_bits) {
+  ServiceOptions opts;
+  opts.threads = threads;
+  opts.cache_capacity_bits = cache_bits;
+  ReconfigService svc(arch, trace.fabric_w, trace.fabric_h, opts);
+  std::vector<RequestId> req_of_event(trace.events.size(), kNoRequest);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    switch (e.kind) {
+      case TraceEvent::Kind::kLoad:
+        req_of_event[i] = svc.submit_load(
+            kind_streams[static_cast<std::size_t>(e.task_kind)]);
+        break;
+      case TraceEvent::Kind::kUnload:
+        req_of_event[i] = svc.submit_unload(
+            req_of_event[static_cast<std::size_t>(e.ref)]);
+        break;
+      case TraceEvent::Kind::kRelocate:
+        req_of_event[i] = svc.submit_relocate(
+            req_of_event[static_cast<std::size_t>(e.ref)]);
+        break;
+    }
+    // Drain at tick boundaries so batches match the bench's replay shape.
+    if (i + 1 == trace.events.size() ||
+        trace.events[i + 1].tick != e.tick) {
+      svc.drain();
+    }
+  }
+  ReplayOutcome out;
+  out.config = svc.controller().config_memory();
+  out.evictions = svc.eviction_log();
+  out.warm_loads = svc.stats().warm_loads;
+  out.decode_nodes = svc.stats().decode.nodes_expanded;
+  return out;
+}
+
+void expect_same_outcome(const ReplayOutcome& a, const ReplayOutcome& b,
+                         const char* what) {
+  EXPECT_EQ(a.config, b.config) << what;
+  ASSERT_EQ(a.evictions.size(), b.evictions.size()) << what;
+  for (std::size_t i = 0; i < a.evictions.size(); ++i) {
+    EXPECT_EQ(a.evictions[i].seq, b.evictions[i].seq) << what;
+    EXPECT_EQ(a.evictions[i].task, b.evictions[i].task) << what;
+    EXPECT_EQ(a.evictions[i].rect, b.evictions[i].rect) << what;
+    EXPECT_EQ(a.evictions[i].cause, b.evictions[i].cause) << what;
+  }
+}
+
+TEST(Service, TraceReplayIsDeterministicAcrossThreadCounts) {
+  const ArchSpec arch = test_arch();
+  TraceGenOptions gopts;
+  gopts.pattern = ArrivalPattern::kBursty;  // deepest batches
+  gopts.events = 60;
+  gopts.kinds = 3;
+  gopts.fabric_w = 10;
+  gopts.fabric_h = 8;
+  const Trace trace = generate_trace(gopts);
+  std::vector<BitVector> streams;
+  for (const TraceTaskKind& k : trace.kinds) {
+    streams.push_back(make_stream(k.n_lut, k.grid, k.seed, arch, k.cluster));
+  }
+  const std::size_t cache_bits = std::size_t{16} << 20;
+  const ReplayOutcome serial = replay(trace, streams, arch, 1, cache_bits);
+  EXPECT_GT(serial.warm_loads, 0);
+  for (const int threads : {2, 8}) {
+    const ReplayOutcome parallel =
+        replay(trace, streams, arch, threads, cache_bits);
+    expect_same_outcome(serial, parallel,
+                        ("threads=" + std::to_string(threads)).c_str());
+    EXPECT_EQ(serial.warm_loads, parallel.warm_loads);
+    EXPECT_EQ(serial.decode_nodes, parallel.decode_nodes);
+  }
+  // A cold replay (cache disabled) redoes the decode work but must land on
+  // the same configuration: cached payloads are real decodes.
+  const ReplayOutcome cold = replay(trace, streams, arch, 2, 0);
+  expect_same_outcome(serial, cold, "cold");
+  EXPECT_GT(cold.decode_nodes, serial.decode_nodes);
+}
+
+}  // namespace
+}  // namespace vbs

@@ -1,0 +1,61 @@
+// rtcgen — trace-driven workload generator for the reconfiguration
+// service: emits a deterministic load/unload/relocate event trace in the
+// vbs.rtc_trace.v1 text format (src/rtc/service/trace.h). Replay it with
+// bench/rtc_bench --trace, or parse it from your own driver.
+//
+// Usage:
+//   rtcgen --pattern steady|bursty|diurnal|churn [--events N] [--ticks T]
+//          [--seed S] [--fabric WxH] [--kinds K] [--out trace.rtc]
+//
+// Without --out the trace goes to stdout.
+#include <cstdio>
+#include <string>
+
+#include "rtc/service/trace.h"
+#include "util/cli.h"
+
+using namespace vbs;
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"--pattern", "--events", "--ticks", "--seed",
+                        "--fabric", "--kinds", "--out"},
+                       {"--help"});
+    if (args.has_flag("--help") || !args.positional().empty()) {
+      std::fprintf(stderr,
+                   "usage: rtcgen --pattern steady|bursty|diurnal|churn "
+                   "[--events N] [--ticks T] [--seed S] [--fabric WxH] "
+                   "[--kinds K] [--out trace.rtc]\n");
+      return args.has_flag("--help") ? 0 : 1;
+    }
+    TraceGenOptions opts;
+    opts.pattern =
+        arrival_pattern_from_string(args.value_or("--pattern", "steady"));
+    opts.events = static_cast<int>(args.int_or("--events", opts.events));
+    opts.ticks = static_cast<int>(args.int_or("--ticks", opts.ticks));
+    opts.seed = static_cast<std::uint64_t>(args.int_or("--seed", 1));
+    opts.kinds = static_cast<int>(args.int_or("--kinds", opts.kinds));
+    if (const auto fabric = args.value("--fabric")) {
+      const std::size_t x = fabric->find('x');
+      if (x == std::string::npos) {
+        throw std::runtime_error("--fabric wants WxH, e.g. 16x12");
+      }
+      opts.fabric_w = std::stoi(fabric->substr(0, x));
+      opts.fabric_h = std::stoi(fabric->substr(x + 1));
+    }
+
+    const Trace trace = generate_trace(opts);
+    if (const auto out = args.value("--out")) {
+      write_trace_file(*out, trace);
+      std::fprintf(stderr, "rtcgen: wrote %zu events (%zu kinds) to %s\n",
+                   trace.events.size(), trace.kinds.size(), out->c_str());
+    } else {
+      std::fputs(trace_to_string(trace).c_str(), stdout);
+    }
+    return 0;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "rtcgen: %s\n", ex.what());
+    return 1;
+  }
+}

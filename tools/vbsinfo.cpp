@@ -2,7 +2,11 @@
 // field-width accounting and a size breakdown. Useful for debugging
 // streams and for understanding where the bits go.
 //
-// Usage:  vbsinfo <task.vbs> [--entries]
+// Usage:  vbsinfo <task.vbs> [--entries] [--json]
+//
+// --json replaces the human-readable report with a single JSON object
+// (stable keys, suitable for traces and CI scripting); --entries adds the
+// per-entry table / array in either mode.
 #include <cstdio>
 
 #include "util/bitio.h"
@@ -14,70 +18,149 @@
 
 using namespace vbs;
 
+namespace {
+
+struct StreamSummary {
+  std::size_t conns = 0, raw_entries = 0, logic_used = 0, max_conns = 0;
+  std::size_t logic_bits = 0, conn_bits = 0, raw_payload_bits = 0;
+};
+
+StreamSummary summarize(const VbsImage& img, const RegionModel& region) {
+  StreamSummary s;
+  for (const VbsEntry& e : img.entries) {
+    s.conns += e.conns.size();
+    s.max_conns = std::max(s.max_conns, e.conns.size());
+    s.raw_entries += e.raw;
+    for (const LogicConfig& lc : e.logic) s.logic_used += lc.used;
+  }
+  s.logic_bits =
+      s.logic_used * static_cast<std::size_t>(img.spec.nlb_bits());
+  s.conn_bits = s.conns * 2 * region.port_field_bits();
+  s.raw_payload_bits = s.raw_entries * static_cast<std::size_t>(img.cluster) *
+                       img.cluster *
+                       static_cast<std::size_t>(img.spec.nroute_bits());
+  return s;
+}
+
+std::size_t entry_used_lbs(const VbsEntry& e) {
+  std::size_t used = 0;
+  for (const LogicConfig& lc : e.logic) used += lc.used;
+  return used;
+}
+
+void print_json(const BitVector& stream, const VbsImage& img,
+                const RegionModel& region, const StreamSummary& s,
+                bool with_entries) {
+  const ArchSpec& spec = img.spec;
+  const std::size_t raw_bits = raw_size_bits(spec, img.task_w, img.task_h);
+  std::printf("{\n");
+  std::printf("  \"stream_bits\": %zu,\n", stream.size());
+  std::printf("  \"stream_bytes\": %zu,\n", (stream.size() + 7) / 8);
+  std::printf(
+      "  \"arch\": {\"chan_width\": %d, \"lut_k\": %d, \"sb_pattern\": "
+      "\"%s\"},\n",
+      spec.chan_width, spec.lut_k,
+      spec.sb_pattern == SbPattern::kWilton ? "wilton" : "disjoint");
+  std::printf(
+      "  \"task\": {\"w\": %d, \"h\": %d, \"cluster\": %d, \"grid_w\": %d, "
+      "\"grid_h\": %d},\n",
+      img.task_w, img.task_h, img.cluster, img.cluster_grid_w(),
+      img.cluster_grid_h());
+  std::printf(
+      "  \"field_bits\": {\"endpoint\": %u, \"route_count\": %u},\n",
+      region.port_field_bits(), region.route_count_bits());
+  std::printf(
+      "  \"raw\": {\"bits\": %zu, \"bits_per_macro\": %d, \"ratio\": "
+      "%.4f},\n",
+      raw_bits, spec.nraw_bits(),
+      static_cast<double>(stream.size()) / static_cast<double>(raw_bits));
+  std::printf(
+      "  \"entries\": {\"count\": %zu, \"raw_coded\": %zu, \"used_lbs\": "
+      "%zu},\n",
+      img.entries.size(), s.raw_entries, s.logic_used);
+  std::printf(
+      "  \"connections\": {\"total\": %zu, \"max_per_entry\": %zu},\n",
+      s.conns, s.max_conns);
+  std::printf(
+      "  \"size_breakdown\": {\"logic\": %zu, \"connections\": %zu, "
+      "\"raw_payload\": %zu, \"framing\": %zu}%s\n",
+      s.logic_bits, s.conn_bits, s.raw_payload_bits,
+      stream.size() - s.logic_bits - s.conn_bits - s.raw_payload_bits,
+      with_entries ? "," : "");
+  if (with_entries) {
+    std::printf("  \"entry_list\": [\n");
+    for (std::size_t i = 0; i < img.entries.size(); ++i) {
+      const VbsEntry& e = img.entries[i];
+      std::printf(
+          "    {\"cx\": %u, \"cy\": %u, \"coding\": \"%s\", \"used_lbs\": "
+          "%zu, \"conns\": %zu}%s\n",
+          e.cx, e.cy, e.raw ? "raw" : "list", entry_used_lbs(e),
+          e.conns.size(), i + 1 < img.entries.size() ? "," : "");
+    }
+    std::printf("  ]\n");
+  }
+  std::printf("}\n");
+}
+
+void print_text(const BitVector& stream, const VbsImage& img,
+                const RegionModel& region, const StreamSummary& s,
+                bool with_entries) {
+  const ArchSpec& spec = img.spec;
+  std::printf("stream           : %zu bits (%zu bytes on disk)\n",
+              stream.size(), (stream.size() + 7) / 8);
+  std::printf("architecture     : W=%d, K=%d, %s switch boxes\n",
+              spec.chan_width, spec.lut_k,
+              spec.sb_pattern == SbPattern::kWilton ? "wilton" : "disjoint");
+  std::printf("task             : %dx%d macros, cluster size %d (%dx%d grid)\n",
+              img.task_w, img.task_h, img.cluster, img.cluster_grid_w(),
+              img.cluster_grid_h());
+  std::printf("field widths     : M=%u bits/endpoint, route count %u bits\n",
+              region.port_field_bits(), region.route_count_bits());
+  std::printf("raw equivalent   : %zu bits (%d bits/macro) -> ratio %.1f%%\n",
+              raw_size_bits(spec, img.task_w, img.task_h), spec.nraw_bits(),
+              100.0 * static_cast<double>(stream.size()) /
+                  static_cast<double>(
+                      raw_size_bits(spec, img.task_w, img.task_h)));
+  std::printf("entries          : %zu (%zu raw-coded), %zu used LBs\n",
+              img.entries.size(), s.raw_entries, s.logic_used);
+  std::printf("connections      : %zu total, %zu max per entry\n", s.conns,
+              s.max_conns);
+  std::printf("size breakdown   : logic %zu, connections %zu, raw payload "
+              "%zu, framing %zu bits\n",
+              s.logic_bits, s.conn_bits, s.raw_payload_bits,
+              stream.size() - s.logic_bits - s.conn_bits -
+                  s.raw_payload_bits);
+  if (with_entries) {
+    TablePrinter table({"cx", "cy", "coding", "used LBs", "conns"});
+    for (const VbsEntry& e : img.entries) {
+      table.add_row({TablePrinter::fmt_int(e.cx), TablePrinter::fmt_int(e.cy),
+                     e.raw ? "raw" : "list",
+                     TablePrinter::fmt_int(
+                         static_cast<long long>(entry_used_lbs(e))),
+                     TablePrinter::fmt_int(
+                         static_cast<long long>(e.conns.size()))});
+    }
+    table.print();
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {}, {"--entries", "--help"});
+    const CliArgs args(argc, argv, {}, {"--entries", "--json", "--help"});
     if (args.has_flag("--help") || args.positional().size() != 1) {
-      std::fprintf(stderr, "usage: vbsinfo <task.vbs> [--entries]\n");
+      std::fprintf(stderr, "usage: vbsinfo <task.vbs> [--entries] [--json]\n");
       return args.has_flag("--help") ? 0 : 1;
     }
     const BitVector stream = read_vbs_file(args.positional()[0]);
     const VbsImage img = deserialize_vbs(stream);
-    const ArchSpec& s = img.spec;
-    const RegionModel region(s, img.cluster);
-
-    std::printf("stream           : %zu bits (%zu bytes on disk)\n",
-                stream.size(), (stream.size() + 7) / 8);
-    std::printf("architecture     : W=%d, K=%d, %s switch boxes\n",
-                s.chan_width, s.lut_k,
-                s.sb_pattern == SbPattern::kWilton ? "wilton" : "disjoint");
-    std::printf("task             : %dx%d macros, cluster size %d (%dx%d grid)\n",
-                img.task_w, img.task_h, img.cluster, img.cluster_grid_w(),
-                img.cluster_grid_h());
-    std::printf("field widths     : M=%u bits/endpoint, route count %u bits\n",
-                region.port_field_bits(), region.route_count_bits());
-    std::printf("raw equivalent   : %zu bits (%d bits/macro) -> ratio %.1f%%\n",
-                raw_size_bits(s, img.task_w, img.task_h), s.nraw_bits(),
-                100.0 * static_cast<double>(stream.size()) /
-                    static_cast<double>(raw_size_bits(s, img.task_w, img.task_h)));
-
-    std::size_t conns = 0, raw_entries = 0, logic_used = 0;
-    std::size_t max_conns = 0;
-    for (const VbsEntry& e : img.entries) {
-      conns += e.conns.size();
-      max_conns = std::max(max_conns, e.conns.size());
-      raw_entries += e.raw;
-      for (const LogicConfig& lc : e.logic) logic_used += lc.used;
-    }
-    std::printf("entries          : %zu (%zu raw-coded), %zu used LBs\n",
-                img.entries.size(), raw_entries, logic_used);
-    std::printf("connections      : %zu total, %zu max per entry\n", conns,
-                max_conns);
-
-    // Size breakdown.
-    const std::size_t logic_bits =
-        logic_used * static_cast<std::size_t>(s.nlb_bits());
-    const std::size_t conn_bits = conns * 2 * region.port_field_bits();
-    const std::size_t raw_payload_bits =
-        raw_entries * static_cast<std::size_t>(img.cluster) * img.cluster *
-        static_cast<std::size_t>(s.nroute_bits());
-    std::printf("size breakdown   : logic %zu, connections %zu, raw payload "
-                "%zu, framing %zu bits\n",
-                logic_bits, conn_bits, raw_payload_bits,
-                stream.size() - logic_bits - conn_bits - raw_payload_bits);
-
-    if (args.has_flag("--entries")) {
-      TablePrinter table({"cx", "cy", "coding", "used LBs", "conns"});
-      for (const VbsEntry& e : img.entries) {
-        std::size_t used = 0;
-        for (const LogicConfig& lc : e.logic) used += lc.used;
-        table.add_row({TablePrinter::fmt_int(e.cx),
-                       TablePrinter::fmt_int(e.cy), e.raw ? "raw" : "list",
-                       TablePrinter::fmt_int(static_cast<long long>(used)),
-                       TablePrinter::fmt_int(
-                           static_cast<long long>(e.conns.size()))});
-      }
-      table.print();
+    const RegionModel region(img.spec, img.cluster);
+    const StreamSummary summary = summarize(img, region);
+    if (args.has_flag("--json")) {
+      print_json(stream, img, region, summary, args.has_flag("--entries"));
+    } else {
+      print_text(stream, img, region, summary, args.has_flag("--entries"));
     }
     return 0;
   } catch (const std::exception& ex) {
