@@ -2,16 +2,19 @@
 // trajectory every perf PR measures itself against.
 //
 // For each circuit x seed x channel width the harness times netlist
-// generation, packing and placement, then routes the SAME placement three
-// times — with the default bounded-box serial router, with the
-// deterministic parallel engine at --threads workers (verifying the trees
-// are byte-identical to the serial leg), and with the unbounded textbook
-// baseline — so heap-pop and wall-time comparisons are apples-to-apples in
-// a single process. Unless --no-mcw is given it then runs the
-// minimum-channel-width search twice, warm-started and cold, recording
-// per-search trial counts and heap pops. Results go to stdout as a table
-// and to a machine-readable JSON file (see bench/README.md for the
-// vbs.flow_bench.v2 schema).
+// generation and packing, then places the SAME packed design twice — with
+// the serial annealer and with the batched speculate/validate/commit
+// engine at --threads workers, verifying the parallel placement (grid,
+// stats AND cost_drift) is byte-identical to the serial one — and routes
+// the serial placement three times: with the default bounded-box serial
+// router, with the deterministic parallel engine at --threads workers
+// (verifying the trees are byte-identical to the serial leg), and with the
+// unbounded textbook baseline — so heap-pop and wall-time comparisons are
+// apples-to-apples in a single process. Unless --no-mcw is given it then
+// runs the minimum-channel-width search twice, warm-started and cold,
+// recording per-search trial counts and heap pops. Results go to stdout as
+// a table and to a machine-readable JSON file (see bench/README.md for the
+// vbs.flow_bench.v3 schema).
 //
 // Usage:
 //   flow_bench [--smoke] [--circuits a,b] [--seeds N] [--width W]
@@ -89,6 +92,10 @@ struct RunRecord {
   double place_seconds = 0.0;
   PlaceStats place;
   double moves_per_sec = 0.0;
+  // Parallel-placer leg: the same pack placed again at --threads workers.
+  double place_par_seconds = 0.0;
+  PlaceStats place_par;
+  bool place_identical = false;  ///< parallel placement+stats == serial
   RouteSample bounded;
   RouteSample parallel;
   bool parallel_identical = false;  ///< parallel trees == serial trees
@@ -169,12 +176,30 @@ RunRecord run_one(const std::string& name, Netlist nl, int grid,
   PlaceOptions popts;
   popts.seed = seed;
   popts.effort = effort;
+  popts.threads = 1;
   t0 = Clock::now();
   const Placement pl = place_design(nl, pd, arch, grid, grid, popts, &rec.place);
   rec.place_seconds = seconds_since(t0);
   rec.moves_per_sec = rec.place_seconds > 0
                           ? static_cast<double>(rec.place.moves) / rec.place_seconds
                           : 0.0;
+  // The batched speculate/validate/commit engine on the same pack: the
+  // placement, stats and cost_drift must be byte-identical to the serial
+  // leg, only wall time (and the speculation diagnostics) may differ.
+  PlaceOptions ppar = popts;
+  ppar.threads = threads;
+  t0 = Clock::now();
+  const Placement pl_par =
+      place_design(nl, pd, arch, grid, grid, ppar, &rec.place_par);
+  rec.place_par_seconds = seconds_since(t0);
+  rec.place_identical =
+      pl_par.lut_loc == pl.lut_loc && pl_par.io_loc == pl.io_loc &&
+      rec.place_par.moves == rec.place.moves &&
+      rec.place_par.accepted == rec.place.accepted &&
+      rec.place_par.temperatures == rec.place.temperatures &&
+      rec.place_par.initial_cost == rec.place.initial_cost &&
+      rec.place_par.final_cost == rec.place.final_cost &&
+      rec.place_par.cost_drift == rec.place.cost_drift;
 
   const Fabric fabric(arch, grid, grid);
   const RouteRequest req = build_route_request(fabric, nl, pd, pl);
@@ -217,21 +242,28 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
   }
   long long pops_b = 0, pops_u = 0, mcw_w = 0, mcw_c = 0;
   double secs_b = 0, secs_u = 0, secs_p = 0;
-  int ok_b = 0, ok_u = 0, identical = 0, mcw_match = 0;
+  double psecs = 0, psecs_par = 0;
+  long long pspec_c = 0, pspec_r = 0;
+  int ok_b = 0, ok_u = 0, identical = 0, place_identical = 0, mcw_match = 0;
   for (const RunRecord& r : runs) {
     pops_b += r.bounded.heap_pops;
     pops_u += r.unbounded.heap_pops;
     secs_b += r.bounded.seconds;
     secs_u += r.unbounded.seconds;
     secs_p += r.parallel.seconds;
+    psecs += r.place_seconds;
+    psecs_par += r.place_par_seconds;
+    pspec_c += r.place_par.spec_commits;
+    pspec_r += r.place_par.spec_rejected;
     ok_b += r.bounded.success ? 1 : 0;
     ok_u += r.unbounded.success ? 1 : 0;
     identical += r.parallel_identical ? 1 : 0;
+    place_identical += r.place_identical ? 1 : 0;
     mcw_w += r.mcw_warm.heap_pops;
     mcw_c += r.mcw_cold.heap_pops;
     mcw_match += with_mcw && r.mcw_warm.mcw == r.mcw_cold.mcw ? 1 : 0;
   }
-  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v3\",\n");
   std::fprintf(f,
                "  \"options\": {\"smoke\": %s, \"chan_width\": %d, \"seeds\": "
                "%d, \"threads\": %d, \"bb_margin\": %d, \"effort\": %.3f, "
@@ -264,13 +296,21 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
                  "%d},\n",
                  r.pack_seconds, r.luts, r.ios);
     std::fprintf(f,
-                 "     \"place\": {\"seconds\": %.4f, \"moves\": %lld, "
+                 "     \"place\": {\"threads\": 1, \"seconds\": %.4f, "
+                 "\"moves\": %lld, "
                  "\"accepted\": %lld, \"temperatures\": %d, \"moves_per_sec\": "
                  "%.0f, \"initial_cost\": %.3f, \"final_cost\": %.3f, "
                  "\"cost_drift\": %.3e},\n",
                  r.place_seconds, r.place.moves, r.place.accepted,
                  r.place.temperatures, r.moves_per_sec, r.place.initial_cost,
                  r.place.final_cost, r.place.cost_drift);
+    std::fprintf(f,
+                 "     \"place_parallel\": {\"threads\": %d, \"seconds\": "
+                 "%.4f, \"spec_commits\": %lld, \"spec_rejected\": %lld, "
+                 "\"identical_to_serial\": %s},\n",
+                 threads, r.place_par_seconds, r.place_par.spec_commits,
+                 r.place_par.spec_rejected,
+                 r.place_identical ? "true" : "false");
     auto route_json = [&](const char* key, const RouteSample& s,
                           const char* tail) {
       std::fprintf(f,
@@ -313,14 +353,23 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
       "\"heap_pops_unbounded\": %lld, \"heap_pop_ratio\": %.3f, "
       "\"route_seconds_bounded\": %.4f, \"route_seconds_unbounded\": %.4f, "
       "\"route_seconds_parallel\": %.4f, \"parallel_speedup\": %.3f, "
-      "\"parallel_identical\": %d, \"mcw_heap_pops_warm\": %lld, "
+      "\"parallel_identical\": %d, \"place_seconds_serial\": %.4f, "
+      "\"place_seconds_parallel\": %.4f, \"place_speedup\": %.3f, "
+      "\"place_spec_commit_rate\": %.3f, \"place_identical\": %d, "
+      "\"mcw_heap_pops_warm\": %lld, "
       "\"mcw_heap_pops_cold\": %lld, \"mcw_pop_ratio\": %.3f, "
       "\"mcw_width_matches\": %d}\n",
       runs.size(), ok_b, ok_u, pops_b, pops_u,
       pops_b > 0 ? static_cast<double>(pops_u) / static_cast<double>(pops_b)
                  : 0.0,
       secs_b, secs_u, secs_p,
-      secs_p > 0 ? secs_b / secs_p : 0.0, identical, mcw_w, mcw_c,
+      secs_p > 0 ? secs_b / secs_p : 0.0, identical, psecs, psecs_par,
+      psecs_par > 0 ? psecs / psecs_par : 0.0,
+      pspec_c + pspec_r > 0
+          ? static_cast<double>(pspec_c) /
+                static_cast<double>(pspec_c + pspec_r)
+          : 0.0,
+      place_identical, mcw_w, mcw_c,
       mcw_w > 0 ? static_cast<double>(mcw_c) / static_cast<double>(mcw_w)
                 : 0.0,
       mcw_match);
@@ -399,8 +448,8 @@ int main(int argc, char** argv) try {
     }
   }
 
-  TablePrinter t({"circuit", "seed", "route s", "pops", "par s", "full s",
-                  "pop ratio", "mcw", "mcw pops w/c"});
+  TablePrinter t({"circuit", "seed", "plc s/par", "route s", "pops", "par s",
+                  "full s", "pop ratio", "mcw", "mcw pops w/c"});
   for (const RunRecord& r : runs) {
     const double ratio =
         r.bounded.heap_pops > 0
@@ -408,6 +457,8 @@ int main(int argc, char** argv) try {
                   static_cast<double>(r.bounded.heap_pops)
             : 0.0;
     t.add_row({r.circuit, std::to_string(r.seed),
+               TablePrinter::fmt(r.place_seconds, 2) + "/" +
+                   TablePrinter::fmt(r.place_par_seconds, 2),
                TablePrinter::fmt(r.bounded.seconds, 2),
                TablePrinter::fmt_int(r.bounded.heap_pops),
                TablePrinter::fmt(r.parallel.seconds, 2),
@@ -435,6 +486,13 @@ int main(int argc, char** argv) try {
       std::fprintf(stderr,
                    "FAIL: %s seed %llu parallel routing diverged from serial\n",
                    r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
+      return 1;
+    }
+    if (!r.place_identical) {
+      std::fprintf(
+          stderr,
+          "FAIL: %s seed %llu parallel placement diverged from serial\n",
+          r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
       return 1;
     }
     if (with_mcw && r.mcw_warm.mcw != r.mcw_cold.mcw) {

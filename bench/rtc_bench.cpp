@@ -42,6 +42,7 @@
 #include "rtc/service/service.h"
 #include "rtc/service/trace.h"
 #include "util/cli.h"
+#include "util/stats.h"
 #include "util/table.h"
 #include "vbs/encoder.h"
 
@@ -177,13 +178,6 @@ bool same_evictions(const std::vector<EvictionEvent>& a,
     }
   }
   return true;
-}
-
-double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const double idx = p * static_cast<double>(xs.size() - 1);
-  return xs[static_cast<std::size_t>(std::llround(idx))];
 }
 
 struct TraceRecord {

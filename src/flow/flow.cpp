@@ -11,6 +11,7 @@ FlowResult run_flow(Netlist nl, int grid_w, int grid_h,
   r.packed = pack_netlist(r.netlist, opts.arch);
   PlaceOptions popts = opts.place;
   if (popts.seed == 0) popts.seed = opts.seed;  // 0 = inherit the flow seed
+  if (popts.threads == 0) popts.threads = opts.threads;  // 0 = inherit
   log_info("placing " + r.netlist.name + " (" +
            std::to_string(r.packed.num_luts()) + " LBs on " +
            std::to_string(grid_w) + "x" + std::to_string(grid_h) + ")");

@@ -3,15 +3,34 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "util/csr.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace vbs {
 
 namespace {
+
+/// Max slots per speculation batch. The batch boundaries decide which
+/// frozen state each proposal is generated against, so the batch length
+/// must be a pure function of seed-deterministic quantities for the engine
+/// to stay byte-identical at every thread count; the anneal loop adapts it
+/// per temperature to the (deterministic) acceptance fraction — commits
+/// are what invalidate speculative results, so high-acceptance
+/// temperatures run shorter batches.
+constexpr long long kSpecBatch = 64;
+constexpr long long kMinSpecBatch = 16;
+
+long long batch_len_for(double frac) {
+  return std::clamp(static_cast<long long>(8.0 / std::max(frac, 0.125)),
+                    kMinSpecBatch, kSpecBatch);
+}
 
 double crossing_factor(int terminals) {
   static constexpr double kQ[] = {1.0,    1.0,    1.0,    1.0,    1.0828,
@@ -35,7 +54,51 @@ struct NetBox {
   double cost;
 };
 
+/// Per-evaluation scratch: the net -> affected-slot dedup epochs. One per
+/// participant, so speculative evaluations can run concurrently.
+struct EvalScratch {
+  // 64-bit epochs: a wrapped stamp would silently alias a stale net_slot
+  // entry, and a long anneal on one scratch can plausibly exceed 2^32
+  // evaluations.
+  std::vector<std::uint64_t> net_epoch;
+  std::vector<std::uint32_t> net_slot;   ///< net -> index in the eval's affected list
+  std::vector<std::uint8_t> dirty;       ///< parallel to affected: needs rescan
+  std::uint64_t epoch = 0;
+
+  void init(int num_nets) {
+    net_epoch.assign(static_cast<std::size_t>(num_nets), 0);
+    net_slot.assign(static_cast<std::size_t>(num_nets), 0);
+    epoch = 0;
+  }
+};
+
+/// One evaluated proposal: the read set (from/to sites + affected CSR net
+/// rows), the would-be writes (new boxes, moved blocks) and the cost delta.
+/// Everything commit() needs, nothing shared — a slot's MoveEval can be
+/// produced speculatively on any thread and committed (or discarded) later.
+struct MoveEval {
+  struct Moved {
+    BlockId block;
+    Point from, to;
+  };
+  int li = -1;         ///< LUT instance moved
+  int occupant = -1;   ///< LUT instance swapped out of `to` (-1: free site)
+  Point from, to;      ///< `from` as read at evaluation time
+  double delta = 0.0;
+  Moved moved[2];
+  int n_moved = 0;
+  std::vector<NetId> affected;
+  std::vector<NetBox> new_boxes;
+};
+
 /// Incremental-cost annealing state.
+///
+/// evaluate() is const and side-effect-free outside its scratch/out
+/// arguments, so a batch of proposals can be evaluated concurrently against
+/// the frozen shared state; commit() applies one evaluation. The
+/// batch-dirty epochs (begin_batch / mark_batch_dirty / batch_clean)
+/// implement the validation step: a speculative result is reusable exactly
+/// when no earlier commit of the same batch touched its read set.
 class AnnealState {
  public:
   AnnealState(const Netlist& nl, const PackedDesign& pd, Placement& pl,
@@ -104,8 +167,6 @@ class AnnealState {
           crossing_factor(static_cast<int>(nl.net(n).sinks.size()) + 1);
     }
     boxes_.resize(static_cast<std::size_t>(nl.num_nets()));
-    net_epoch_.assign(static_cast<std::size_t>(nl.num_nets()), 0);
-    net_slot_.assign(static_cast<std::size_t>(nl.num_nets()), 0);
     total_cost_ = 0.0;
     for (NetId n = 0; n < nl.num_nets(); ++n) {
       recompute_box(n);
@@ -118,6 +179,8 @@ class AnnealState {
       const Point p = pl.lut_loc[static_cast<std::size_t>(i)];
       site_of_[site_index(p)] = i;
     }
+    net_dirty_epoch_.assign(static_cast<std::size_t>(nl.num_nets()), 0);
+    site_dirty_epoch_.assign(site_of_.size(), 0);
   }
 
   double total_cost() const { return total_cost_; }
@@ -134,82 +197,127 @@ class AnnealState {
     return std::abs(fresh - total_cost_);
   }
 
-  /// Proposes moving LUT instance `li` to `to` (swapping with any occupant);
-  /// returns the cost delta without committing.
-  double propose(int li, Point to) {
-    moved_.clear();
-    const Point from = pl_.lut_loc[static_cast<std::size_t>(li)];
-    const int occupant = site_of_[site_index(to)];
-    move_block(pd_.luts[static_cast<std::size_t>(li)], to);
-    if (occupant >= 0) {
-      move_block(pd_.luts[static_cast<std::size_t>(occupant)], from);
+  Point lut_loc(int li) const {
+    return pl_.lut_loc[static_cast<std::size_t>(li)];
+  }
+
+  /// Evaluates moving LUT instance `li` to `to` (swapping with any
+  /// occupant) against the current shared state, without mutating it. Safe
+  /// to call concurrently with other evaluate() calls (distinct scratch /
+  /// out), NOT concurrently with commit().
+  void evaluate(int li, Point to, EvalScratch& s, MoveEval& out) const {
+    out.li = li;
+    out.to = to;
+    out.from = pl_.lut_loc[static_cast<std::size_t>(li)];
+    out.occupant = site_of_[site_index(to)];
+    out.n_moved = 0;
+    out.moved[out.n_moved++] = {pd_.luts[static_cast<std::size_t>(li)],
+                                out.from, to};
+    if (out.occupant >= 0) {
+      // occupant == li only for the degenerate to == from proposal, where
+      // both overlay entries carry the same (unchanged) position.
+      out.moved[out.n_moved++] = {
+          pd_.luts[static_cast<std::size_t>(out.occupant)], to, out.from};
     }
-    ++epoch_;
-    affected_.clear();
-    new_boxes_.clear();
-    dirty_.clear();
-    for (const MovedBlock& mv : moved_) {
+
+    ++s.epoch;
+    out.affected.clear();
+    out.new_boxes.clear();
+    s.dirty.clear();
+    for (int i = 0; i < out.n_moved; ++i) {
+      const MoveEval::Moved& mv = out.moved[i];
       for (const NetRef& ref :
            nets_of_block_.row(static_cast<std::size_t>(mv.block))) {
         const auto sn = static_cast<std::size_t>(ref.net);
         std::size_t slot;
-        if (net_epoch_[sn] != epoch_) {
-          net_epoch_[sn] = epoch_;
-          slot = affected_.size();
-          net_slot_[sn] = static_cast<std::uint32_t>(slot);
-          affected_.push_back(ref.net);
-          new_boxes_.push_back(boxes_[sn]);
+        if (s.net_epoch[sn] != s.epoch) {
+          s.net_epoch[sn] = s.epoch;
+          slot = out.affected.size();
+          s.net_slot[sn] = static_cast<std::uint32_t>(slot);
+          out.affected.push_back(ref.net);
+          out.new_boxes.push_back(boxes_[sn]);
           // In full-recompute mode every affected box is rescanned.
-          dirty_.push_back(incremental_ ? 0 : 1);
+          s.dirty.push_back(incremental_ ? 0 : 1);
         } else {
-          slot = net_slot_[sn];
+          // Swap-aware dedup: a net touching both swapped blocks gets one
+          // affected slot, its box updated once per moved terminal.
+          slot = s.net_slot[sn];
         }
-        if (dirty_[slot] != 0) continue;
-        NetBox& nb = new_boxes_[slot];
+        if (s.dirty[slot] != 0) continue;
+        NetBox& nb = out.new_boxes[slot];
         for (std::int32_t k = 0; k < ref.mult; ++k) {
           if (!update_box(nb, mv.from, mv.to)) {
-            dirty_[slot] = 1;  // moved off a shrinking edge: rescan below
+            s.dirty[slot] = 1;  // moved off a shrinking edge: rescan below
             break;
           }
         }
       }
     }
     double delta = 0.0;
-    for (std::size_t k = 0; k < affected_.size(); ++k) {
-      const auto sn = static_cast<std::size_t>(affected_[k]);
-      if (dirty_[k] != 0) {
-        new_boxes_[k] = compute_box(affected_[k]);
+    for (std::size_t k = 0; k < out.affected.size(); ++k) {
+      const auto sn = static_cast<std::size_t>(out.affected[k]);
+      if (s.dirty[k] != 0) {
+        out.new_boxes[k] = compute_box_moved(out.affected[k], out);
       } else {
-        NetBox& nb = new_boxes_[k];
+        NetBox& nb = out.new_boxes[k];
         nb.cost = q_[sn] * ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
       }
-      delta += new_boxes_[k].cost - boxes_[sn].cost;
+      delta += out.new_boxes[k].cost - boxes_[sn].cost;
     }
-    pending_li_ = li;
-    pending_to_ = to;
-    pending_from_ = from;
-    pending_occupant_ = occupant;
-    return delta;
+    out.delta = delta;
   }
 
-  void commit(double delta) {
-    for (std::size_t k = 0; k < affected_.size(); ++k) {
-      boxes_[static_cast<std::size_t>(affected_[k])] = new_boxes_[k];
+  /// Applies an evaluation. Single-threaded (the commit phase is serial,
+  /// in canonical slot order).
+  void commit(const MoveEval& ev) {
+    for (std::size_t k = 0; k < ev.affected.size(); ++k) {
+      boxes_[static_cast<std::size_t>(ev.affected[k])] = ev.new_boxes[k];
     }
-    total_cost_ += delta;
-    pl_.lut_loc[static_cast<std::size_t>(pending_li_)] = pending_to_;
-    site_of_[site_index(pending_to_)] = pending_li_;
-    if (pending_occupant_ >= 0) {
-      pl_.lut_loc[static_cast<std::size_t>(pending_occupant_)] = pending_from_;
-      site_of_[site_index(pending_from_)] = pending_occupant_;
+    total_cost_ += ev.delta;
+    for (int i = 0; i < ev.n_moved; ++i) {
+      pt_of_block_[static_cast<std::size_t>(ev.moved[i].block)] =
+          ev.moved[i].to;
+    }
+    pl_.lut_loc[static_cast<std::size_t>(ev.li)] = ev.to;
+    site_of_[site_index(ev.to)] = ev.li;
+    if (ev.occupant >= 0) {
+      if (ev.occupant != ev.li) {
+        pl_.lut_loc[static_cast<std::size_t>(ev.occupant)] = ev.from;
+      }
+      site_of_[site_index(ev.from)] = ev.occupant;
     } else {
-      site_of_[site_index(pending_from_)] = -1;
+      site_of_[site_index(ev.from)] = -1;
     }
   }
 
-  void revert() {
-    for (auto it = moved_.rbegin(); it != moved_.rend(); ++it) {
-      pt_of_block_[static_cast<std::size_t>(it->block)] = it->from;
+  /// Starts a new validation window: commits recorded from here on
+  /// invalidate later speculative results that read what they wrote.
+  void begin_batch() { ++batch_epoch_; }
+
+  /// True when nothing the evaluation read — its two sites or any affected
+  /// net row — has been committed since begin_batch(). A clean speculative
+  /// result is bit-identical to re-evaluating now, so it can be committed
+  /// as-is; a dirty one is conservatively re-evaluated (a false conflict
+  /// costs work, never determinism).
+  bool batch_clean(const MoveEval& ev) const {
+    if (site_dirty_epoch_[site_index(ev.from)] == batch_epoch_) return false;
+    if (site_dirty_epoch_[site_index(ev.to)] == batch_epoch_) return false;
+    for (const NetId n : ev.affected) {
+      if (net_dirty_epoch_[static_cast<std::size_t>(n)] == batch_epoch_) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Records a committed evaluation's write set (its sites and every
+  /// affected net row; a moved terminal's nets are always all affected, so
+  /// later rescans are covered too).
+  void mark_batch_dirty(const MoveEval& ev) {
+    site_dirty_epoch_[site_index(ev.from)] = batch_epoch_;
+    site_dirty_epoch_[site_index(ev.to)] = batch_epoch_;
+    for (const NetId n : ev.affected) {
+      net_dirty_epoch_[static_cast<std::size_t>(n)] = batch_epoch_;
     }
   }
 
@@ -218,19 +326,9 @@ class AnnealState {
     NetId net;
     std::int32_t mult;  ///< terminals of this net on this block
   };
-  struct MovedBlock {
-    BlockId block;
-    Point from, to;
-  };
 
   std::size_t site_index(Point p) const {
     return static_cast<std::size_t>(p.y) * pl_.grid_w + p.x;
-  }
-
-  void move_block(BlockId b, Point to) {
-    Point& p = pt_of_block_[static_cast<std::size_t>(b)];
-    moved_.push_back({b, p, to});
-    p = to;
   }
 
   /// Folds one terminal at `q` into the box (bounds and edge counts).
@@ -273,12 +371,36 @@ class AnnealState {
     return true;
   }
 
+  /// Terminal position under the evaluation's move overlay: the would-be
+  /// position of the (at most two) moved blocks, the committed position of
+  /// everything else.
+  Point moved_pos(BlockId b, const MoveEval& ev) const {
+    for (int i = 0; i < ev.n_moved; ++i) {
+      if (ev.moved[i].block == b) return ev.moved[i].to;
+    }
+    return pt_of_block_[static_cast<std::size_t>(b)];
+  }
+
   NetBox compute_box(NetId n) const {
     const Net& net = nl_.net(n);
     const Point p = pt_of_block_[static_cast<std::size_t>(net.driver)];
     NetBox nb{p.x, p.x, p.y, p.y, 1, 1, 1, 1, 0.0};
     for (const Net::Sink& s : net.sinks) {
       add_point(nb, pt_of_block_[static_cast<std::size_t>(s.block)]);
+    }
+    nb.cost = q_[static_cast<std::size_t>(n)] *
+              ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
+    return nb;
+  }
+
+  /// Full terminal rescan under the move overlay (the slow path when a
+  /// terminal leaves a bounding edge, or full-recompute mode).
+  NetBox compute_box_moved(NetId n, const MoveEval& ev) const {
+    const Net& net = nl_.net(n);
+    const Point p = moved_pos(net.driver, ev);
+    NetBox nb{p.x, p.x, p.y, p.y, 1, 1, 1, 1, 0.0};
+    for (const Net::Sink& s : net.sinks) {
+      add_point(nb, moved_pos(s.block, ev));
     }
     nb.cost = q_[static_cast<std::size_t>(n)] *
               ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
@@ -301,17 +423,25 @@ class AnnealState {
   Csr<NetRef> nets_of_block_;
   std::vector<double> q_;  ///< per-net crossing factor (terminal count is static)
   std::vector<NetBox> boxes_;
-  std::vector<NetBox> new_boxes_;
   std::vector<int> site_of_;
-  std::vector<MovedBlock> moved_;
-  std::vector<NetId> affected_;
-  std::vector<std::uint8_t> dirty_;  ///< parallel to affected_: needs rescan
-  std::vector<std::uint32_t> net_epoch_;
-  std::vector<std::uint32_t> net_slot_;  ///< net -> index in affected_
-  std::uint32_t epoch_ = 0;
+  // Batch validation epochs: which nets / sites were written by a commit
+  // of the current speculation batch.
+  std::vector<std::uint64_t> net_dirty_epoch_;
+  std::vector<std::uint64_t> site_dirty_epoch_;
+  std::uint64_t batch_epoch_ = 0;
   double total_cost_ = 0.0;
-  int pending_li_ = -1, pending_occupant_ = -1;
-  Point pending_to_, pending_from_;
+};
+
+/// One proposal slot, drawn serially from the master RNG at batch start.
+/// Exactly four draws per slot (instance, two offsets, acceptance uniform)
+/// whether or not the slot is degenerate, so the RNG stream is a pure
+/// function of the seed and the schedule — independent of thread count and
+/// of accept/reject outcomes.
+struct Slot {
+  int li = 0;
+  Point to;
+  double u = 0.0;   ///< pre-drawn acceptance uniform
+  bool skip = false;  ///< degenerate to == from at generation time
 };
 
 /// Assigns each I/O to the free perimeter slot nearest the centroid of the
@@ -421,74 +551,159 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
   AnnealState state(nl, pd, pl, opts.incremental_bbox);
   if (stats) stats->initial_cost = state.total_cost();
 
+  const int threads = std::max(1, opts.threads);
+  if (stats) stats->threads_used = threads;
+
   if (pd.num_luts() > 1) {
     const long long moves_per_t = std::max<long long>(
         32, static_cast<long long>(opts.effort *
                                    std::pow(pd.num_luts(), 4.0 / 3.0)));
     double rlim = std::max(grid_w, grid_h);
 
+    EvalScratch main_scratch;
+    main_scratch.init(nl.num_nets());
+    MoveEval serial_eval;
+
+    // Speculation machinery, built only when a pool is worth having.
+    std::unique_ptr<ThreadPool> pool;
+    std::vector<std::unique_ptr<EvalScratch>> spec_scratch;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      for (int i = 0; i < pool->size(); ++i) {
+        spec_scratch.push_back(std::make_unique<EvalScratch>());
+        spec_scratch.back()->init(nl.num_nets());
+      }
+    }
+    std::vector<Slot> slots(static_cast<std::size_t>(kSpecBatch));
+    std::vector<MoveEval> spec_evals(
+        pool ? static_cast<std::size_t>(kSpecBatch) : 0);
+    // Built once: constructing the type-erased std::function per batch
+    // would heap-allocate inside the hot loop.
+    const std::function<void(int, std::size_t)> spec_fn =
+        [&](int rank, std::size_t i) {
+          if (slots[i].skip) return;
+          state.evaluate(slots[i].li, slots[i].to,
+                         *spec_scratch[static_cast<std::size_t>(rank)],
+                         spec_evals[i]);
+        };
+
     // Initial temperature: 20 x the std-dev of deltas over a random-walk
     // sample (all moves accepted), per VPR.
-    {
-      double sum = 0, sum2 = 0;
-      const int samples = std::min(200, pd.num_luts() * 2);
-      for (int s = 0; s < samples; ++s) {
-        const int li = static_cast<int>(
-            rng.next_below(static_cast<std::uint64_t>(pd.num_luts())));
-        const Point to{rng.next_int(0, grid_w - 1), rng.next_int(0, grid_h - 1)};
-        const double d = state.propose(li, to);
-        state.commit(d);
-        sum += d;
-        sum2 += d * d;
-      }
-      const double var = sum2 / samples - (sum / samples) * (sum / samples);
-      double t0 = 20.0 * std::sqrt(std::max(0.0, var));
-      if (t0 <= 0) t0 = 1.0;
-      // Anneal.
-      double t = t0;
-      long long tot_moves = 0, tot_accept = 0;
-      int n_temps = 0;
-      while (true) {
-        long long accepted = 0;
-        for (long long m = 0; m < moves_per_t; ++m) {
-          const int li = static_cast<int>(
+    double sum = 0, sum2 = 0;
+    const int samples = std::min(200, pd.num_luts() * 2);
+    for (int s = 0; s < samples; ++s) {
+      const int li = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(pd.num_luts())));
+      const Point to{rng.next_int(0, grid_w - 1), rng.next_int(0, grid_h - 1)};
+      state.evaluate(li, to, main_scratch, serial_eval);
+      state.commit(serial_eval);
+      sum += serial_eval.delta;
+      sum2 += serial_eval.delta * serial_eval.delta;
+    }
+    const double var = sum2 / samples - (sum / samples) * (sum / samples);
+    double t0 = 20.0 * std::sqrt(std::max(0.0, var));
+    if (t0 <= 0) t0 = 1.0;
+
+    // Anneal.
+    double t = t0;
+    long long tot_moves = 0, tot_accept = 0;
+    long long spec_commits = 0, spec_rejected = 0;
+    int n_temps = 0;
+    long long batch_len = kMinSpecBatch;  // first temperature accepts ~all
+    while (true) {
+      long long accepted = 0, evaluated = 0;
+      // The bounded trip count stays moves_per_t slots; how many of them
+      // are real proposals (and so feed the schedule) varies.
+      for (long long base = 0; base < moves_per_t; base += batch_len) {
+        const auto bsz =
+            static_cast<std::size_t>(std::min(batch_len, moves_per_t - base));
+        // 1. Generate the batch serially from the master RNG, against the
+        //    state frozen at batch start.
+        const int r = std::max(1, static_cast<int>(rlim));
+        for (std::size_t i = 0; i < bsz; ++i) {
+          Slot& sl = slots[i];
+          sl.li = static_cast<int>(
               rng.next_below(static_cast<std::uint64_t>(pd.num_luts())));
-          const Point from = pl.lut_loc[static_cast<std::size_t>(li)];
-          const int r = std::max(1, static_cast<int>(rlim));
-          Point to{
-              std::clamp(from.x + rng.next_int(-r, r), 0, grid_w - 1),
-              std::clamp(from.y + rng.next_int(-r, r), 0, grid_h - 1)};
-          if (to == from) continue;
-          const double d = state.propose(li, to);
-          if (d <= 0 || rng.next_double() < std::exp(-d / t)) {
-            state.commit(d);
-            ++accepted;
+          const Point from = state.lut_loc(sl.li);
+          sl.to = {std::clamp(from.x + rng.next_int(-r, r), 0, grid_w - 1),
+                   std::clamp(from.y + rng.next_int(-r, r), 0, grid_h - 1)};
+          sl.u = rng.next_double();
+          sl.skip = sl.to == from;
+        }
+        // 2. Speculate: evaluate every real slot against the frozen state,
+        //    in per-thread scratch arenas.
+        if (pool) {
+          pool->parallel_for(bsz, spec_fn);
+          state.begin_batch();
+        }
+        // 3. Validate + commit in canonical slot order. A clean
+        //    speculative delta is bit-identical to evaluating here, so the
+        //    accept/reject decisions — and the committed state — match the
+        //    serial path exactly.
+        for (std::size_t i = 0; i < bsz; ++i) {
+          const Slot& sl = slots[i];
+          if (sl.skip) continue;  // not a proposal: free of charge
+          const MoveEval* ev;
+          if (pool) {
+            if (state.batch_clean(spec_evals[i])) {
+              ev = &spec_evals[i];
+              ++spec_commits;
+            } else {
+              state.evaluate(sl.li, sl.to, main_scratch, serial_eval);
+              ev = &serial_eval;
+              ++spec_rejected;
+            }
           } else {
-            state.revert();
+            state.evaluate(sl.li, sl.to, main_scratch, serial_eval);
+            ev = &serial_eval;
+          }
+          // A slot can also become degenerate at commit time: an earlier
+          // commit of this batch moved the drawn LUT onto the slot's
+          // target. Same contract as generation-time skips — a self-swap
+          // is not a proposal and must not feed the schedule. The decision
+          // is thread-count-invariant: moving the LUT dirtied its sites,
+          // so the parallel path always re-evaluated such a slot against
+          // the same current state the serial path reads.
+          if (ev->from == ev->to) continue;
+          ++evaluated;
+          const double d = ev->delta;
+          if (d <= 0 || sl.u < std::exp(-d / t)) {
+            state.commit(*ev);
+            ++accepted;
+            if (pool) state.mark_batch_dirty(*ev);
           }
         }
-        tot_moves += moves_per_t;
-        tot_accept += accepted;
-        ++n_temps;
-        const double frac = static_cast<double>(accepted) / moves_per_t;
-        // VPR range-limit and temperature updates.
-        rlim = std::clamp(rlim * (1.0 - 0.44 + frac), 1.0,
-                          static_cast<double>(std::max(grid_w, grid_h)));
-        double alpha;
-        if (frac > 0.96) alpha = 0.5;
-        else if (frac > 0.8) alpha = 0.9;
-        else if (frac > 0.15 || rlim > 1.0) alpha = 0.95;
-        else alpha = 0.8;
-        t *= alpha;
-        if (t < 0.005 * state.total_cost() / std::max(1, state.num_nets())) {
-          break;
-        }
       }
-      if (stats) {
-        stats->moves = tot_moves;
-        stats->accepted = tot_accept;
-        stats->temperatures = n_temps;
+      tot_moves += evaluated;
+      tot_accept += accepted;
+      ++n_temps;
+      // Acceptance fraction over real proposals only: degenerate skipped
+      // slots used to be counted here, deflating frac and mis-driving the
+      // temperature and range-limit updates below.
+      const double frac =
+          evaluated > 0
+              ? static_cast<double>(accepted) / static_cast<double>(evaluated)
+              : 0.0;
+      // VPR range-limit and temperature updates.
+      rlim = std::clamp(rlim * (1.0 - 0.44 + frac), 1.0,
+                        static_cast<double>(std::max(grid_w, grid_h)));
+      double alpha;
+      if (frac > 0.96) alpha = 0.5;
+      else if (frac > 0.8) alpha = 0.9;
+      else if (frac > 0.15 || rlim > 1.0) alpha = 0.95;
+      else alpha = 0.8;
+      t *= alpha;
+      batch_len = batch_len_for(frac);
+      if (t < 0.005 * state.total_cost() / std::max(1, state.num_nets())) {
+        break;
       }
+    }
+    if (stats) {
+      stats->moves = tot_moves;
+      stats->accepted = tot_accept;
+      stats->temperatures = n_temps;
+      stats->spec_commits = spec_commits;
+      stats->spec_rejected = spec_rejected;
     }
   }
 

@@ -1,5 +1,6 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -30,6 +31,18 @@ double mean(const std::vector<double>& xs) {
   Summary s;
   for (double x : xs) s.add(x);
   return s.mean();
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 1.0) return xs.back();
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
 }
 
 }  // namespace vbs

@@ -36,4 +36,11 @@ double geomean(const std::vector<double>& xs);
 /// Arithmetic mean of a vector (empty -> 0).
 double mean(const std::vector<double>& xs);
 
+/// p-th percentile of the sample, p in [0, 1], with linear interpolation
+/// between the ranks straddling p * (n - 1) (the "type 7" / spreadsheet
+/// definition). Rounding to the nearest rank instead would collapse p99
+/// onto the max for any sample smaller than ~50 values. Sorts a copy;
+/// empty -> 0.
+double percentile(std::vector<double> xs, double p);
+
 }  // namespace vbs

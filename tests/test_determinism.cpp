@@ -8,7 +8,9 @@
 // The parallel router raises the bar: its speculative route/commit engine
 // promises byte-identical trees AND counters to the serial router for any
 // thread count, which the Table II circuit suite exercises below. The
-// minimum-channel-width search promises the same answer warm or cold.
+// batched parallel placer makes the same promise for placements, stats and
+// cost drift, and the minimum-channel-width search promises the same
+// answer warm or cold.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -132,6 +134,58 @@ TEST(Determinism, ParallelRoutingMatchesSerialOnSuite) {
       expect_identical_routing(base, got, c.name.c_str());
     }
   }
+}
+
+// The batched speculate/validate/commit placer must reproduce the serial
+// annealer's placement, stats and cost drift byte for byte at every thread
+// count, on every circuit of the perf suite.
+TEST(Determinism, ParallelPlacementMatchesSerialOnSuite) {
+  for (const McncCircuit& c : suite5()) {
+    SCOPED_TRACE(c.name);
+    const Netlist nl = make_mcnc_like(c, 1);
+    ArchSpec arch;
+    arch.chan_width = 20;
+    const PackedDesign pd = pack_netlist(nl, arch);
+    PlaceOptions base;
+    base.seed = 1;
+    base.effort = 0.25;  // identity is under test; keep the anneal cheap
+    base.threads = 1;
+    PlaceStats ref;
+    const Placement serial =
+        place_design(nl, pd, arch, c.size, c.size, base, &ref);
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE(threads);
+      PlaceOptions o = base;
+      o.threads = threads;
+      PlaceStats s;
+      const Placement got = place_design(nl, pd, arch, c.size, c.size, o, &s);
+      EXPECT_EQ(s.threads_used, threads);
+      EXPECT_EQ(got.lut_loc, serial.lut_loc);
+      ASSERT_EQ(got.io_loc.size(), serial.io_loc.size());
+      for (std::size_t i = 0; i < got.io_loc.size(); ++i) {
+        EXPECT_EQ(got.io_loc[i], serial.io_loc[i]) << "I/O " << i;
+      }
+      EXPECT_EQ(s.moves, ref.moves);
+      EXPECT_EQ(s.accepted, ref.accepted);
+      EXPECT_EQ(s.temperatures, ref.temperatures);
+      EXPECT_EQ(s.initial_cost, ref.initial_cost);
+      EXPECT_EQ(s.final_cost, ref.final_cost);
+      EXPECT_EQ(s.cost_drift, ref.cost_drift);
+    }
+  }
+}
+
+// FlowOptions::threads reaches both deterministic engines (placer and
+// router), so a threaded whole flow must be byte-identical to the serial
+// one — placement AND route trees.
+TEST(Determinism, ThreadedFlowMatchesSerialFlow) {
+  FlowOptions serial = flow_opts(true);
+  FlowOptions threaded = serial;
+  threaded.threads = 8;
+  FlowResult a = run_flow(test_netlist(3), 11, 11, serial);
+  FlowResult b = run_flow(test_netlist(3), 11, 11, threaded);
+  ASSERT_TRUE(a.routed());
+  expect_identical(a, b);
 }
 
 // Warm-started MCW trials (seeded with the previous routable solution's

@@ -182,6 +182,44 @@ TEST(Stats, VectorHelpers) {
   EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
 }
 
+TEST(Stats, PercentileInterpolatesBetweenRanks) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 30.0);
+  // idx = 0.99 * 4 = 3.96: interpolate 40..50, NOT round up to the max.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 49.6);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 50.0);
+  // Unsorted input: percentile sorts a copy.
+  EXPECT_DOUBLE_EQ(percentile({30.0, 10.0, 50.0, 20.0, 40.0}, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, PercentileSmallVectors) {
+  // n = 1..5 at p = 0 / 0.5 / 0.99 / 1.0. The old nearest-rank rounding
+  // collapsed p99 onto the max for every n < 50; with interpolation p99
+  // stays strictly below the max whenever the top two samples differ.
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 0.99), 1.99);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 0.99), 2.98);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.99), 3.97);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.99), 4.96);
+  for (int n = 2; n <= 5; ++n) {
+    std::vector<double> xs;
+    for (int i = 1; i <= n; ++i) xs.push_back(static_cast<double>(i));
+    EXPECT_LT(percentile(xs, 0.99), percentile(xs, 1.0)) << "n=" << n;
+  }
+}
+
 TEST(Geometry, RectPredicates) {
   const Rect r{2, 3, 4, 5};
   EXPECT_EQ(r.area(), 20);
