@@ -1,24 +1,29 @@
 // Reproducible perf harness for the pack -> place -> route flow: the
 // trajectory every perf PR measures itself against.
 //
-// For each circuit x seed x channel width the harness times netlist
-// generation and packing, then places the SAME packed design twice — with
-// the serial annealer and with the batched speculate/validate/commit
-// engine at --threads workers, verifying the parallel placement (grid,
-// stats AND cost_drift) is byte-identical to the serial one — and routes
-// the serial placement three times: with the default bounded-box serial
-// router, with the deterministic parallel engine at --threads workers
-// (verifying the trees are byte-identical to the serial leg), and with the
-// unbounded textbook baseline — so heap-pop and wall-time comparisons are
-// apples-to-apples in a single process. Unless --no-mcw is given it then
-// runs the minimum-channel-width search twice, warm-started and cold,
-// recording per-search trial counts and heap pops. Results go to stdout as
-// a table and to a machine-readable JSON file (see bench/README.md for the
-// vbs.flow_bench.v3 schema).
+// Each run drives a FlowPipeline (the stage-graph flow API) through
+// netlist generation, packing and placement, then places the SAME packed
+// design again with the batched speculate/validate/commit engine at
+// --threads workers, verifying the parallel placement (grid, stats AND
+// cost_drift) is byte-identical to the serial one — and routes the serial
+// placement three times: with the default bounded-box serial router
+// (the pipeline's route stage), with the deterministic parallel engine at
+// --threads workers (verifying the trees are byte-identical to the serial
+// leg), and with the unbounded textbook baseline — so heap-pop and
+// wall-time comparisons are apples-to-apples in a single process. After
+// the route legs the harness saves a full pipeline checkpoint, resumes it,
+// and reruns the route stage from the loaded placement, verifying the
+// resumed remainder reproduces the uninterrupted run's trees and stats
+// byte for byte (`checkpoint.resume_identical`). Unless --no-mcw is given
+// it then runs the minimum-channel-width search twice through the
+// pipeline, warm-started and cold. Results go to stdout as a table and to
+// a machine-readable JSON file (see bench/README.md for the
+// vbs.flow_bench.v4 schema).
 //
 // Usage:
 //   flow_bench [--smoke] [--circuits a,b] [--seeds N] [--width W]
 //              [--threads T] [--margin M] [--effort E] [--no-mcw]
+//              [--stage pack|place|route|all] [--checkpoint-dir DIR]
 //              [--out PATH]
 //
 //   --smoke      tiny synthetic circuits (seconds; used by CI to catch
@@ -30,16 +35,25 @@
 //   --margin     bounded-box margin in tiles (default RouterOptions)
 //   --effort     placer effort scale (default 1.0)
 //   --no-mcw     skip the minimum-channel-width searches
+//   --stage      run the flow only up to this stage (pack/place/route;
+//                later legs and the MCW searches are skipped; default all)
+//   --checkpoint-dir
+//                persist each run's pack+place prefix here and resume it
+//                on the next invocation — repeated router-leg sweeps skip
+//                the redundant anneals (stale checkpoints are re-run)
 //   --out        JSON output path (default BENCH_flow.json)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
-#include "flow/flow.h"
+#include "flow/pipeline.h"
 #include "netlist/generator.h"
 #include "netlist/mcnc.h"
 #include "pack/pack.h"
@@ -59,6 +73,10 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+/// How far a bench run drives the flow: 0..2 = stop after that stage,
+/// kAllLegs = route legs plus the MCW searches.
+constexpr int kAllLegs = 3;
 
 struct RouteSample {
   double seconds = 0.0;
@@ -92,6 +110,7 @@ struct RunRecord {
   double place_seconds = 0.0;
   PlaceStats place;
   double moves_per_sec = 0.0;
+  bool place_from_checkpoint = false;  ///< anneal skipped via --checkpoint-dir
   // Parallel-placer leg: the same pack placed again at --threads workers.
   double place_par_seconds = 0.0;
   PlaceStats place_par;
@@ -100,17 +119,17 @@ struct RunRecord {
   RouteSample parallel;
   bool parallel_identical = false;  ///< parallel trees == serial trees
   RouteSample unbounded;
+  // Checkpoint/resume verification: save after route, resume, rerun the
+  // route stage from the loaded placement, compare byte for byte.
+  bool checkpoint_checked = false;
+  bool checkpoint_identical = false;
   McwSample mcw_warm;
   McwSample mcw_cold;
 };
 
-RouteSample route_once(const Fabric& fabric, const RouteRequest& req,
-                       const RouterOptions& ropts, RoutingResult* out = nullptr) {
+RouteSample sample_of(const RoutingResult& rr, double seconds) {
   RouteSample s;
-  const auto t0 = Clock::now();
-  PathfinderRouter router(fabric, req);
-  RoutingResult rr = router.route(ropts);
-  s.seconds = seconds_since(t0);
+  s.seconds = seconds;
   s.success = rr.success;
   s.iterations = rr.iterations;
   s.heap_pops = rr.heap_pops;
@@ -119,6 +138,16 @@ RouteSample route_once(const Fabric& fabric, const RouteRequest& req,
   s.spec_commits = rr.spec_commits;
   s.spec_rejected = rr.spec_rejected;
   s.spec_wasted_pops = rr.spec_wasted_pops;
+  return s;
+}
+
+RouteSample route_once(const Fabric& fabric, const RouteRequest& req,
+                       const RouterOptions& ropts,
+                       RoutingResult* out = nullptr) {
+  const auto t0 = Clock::now();
+  PathfinderRouter router(fabric, req);
+  RoutingResult rr = router.route(ropts);
+  RouteSample s = sample_of(rr, seconds_since(t0));
   if (out != nullptr) *out = std::move(rr);
   return s;
 }
@@ -139,11 +168,15 @@ bool identical_routes(const RoutingResult& a, const RoutingResult& b) {
   return true;
 }
 
-McwSample mcw_once(const ArchSpec& arch, const Netlist& nl,
-                   const PackedDesign& pd, const Placement& pl, bool warm) {
+bool identical_placements(const Placement& a, const Placement& b) {
+  return a.grid_w == b.grid_w && a.grid_h == b.grid_h &&
+         a.lut_loc == b.lut_loc && a.io_loc == b.io_loc;
+}
+
+McwSample mcw_once(FlowPipeline& pipe, bool warm) {
   McwOptions mo;
   mo.warm_start = warm;
-  const McwResult r = find_min_channel_width(arch, nl, pd, pl, mo);
+  const McwResult r = find_min_channel_width(pipe, mo);
   McwSample s;
   s.mcw = r.mcw;
   s.trials = r.trials;
@@ -152,9 +185,32 @@ McwSample mcw_once(const ArchSpec& arch, const Netlist& nl,
   return s;
 }
 
+/// Saves `pipe` (pack..route) to a scratch directory, resumes it, checks
+/// the loaded artifacts, then reruns the route stage from the loaded
+/// placement and compares the remainder against the uninterrupted run —
+/// the acceptance check of the resumable-pipeline contract, run in-process
+/// on every bench run.
+bool verify_checkpoint_resume(FlowPipeline& pipe, const std::string& dir) {
+  pipe.save_checkpoint(dir, Stage::kRoute);
+  FlowPipeline re = FlowPipeline::resume_from(dir);
+  bool ok = re.completed(Stage::kRoute) &&
+            identical_placements(re.placement(), pipe.placement()) &&
+            identical_routes(re.routing(), pipe.routing());
+  // Drop the loaded routing and rerun it on the frozen, loaded placement:
+  // must reproduce the uninterrupted run byte for byte.
+  re.rerun_from(Stage::kRoute);
+  const RoutingResult& a = pipe.routing();
+  const RoutingResult& b = re.routing();
+  ok = ok && identical_routes(a, b) && a.success == b.success &&
+       a.iterations == b.iterations && a.heap_pops == b.heap_pops &&
+       a.bbox_retries == b.bbox_retries;
+  return ok;
+}
+
 RunRecord run_one(const std::string& name, Netlist nl, int grid,
                   std::uint64_t seed, int width, double netlist_seconds,
-                  double effort, int margin, int threads, bool with_mcw) {
+                  double effort, int margin, int threads, bool with_mcw,
+                  int stage_limit, const std::string& ckpt_root) {
   RunRecord rec;
   rec.circuit = name;
   rec.grid = grid;
@@ -164,58 +220,107 @@ RunRecord run_one(const std::string& name, Netlist nl, int grid,
   rec.blocks = nl.num_blocks();
   rec.nets = nl.num_nets();
 
-  ArchSpec arch;
-  arch.chan_width = width;
+  FlowOptions fo;
+  fo.arch.chan_width = width;
+  fo.seed = seed;
+  fo.threads = 1;
+  fo.place.seed = seed;
+  fo.place.effort = effort;
+  if (margin >= 0) fo.route.bb_margin = margin;
 
-  auto t0 = Clock::now();
-  const PackedDesign pd = pack_netlist(nl, arch);
-  rec.pack_seconds = seconds_since(t0);
-  rec.luts = pd.num_luts();
-  rec.ios = pd.num_ios();
+  // Resume the pack+place prefix from --checkpoint-dir when a compatible
+  // checkpoint exists (fingerprints reject corrupted ones; an option
+  // mismatch means the checkpoint answers a different question).
+  std::optional<FlowPipeline> pipe;
+  const std::string run_ckpt =
+      ckpt_root.empty()
+          ? ""
+          : (std::filesystem::path(ckpt_root) /
+             (name + "_s" + std::to_string(seed)))
+                .string();
+  if (!run_ckpt.empty() && std::filesystem::exists(run_ckpt)) {
+    try {
+      FlowPipeline resumed = FlowPipeline::resume_from(run_ckpt);
+      const FlowOptions& ro = resumed.options();
+      // Pack/place artifacts are route-option-independent, so a checkpoint
+      // is reusable whenever the placement-determining options match; the
+      // current router configuration (e.g. a swept --margin) is applied on
+      // top — that cross-invocation sweep is the point of the flag.
+      if (resumed.completed(Stage::kPlace) && resumed.grid_w() == grid &&
+          ro.arch.chan_width == width && ro.seed == seed &&
+          ro.place.effort == effort) {
+        resumed.set_route_options(fo.route);
+        pipe.emplace(std::move(resumed));
+        rec.place_from_checkpoint = true;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "flow_bench: ignoring checkpoint %s (%s)\n",
+                   run_ckpt.c_str(), e.what());
+    }
+  }
+  if (!pipe) pipe.emplace(std::move(nl), grid, grid, fo);
 
-  PlaceOptions popts;
-  popts.seed = seed;
-  popts.effort = effort;
-  popts.threads = 1;
-  t0 = Clock::now();
-  const Placement pl = place_design(nl, pd, arch, grid, grid, popts, &rec.place);
-  rec.place_seconds = seconds_since(t0);
-  rec.moves_per_sec = rec.place_seconds > 0
-                          ? static_cast<double>(rec.place.moves) / rec.place_seconds
-                          : 0.0;
+  double stage_seconds[kNumStages] = {};
+  pipe->add_observer([&](const FlowPipeline&, const StageReport& r) {
+    stage_seconds[static_cast<int>(r.stage)] = r.seconds;
+  });
+
+  pipe->run_to(Stage::kPack);
+  rec.pack_seconds = stage_seconds[static_cast<int>(Stage::kPack)];
+  rec.luts = pipe->packed().num_luts();
+  rec.ios = pipe->packed().num_ios();
+  if (stage_limit < 1) return rec;
+
+  pipe->run_to(Stage::kPlace);
+  rec.place = pipe->place_stats();
+  rec.place_seconds = stage_seconds[static_cast<int>(Stage::kPlace)];
+  rec.moves_per_sec =
+      rec.place_seconds > 0
+          ? static_cast<double>(rec.place.moves) / rec.place_seconds
+          : 0.0;
+  if (!run_ckpt.empty() && !rec.place_from_checkpoint) {
+    pipe->save_checkpoint(run_ckpt, Stage::kPlace);
+  }
+
   // The batched speculate/validate/commit engine on the same pack: the
   // placement, stats and cost_drift must be byte-identical to the serial
   // leg, only wall time (and the speculation diagnostics) may differ.
-  PlaceOptions ppar = popts;
+  PlaceOptions ppar;
+  ppar.seed = seed;
+  ppar.effort = effort;
   ppar.threads = threads;
-  t0 = Clock::now();
+  const auto tpar = Clock::now();
   const Placement pl_par =
-      place_design(nl, pd, arch, grid, grid, ppar, &rec.place_par);
-  rec.place_par_seconds = seconds_since(t0);
+      place_design(pipe->netlist(), pipe->packed(), pipe->options().arch,
+                   grid, grid, ppar, &rec.place_par);
+  rec.place_par_seconds = seconds_since(tpar);
   rec.place_identical =
-      pl_par.lut_loc == pl.lut_loc && pl_par.io_loc == pl.io_loc &&
+      identical_placements(pl_par, pipe->placement()) &&
       rec.place_par.moves == rec.place.moves &&
       rec.place_par.accepted == rec.place.accepted &&
       rec.place_par.temperatures == rec.place.temperatures &&
       rec.place_par.initial_cost == rec.place.initial_cost &&
       rec.place_par.final_cost == rec.place.final_cost &&
       rec.place_par.cost_drift == rec.place.cost_drift;
+  if (stage_limit < 2) return rec;
 
-  const Fabric fabric(arch, grid, grid);
-  const RouteRequest req = build_route_request(fabric, nl, pd, pl);
   // Default options: bounded-box expansion, incremental reroute, calibrated
-  // A* weight — exactly what RouterOptions{} ships.
-  RouterOptions ropts;
-  if (margin >= 0) ropts.bb_margin = margin;
-  RoutingResult serial_routes;
-  rec.bounded = route_once(fabric, req, ropts, &serial_routes);
+  // A* weight — the pipeline's route stage with RouterOptions{} as shipped.
+  // Touching route_request() first builds the fabric and routing graph
+  // OUTSIDE the timed stage, so all three route legs are timed against the
+  // same pre-built graph (the v3 methodology).
+  pipe->route_request();
+  pipe->run_to(Stage::kRoute);
+  rec.bounded = sample_of(pipe->routing(),
+                          stage_seconds[static_cast<int>(Stage::kRoute)]);
   // The deterministic parallel engine on the same request: trees must be
   // byte-identical to the serial leg, only wall time may differ.
-  RouterOptions par = ropts;
+  RouterOptions par = pipe->options().route;
   par.threads = threads;
   RoutingResult parallel_routes;
-  rec.parallel = route_once(fabric, req, par, &parallel_routes);
-  rec.parallel_identical = identical_routes(serial_routes, parallel_routes);
+  rec.parallel =
+      route_once(pipe->fabric(), pipe->route_request(), par, &parallel_routes);
+  rec.parallel_identical = identical_routes(pipe->routing(), parallel_routes);
   // The unbounded textbook baseline: whole-fabric expansion, whole-net
   // rip-up, and the pre-calibration heuristic weight — the formulation the
   // seed router shipped (see bench/README.md).
@@ -223,18 +328,30 @@ RunRecord run_one(const std::string& name, Netlist nl, int grid,
   baseline.bounded_box = false;
   baseline.incremental_reroute = false;
   baseline.astar_fac = 1.15;
-  rec.unbounded = route_once(fabric, req, baseline);
+  rec.unbounded = route_once(pipe->fabric(), pipe->route_request(), baseline);
+
+  // Checkpoint/resume verification (scratch dir; --checkpoint-dir keeps
+  // only the pack+place prefix, this leg exercises the full chain).
+  const std::string vdir =
+      (std::filesystem::temp_directory_path() /
+       ("flow_bench_ckpt_" + name + "_s" + std::to_string(seed) + "_p" +
+        std::to_string(::getpid())))
+          .string();
+  rec.checkpoint_checked = true;
+  rec.checkpoint_identical = verify_checkpoint_resume(*pipe, vdir);
+  std::filesystem::remove_all(vdir);
 
   if (with_mcw) {
-    rec.mcw_warm = mcw_once(arch, nl, pd, pl, /*warm=*/true);
-    rec.mcw_cold = mcw_once(arch, nl, pd, pl, /*warm=*/false);
+    rec.mcw_warm = mcw_once(*pipe, /*warm=*/true);
+    rec.mcw_cold = mcw_once(*pipe, /*warm=*/false);
   }
   return rec;
 }
 
 void write_json(const std::string& path, const std::vector<RunRecord>& runs,
                 bool smoke, int width, int seeds, int threads, int margin,
-                double effort, bool with_mcw) {
+                double effort, bool with_mcw, int stage_limit,
+                const std::string& ckpt_root) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -245,6 +362,7 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
   double psecs = 0, psecs_par = 0;
   long long pspec_c = 0, pspec_r = 0;
   int ok_b = 0, ok_u = 0, identical = 0, place_identical = 0, mcw_match = 0;
+  int ckpt_identical = 0;
   for (const RunRecord& r : runs) {
     pops_b += r.bounded.heap_pops;
     pops_u += r.unbounded.heap_pops;
@@ -259,17 +377,22 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
     ok_u += r.unbounded.success ? 1 : 0;
     identical += r.parallel_identical ? 1 : 0;
     place_identical += r.place_identical ? 1 : 0;
+    ckpt_identical += r.checkpoint_identical ? 1 : 0;
     mcw_w += r.mcw_warm.heap_pops;
     mcw_c += r.mcw_cold.heap_pops;
     mcw_match += with_mcw && r.mcw_warm.mcw == r.mcw_cold.mcw ? 1 : 0;
   }
-  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v3\",\n");
+  const char* stage_names[] = {"pack", "place", "route", "all"};
+  const std::string ckpt_json =
+      ckpt_root.empty() ? "null" : "\"" + ckpt_root + "\"";
+  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v4\",\n");
   std::fprintf(f,
                "  \"options\": {\"smoke\": %s, \"chan_width\": %d, \"seeds\": "
                "%d, \"threads\": %d, \"bb_margin\": %d, \"effort\": %.3f, "
-               "\"mcw\": %s},\n",
+               "\"mcw\": %s, \"stage\": \"%s\", \"checkpoint_dir\": %s},\n",
                smoke ? "true" : "false", width, seeds, threads, margin, effort,
-               with_mcw ? "true" : "false");
+               with_mcw ? "true" : "false", stage_names[stage_limit],
+               ckpt_json.c_str());
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   const RouterOptions def;
@@ -300,10 +423,11 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
                  "\"moves\": %lld, "
                  "\"accepted\": %lld, \"temperatures\": %d, \"moves_per_sec\": "
                  "%.0f, \"initial_cost\": %.3f, \"final_cost\": %.3f, "
-                 "\"cost_drift\": %.3e},\n",
+                 "\"cost_drift\": %.3e, \"from_checkpoint\": %s},\n",
                  r.place_seconds, r.place.moves, r.place.accepted,
                  r.place.temperatures, r.moves_per_sec, r.place.initial_cost,
-                 r.place.final_cost, r.place.cost_drift);
+                 r.place.final_cost, r.place.cost_drift,
+                 r.place_from_checkpoint ? "true" : "false");
     std::fprintf(f,
                  "     \"place_parallel\": {\"threads\": %d, \"seconds\": "
                  "%.4f, \"spec_commits\": %lld, \"spec_rejected\": %lld, "
@@ -331,7 +455,13 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
                  r.parallel.spec_commits, r.parallel.spec_rejected,
                  r.parallel.spec_wasted_pops,
                  r.parallel_identical ? "true" : "false");
-    route_json("route_unbounded", r.unbounded, with_mcw ? "," : "");
+    route_json("route_unbounded", r.unbounded, ",");
+    std::fprintf(f,
+                 "     \"checkpoint\": {\"checked\": %s, "
+                 "\"resume_identical\": %s}%s\n",
+                 r.checkpoint_checked ? "true" : "false",
+                 r.checkpoint_identical ? "true" : "false",
+                 with_mcw ? "," : "");
     if (with_mcw) {
       auto mcw_json = [&](const char* key, const McwSample& s,
                           const char* tail) {
@@ -356,6 +486,7 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
       "\"parallel_identical\": %d, \"place_seconds_serial\": %.4f, "
       "\"place_seconds_parallel\": %.4f, \"place_speedup\": %.3f, "
       "\"place_spec_commit_rate\": %.3f, \"place_identical\": %d, "
+      "\"checkpoint_identical\": %d, "
       "\"mcw_heap_pops_warm\": %lld, "
       "\"mcw_heap_pops_cold\": %lld, \"mcw_pop_ratio\": %.3f, "
       "\"mcw_width_matches\": %d}\n",
@@ -369,7 +500,7 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
           ? static_cast<double>(pspec_c) /
                 static_cast<double>(pspec_c + pspec_r)
           : 0.0,
-      place_identical, mcw_w, mcw_c,
+      place_identical, ckpt_identical, mcw_w, mcw_c,
       mcw_w > 0 ? static_cast<double>(mcw_c) / static_cast<double>(mcw_w)
                 : 0.0,
       mcw_match);
@@ -382,23 +513,36 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
 int main(int argc, char** argv) try {
   CliArgs args(argc, argv,
                {"--circuits", "--seeds", "--width", "--threads", "--margin",
-                "--effort", "--out"},
+                "--effort", "--stage", "--checkpoint-dir", "--out"},
                {"--smoke", "--no-mcw"});
   const bool smoke = args.has_flag("--smoke");
-  const bool with_mcw = !args.has_flag("--no-mcw");
   const int seeds = static_cast<int>(args.int_or("--seeds", 1));
   const int width = static_cast<int>(args.int_or("--width", smoke ? 10 : 20));
-  const int threads = static_cast<int>(args.int_or("--threads", 8));
+  const int threads = threads_or(args, 8);
   const int margin = static_cast<int>(args.int_or("--margin", -1));
-  const double effort = std::stod(args.value_or("--effort", "1.0"));
+  const double effort = args.double_or("--effort", 1.0);
   const std::string out = args.value_or("--out", "BENCH_flow.json");
+  const std::string ckpt_root = args.value_or("--checkpoint-dir", "");
+  int stage_limit = kAllLegs;
+  if (const auto s = args.value("--stage")) {
+    if (*s == "all") {
+      stage_limit = kAllLegs;
+    } else if (const auto st = stage_from_string(*s);
+               st && *st <= Stage::kRoute) {
+      stage_limit = static_cast<int>(*st);
+    } else {
+      throw std::runtime_error("option --stage: expected pack|place|route|all");
+    }
+  }
+  const bool with_mcw = !args.has_flag("--no-mcw") && stage_limit == kAllLegs;
 
   std::vector<RunRecord> runs;
   for (int s = 1; s <= seeds; ++s) {
     const auto seed = static_cast<std::uint64_t>(s);
     if (smoke) {
       // Tiny synthetic circuits: exercises every stage, all three router
-      // legs and both MCW modes in seconds, for CI.
+      // legs, the checkpoint/resume verification and both MCW modes in
+      // seconds, for CI.
       for (const int n_lut : {60, 120}) {
         GenParams p;
         p.n_lut = n_lut;
@@ -412,7 +556,7 @@ int main(int argc, char** argv) try {
             static_cast<int>(std::ceil(std::sqrt(n_lut * 1.25)));
         runs.push_back(run_one("smoke" + std::to_string(n_lut), std::move(nl),
                                grid, seed, width, gen_s, effort, margin,
-                               threads, with_mcw));
+                               threads, with_mcw, stage_limit, ckpt_root));
       }
     } else {
       std::vector<McncCircuit> circuits;
@@ -443,7 +587,8 @@ int main(int argc, char** argv) try {
         Netlist nl = make_mcnc_like(c, seed);
         const double gen_s = seconds_since(t0);
         runs.push_back(run_one(c.name, std::move(nl), c.size, seed, width,
-                               gen_s, effort, margin, threads, with_mcw));
+                               gen_s, effort, margin, threads, with_mcw,
+                               stage_limit, ckpt_root));
       }
     }
   }
@@ -471,12 +616,22 @@ int main(int argc, char** argv) try {
   t.print();
 
   write_json(out, runs, smoke, width, seeds, threads, margin, effort,
-             with_mcw);
+             with_mcw, stage_limit, ckpt_root);
   std::printf("\nwrote %s\n", out.c_str());
 
-  // Fail loudly if any leg regressed: an unroutable run or a parallel tree
-  // that diverged from the serial one would make the numbers meaningless.
+  // Fail loudly if any leg that ran regressed: an unroutable run, a
+  // parallel tree that diverged from the serial one, or a checkpoint
+  // resume that did not reproduce the uninterrupted run would make the
+  // numbers meaningless.
   for (const RunRecord& r : runs) {
+    if (stage_limit >= 1 && !r.place_identical) {
+      std::fprintf(
+          stderr,
+          "FAIL: %s seed %llu parallel placement diverged from serial\n",
+          r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
+      return 1;
+    }
+    if (stage_limit < 2) continue;
     if (!r.bounded.success || !r.unbounded.success || !r.parallel.success) {
       std::fprintf(stderr, "FAIL: %s seed %llu did not route\n",
                    r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
@@ -488,11 +643,11 @@ int main(int argc, char** argv) try {
                    r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
       return 1;
     }
-    if (!r.place_identical) {
-      std::fprintf(
-          stderr,
-          "FAIL: %s seed %llu parallel placement diverged from serial\n",
-          r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
+    if (r.checkpoint_checked && !r.checkpoint_identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s seed %llu checkpoint resume diverged from the "
+                   "uninterrupted run\n",
+                   r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
       return 1;
     }
     if (with_mcw && r.mcw_warm.mcw != r.mcw_cold.mcw) {
@@ -509,7 +664,8 @@ int main(int argc, char** argv) try {
                "flow_bench: %s\n"
                "usage: flow_bench [--smoke] [--circuits a,b] [--seeds N] "
                "[--width W] [--threads T] [--margin M] [--effort E] "
-               "[--no-mcw] [--out PATH]\n",
+               "[--no-mcw] [--stage pack|place|route|all] "
+               "[--checkpoint-dir DIR] [--out PATH]\n",
                e.what());
   return 1;
 }

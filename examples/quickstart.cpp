@@ -1,4 +1,5 @@
-// Quickstart: the whole Virtual Bit-Stream pipeline on a small circuit.
+// Quickstart: the whole Virtual Bit-Stream pipeline on a small circuit,
+// driven through the stage-graph FlowPipeline API.
 //
 //   netlist -> pack -> place -> route          (the offline CAD flow, Fig. 3)
 //          -> raw bit-stream                   (what a conventional FPGA loads)
@@ -6,12 +7,17 @@
 //          -> deserialize -> de-virtualize     (what the runtime controller does)
 //          -> electrical verification          (decoded config == netlist)
 //
+// Each stage is a first-class, observable step: the observer below prints
+// per-stage wall times, and the same pipeline object could checkpoint any
+// prefix to disk (save_checkpoint) or re-route the frozen placement
+// (rerun_from) — see src/flow/README.md.
+//
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
 #include "bitstream/bitstream.h"
 #include "bitstream/connectivity.h"
-#include "flow/flow.h"
+#include "flow/pipeline.h"
 #include "netlist/generator.h"
 #include "netlist/netlist_io.h"
 #include "vbs/devirtualizer.h"
@@ -38,30 +44,32 @@ int main() {
   std::printf("netlist: %d LUTs, %d PIs, %d POs, %d nets\n", nl.num_luts(),
               nl.num_inputs(), nl.num_outputs(), nl.num_nets());
 
-  // Offline flow on a 3x3 task with an 8-track channel.
+  // Offline flow on a 3x3 task with an 8-track channel, one stage at a
+  // time; the observer reports each stage as it completes.
   FlowOptions opts;
   opts.arch.chan_width = 8;
-  FlowResult flow = run_flow(std::move(nl), 3, 3, opts);
-  if (!flow.routed()) {
+  FlowPipeline pipe(std::move(nl), 3, 3, opts);
+  pipe.add_observer([](const FlowPipeline&, const StageReport& r) {
+    std::printf("  stage %-6s: %.4f s\n", stage_name(r.stage), r.seconds);
+  });
+  pipe.run_to(Stage::kRoute);
+  if (!pipe.routing().success) {
     std::printf("routing failed (should not happen for this circuit)\n");
     return 1;
   }
   std::printf("placed and routed on a 3x3 fabric, W=%d, %d router iterations\n",
-              opts.arch.chan_width, flow.routing.iterations);
+              opts.arch.chan_width, pipe.routing().iterations);
 
   // The conventional raw configuration.
   const BitVector raw = generate_raw_bitstream(
-      *flow.fabric, flow.netlist, flow.packed, flow.placement,
-      flow.routing.routes);
+      pipe.fabric(), pipe.netlist(), pipe.packed(), pipe.placement(),
+      pipe.routing().routes);
   std::printf("raw bit-stream      : %zu bits (%d bits/macro * 9 macros)\n",
               raw.size(), opts.arch.nraw_bits());
 
-  // The Virtual Bit-Stream.
-  EncodeStats stats;
-  const VbsImage img =
-      encode_vbs(*flow.fabric, flow.netlist, flow.packed, flow.placement,
-                 flow.routing.routes, {}, &stats);
-  const BitVector stream = serialize_vbs(img);
+  // The Virtual Bit-Stream: the pipeline's encode stage.
+  const BitVector& stream = pipe.vbs_stream();
+  const EncodeStats& stats = pipe.encode_stats();
   std::printf("virtual bit-stream  : %zu bits (%.1f%% of raw, %.2fx smaller)\n",
               stream.size(), 100.0 * stats.compression_ratio(),
               1.0 / stats.compression_ratio());
@@ -71,11 +79,12 @@ int main() {
   // What the runtime controller does: decode the stream back into a full
   // configuration image.
   const BitVector decoded =
-      devirtualize_image(deserialize_vbs(stream), *flow.fabric, {0, 0});
+      devirtualize_image(deserialize_vbs(stream), pipe.fabric(), {0, 0});
 
   // Electrical proof: the decoded configuration implements the netlist.
   const std::string verdict = verify_connectivity(
-      *flow.fabric, decoded, flow.netlist, flow.packed, flow.placement);
+      pipe.fabric(), decoded, pipe.netlist(), pipe.packed(),
+      pipe.placement());
   std::printf("decode verification : %s\n", verdict.empty() ? "ok" : verdict.c_str());
   return verdict.empty() ? 0 : 1;
 }

@@ -1,0 +1,145 @@
+// Serializable flow-stage artifacts and their on-disk container
+// (`vbs.artifact.v1`): the persistence layer under FlowPipeline's
+// checkpoints.
+//
+// Every flow stage produces a typed artifact — PackedDesign, Placement
+// (+ deterministic PlaceStats), RoutingResult, or the encoded VBS stream —
+// serialized to a bit payload via util/bitio and wrapped in a small
+// byte-oriented container:
+//
+//   bytes 0-3    magic "VAR1"  (artifact format v1)
+//   byte  4      stage tag (ArtifactStage)
+//   bytes 5-12   fingerprint, little-endian u64: hash of everything the
+//                artifact is a deterministic function of — the netlist
+//                text, the grid, and every result-relevant option of this
+//                stage and its upstream stages (thread counts are excluded:
+//                the engines are thread-count-invariant by contract)
+//   bytes 13-20  content hash, little-endian u64 (FNV-1a over the packed
+//                payload bytes, then the bit length)
+//   bytes 21-28  payload bit count, little-endian u64
+//   bytes 29-    payload bits, MSB-first within each byte, zero-padded
+//
+// Readers verify magic, version, stage tag, fingerprint and content hash
+// and throw ArtifactError on any mismatch, so a stale, truncated or
+// foreign checkpoint can never be silently resumed. Scheduling-dependent
+// diagnostics (wall times, speculation counters, threads_used) are NOT
+// part of any payload: an artifact saved by a parallel run is byte-
+// identical to one saved by a serial run.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "pack/pack.h"
+#include "place/annealer.h"
+#include "place/placement.h"
+#include "route/router.h"
+#include "util/bitio.h"
+#include "util/bitvector.h"
+
+namespace vbs {
+
+/// Thrown on any malformed, corrupted, version-mismatched or
+/// fingerprint-mismatched artifact file.
+class ArtifactError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Stage tag stored in the container header. kMeta is the checkpoint's
+/// flow-description artifact (grid + options), not a pipeline stage.
+enum class ArtifactStage : std::uint8_t {
+  kPack = 0,
+  kPlace = 1,
+  kRoute = 2,
+  kEncode = 3,
+  kMeta = 4,
+};
+
+// --- hashing -----------------------------------------------------------------
+
+inline constexpr std::uint64_t kFnvOffset64 = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ull;
+
+/// FNV-1a over a byte range, continuing from `h`.
+std::uint64_t fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t h = kFnvOffset64);
+
+/// Folds one 64-bit value into a running FNV-1a hash (8 bytes, LE order).
+std::uint64_t hash_u64(std::uint64_t h, std::uint64_t v);
+std::uint64_t hash_double(std::uint64_t h, double v);
+
+// --- payload field primitives ------------------------------------------------
+
+// The artifact format's canonical fixed-width field codings: signed values
+// travel as their two's-complement bit patterns (kNoNet/kNoBlock = -1
+// round-trips), doubles as their IEEE-754 bit patterns. Every artifact
+// payload — including flow.meta — is built from exactly these.
+namespace artio {
+
+inline void put_i32(BitWriter& w, std::int32_t v) {
+  w.write(static_cast<std::uint32_t>(v), 32);
+}
+inline std::int32_t get_i32(BitReader& r) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(r.read(32)));
+}
+inline void put_i64(BitWriter& w, std::int64_t v) {
+  w.write(static_cast<std::uint64_t>(v), 64);
+}
+inline std::int64_t get_i64(BitReader& r) {
+  return static_cast<std::int64_t>(r.read(64));
+}
+inline void put_f64(BitWriter& w, double v) {
+  w.write(std::bit_cast<std::uint64_t>(v), 64);
+}
+inline double get_f64(BitReader& r) {
+  return std::bit_cast<double>(r.read(64));
+}
+
+}  // namespace artio
+
+// --- stage payload serializers ----------------------------------------------
+
+// Each pair round-trips exactly: deserialize(serialize(x)) == x field for
+// field, and serialize(deserialize(bits)) == bits byte for byte.
+
+BitVector serialize_packed(const PackedDesign& pd);
+PackedDesign deserialize_packed(const BitVector& bits);
+
+/// Placement plus the deterministic PlaceStats fields (costs, moves,
+/// accepted, temperatures, cost_drift). Scheduling diagnostics
+/// (spec_commits/spec_rejected/threads_used) are not stored.
+BitVector serialize_placement(const Placement& pl, const PlaceStats& stats);
+void deserialize_placement(const BitVector& bits, Placement* pl,
+                           PlaceStats* stats);
+
+/// RoutingResult minus the scheduling-dependent diagnostics: success,
+/// iterations, trees, wire/overuse totals, heap_pops and bbox_retries are
+/// stored; threads_used, spec_* and the per-iteration wall-time log are
+/// not.
+BitVector serialize_routing(const RoutingResult& rr);
+RoutingResult deserialize_routing(const BitVector& bits);
+
+// The encode stage's payload is the serialized VBS stream itself
+// (self-describing via deserialize_vbs) followed by the deterministic
+// EncodeStats fields; FlowPipeline assembles it inline.
+
+// --- container I/O -----------------------------------------------------------
+
+/// Writes `payload` wrapped in the vbs.artifact.v1 container.
+/// Throws std::runtime_error on I/O failure.
+void write_artifact_file(const std::string& path, ArtifactStage stage,
+                         std::uint64_t fingerprint, const BitVector& payload);
+
+/// Reads an artifact written by write_artifact_file, verifying magic,
+/// version, stage tag, the stored content hash, and — when
+/// `expected_fingerprint` is non-null — the fingerprint. Throws
+/// ArtifactError on any mismatch or truncation, std::runtime_error on I/O
+/// failure.
+BitVector read_artifact_file(const std::string& path, ArtifactStage stage,
+                             const std::uint64_t* expected_fingerprint,
+                             std::uint64_t* fingerprint_out = nullptr);
+
+}  // namespace vbs

@@ -1,33 +1,14 @@
 #include "flow/flow.h"
 
-#include "util/logging.h"
+#include "flow/pipeline.h"
 
 namespace vbs {
 
 FlowResult run_flow(Netlist nl, int grid_w, int grid_h,
                     const FlowOptions& opts) {
-  FlowResult r;
-  r.netlist = std::move(nl);
-  r.packed = pack_netlist(r.netlist, opts.arch);
-  PlaceOptions popts = opts.place;
-  if (popts.seed == 0) popts.seed = opts.seed;  // 0 = inherit the flow seed
-  if (popts.threads == 0) popts.threads = opts.threads;  // 0 = inherit
-  log_info("placing " + r.netlist.name + " (" +
-           std::to_string(r.packed.num_luts()) + " LBs on " +
-           std::to_string(grid_w) + "x" + std::to_string(grid_h) + ")");
-  r.placement = place_design(r.netlist, r.packed, opts.arch, grid_w, grid_h,
-                             popts);
-  r.fabric = std::make_unique<Fabric>(opts.arch, grid_w, grid_h);
-  log_info("routing " + r.netlist.name + " at W=" +
-           std::to_string(opts.arch.chan_width));
-  PathfinderRouter router(
-      *r.fabric, build_route_request(*r.fabric, r.netlist, r.packed, r.placement));
-  RouterOptions ropts = opts.route;
-  if (ropts.threads == 0) ropts.threads = opts.threads;  // 0 = inherit
-  r.routing = router.route(ropts);
-  log_info("routing " + std::string(r.routing.success ? "converged" : "FAILED") +
-           " after " + std::to_string(r.routing.iterations) + " iterations");
-  return r;
+  FlowPipeline pipe(std::move(nl), grid_w, grid_h, opts);
+  pipe.run_to(Stage::kRoute);
+  return std::move(pipe).take_flow_result();
 }
 
 FlowResult run_mcnc_flow(const McncCircuit& circuit, const FlowOptions& opts) {

@@ -1,7 +1,8 @@
 // End-to-end design flow driver (paper Fig. 3): netlist -> pack -> place ->
-// route -> raw bit-stream / Virtual Bit-Stream. This is the programmatic
-// equivalent of the paper's VTR + vbsgen tool chain and the entry point the
-// examples and benchmark harnesses build on.
+// route -> raw bit-stream / Virtual Bit-Stream. run_flow/run_mcnc_flow are
+// the one-shot convenience entry points; they are thin wrappers over the
+// stage-graph FlowPipeline (flow/pipeline.h), which additionally offers
+// per-stage artifacts, observers, checkpoint/resume and partial reruns.
 #pragma once
 
 #include <memory>

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "fabric/fabric.h"
+#include "flow/pipeline.h"
 #include "route/route_request.h"
 #include "util/logging.h"
 
@@ -112,6 +113,12 @@ McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
   res.seconds =
       std::chrono::duration<double>(Clock::now() - search_start).count();
   return res;
+}
+
+McwResult find_min_channel_width(FlowPipeline& pipe, const McwOptions& opts) {
+  pipe.run_to(Stage::kPlace);
+  return find_min_channel_width(pipe.options().arch, pipe.netlist(),
+                                pipe.packed(), pipe.placement(), opts);
 }
 
 }  // namespace vbs

@@ -24,6 +24,8 @@
 
 namespace vbs {
 
+class FlowPipeline;
+
 /// Doubling-probe start when McwOptions::hint <= 0: the headline
 /// chan_width of the committed BENCH_flow.json trajectory — the last
 /// width the repo's perf suite demonstrated routable end to end for the
@@ -76,5 +78,13 @@ struct McwResult {
 McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
                                  const PackedDesign& pd, const Placement& pl,
                                  const McwOptions& opts = {});
+
+/// Pipeline consumer: runs `pipe` to the place stage if needed, then
+/// delegates to the standalone search above on the pipeline's frozen
+/// placed design — so a checkpointed/resumed placement yields exactly the
+/// same search as the uninterrupted flow. The trials use their own
+/// masked-width fabrics (not the pipeline's route stage), and the
+/// pipeline's committed route artifact is not touched.
+McwResult find_min_channel_width(FlowPipeline& pipe, const McwOptions& opts = {});
 
 }  // namespace vbs

@@ -1,14 +1,20 @@
-// Minimal command-line option parser for the tools/ binaries.
+// Minimal command-line option parser for the tools/ binaries, plus the
+// shared helpers for the flags every tool spells the same way
+// (--seed/--threads, WxH / X,Y pair values) and the common main() shell.
 //
 // Supports `--flag`, `--key value` and positional arguments; unknown
 // options raise std::runtime_error so typos fail loudly.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vbs {
@@ -52,11 +58,30 @@ class CliArgs {
     return value(name).value_or(std::move(def));
   }
 
+  // Numeric values must consume the whole token: std::stoll/std::stod stop
+  // at the first bad character, which would let typos like "1O" or "0.5x"
+  // pass silently — the opposite of this parser's fail-loudly contract.
   long long int_or(const std::string& name, long long def) const {
     const auto v = value(name);
     if (!v) return def;
     try {
-      return std::stoll(*v);
+      std::size_t used = 0;
+      const long long out = std::stoll(*v, &used);
+      if (used != v->size()) throw std::invalid_argument("trailing garbage");
+      return out;
+    } catch (const std::exception&) {
+      throw std::runtime_error("option " + name + ": not a number: " + *v);
+    }
+  }
+
+  double double_or(const std::string& name, double def) const {
+    const auto v = value(name);
+    if (!v) return def;
+    try {
+      std::size_t used = 0;
+      const double out = std::stod(*v, &used);
+      if (used != v->size()) throw std::invalid_argument("trailing garbage");
+      return out;
     } catch (const std::exception&) {
       throw std::runtime_error("option " + name + ": not a number: " + *v);
     }
@@ -69,5 +94,58 @@ class CliArgs {
   std::set<std::string> flags_;
   std::vector<std::string> positional_;
 };
+
+// --- shared flag conventions -------------------------------------------------
+
+/// `--seed S` as every tool spells it (default 1, the flow's default seed).
+inline std::uint64_t seed_or(const CliArgs& args, long long def = 1) {
+  return static_cast<std::uint64_t>(args.int_or("--seed", def));
+}
+
+/// `--threads T` as every tool spells it; rejects non-positive counts (the
+/// engines treat their own 0 as "inherit", which is not a CLI concept).
+inline int threads_or(const CliArgs& args, long long def = 1) {
+  const long long t = args.int_or("--threads", def);
+  if (t < 1) throw std::runtime_error("option --threads: must be >= 1");
+  return static_cast<int>(t);
+}
+
+/// Parses "<a><sep><b>" integer pairs: `--fabric WxH`, `--origin X,Y`.
+/// Both halves must be whole integers — "16x1O" fails instead of silently
+/// parsing as 16x1.
+inline std::pair<int, int> parse_pair(const std::string& s, char sep) {
+  const auto pos = s.find(sep);
+  if (pos == std::string::npos) {
+    throw std::runtime_error("expected <a>" + std::string(1, sep) +
+                             "<b>: " + s);
+  }
+  const std::string a = s.substr(0, pos);
+  const std::string b = s.substr(pos + 1);
+  try {
+    std::size_t ua = 0, ub = 0;
+    const int x = std::stoi(a, &ua);
+    const int y = std::stoi(b, &ub);
+    if (ua != a.size() || ub != b.size()) {
+      throw std::invalid_argument("trailing garbage");
+    }
+    return {x, y};
+  } catch (const std::exception&) {
+    throw std::runtime_error("expected integers in <a>" +
+                             std::string(1, sep) + "<b>: " + s);
+  }
+}
+
+/// The shared main() shell of the tools/ binaries: runs `body`, and on any
+/// std::exception prints "<name>: <what>" plus the usage line to stderr and
+/// returns 1. `body` returns the process exit status.
+inline int tool_main(const char* name, const char* usage,
+                     const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "%s: %s\nusage: %s\n", name, ex.what(), usage);
+    return 1;
+  }
+}
 
 }  // namespace vbs

@@ -1,0 +1,374 @@
+// FlowPipeline and artifact-I/O tests: per-stage artifact round trips,
+// container corruption/version/fingerprint rejection, lazy stage execution
+// and invalidation, and the bit-exact resume contract — checkpointing
+// after any prefix and resuming must reproduce the uninterrupted flow's
+// placements, routing trees, stats and final VBS bytes byte for byte, at
+// any thread count, across the 5-circuit perf suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "flow/artifact_io.h"
+#include "flow/flow.h"
+#include "flow/pipeline.h"
+#include "netlist/generator.h"
+#include "netlist/mcnc.h"
+#include "vbs/encoder.h"
+
+namespace vbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("vbs_pipeline_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+Netlist small_netlist(std::uint64_t seed = 11) {
+  GenParams p;
+  p.n_lut = 30;
+  p.n_pi = 6;
+  p.n_po = 6;
+  p.seed = seed;
+  return generate_netlist(p);
+}
+
+FlowOptions small_opts() {
+  FlowOptions o;
+  o.arch.chan_width = 8;
+  o.seed = 5;
+  return o;
+}
+
+void expect_identical_placement(const Placement& a, const Placement& b) {
+  EXPECT_EQ(a.grid_w, b.grid_w);
+  EXPECT_EQ(a.grid_h, b.grid_h);
+  EXPECT_EQ(a.lut_loc, b.lut_loc);
+  ASSERT_EQ(a.io_loc.size(), b.io_loc.size());
+  for (std::size_t i = 0; i < a.io_loc.size(); ++i) {
+    EXPECT_EQ(a.io_loc[i], b.io_loc[i]) << "I/O " << i;
+  }
+}
+
+void expect_identical_routing(const RoutingResult& a, const RoutingResult& b) {
+  ASSERT_EQ(a.success, b.success);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.heap_pops, b.heap_pops);
+  EXPECT_EQ(a.bbox_retries, b.bbox_retries);
+  EXPECT_EQ(a.total_wire_nodes, b.total_wire_nodes);
+  EXPECT_EQ(a.overused_nodes, b.overused_nodes);
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t n = 0; n < a.routes.size(); ++n) {
+    const auto& ra = a.routes[n].nodes;
+    const auto& rb = b.routes[n].nodes;
+    ASSERT_EQ(ra.size(), rb.size()) << "net " << n;
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_EQ(ra[k].rr, rb[k].rr) << "net " << n << " node " << k;
+      EXPECT_EQ(ra[k].parent, rb[k].parent) << "net " << n << " node " << k;
+      EXPECT_EQ(ra[k].fabric_edge, rb[k].fabric_edge)
+          << "net " << n << " node " << k;
+    }
+  }
+}
+
+// --- artifact payload round trips -------------------------------------------
+
+TEST(ArtifactIo, PackedRoundTripsByteExact) {
+  const Netlist nl = small_netlist();
+  ArchSpec spec;
+  spec.chan_width = 8;
+  const PackedDesign pd = pack_netlist(nl, spec);
+  const BitVector bits = serialize_packed(pd);
+  const PackedDesign back = deserialize_packed(bits);
+  EXPECT_EQ(back.luts, pd.luts);
+  EXPECT_EQ(back.ios, pd.ios);
+  EXPECT_EQ(back.lut_pins, pd.lut_pins);
+  EXPECT_EQ(serialize_packed(back), bits);  // byte equality both ways
+}
+
+TEST(ArtifactIo, PlacementRoundTripsByteExact) {
+  const Netlist nl = small_netlist();
+  ArchSpec spec;
+  spec.chan_width = 8;
+  const PackedDesign pd = pack_netlist(nl, spec);
+  PlaceOptions popts;
+  popts.seed = 5;
+  PlaceStats stats;
+  const Placement pl = place_design(nl, pd, spec, 7, 7, popts, &stats);
+  const BitVector bits = serialize_placement(pl, stats);
+  Placement back;
+  PlaceStats back_stats;
+  deserialize_placement(bits, &back, &back_stats);
+  expect_identical_placement(back, pl);
+  EXPECT_EQ(back_stats.initial_cost, stats.initial_cost);
+  EXPECT_EQ(back_stats.final_cost, stats.final_cost);
+  EXPECT_EQ(back_stats.moves, stats.moves);
+  EXPECT_EQ(back_stats.accepted, stats.accepted);
+  EXPECT_EQ(back_stats.temperatures, stats.temperatures);
+  EXPECT_EQ(back_stats.cost_drift, stats.cost_drift);
+  EXPECT_EQ(serialize_placement(back, back_stats), bits);
+}
+
+TEST(ArtifactIo, RoutingRoundTripsByteExact) {
+  FlowResult r = run_flow(small_netlist(), 7, 7, small_opts());
+  ASSERT_TRUE(r.routed());
+  const BitVector bits = serialize_routing(r.routing);
+  const RoutingResult back = deserialize_routing(bits);
+  expect_identical_routing(back, r.routing);
+  EXPECT_EQ(serialize_routing(back), bits);
+}
+
+// --- container rejection -----------------------------------------------------
+
+TEST(ArtifactIo, FileRoundTripAndRejection) {
+  TempDir dir("artifact");
+  fs::create_directories(dir.path);
+  const std::string path = dir.path + "/test.art";
+  BitVector payload;
+  payload.append_bits(0xdeadbeefcafe, 48);
+  write_artifact_file(path, ArtifactStage::kPack, 42, payload);
+
+  const std::uint64_t good_fp = 42;
+  EXPECT_EQ(read_artifact_file(path, ArtifactStage::kPack, &good_fp), payload);
+
+  // Wrong expected stage tag.
+  EXPECT_THROW(read_artifact_file(path, ArtifactStage::kRoute, &good_fp),
+               ArtifactError);
+  // Fingerprint mismatch (stale / foreign checkpoint).
+  const std::uint64_t bad_fp = 43;
+  EXPECT_THROW(read_artifact_file(path, ArtifactStage::kPack, &bad_fp),
+               ArtifactError);
+
+  const auto read_bytes = [&] {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  const auto write_bytes = [&](const std::string& bytes) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const std::string original = read_bytes();
+
+  // Version/magic mismatch: a future "VAR2" file must be rejected.
+  std::string bad = original;
+  bad[3] = '2';
+  write_bytes(bad);
+  EXPECT_THROW(read_artifact_file(path, ArtifactStage::kPack, &good_fp),
+               ArtifactError);
+
+  // Corrupted payload: content hash catches a flipped byte.
+  bad = original;
+  bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] ^ 0x40);
+  write_bytes(bad);
+  EXPECT_THROW(read_artifact_file(path, ArtifactStage::kPack, &good_fp),
+               ArtifactError);
+
+  // Truncated payload and truncated header.
+  write_bytes(original.substr(0, original.size() - 2));
+  EXPECT_THROW(read_artifact_file(path, ArtifactStage::kPack, &good_fp),
+               ArtifactError);
+  write_bytes(original.substr(0, 10));
+  EXPECT_THROW(read_artifact_file(path, ArtifactStage::kPack, &good_fp),
+               ArtifactError);
+}
+
+// --- pipeline semantics ------------------------------------------------------
+
+TEST(Pipeline, StagesRunLazilyAndObserversReport) {
+  FlowPipeline pipe(small_netlist(), 7, 7, small_opts());
+  std::vector<Stage> seen;
+  pipe.add_observer([&](const FlowPipeline&, const StageReport& r) {
+    seen.push_back(r.stage);
+  });
+  EXPECT_FALSE(pipe.completed(Stage::kPack));
+  pipe.run_to(Stage::kPlace);
+  EXPECT_TRUE(pipe.completed(Stage::kPack));
+  EXPECT_TRUE(pipe.completed(Stage::kPlace));
+  EXPECT_FALSE(pipe.completed(Stage::kRoute));
+  // Accessors run their producing stage on demand.
+  EXPECT_TRUE(pipe.routing().success);
+  EXPECT_TRUE(pipe.completed(Stage::kRoute));
+  EXPECT_GT(pipe.vbs_stream().size(), 0u);
+  EXPECT_TRUE(pipe.completed(Stage::kEncode));
+  EXPECT_EQ(seen, (std::vector<Stage>{Stage::kPack, Stage::kPlace,
+                                      Stage::kRoute, Stage::kEncode}));
+}
+
+TEST(Pipeline, RerunFromInvalidatesOnlyDownstream) {
+  FlowPipeline pipe(small_netlist(), 7, 7, small_opts());
+  pipe.run_to(Stage::kEncode);
+  const Placement before_place = pipe.placement();
+  const RoutingResult before_route = pipe.routing();
+  const BitVector before_stream = pipe.vbs_stream();
+
+  int place_runs = 0, route_runs = 0;
+  pipe.add_observer([&](const FlowPipeline&, const StageReport& r) {
+    place_runs += r.stage == Stage::kPlace;
+    route_runs += r.stage == Stage::kRoute;
+    EXPECT_TRUE(r.rerun);  // everything ran once already
+  });
+  pipe.rerun_from(Stage::kRoute);
+  EXPECT_EQ(place_runs, 0) << "upstream placement must stay frozen";
+  EXPECT_EQ(route_runs, 1);
+  EXPECT_TRUE(pipe.completed(Stage::kEncode)) << "encode had run: rerun too";
+  // Deterministic engines: the rerun reproduces the first run exactly.
+  expect_identical_placement(pipe.placement(), before_place);
+  expect_identical_routing(pipe.routing(), before_route);
+  EXPECT_EQ(pipe.vbs_stream(), before_stream);
+}
+
+TEST(Pipeline, MatchesRunFlow) {
+  const Netlist nl = small_netlist();
+  const FlowOptions opts = small_opts();
+  FlowResult direct = run_flow(nl, 7, 7, opts);
+  ASSERT_TRUE(direct.routed());
+  FlowPipeline pipe(nl, 7, 7, opts);
+  expect_identical_placement(pipe.placement(), direct.placement);
+  expect_identical_routing(pipe.routing(), direct.routing);
+  // And the legacy conversion gives back the same shape.
+  FlowResult converted = std::move(pipe).take_flow_result();
+  expect_identical_routing(converted.routing, direct.routing);
+  ASSERT_NE(converted.fabric, nullptr);
+  EXPECT_EQ(converted.fabric->width(), 7);
+}
+
+TEST(Pipeline, EncodeThrowsOnUnroutedDesign) {
+  GenParams p;
+  p.n_lut = 90;
+  p.n_pi = 8;
+  p.n_po = 8;
+  p.seed = 3;
+  FlowOptions o;
+  o.arch.chan_width = 3;  // far below feasible
+  o.route.max_iterations = 5;
+  FlowPipeline pipe(generate_netlist(p), 10, 10, o);
+  pipe.run_to(Stage::kRoute);
+  EXPECT_FALSE(pipe.routing().success);
+  EXPECT_THROW(pipe.run_to(Stage::kEncode), std::runtime_error);
+}
+
+// --- checkpoint / resume -----------------------------------------------------
+
+TEST(Pipeline, ResumeRejectsForeignArtifacts) {
+  TempDir dir_a("ckpt_a");
+  TempDir dir_b("ckpt_b");
+  FlowOptions opts_a = small_opts();
+  FlowOptions opts_b = small_opts();
+  opts_b.seed = opts_a.seed + 1;  // different placement seed
+  FlowPipeline a(small_netlist(), 7, 7, opts_a);
+  a.run_to(Stage::kPlace);
+  a.save_checkpoint(dir_a.path);
+  FlowPipeline b(small_netlist(), 7, 7, opts_b);
+  b.run_to(Stage::kPlace);
+  b.save_checkpoint(dir_b.path);
+
+  // A clean resume works...
+  EXPECT_TRUE(FlowPipeline::resume_from(dir_a.path).completed(Stage::kPlace));
+  // ...but a place artifact produced under another seed is rejected by its
+  // fingerprint, even though the file itself is intact.
+  fs::copy_file(fs::path(dir_b.path) / "place.art",
+                fs::path(dir_a.path) / "place.art",
+                fs::copy_options::overwrite_existing);
+  EXPECT_THROW(FlowPipeline::resume_from(dir_a.path), ArtifactError);
+}
+
+TEST(Pipeline, SaveDropsStaleDownstreamArtifacts) {
+  TempDir dir("ckpt_stale");
+  FlowPipeline pipe(small_netlist(), 7, 7, small_opts());
+  pipe.run_to(Stage::kEncode);
+  pipe.save_checkpoint(dir.path);
+  EXPECT_TRUE(fs::exists(fs::path(dir.path) / "route.art"));
+  // Saving only the pack+place prefix must remove the deeper artifacts, so
+  // a reused directory never mixes checkpoint generations.
+  pipe.save_checkpoint(dir.path, Stage::kPlace);
+  EXPECT_TRUE(fs::exists(fs::path(dir.path) / "place.art"));
+  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "route.art"));
+  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "encode.art"));
+  FlowPipeline re = FlowPipeline::resume_from(dir.path);
+  EXPECT_TRUE(re.completed(Stage::kPlace));
+  EXPECT_FALSE(re.completed(Stage::kRoute));
+}
+
+// The acceptance bar of the redesign: for every circuit of the perf suite,
+// checkpointing after pack/place/route and resuming produces placements,
+// routing trees, stats and final VBS bytes identical to the uninterrupted
+// run — pipeline vs run_flow, at threads 1 and 8, and rerun_from(route) on
+// a loaded placement matches the full flow's routing byte for byte.
+TEST(Pipeline, ResumeIsBitExactAcrossSuite) {
+  std::vector<McncCircuit> cs = mcnc20();
+  std::sort(cs.begin(), cs.end(),
+            [](const McncCircuit& a, const McncCircuit& b) {
+              return a.lbs < b.lbs;
+            });
+  cs.resize(5);
+  for (const McncCircuit& c : cs) {
+    SCOPED_TRACE(c.name);
+    const Netlist nl = make_mcnc_like(c, 1);
+    FlowOptions opts;
+    opts.arch.chan_width = 20;
+    opts.seed = 1;
+    opts.place.effort = 0.25;  // resume identity is under test, not quality
+    BitVector ref_stream;      // thread-1 stream; all legs must match it
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE(threads);
+      opts.threads = threads;
+      FlowResult direct = run_flow(nl, c.size, c.size, opts);
+      ASSERT_TRUE(direct.routed());
+
+      TempDir dir("suite_" + c.name + "_t" + std::to_string(threads));
+      // Stage by stage with a save/resume round trip at every boundary:
+      // the remainder after each resume must reproduce the direct run.
+      FlowPipeline p0(nl, c.size, c.size, opts);
+      p0.run_to(Stage::kPack);
+      p0.save_checkpoint(dir.path);
+
+      FlowPipeline p1 = FlowPipeline::resume_from(dir.path);
+      EXPECT_TRUE(p1.completed(Stage::kPack));
+      EXPECT_FALSE(p1.completed(Stage::kPlace));
+      p1.run_to(Stage::kPlace);
+      expect_identical_placement(p1.placement(), direct.placement);
+      const PlaceStats run_stats = p1.place_stats();
+      p1.save_checkpoint(dir.path);
+
+      FlowPipeline p2 = FlowPipeline::resume_from(dir.path);
+      EXPECT_TRUE(p2.completed(Stage::kPlace));
+      // rerun_from(route) on the loaded, frozen placement == full flow.
+      p2.rerun_from(Stage::kRoute);
+      expect_identical_routing(p2.routing(), direct.routing);
+      p2.save_checkpoint(dir.path);
+
+      FlowPipeline p3 = FlowPipeline::resume_from(dir.path);
+      EXPECT_TRUE(p3.completed(Stage::kRoute));
+      expect_identical_placement(p3.placement(), direct.placement);
+      expect_identical_routing(p3.routing(), direct.routing);
+      const BitVector& stream = p3.vbs_stream();
+      ASSERT_GT(stream.size(), 0u);
+      if (ref_stream.empty()) {
+        ref_stream = stream;
+      } else {
+        EXPECT_EQ(stream, ref_stream)
+            << "final VBS bytes must be thread-count invariant";
+      }
+      // The deterministic place stats survive the checkpoint chain.
+      EXPECT_EQ(p3.place_stats().moves, run_stats.moves);
+      EXPECT_EQ(p3.place_stats().accepted, run_stats.accepted);
+      EXPECT_EQ(p3.place_stats().final_cost, run_stats.final_cost);
+      EXPECT_EQ(p3.place_stats().cost_drift, run_stats.cost_drift);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vbs

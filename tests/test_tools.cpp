@@ -80,6 +80,55 @@ TEST(Cli, RejectsUnknownAndDangling) {
   EXPECT_THROW(args.int_or("--n", 0), std::runtime_error);
 }
 
+TEST(Cli, SharedFlagHelpers) {
+  const char* argv[] = {"tool", "--seed", "9", "--threads", "4",
+                        "--effort", "0.5"};
+  const CliArgs args(7, const_cast<char**>(argv),
+                     {"--seed", "--threads", "--effort"}, {});
+  EXPECT_EQ(seed_or(args), 9u);
+  EXPECT_EQ(threads_or(args), 4);
+  EXPECT_EQ(args.double_or("--effort", 1.0), 0.5);
+  EXPECT_EQ(args.double_or("--missing", 1.25), 1.25);
+
+  const char* none[] = {"tool"};
+  const CliArgs empty(1, const_cast<char**>(none), {}, {});
+  EXPECT_EQ(seed_or(empty), 1u);  // the flow's default seed
+  EXPECT_EQ(threads_or(empty), 1);
+  EXPECT_EQ(threads_or(empty, 8), 8);
+
+  const char* bad[] = {"tool", "--threads", "0", "--effort", "fast"};
+  const CliArgs badargs(5, const_cast<char**>(bad),
+                        {"--threads", "--effort"}, {});
+  EXPECT_THROW(threads_or(badargs), std::runtime_error);
+  EXPECT_THROW(badargs.double_or("--effort", 1.0), std::runtime_error);
+}
+
+TEST(Cli, ParsePairAcceptsBothSeparators) {
+  EXPECT_EQ(parse_pair("16x12", 'x'), (std::pair{16, 12}));
+  EXPECT_EQ(parse_pair("3,7", ','), (std::pair{3, 7}));
+  EXPECT_EQ(parse_pair("-1,2", ','), (std::pair{-1, 2}));
+  EXPECT_THROW(parse_pair("16", 'x'), std::runtime_error);
+  EXPECT_THROW(parse_pair("ax2", 'x'), std::runtime_error);
+  // Trailing garbage must fail loudly, not truncate: 1O is a typo, not 1.
+  EXPECT_THROW(parse_pair("16x1O", 'x'), std::runtime_error);
+  EXPECT_THROW(parse_pair("3,4x", ','), std::runtime_error);
+}
+
+TEST(Cli, NumericOptionsRejectTrailingGarbage) {
+  const char* argv[] = {"tool", "--n", "12a", "--f", "0.5x"};
+  const CliArgs args(5, const_cast<char**>(argv), {"--n", "--f"}, {});
+  EXPECT_THROW(args.int_or("--n", 0), std::runtime_error);
+  EXPECT_THROW(args.double_or("--f", 0.0), std::runtime_error);
+}
+
+TEST(Cli, ToolMainReportsErrorsWithUsage) {
+  EXPECT_EQ(tool_main("t", "t <arg>", [] { return 0; }), 0);
+  EXPECT_EQ(tool_main("t", "t <arg>", [] { return 2; }), 2);
+  EXPECT_EQ(tool_main("t", "t <arg>",
+                      []() -> int { throw std::runtime_error("boom"); }),
+            1);
+}
+
 TEST(NetlistIo, FileRoundTrip) {
   GenParams p;
   p.n_lut = 30;

@@ -14,33 +14,40 @@
 
 using namespace vbs;
 
+namespace {
+
+constexpr const char* kUsage =
+    "netlistgen --out circuit.netl [--luts N] [--pis N] [--pos N] "
+    "[--p-local F] [--seed S] [--mcnc name]";
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  try {
+  return tool_main("netlistgen", kUsage, [&] {
     const CliArgs args(argc, argv,
                        {"--out", "--luts", "--pis", "--pos", "--p-local",
                         "--seed", "--mcnc"},
                        {"--help"});
     if (args.has_flag("--help") || !args.value("--out")) {
-      std::fprintf(stderr,
-                   "usage: netlistgen --out circuit.netl [--luts N] [--pis N] "
-                   "[--pos N] [--p-local F] [--seed S] [--mcnc name]\n");
+      std::fprintf(stderr, "usage: %s\n", kUsage);
       return args.has_flag("--help") ? 0 : 1;
     }
-    const auto seed = static_cast<std::uint64_t>(args.int_or("--seed", 1));
+    const std::uint64_t seed = seed_or(args);
 
     Netlist nl;
     if (const auto name = args.value("--mcnc")) {
       const McncCircuit& c = mcnc_by_name(*name);
       nl = make_mcnc_like(c, seed);
-      std::printf("netlistgen: %s stand-in (%d LBs, array %dx%d, paper MCW %d)\n",
-                  c.name.c_str(), c.lbs, c.size, c.size, c.mcw);
+      std::printf(
+          "netlistgen: %s stand-in (%d LBs, array %dx%d, paper MCW %d)\n",
+          c.name.c_str(), c.lbs, c.size, c.size, c.mcw);
     } else {
       GenParams p;
       p.n_lut = static_cast<int>(args.int_or("--luts", 100));
       p.n_pi = static_cast<int>(args.int_or("--pis", 8));
       p.n_po = static_cast<int>(args.int_or("--pos", 8));
       p.seed = seed;
-      if (const auto pl = args.value("--p-local")) p.p_local = std::stod(*pl);
+      p.p_local = args.double_or("--p-local", p.p_local);
       nl = generate_netlist(p);
       std::printf("netlistgen: synthetic circuit (%d LUTs, %d PIs, %d POs)\n",
                   p.n_lut, p.n_pi, p.n_po);
@@ -48,8 +55,5 @@ int main(int argc, char** argv) {
     write_netlist_file(args.value_or("--out", ""), nl);
     std::printf("netlistgen: wrote %s\n", args.value_or("--out", "").c_str());
     return 0;
-  } catch (const std::exception& ex) {
-    std::fprintf(stderr, "netlistgen: %s\n", ex.what());
-    return 1;
-  }
+  });
 }

@@ -16,17 +16,22 @@
 
 using namespace vbs;
 
+namespace {
+
+constexpr const char* kUsage =
+    "rtcgen --pattern steady|bursty|diurnal|churn [--events N] [--ticks T] "
+    "[--seed S] [--fabric WxH] [--kinds K] [--out trace.rtc]";
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  try {
+  return tool_main("rtcgen", kUsage, [&] {
     const CliArgs args(argc, argv,
                        {"--pattern", "--events", "--ticks", "--seed",
                         "--fabric", "--kinds", "--out"},
                        {"--help"});
     if (args.has_flag("--help") || !args.positional().empty()) {
-      std::fprintf(stderr,
-                   "usage: rtcgen --pattern steady|bursty|diurnal|churn "
-                   "[--events N] [--ticks T] [--seed S] [--fabric WxH] "
-                   "[--kinds K] [--out trace.rtc]\n");
+      std::fprintf(stderr, "usage: %s\n", kUsage);
       return args.has_flag("--help") ? 0 : 1;
     }
     TraceGenOptions opts;
@@ -34,15 +39,10 @@ int main(int argc, char** argv) {
         arrival_pattern_from_string(args.value_or("--pattern", "steady"));
     opts.events = static_cast<int>(args.int_or("--events", opts.events));
     opts.ticks = static_cast<int>(args.int_or("--ticks", opts.ticks));
-    opts.seed = static_cast<std::uint64_t>(args.int_or("--seed", 1));
+    opts.seed = seed_or(args);
     opts.kinds = static_cast<int>(args.int_or("--kinds", opts.kinds));
     if (const auto fabric = args.value("--fabric")) {
-      const std::size_t x = fabric->find('x');
-      if (x == std::string::npos) {
-        throw std::runtime_error("--fabric wants WxH, e.g. 16x12");
-      }
-      opts.fabric_w = std::stoi(fabric->substr(0, x));
-      opts.fabric_h = std::stoi(fabric->substr(x + 1));
+      std::tie(opts.fabric_w, opts.fabric_h) = parse_pair(*fabric, 'x');
     }
 
     const Trace trace = generate_trace(opts);
@@ -54,8 +54,5 @@ int main(int argc, char** argv) {
       std::fputs(trace_to_string(trace).c_str(), stdout);
     }
     return 0;
-  } catch (const std::exception& ex) {
-    std::fprintf(stderr, "rtcgen: %s\n", ex.what());
-    return 1;
-  }
+  });
 }

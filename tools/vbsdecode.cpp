@@ -5,9 +5,12 @@
 //
 // Usage:
 //   vbsdecode <task.vbs> --out config.bin [--fabric WxH] [--origin X,Y]
-//             [--threads N]
+//             [--threads N] [--json]
 //
 // The fabric defaults to exactly the task footprint at origin 0,0.
+// --json replaces the human-readable report with a single JSON object
+// (stable keys, same conventions as vbsinfo --json; suitable for traces
+// and CI scripting).
 #include <cstdio>
 
 #include "rtc/controller.h"
@@ -19,26 +22,20 @@ using namespace vbs;
 
 namespace {
 
-std::pair<int, int> parse_pair(const std::string& s, char sep) {
-  const auto pos = s.find(sep);
-  if (pos == std::string::npos) {
-    throw std::runtime_error("expected <a>" + std::string(1, sep) + "<b>: " + s);
-  }
-  return {std::stoi(s.substr(0, pos)), std::stoi(s.substr(pos + 1))};
-}
+constexpr const char* kUsage =
+    "vbsdecode <task.vbs> --out config.bin [--fabric WxH] [--origin X,Y] "
+    "[--threads N] [--json]";
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
+  return tool_main("vbsdecode", kUsage, [&] {
     const CliArgs args(argc, argv,
                        {"--out", "--fabric", "--origin", "--threads"},
-                       {"--help"});
+                       {"--json", "--help"});
     if (args.has_flag("--help") || args.positional().size() != 1 ||
         !args.value("--out")) {
-      std::fprintf(stderr,
-                   "usage: vbsdecode <task.vbs> --out config.bin "
-                   "[--fabric WxH] [--origin X,Y] [--threads N]\n");
+      std::fprintf(stderr, "usage: %s\n", kUsage);
       return args.has_flag("--help") ? 0 : 1;
     }
     const BitVector stream = read_vbs_file(args.positional()[0]);
@@ -52,7 +49,7 @@ int main(int argc, char** argv) {
     if (const auto o = args.value("--origin")) {
       std::tie(origin.x, origin.y) = parse_pair(*o, ',');
     }
-    const int threads = static_cast<int>(args.int_or("--threads", 1));
+    const int threads = threads_or(args);
 
     // Route the load through the controller so the tool measures exactly
     // what the runtime would do.
@@ -61,6 +58,32 @@ int main(int argc, char** argv) {
     const TaskRecord& rec = rtc.record(id);
     write_vbs_file(args.value_or("--out", ""), rtc.config_memory());
 
+    const double mbits_per_sec =
+        static_cast<double>(rtc.fabric().config_bits_total()) / 1e6 /
+        rec.decode_seconds;
+    if (args.has_flag("--json")) {
+      std::printf("{\n");
+      std::printf("  \"stream_bits\": %zu,\n", stream.size());
+      std::printf(
+          "  \"task\": {\"w\": %d, \"h\": %d, \"cluster\": %d},\n",
+          img.task_w, img.task_h, img.cluster);
+      std::printf("  \"fabric\": {\"w\": %d, \"h\": %d},\n", fw, fh);
+      std::printf("  \"origin\": {\"x\": %d, \"y\": %d},\n", origin.x,
+                  origin.y);
+      std::printf(
+          "  \"decode\": {\"entries\": %lld, \"raw_entries\": %lld, "
+          "\"pairs_routed\": %lld, \"nodes_expanded\": %lld},\n",
+          rec.decode.entries_decoded, rec.decode.raw_entries,
+          rec.decode.pairs_routed, rec.decode.nodes_expanded);
+      std::printf("  \"config_bits\": %zu,\n",
+                  rtc.fabric().config_bits_total());
+      std::printf(
+          "  \"timing\": {\"seconds\": %.6f, \"threads\": %d, "
+          "\"mbits_per_sec\": %.2f}\n",
+          rec.decode_seconds, rec.threads_used, mbits_per_sec);
+      std::printf("}\n");
+      return 0;
+    }
     std::printf("vbsdecode: task %dx%d (cluster %d) at (%d,%d) on %dx%d\n",
                 img.task_w, img.task_h, img.cluster, origin.x, origin.y, fw,
                 fh);
@@ -72,12 +95,7 @@ int main(int argc, char** argv) {
     std::printf(
         "vbsdecode: %.3f s with %d thread(s): %.2f Mb of configuration per "
         "second\n",
-        rec.decode_seconds, rec.threads_used,
-        static_cast<double>(rtc.fabric().config_bits_total()) / 1e6 /
-            rec.decode_seconds);
+        rec.decode_seconds, rec.threads_used, mbits_per_sec);
     return 0;
-  } catch (const std::exception& ex) {
-    std::fprintf(stderr, "vbsdecode: %s\n", ex.what());
-    return 1;
-  }
+  });
 }

@@ -147,10 +147,11 @@ void print_text(const BitVector& stream, const VbsImage& img,
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
+  constexpr const char* kUsage = "vbsinfo <task.vbs> [--entries] [--json]";
+  return tool_main("vbsinfo", kUsage, [&] {
     const CliArgs args(argc, argv, {}, {"--entries", "--json", "--help"});
     if (args.has_flag("--help") || args.positional().size() != 1) {
-      std::fprintf(stderr, "usage: vbsinfo <task.vbs> [--entries] [--json]\n");
+      std::fprintf(stderr, "usage: %s\n", kUsage);
       return args.has_flag("--help") ? 0 : 1;
     }
     const BitVector stream = read_vbs_file(args.positional()[0]);
@@ -163,8 +164,5 @@ int main(int argc, char** argv) {
       print_text(stream, img, region, summary, args.has_flag("--entries"));
     }
     return 0;
-  } catch (const std::exception& ex) {
-    std::fprintf(stderr, "vbsinfo: %s\n", ex.what());
-    return 1;
-  }
+  });
 }
