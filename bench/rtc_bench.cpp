@@ -7,7 +7,15 @@
 // against a ReconfigService tick by tick and records throughput, load
 // latency percentiles, cache effectiveness, fragmentation and evictions.
 //
-// Each trace is replayed four times:
+// After the classic suite, two adversarial overload legs (flash_crowd,
+// unique_flood) replay with a bounded admission queue, per-request
+// deadlines, tenant priorities (tenant 0 = high-priority background,
+// tenant 1 = the flood) and a deterministic fault plan; the harness
+// reports per-tenant latency percentiles in modeled ticks plus
+// shed/retry/deadline counters, and FAILS unless the high-priority
+// tenant is never shed and its p99 stays at or below the flood's.
+//
+// Each classic trace is replayed four times:
 //   warm @ --threads  the headline run (decoded-stream cache enabled);
 //   cold @ --threads  cache capacity 0 — loads and relocations re-pay
 //                     devirtualization (batch-level dedup of identical
@@ -19,13 +27,14 @@
 //                     eviction log must be byte-identical to the headline
 //                     run at any thread count.
 //
-// Results go to stdout as a table and to a JSON file (vbs.rtc_bench.v1,
+// Results go to stdout as a table and to a JSON file (vbs.rtc_bench.v2,
 // documented in bench/README.md). BENCH_rtc.json at the repo root is the
 // committed trajectory.
 //
 // Usage:
 //   rtc_bench [--smoke] [--trace FILE] [--policy P] [--threads T]
 //             [--cache-bits N] [--events N] [--ticks K] [--seed S]
+//             [--queue-limit N] [--deadline T] [--faults SPEC]
 //             [--out PATH]
 #include <algorithm>
 #include <chrono>
@@ -98,6 +107,7 @@ struct Replay {
   std::vector<EvictionEvent> evictions;
   std::vector<double> load_latencies;  ///< seconds, committed loads only
   long long done = 0, rejected = 0, failed = 0;
+  long long shed = 0, deadline_misses = 0;
   double drain_seconds = 0.0;
   double frag_sum = 0.0;
   int frag_samples = 0;
@@ -106,11 +116,23 @@ struct Replay {
   long long cache_hits = 0, cache_misses = 0;
   long long cache_insertions = 0, cache_evictions = 0;
   std::size_t cache_size_bits = 0;
+  /// Per-request outcome stream (admission order per drain), for replay
+  /// equality across thread counts: status and modeled latency of every
+  /// request.
+  std::vector<int> statuses;
+  std::vector<long long> latency_ticks;
+  /// Modeled-tick latencies of committed loads, by tenant.
+  std::map<int, std::vector<double>> tenant_done_ticks;
+  std::map<int, TenantStats> tenants;
 };
 
 Replay replay_trace(const Trace& trace, StreamLibrary& lib,
-                    const ArchSpec& arch, const ServiceOptions& opts) {
+                    const ArchSpec& arch, const ServiceOptions& opts,
+                    const std::map<int, int>& priorities = {}) {
   ReconfigService svc(arch, trace.fabric_w, trace.fabric_h, opts);
+  for (const auto& [tenant, prio] : priorities) {
+    svc.set_tenant_priority(tenant, prio);
+  }
   Replay out;
   std::vector<RequestId> request_of_event(trace.events.size(), kNoRequest);
 
@@ -123,16 +145,18 @@ Replay replay_trace(const Trace& trace, StreamLibrary& lib,
       const TraceEvent& e = trace.events[next];
       switch (e.kind) {
         case TraceEvent::Kind::kLoad:
-          request_of_event[next] = svc.submit_load(lib.stream_for(
-              trace.kinds[static_cast<std::size_t>(e.task_kind)]));
+          request_of_event[next] = svc.submit_load(
+              lib.stream_for(
+                  trace.kinds[static_cast<std::size_t>(e.task_kind)]),
+              e.tenant);
           break;
         case TraceEvent::Kind::kUnload:
           request_of_event[next] = svc.submit_unload(
-              request_of_event[static_cast<std::size_t>(e.ref)]);
+              request_of_event[static_cast<std::size_t>(e.ref)], e.tenant);
           break;
         case TraceEvent::Kind::kRelocate:
           request_of_event[next] = svc.submit_relocate(
-              request_of_event[static_cast<std::size_t>(e.ref)]);
+              request_of_event[static_cast<std::size_t>(e.ref)], e.tenant);
           break;
       }
       ++next;
@@ -145,11 +169,17 @@ Replay replay_trace(const Trace& trace, StreamLibrary& lib,
         case RequestStatus::kDone: ++out.done; break;
         case RequestStatus::kRejected: ++out.rejected; break;
         case RequestStatus::kFailed: ++out.failed; break;
+        case RequestStatus::kShed: ++out.shed; break;
+        case RequestStatus::kDeadline: ++out.deadline_misses; break;
         case RequestStatus::kQueued: break;
       }
       if (r.kind == RequestKind::kLoad && r.status == RequestStatus::kDone) {
         out.load_latencies.push_back(r.latency_seconds);
+        out.tenant_done_ticks[r.tenant].push_back(
+            static_cast<double>(r.latency_ticks));
       }
+      out.statuses.push_back(static_cast<int>(r.status));
+      out.latency_ticks.push_back(r.latency_ticks);
     }
     out.frag_sum += svc.fragmentation();
     ++out.frag_samples;
@@ -165,6 +195,7 @@ Replay replay_trace(const Trace& trace, StreamLibrary& lib,
   out.cache_insertions = svc.cache().insertions();
   out.cache_evictions = svc.cache().evictions();
   out.cache_size_bits = svc.cache().size_bits();
+  out.tenants = svc.tenant_stats();
   return out;
 }
 
@@ -190,14 +221,36 @@ struct TraceRecord {
   double throughput = 0.0;
 };
 
+/// One adversarial overload leg: bounded queue + deadlines + priorities +
+/// fault plan. No cold comparison (the fault plan's decode faults key off
+/// cache misses by design), but the replay must still be byte-identical
+/// across thread counts — statuses and tick latencies included.
+struct OverloadRecord {
+  Trace trace;
+  Replay run;
+  bool deterministic = false;
+  /// p50/p99 of committed-load latency in modeled ticks, per tenant.
+  std::map<int, std::pair<double, double>> tick_percentiles;
+};
+
+bool same_outcomes(const Replay& a, const Replay& b) {
+  return a.config == b.config && same_evictions(a.evictions, b.evictions) &&
+         a.statuses == b.statuses && a.latency_ticks == b.latency_ticks &&
+         a.stats.shed == b.stats.shed && a.stats.retries == b.stats.retries &&
+         a.stats.deadline_misses == b.stats.deadline_misses &&
+         a.stats.faults_injected == b.stats.faults_injected;
+}
+
 void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
-                bool smoke, const ServiceOptions& sopts, std::uint64_t seed) {
+                const std::vector<OverloadRecord>& over, bool smoke,
+                const ServiceOptions& sopts, const ServiceOptions& oopts,
+                std::uint64_t seed) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"vbs.rtc_bench.v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"vbs.rtc_bench.v2\",\n");
   std::fprintf(f,
                "  \"options\": {\"smoke\": %s, \"policy\": \"%s\", "
                "\"threads\": %d, \"cache_bits\": %zu, \"evict_to_fit\": %s, "
@@ -205,6 +258,12 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
                smoke ? "true" : "false", sopts.policy.c_str(), sopts.threads,
                sopts.cache_capacity_bits, sopts.evict_to_fit ? "true" : "false",
                sopts.max_batch, static_cast<unsigned long long>(seed));
+  std::fprintf(f,
+               "  \"overload_options\": {\"queue_limit\": %zu, "
+               "\"deadline_ticks\": %lld, \"retry_limit\": %d, "
+               "\"retry_backoff_ticks\": %lld, \"faults\": \"%s\"},\n",
+               oopts.queue_limit, oopts.deadline_ticks, oopts.retry_limit,
+               oopts.retry_backoff_ticks, oopts.faults.spec().c_str());
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"traces\": [\n");
@@ -232,9 +291,11 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
     std::fprintf(f,
                  "     \"requests\": {\"loads\": %lld, \"unloads\": %lld, "
                  "\"relocates\": %lld, \"done\": %lld, \"rejected\": %lld, "
-                 "\"failed\": %lld},\n",
+                 "\"failed\": %lld, \"shed\": %lld, \"deadline_misses\": "
+                 "%lld, \"retries\": %lld},\n",
                  w.stats.loads, w.stats.unloads, w.stats.relocates, w.done,
-                 w.rejected, w.failed);
+                 w.rejected, w.failed, w.shed, w.deadline_misses,
+                 w.stats.retries);
     std::fprintf(f,
                  "     \"replay_seconds\": %.4f, \"throughput_rps\": %.0f, "
                  "\"load_latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, "
@@ -277,6 +338,40 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
                  i + 1 < recs.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"overload\": [\n");
+  bool all_over = true;
+  for (std::size_t i = 0; i < over.size(); ++i) {
+    const OverloadRecord& r = over[i];
+    const Replay& w = r.run;
+    all_over &= r.deterministic;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %zu, \"kinds\": %zu, "
+                 "\"done\": %lld, \"rejected\": %lld, \"failed\": %lld, "
+                 "\"shed\": %lld, \"deadline_misses\": %lld, \"retries\": "
+                 "%lld, \"faults_injected\": %lld, \"determinism_ok\": %s,\n",
+                 r.trace.name.c_str(), r.trace.events.size(),
+                 r.trace.kinds.size(), w.done, w.rejected, w.failed, w.shed,
+                 w.deadline_misses, w.stats.retries, w.stats.faults_injected,
+                 r.deterministic ? "true" : "false");
+    std::fprintf(f, "     \"tenants\": [");
+    bool first = true;
+    for (const auto& [tenant, ts] : w.tenants) {
+      const auto pct = r.tick_percentiles.find(tenant);
+      std::fprintf(
+          f,
+          "%s\n      {\"tenant\": %d, \"priority\": %d, \"submitted\": "
+          "%lld, \"done\": %lld, \"rejected\": %lld, \"failed\": %lld, "
+          "\"shed\": %lld, \"deadline_misses\": %lld, \"retries\": %lld, "
+          "\"latency_ticks\": {\"p50\": %.1f, \"p99\": %.1f}}",
+          first ? "" : ",", tenant, ts.priority, ts.submitted, ts.done,
+          ts.rejected, ts.failed, ts.shed, ts.deadline_misses, ts.retries,
+          pct != r.tick_percentiles.end() ? pct->second.first : 0.0,
+          pct != r.tick_percentiles.end() ? pct->second.second : 0.0);
+      first = false;
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < over.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(
       f,
       "  \"summary\": {\"traces\": %zu, \"events\": %lld, "
@@ -284,7 +379,7 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
       "\"decode_nodes_warm\": %lld, \"decode_nodes_cold\": %lld, "
       "\"decode_node_ratio\": %.2f, \"cache_hit_rate\": %.3f, "
       "\"task_evictions\": %lld, \"determinism_ok\": %s, "
-      "\"warm_equals_cold_ok\": %s}\n",
+      "\"warm_equals_cold_ok\": %s, \"overload_ok\": %s}\n",
       recs.size(), tot_events, tot_seconds,
       tot_seconds > 0 ? static_cast<double>(tot_events) / tot_seconds : 0.0,
       tot_warm, tot_cold,
@@ -293,7 +388,8 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
       tot_lookups > 0
           ? static_cast<double>(tot_hits) / static_cast<double>(tot_lookups)
           : 0.0,
-      tot_evict, all_det ? "true" : "false", all_wc ? "true" : "false");
+      tot_evict, all_det ? "true" : "false", all_wc ? "true" : "false",
+      all_over ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -303,7 +399,8 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
 int main(int argc, char** argv) try {
   CliArgs args(argc, argv,
                {"--trace", "--policy", "--threads", "--cache-bits",
-                "--events", "--ticks", "--seed", "--out"},
+                "--events", "--ticks", "--seed", "--out", "--queue-limit",
+                "--deadline", "--faults"},
                {"--smoke", "--no-evict"});
   const bool smoke = args.has_flag("--smoke");
   ServiceOptions sopts;
@@ -315,6 +412,15 @@ int main(int argc, char** argv) try {
   sopts.evict_to_fit = !args.has_flag("--no-evict");
   const auto seed = static_cast<std::uint64_t>(args.int_or("--seed", 1));
   const std::string out = args.value_or("--out", "BENCH_rtc.json");
+
+  // The overload legs: bounded queue, modeled-tick deadlines, retries and
+  // a deterministic fault plan on top of the headline options.
+  ServiceOptions oopts = sopts;
+  oopts.queue_limit =
+      static_cast<std::size_t>(args.int_or("--queue-limit", 8));
+  oopts.deadline_ticks = args.int_or("--deadline", 12);
+  oopts.faults = FaultPlan::parse(args.value_or(
+      "--faults", "seed=9,decode=0.05,alloc=0.05,latency=0.1x6"));
 
   ArchSpec arch;
   arch.chan_width = 8;  // small tasks; W=8 keeps the library flow fast
@@ -342,6 +448,24 @@ int main(int argc, char** argv) try {
   StreamLibrary lib(arch);
   for (const Trace& t : traces) {
     for (const TraceTaskKind& k : t.kinds) lib.stream_for(k);
+  }
+
+  // Adversarial overload traces (skipped when replaying a caller trace).
+  std::vector<Trace> overload_traces;
+  if (!args.value("--trace")) {
+    TraceGenOptions gopts;
+    gopts.events = static_cast<int>(args.int_or("--events", smoke ? 64 : 220));
+    gopts.ticks = static_cast<int>(args.int_or("--ticks", smoke ? 16 : 48));
+    gopts.kinds = smoke ? 4 : 6;
+    gopts.seed = seed;
+    for (const ArrivalPattern p :
+         {ArrivalPattern::kFlashCrowd, ArrivalPattern::kUniqueFlood}) {
+      gopts.pattern = p;
+      overload_traces.push_back(generate_trace(gopts));
+    }
+    for (const Trace& t : overload_traces) {
+      for (const TraceTaskKind& k : t.kinds) lib.stream_for(k);
+    }
   }
 
   std::vector<TraceRecord> recs;
@@ -379,6 +503,34 @@ int main(int argc, char** argv) try {
     recs.push_back(std::move(rec));
   }
 
+  // Overload legs: tenant 0 is the high-priority background workload,
+  // tenant 1 the flood. Replayed at --threads and re-checked at 1 and 2:
+  // statuses, tick latencies, sheds, retries and the final configuration
+  // must be byte-identical — the fault schedule is part of the model.
+  const std::map<int, int> priorities = {{0, 10}, {1, 0}};
+  std::vector<OverloadRecord> over;
+  for (const Trace& t : overload_traces) {
+    OverloadRecord rec;
+    rec.trace = t;
+    std::printf("replaying %-12s overload leg (%zu events, queue %zu, "
+                "deadline %lld)...\n",
+                t.name.c_str(), t.events.size(), oopts.queue_limit,
+                oopts.deadline_ticks);
+    rec.run = replay_trace(t, lib, arch, oopts, priorities);
+    rec.deterministic = true;
+    for (const int threads : {1, 2}) {
+      ServiceOptions d = oopts;
+      d.threads = threads;
+      const Replay run = replay_trace(t, lib, arch, d, priorities);
+      rec.deterministic &= same_outcomes(run, rec.run);
+    }
+    for (const auto& [tenant, ticks] : rec.run.tenant_done_ticks) {
+      rec.tick_percentiles[tenant] = {percentile(ticks, 0.50),
+                                      percentile(ticks, 0.99)};
+    }
+    over.push_back(std::move(rec));
+  }
+
   TablePrinter table({"trace", "events", "rps", "p50 ms", "p99 ms",
                       "hit rate", "nodes w/c", "evict", "frag", "det"});
   for (const TraceRecord& r : recs) {
@@ -403,7 +555,31 @@ int main(int argc, char** argv) try {
   }
   table.print();
 
-  write_json(out, recs, smoke, sopts, seed);
+  if (!over.empty()) {
+    std::printf("\noverload legs (latency in modeled ticks):\n");
+    TablePrinter otable({"trace", "tenant", "prio", "submitted", "done",
+                         "shed", "deadline", "retries", "p50 t", "p99 t"});
+    for (const OverloadRecord& r : over) {
+      for (const auto& [tenant, ts] : r.run.tenants) {
+        const auto pct = r.tick_percentiles.find(tenant);
+        otable.add_row(
+            {r.trace.name, TablePrinter::fmt_int(tenant),
+             TablePrinter::fmt_int(ts.priority),
+             TablePrinter::fmt_int(ts.submitted),
+             TablePrinter::fmt_int(ts.done), TablePrinter::fmt_int(ts.shed),
+             TablePrinter::fmt_int(ts.deadline_misses),
+             TablePrinter::fmt_int(ts.retries),
+             TablePrinter::fmt(
+                 pct != r.tick_percentiles.end() ? pct->second.first : 0.0, 1),
+             TablePrinter::fmt(
+                 pct != r.tick_percentiles.end() ? pct->second.second : 0.0,
+                 1)});
+      }
+    }
+    otable.print();
+  }
+
+  write_json(out, recs, over, smoke, sopts, oopts, seed);
   std::printf("\nwrote %s\n", out.c_str());
 
   // Fail loudly: a nondeterministic replay or a cached commit that diverges
@@ -437,13 +613,53 @@ int main(int argc, char** argv) try {
                  floor);
     ok = false;
   }
+  // QoS promises of the overload legs: the flood is shed, the
+  // high-priority tenant never is, and its p99 stays at or below the
+  // flood's — all under an identical replay at every thread count.
+  for (const OverloadRecord& r : over) {
+    if (!r.deterministic) {
+      std::fprintf(stderr,
+                   "FAIL: %s overload replay differs across thread counts\n",
+                   r.trace.name.c_str());
+      ok = false;
+    }
+    const auto t0 = r.run.tenants.find(0);
+    const auto t1 = r.run.tenants.find(1);
+    if (t0 == r.run.tenants.end() || t1 == r.run.tenants.end()) {
+      std::fprintf(stderr, "FAIL: %s overload leg missing a tenant\n",
+                   r.trace.name.c_str());
+      ok = false;
+      continue;
+    }
+    if (t0->second.shed != 0) {
+      std::fprintf(stderr, "FAIL: %s shed %lld high-priority requests\n",
+                   r.trace.name.c_str(), t0->second.shed);
+      ok = false;
+    }
+    if (t1->second.shed == 0) {
+      std::fprintf(stderr, "FAIL: %s overload leg never shed the flood\n",
+                   r.trace.name.c_str());
+      ok = false;
+    }
+    const auto p0 = r.tick_percentiles.find(0);
+    const auto p1 = r.tick_percentiles.find(1);
+    if (p0 != r.tick_percentiles.end() && p1 != r.tick_percentiles.end() &&
+        p0->second.second > p1->second.second) {
+      std::fprintf(stderr,
+                   "FAIL: %s high-priority p99 %.1f ticks above flood p99 "
+                   "%.1f\n",
+                   r.trace.name.c_str(), p0->second.second, p1->second.second);
+      ok = false;
+    }
+  }
   return ok ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr,
                "rtc_bench: %s\n"
                "usage: rtc_bench [--smoke] [--trace FILE] [--policy P] "
                "[--threads T] [--cache-bits N] [--events N] [--ticks K] "
-               "[--seed S] [--no-evict] [--out PATH]\n",
+               "[--seed S] [--no-evict] [--queue-limit N] [--deadline T] "
+               "[--faults SPEC] [--out PATH]\n",
                e.what());
   return 1;
 }

@@ -35,16 +35,6 @@ BitVector make_task(int n_lut, int grid, std::uint64_t seed,
                                   flow.placement, flow.routing.routes, eo));
 }
 
-const char* status_name(RequestStatus s) {
-  switch (s) {
-    case RequestStatus::kQueued: return "queued";
-    case RequestStatus::kDone: return "done";
-    case RequestStatus::kRejected: return "rejected";
-    case RequestStatus::kFailed: return "failed";
-  }
-  return "?";
-}
-
 }  // namespace
 
 int main() {
@@ -76,7 +66,7 @@ int main() {
                   r.kind == RequestKind::kLoad       ? "load"
                   : r.kind == RequestKind::kUnload   ? "unload"
                                                      : "relocate",
-                  status_name(r.status), r.task, to_string(r.rect).c_str(),
+                  to_string(r.status), r.task, to_string(r.rect).c_str(),
                   r.cache_hit ? " [cache hit]" : "",
                   r.evicted_tasks > 0 ? " [evicted victims]" : "");
     }

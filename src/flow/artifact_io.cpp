@@ -214,9 +214,13 @@ BitVector read_artifact_file(const std::string& path, ArtifactStage stage,
                              std::uint64_t* fingerprint_out) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  is.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
   char head[29];
   if (!is.read(head, sizeof head)) {
-    throw ArtifactError("truncated artifact header: " + path);
+    throw ArtifactError("truncated artifact header: " + path,
+                        VbsErrc::kTruncated);
   }
   for (int i = 0; i < 4; ++i) {
     if (head[i] != kMagic[i]) {
@@ -235,10 +239,18 @@ BitVector read_artifact_file(const std::string& path, ArtifactStage stage,
         "artifact fingerprint mismatch (stale or foreign checkpoint): " +
         path);
   }
-  const std::size_t nbytes = (static_cast<std::size_t>(bit_count) + 7) / 8;
+  // The declared bit count is untrusted: require it to match the actual
+  // file size before allocating, so a corrupted length field can neither
+  // demand exabytes nor smuggle trailing bytes past the content hash.
+  const std::uint64_t nbytes64 = bit_count / 8 + (bit_count % 8 != 0 ? 1 : 0);
+  if (nbytes64 != file_size - sizeof head) {
+    throw ArtifactError("artifact size mismatch (corrupted length): " + path);
+  }
+  const auto nbytes = static_cast<std::size_t>(nbytes64);
   std::string bytes(nbytes, '\0');
   if (!is.read(bytes.data(), static_cast<std::streamsize>(nbytes))) {
-    throw ArtifactError("truncated artifact payload: " + path);
+    throw ArtifactError("truncated artifact payload: " + path,
+                        VbsErrc::kTruncated);
   }
   if (content_hash(bytes, bit_count) != stored_hash) {
     throw ArtifactError("artifact content-hash mismatch (corrupted): " + path);

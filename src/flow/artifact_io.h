@@ -43,9 +43,11 @@ namespace vbs {
 
 /// Thrown on any malformed, corrupted, version-mismatched or
 /// fingerprint-mismatched artifact file.
-class ArtifactError : public std::runtime_error {
+class ArtifactError : public VbsError {
  public:
-  using std::runtime_error::runtime_error;
+  explicit ArtifactError(const std::string& what,
+                         VbsErrc code = VbsErrc::kBadContainer)
+      : VbsError(code, what) {}
 };
 
 /// Stage tag stored in the container header. kMeta is the checkpoint's

@@ -45,6 +45,9 @@ std::vector<TaskId> ReconfigController::task_ids() const {
 
 void ReconfigController::decode_into(const VbsImage& img, Point origin,
                                      int threads, TaskRecord& rec) {
+  if (fault_plan_ != nullptr && fault_plan_->decode_fails(decode_seq_++)) {
+    throw VbsError(VbsErrc::kFaultInjected, "rtc: injected decode fault");
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t n = img.entries.size();
   std::vector<BitVector> payloads(n);
@@ -87,7 +90,9 @@ void ReconfigController::decode_into(const VbsImage& img, Point origin,
     for (std::thread& t : pool) t.join();
   }
   for (const std::string& err : errors) {
-    if (!err.empty()) throw std::runtime_error("rtc: decode failed: " + err);
+    if (!err.empty()) {
+      throw VbsError(VbsErrc::kDecodeFailed, "rtc: decode failed: " + err);
+    }
   }
 
   // Finalize phase: single-writer into the configuration memory (frames of
@@ -133,7 +138,9 @@ void ReconfigController::check_arch(const VbsImage& img) const {
   if (img.spec.chan_width != fabric_.spec().chan_width ||
       img.spec.lut_k != fabric_.spec().lut_k ||
       img.spec.sb_pattern != fabric_.spec().sb_pattern) {
-    throw std::logic_error("rtc: task architecture mismatch");
+    // Typed (not logic_error): a stream encoded for another architecture
+    // is hostile input a tenant can submit, not a programming error.
+    throw VbsError(VbsErrc::kArchMismatch, "rtc: task architecture mismatch");
   }
 }
 
@@ -163,6 +170,11 @@ TaskId ReconfigController::load_decoded(const VbsImage& img,
                                         int threads_used) {
   check_arch(img);
   check_payloads(img, payloads);
+  if (fault_plan_ != nullptr && fault_plan_->alloc_fails(alloc_seq_++)) {
+    // Before occupy: an injected allocation failure leaves the allocator
+    // and the configuration memory untouched, like a real transient one.
+    throw VbsError(VbsErrc::kFaultInjected, "rtc: injected allocation fault");
+  }
   const Rect rect{origin.x, origin.y, img.task_w, img.task_h};
   alloc_.occupy(rect);  // throws if not free / out of bounds
 

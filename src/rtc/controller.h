@@ -13,6 +13,8 @@
 #include "fabric/fabric.h"
 #include "rtc/allocator.h"
 #include "util/bitvector.h"
+#include "util/error.h"
+#include "util/fault.h"
 #include "vbs/devirtualizer.h"
 #include "vbs/vbs_format.h"
 
@@ -90,6 +92,14 @@ class ReconfigController {
   /// Aggregate decode throughput counters across all loads.
   const DecodeStats& total_decode_stats() const { return total_stats_; }
 
+  /// Installs a deterministic fault plan (util/fault.h): decode_into then
+  /// injects transient decode faults and load_decoded transient allocation
+  /// faults, each keyed by a serial per-site sequence counter and thrown
+  /// as VbsError{kFaultInjected} with full rollback (allocator and
+  /// configuration memory untouched). nullptr (the default) disables
+  /// injection; the plan must outlive the controller.
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+
  private:
   struct LoadedTask {
     TaskRecord rec;
@@ -115,6 +125,9 @@ class ReconfigController {
   std::map<TaskId, LoadedTask> tasks_;
   TaskId next_id_ = 0;
   DecodeStats total_stats_;
+  const FaultPlan* fault_plan_ = nullptr;
+  std::uint64_t decode_seq_ = 0;  ///< fault-plan decision counters; both
+  std::uint64_t alloc_seq_ = 0;   ///< advance serially (commit order)
 };
 
 }  // namespace vbs

@@ -12,7 +12,33 @@ double seconds_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
+/// Fault-plan sequence key of one request attempt: id and attempt are the
+/// logical identity of a processing step, so the same plan rolls the same
+/// faults at any thread count.
+std::uint64_t attempt_key(RequestId id, int attempt) {
+  return (static_cast<std::uint64_t>(id) << 8) |
+         (static_cast<std::uint64_t>(attempt) & 0xff);
+}
+
 }  // namespace
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kQueued:
+      return "queued";
+    case RequestStatus::kDone:
+      return "done";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kFailed:
+      return "failed";
+    case RequestStatus::kShed:
+      return "shed";
+    case RequestStatus::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
 
 ReconfigService::ReconfigService(const ArchSpec& spec, int width, int height,
                                  ServiceOptions opts)
@@ -24,36 +50,94 @@ ReconfigService::ReconfigService(const ArchSpec& spec, int width, int height,
   if (opts_.max_batch < 1) {
     throw std::invalid_argument("service: max_batch must be >= 1");
   }
+  if (opts_.retry_limit < 0 || opts_.retry_backoff_ticks < 0 ||
+      opts_.deadline_ticks < 0) {
+    throw std::invalid_argument(
+        "service: retry_limit/retry_backoff_ticks/deadline_ticks must be "
+        ">= 0");
+  }
+  // The plan lives in opts_, so the pointers stay valid for the service
+  // lifetime; an all-zero plan never fires.
+  rtc_.set_fault_plan(&opts_.faults);
+  cache_.set_fault_plan(&opts_.faults);
 }
 
-RequestId ReconfigService::submit_load(BitVector stream) {
+ReconfigService::Request ReconfigService::make_request(RequestKind kind,
+                                                       int tenant) {
   Request req;
   req.id = next_request_++;
-  req.kind = RequestKind::kLoad;
+  req.kind = kind;
+  req.tenant = tenant;
+  const auto it = tenant_priority_.find(tenant);
+  req.priority = it == tenant_priority_.end() ? 0 : it->second;
+  req.submitted_tick = now_ticks_;
+  req.submitted = Clock::now();
+  TenantStats& t = tenants_[tenant];
+  t.priority = req.priority;
+  ++t.submitted;
+  return req;
+}
+
+void ReconfigService::shed_request(Request& req) {
+  req.shed = true;
+  ++stats_.shed;
+  ++tenants_[req.tenant].shed;
+}
+
+void ReconfigService::admit_load(Request req) {
+  if (opts_.queue_limit == 0 || live_loads_ < opts_.queue_limit) {
+    queue_.push_back(std::move(req));
+    ++live_loads_;
+    return;
+  }
+  // Queue full. Shed the newest queued load of minimal priority — unless
+  // even that one outranks (or ties) the arrival, in which case the
+  // arrival itself is shed. `<=` keeps the latest minimum, so the oldest
+  // work of a tenant survives its own flood.
+  Request* victim = nullptr;
+  for (Request& q : queue_) {
+    if (q.kind != RequestKind::kLoad || q.shed) continue;
+    if (victim == nullptr || q.priority <= victim->priority) victim = &q;
+  }
+  if (victim != nullptr && victim->priority < req.priority) {
+    shed_request(*victim);
+    --live_loads_;
+    queue_.push_back(std::move(req));
+    ++live_loads_;
+  } else {
+    shed_request(req);
+    queue_.push_back(std::move(req));  // still owed a kShed result
+  }
+}
+
+RequestId ReconfigService::submit_load(BitVector stream, int tenant) {
+  Request req = make_request(RequestKind::kLoad, tenant);
   req.stream = std::move(stream);
-  req.submitted = Clock::now();
-  queue_.push_back(std::move(req));
-  return queue_.back().id;
+  const RequestId id = req.id;
+  admit_load(std::move(req));
+  return id;
 }
 
-RequestId ReconfigService::submit_unload(RequestId load_request) {
-  Request req;
-  req.id = next_request_++;
-  req.kind = RequestKind::kUnload;
+RequestId ReconfigService::submit_unload(RequestId load_request, int tenant) {
+  Request req = make_request(RequestKind::kUnload, tenant);
   req.target = load_request;
-  req.submitted = Clock::now();
+  const RequestId id = req.id;
   queue_.push_back(std::move(req));
-  return queue_.back().id;
+  return id;
 }
 
-RequestId ReconfigService::submit_relocate(RequestId load_request) {
-  Request req;
-  req.id = next_request_++;
-  req.kind = RequestKind::kRelocate;
+RequestId ReconfigService::submit_relocate(RequestId load_request,
+                                           int tenant) {
+  Request req = make_request(RequestKind::kRelocate, tenant);
   req.target = load_request;
-  req.submitted = Clock::now();
+  const RequestId id = req.id;
   queue_.push_back(std::move(req));
-  return queue_.back().id;
+  return id;
+}
+
+void ReconfigService::set_tenant_priority(int tenant, int priority) {
+  tenant_priority_[tenant] = priority;
+  tenants_[tenant].priority = priority;
 }
 
 TaskId ReconfigService::task_of(RequestId load_request) const {
@@ -65,7 +149,72 @@ RequestResult ReconfigService::make_result(const Request& req) const {
   RequestResult res;
   res.request = req.id;
   res.kind = req.kind;
+  res.tenant = req.tenant;
+  res.priority = req.priority;
+  res.attempts = req.attempt;
   return res;
+}
+
+void ReconfigService::finish(const Request& req, RequestResult res,
+                             std::vector<RequestResult>& out) {
+  res.latency_ticks = now_ticks_ - req.submitted_tick;
+  res.latency_seconds = seconds_between(req.submitted, Clock::now());
+  TenantStats& t = tenants_[req.tenant];
+  switch (res.status) {
+    case RequestStatus::kDone:
+      ++t.done;
+      break;
+    case RequestStatus::kRejected:
+      ++t.rejected;
+      break;
+    case RequestStatus::kFailed:
+      ++t.failed;
+      break;
+    case RequestStatus::kDeadline:
+      ++t.deadline_misses;
+      break;
+    case RequestStatus::kShed:  // counted at shed time (admission)
+    case RequestStatus::kQueued:
+      break;
+  }
+  out.push_back(std::move(res));
+}
+
+bool ReconfigService::tick_and_check_deadline(const Request& req,
+                                              std::vector<RequestResult>& out) {
+  now_ticks_ = std::max(now_ticks_, req.not_before);
+  const long long spike =
+      opts_.faults.latency_spike_ticks(attempt_key(req.id, req.attempt));
+  if (spike > 0) {
+    now_ticks_ += spike;
+    ++stats_.faults_injected;
+    stats_.latency_spike_ticks += spike;
+  }
+  if (opts_.deadline_ticks > 0 &&
+      now_ticks_ - req.submitted_tick > opts_.deadline_ticks) {
+    RequestResult res = make_result(req);
+    res.status = RequestStatus::kDeadline;
+    res.code = VbsErrc::kDeadline;
+    res.error = "deadline of " + std::to_string(opts_.deadline_ticks) +
+                " ticks exceeded";
+    ++stats_.deadline_misses;
+    finish(req, std::move(res), out);
+    return false;
+  }
+  ++now_ticks_;  // the one-tick service cost of actually processing it
+  return true;
+}
+
+bool ReconfigService::schedule_retry(const Request& req) {
+  if (req.attempt > opts_.retry_limit) return false;
+  Request retry = req;
+  retry.attempt = req.attempt + 1;
+  const int shift = std::min(req.attempt - 1, 20);
+  retry.not_before = now_ticks_ + (opts_.retry_backoff_ticks << shift);
+  queue_.push_back(std::move(retry));
+  ++stats_.retries;
+  ++tenants_[req.tenant].retries;
+  return true;
 }
 
 double ReconfigService::fragmentation() const {
@@ -78,31 +227,66 @@ double ReconfigService::fragmentation() const {
 std::vector<RequestResult> ReconfigService::drain() {
   std::vector<RequestResult> results;
   results.reserve(queue_.size());
+  // Outer loop: retries requeue themselves, so one pass may spawn another.
   while (!queue_.empty()) {
-    if (queue_.front().kind == RequestKind::kLoad) {
-      // Maximal run of consecutive loads, capped at max_batch: one
-      // parallel devirtualization batch. The cap only bounds memory; batch
-      // boundaries depend on the queue alone, never on thread count.
-      std::vector<Request*> batch;
-      for (std::size_t i = 0; i < queue_.size() &&
-                              static_cast<int>(batch.size()) < opts_.max_batch;
-           ++i) {
-        if (queue_[i].kind != RequestKind::kLoad) break;
-        batch.push_back(&queue_[i]);
+    std::vector<Request> work;
+    work.reserve(queue_.size());
+    for (Request& r : queue_) work.push_back(std::move(r));
+    queue_.clear();
+    live_loads_ = 0;
+    // Priority-ordered processing; stable, so equal priorities (the
+    // default: everything 0) keep plain admission order.
+    std::stable_sort(work.begin(), work.end(),
+                     [](const Request& a, const Request& b) {
+                       return a.priority > b.priority;
+                     });
+
+    const auto emit_shed = [&](const Request& r) {
+      RequestResult res = make_result(r);
+      res.status = RequestStatus::kShed;
+      res.code = VbsErrc::kQueueFull;
+      res.error = "shed at admission: queue limit " +
+                  std::to_string(opts_.queue_limit);
+      finish(r, std::move(res), results);
+    };
+
+    std::size_t i = 0;
+    while (i < work.size()) {
+      if (work[i].shed) {
+        emit_shed(work[i]);
+        ++i;
+        continue;
       }
-      process_load_batch(batch, results);
-      queue_.erase(queue_.begin(),
-                   queue_.begin() + static_cast<std::ptrdiff_t>(batch.size()));
-    } else {
-      const Request req = std::move(queue_.front());
-      queue_.pop_front();
-      if (req.kind == RequestKind::kUnload) {
-        process_unload(req, results);
+      if (work[i].kind == RequestKind::kLoad) {
+        // Maximal run of consecutive live loads, capped at max_batch: one
+        // parallel devirtualization batch. The cap only bounds memory;
+        // batch boundaries depend on the (sorted) queue alone, never on
+        // thread count.
+        std::vector<Request*> batch;
+        while (i < work.size() && work[i].kind == RequestKind::kLoad &&
+               static_cast<int>(batch.size()) < opts_.max_batch) {
+          if (work[i].shed) {
+            emit_shed(work[i]);
+          } else {
+            batch.push_back(&work[i]);
+          }
+          ++i;
+        }
+        process_load_batch(batch, results);
+      } else if (work[i].kind == RequestKind::kUnload) {
+        process_unload(work[i], results);
+        ++i;
       } else {
-        process_relocate(req, results);
+        process_relocate(work[i], results);
+        ++i;
       }
     }
   }
+  // One result per request id; ids are admission order.
+  std::stable_sort(results.begin(), results.end(),
+                   [](const RequestResult& a, const RequestResult& b) {
+                     return a.request < b.request;
+                   });
   return results;
 }
 
@@ -146,6 +330,7 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
     std::shared_ptr<const DecodedStream> decoded;  ///< cache or batch dup
     int job = -1;          ///< fresh decode job index, -1 if cached/failed
     bool cache_hit = false;
+    VbsErrc parse_code = VbsErrc::kNone;
     std::string parse_error;
   };
   /// One fresh devirtualization of a distinct stream.
@@ -153,6 +338,7 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
     std::shared_ptr<DecodedStream> decoded = std::make_shared<DecodedStream>();
     std::size_t entry_base = 0;  ///< offset into the flat item arrays
     double decode_seconds = 0.0;
+    VbsErrc code = VbsErrc::kNone;
     std::string error;
   };
   std::vector<Pending> pending(batch.size());
@@ -181,7 +367,12 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
       p.job = static_cast<int>(jobs.size());
       job_of_hash.emplace(p.hash, p.job);
       jobs.push_back(std::move(job));
+    } catch (const VbsError& ex) {
+      // A hostile stream fails this one request, typed; the batch goes on.
+      p.parse_code = ex.code();
+      p.parse_error = ex.what();
     } catch (const std::exception& ex) {
+      p.parse_code = VbsErrc::kDecodeFailed;
       p.parse_error = ex.what();
     }
   }
@@ -206,6 +397,7 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
     std::vector<DecodeStats> item_stats(items.size());
     std::vector<double> item_seconds(items.size(), 0.0);
     std::vector<std::string> item_errors(items.size());
+    std::vector<VbsErrc> item_codes(items.size(), VbsErrc::kNone);
     // Region models are shared per (rank, job): ranks only touch their own
     // row, and a Devirtualizer is reusable but not thread-safe.
     std::vector<std::vector<std::unique_ptr<RegionDecoderCache>>> decoders(
@@ -232,9 +424,14 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
                 &item_stats[idx])) {
           item_errors[idx] = "entry " + std::to_string(e.cx) + "," +
                              std::to_string(e.cy) + " failed to decode";
+          item_codes[idx] = VbsErrc::kDecodeFailed;
         }
+      } catch (const VbsError& ex) {
+        item_errors[idx] = ex.what();
+        item_codes[idx] = ex.code();
       } catch (const std::exception& ex) {
         item_errors[idx] = ex.what();
+        item_codes[idx] = VbsErrc::kDecodeFailed;
       }
       item_seconds[idx] = seconds_between(t0, Clock::now());
     });
@@ -244,25 +441,53 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
       job.decode_seconds += item_seconds[idx];
       if (!item_errors[idx].empty() && job.error.empty()) {
         job.error = item_errors[idx];
+        job.code = item_codes[idx];
       }
     }
     for (const Job& job : jobs) stats_.decode += job.decoded->decode;
   }
 
-  // Commit strictly in admission order.
+  // Commit strictly in processing order.
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Request& req = *batch[i];
     Pending& p = pending[i];
+    if (req.attempt == 1) ++stats_.loads;  // retries are not new requests
+    // A request past its deadline is dropped here: any decode work it
+    // caused above is wasted, exactly like an overloaded real service.
+    if (!tick_and_check_deadline(req, out)) continue;
     RequestResult res = make_result(req);
-    ++stats_.loads;
+
+    if (!p.parse_error.empty()) {
+      res.status = RequestStatus::kFailed;
+      res.code = p.parse_code;
+      res.error = p.parse_error;
+      ++stats_.failed;
+      finish(req, std::move(res), out);
+      continue;
+    }
 
     std::shared_ptr<const DecodedStream> decoded = p.decoded;
     double decode_seconds = 0.0;
     DecodeStats decode_cost;  // stays zero for warm loads
-    std::string error = p.parse_error;
+    VbsErrc code = VbsErrc::kNone;
+    std::string error;
     if (!decoded && p.job >= 0) {
       Job& job = jobs[static_cast<std::size_t>(p.job)];
       if (job.error.empty()) {
+        // Injected transient decode fault: only an attempt that actually
+        // paid for devirtualization can lose it. Batch twins keep their
+        // shared decode; the cache is NOT warmed by a faulted attempt.
+        if (!p.cache_hit &&
+            opts_.faults.decode_fails(attempt_key(req.id, req.attempt))) {
+          ++stats_.faults_injected;
+          if (schedule_retry(req)) continue;  // result owed by the retry
+          res.status = RequestStatus::kFailed;
+          res.code = VbsErrc::kFaultInjected;
+          res.error = "injected decode fault (retries exhausted)";
+          ++stats_.failed;
+          finish(req, std::move(res), out);
+          continue;
+        }
         decoded = job.decoded;
         // The first committer of a fresh decode carries its cost; batch
         // twins of the same content count as warm.
@@ -274,16 +499,17 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
         // retry after departures should not pay for routing again.
         cache_.insert(p.hash, job.decoded);
       } else {
+        code = job.code;
         error = job.error;
       }
     }
 
     if (!decoded) {
       res.status = RequestStatus::kFailed;
+      res.code = code;
       res.error = error;
       ++stats_.failed;
-      res.latency_seconds = seconds_between(req.submitted, Clock::now());
-      out.push_back(std::move(res));
+      finish(req, std::move(res), out);
       continue;
     }
 
@@ -297,36 +523,58 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
     const auto slot = admit_placement(img.task_w, img.task_h, req.id, res);
     if (!slot) {
       res.status = RequestStatus::kRejected;
+      res.code = VbsErrc::kNoPlacement;
       res.error = "no placement for " + std::to_string(img.task_w) + "x" +
                   std::to_string(img.task_h);
       ++stats_.rejected;
-      res.latency_seconds = seconds_between(req.submitted, Clock::now());
-      out.push_back(std::move(res));
+      finish(req, std::move(res), out);
       continue;
     }
-    const TaskId id =
-        rtc_.load_decoded(img, decoded->payloads, req.stream.size(), *slot,
-                          decode_cost, decode_seconds, pool_.size());
+    TaskId id = kNoTask;
+    try {
+      id = rtc_.load_decoded(img, decoded->payloads, req.stream.size(), *slot,
+                             decode_cost, decode_seconds, pool_.size());
+    } catch (const VbsError& ex) {
+      if (ex.code() == VbsErrc::kFaultInjected) {
+        // Injected transient allocation fault (the controller rolled back
+        // before touching the allocator): back off and retry.
+        ++stats_.faults_injected;
+        if (schedule_retry(req)) continue;
+        res.status = RequestStatus::kFailed;
+        res.code = VbsErrc::kFaultInjected;
+        res.error = "injected allocation fault (retries exhausted)";
+      } else {
+        // Hostile stream surviving parse (e.g. wrong architecture): a
+        // typed per-request failure, never a drain teardown.
+        res.status = RequestStatus::kFailed;
+        res.code = ex.code();
+        res.error = ex.what();
+      }
+      ++stats_.failed;
+      finish(req, std::move(res), out);
+      continue;
+    }
     task_of_request_[req.id] = id;
     task_info_[id] = {p.hash, ++use_seq_, req.id};
     res.status = RequestStatus::kDone;
     res.task = id;
     res.rect = rtc_.record(id).rect;
     res.decode_seconds = decode_seconds;
-    res.latency_seconds = seconds_between(req.submitted, Clock::now());
-    out.push_back(std::move(res));
+    finish(req, std::move(res), out);
   }
 }
 
 void ReconfigService::process_unload(const Request& req,
                                      std::vector<RequestResult>& out) {
-  RequestResult res = make_result(req);
   ++stats_.unloads;
+  if (!tick_and_check_deadline(req, out)) return;
+  RequestResult res = make_result(req);
   const TaskId id = task_of(req.target);
   if (id == kNoTask) {
     // Already evicted (or the load never committed): an unload of a gone
     // task is not an error in a multi-tenant queue, just a no-op.
     res.status = RequestStatus::kRejected;
+    res.code = VbsErrc::kNoPlacement;
     res.error = "task of request " + std::to_string(req.target) + " is gone";
     ++stats_.rejected;
   } else {
@@ -336,21 +584,21 @@ void ReconfigService::process_unload(const Request& req,
     forget_task(id);
     res.status = RequestStatus::kDone;
   }
-  res.latency_seconds = seconds_between(req.submitted, Clock::now());
-  out.push_back(std::move(res));
+  finish(req, std::move(res), out);
 }
 
 void ReconfigService::process_relocate(const Request& req,
                                        std::vector<RequestResult>& out) {
-  RequestResult res = make_result(req);
   ++stats_.relocates;
+  if (!tick_and_check_deadline(req, out)) return;
+  RequestResult res = make_result(req);
   const TaskId id = task_of(req.target);
   if (id == kNoTask) {
     res.status = RequestStatus::kRejected;
+    res.code = VbsErrc::kNoPlacement;
     res.error = "task of request " + std::to_string(req.target) + " is gone";
     ++stats_.rejected;
-    res.latency_seconds = seconds_between(req.submitted, Clock::now());
-    out.push_back(std::move(res));
+    finish(req, std::move(res), out);
     return;
   }
   const Rect cur = rtc_.record(id).rect;
@@ -363,27 +611,35 @@ void ReconfigService::process_relocate(const Request& req,
   if (slot) {
     TaskInfo& info = task_info_.at(id);
     const auto t0 = Clock::now();
-    if (const auto cached = cache_.find(info.content_hash)) {
-      rtc_.relocate_decoded(id, *slot, cached->payloads);
-      ++stats_.relocates_cached;
-    } else {
-      // Cache miss (evicted or capacity 0): re-decode the retained image
-      // once — serially, a relocation is a single stream — then warm the
-      // cache with the result so N uncached relocations of the same
-      // content pay for one decode, not N.
-      const auto fresh = decode_stream(rtc_.image_of(id));
-      stats_.decode += fresh->decode;
-      cache_.insert(info.content_hash, fresh);
-      rtc_.relocate_decoded(id, *slot, fresh->payloads);
-      ++stats_.relocates_decoded;
+    try {
+      if (const auto cached = cache_.find(info.content_hash)) {
+        rtc_.relocate_decoded(id, *slot, cached->payloads);
+        ++stats_.relocates_cached;
+      } else {
+        // Cache miss (evicted or capacity 0): re-decode the retained image
+        // once — serially, a relocation is a single stream — then warm the
+        // cache with the result so N uncached relocations of the same
+        // content pay for one decode, not N.
+        const auto fresh = decode_stream(rtc_.image_of(id));
+        stats_.decode += fresh->decode;
+        cache_.insert(info.content_hash, fresh);
+        rtc_.relocate_decoded(id, *slot, fresh->payloads);
+        ++stats_.relocates_decoded;
+      }
+    } catch (const VbsError& ex) {
+      res.status = RequestStatus::kFailed;
+      res.code = ex.code();
+      res.error = ex.what();
+      ++stats_.failed;
+      finish(req, std::move(res), out);
+      return;
     }
     res.decode_seconds = seconds_between(t0, Clock::now());
     res.rect = rtc_.record(id).rect;
     info.last_use = ++use_seq_;
   }
   res.status = RequestStatus::kDone;
-  res.latency_seconds = seconds_between(req.submitted, Clock::now());
-  out.push_back(std::move(res));
+  finish(req, std::move(res), out);
 }
 
 }  // namespace vbs

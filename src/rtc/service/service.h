@@ -6,25 +6,47 @@
 // ReconfigService adds:
 //
 //   admit   submit_* enqueues a request and returns immediately with an id.
-//   decode  drain() walks the queue in admission order; maximal runs of
-//           consecutive loads are devirtualized as one batch on the shared
-//           ThreadPool (entries of all batched streams are one flat work
-//           list — decoding is pure, so scheduling never affects results).
-//           Streams already in the DecodedStreamCache (or duplicated
-//           within the batch) skip devirtualization entirely.
-//   commit  requests complete strictly in admission order against the
+//           When queue_limit is set, admission is bounded: a load arriving
+//           at a full queue sheds either itself or the newest queued load
+//           of strictly lower priority (typed kShed / kQueueFull result),
+//           so a flood from one tenant cannot starve the others.
+//   decode  drain() walks the queue in priority order (stable within a
+//           priority, so the default configuration is plain admission
+//           order); maximal runs of consecutive loads are devirtualized as
+//           one batch on the shared ThreadPool (entries of all batched
+//           streams are one flat work list — decoding is pure, so
+//           scheduling never affects results). Streams already in the
+//           DecodedStreamCache (or duplicated within the batch) skip
+//           devirtualization entirely.
+//   commit  requests complete strictly in processing order against the
 //           placement policy; when a load does not fit and evict_to_fit is
 //           on, the eviction planner clears the cheapest region and the
-//           victims are appended to the eviction log.
+//           victims are appended to the eviction log. Hostile streams
+//           (malformed, undecodable, wrong architecture) complete kFailed
+//           with a typed VbsErrc — they never tear down the drain loop.
 //   evict   both layers are bounded: the stream cache by capacity_bits
 //           (LRU), the fabric by evict-to-fit victim selection.
+//   faults  an injected FaultPlan (util/fault.h) makes decode failures,
+//           allocation failures, cache drops and latency spikes part of
+//           the model: transient injected faults are retried with
+//           exponential backoff up to retry_limit, then complete kFailed
+//           with kFaultInjected.
 //
-// Determinism: for a fixed request sequence the final config_memory(), all
-// task ids, the eviction log and every counter except wall-clock times are
-// byte-identical at any thread count — decode is pure per entry, and every
-// decision (placement, eviction, cache order) happens serially in
-// admission order. A trace therefore replays identically at threads 1 or 8
-// (tests/test_service.cpp holds this as a hard invariant).
+// Time is modeled in integer ticks (now_ticks()): each processed request
+// costs one tick, injected latency spikes cost spike_ticks, and a retry
+// backs off retry_backoff_ticks << (attempt-1). Deadlines (deadline_ticks)
+// are checked against this clock, never the wall clock, so deadline
+// misses are machine-independent and replayable.
+//
+// Determinism: for a fixed request sequence and fault plan the final
+// config_memory(), all task ids, the eviction log, every status, every
+// latency tick count and every counter except wall-clock seconds are
+// byte-identical at any thread count — decode is pure per entry, and
+// every decision (placement, eviction, cache order, shedding, fault
+// rolls, deadlines) happens serially in processing order keyed by logical
+// sequence numbers. A trace therefore replays identically at threads 1
+// or 8 (tests/test_service.cpp holds this as a hard invariant, with and
+// without a fault plan).
 #pragma once
 
 #include <chrono>
@@ -37,6 +59,7 @@
 #include "rtc/controller.h"
 #include "rtc/service/placement_policy.h"
 #include "rtc/service/stream_cache.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace vbs {
@@ -49,8 +72,13 @@ enum class RequestStatus {
   kQueued,
   kDone,      ///< committed (for relocate: possibly a no-op)
   kRejected,  ///< no placement even after eviction, or target task gone
-  kFailed,    ///< malformed stream or decode failure
+  kFailed,    ///< malformed stream, decode failure, or exhausted retries
+  kShed,      ///< dropped at admission: queue full, outprioritized
+  kDeadline,  ///< expired before processing (deadline_ticks exceeded)
 };
+
+/// Stable display name ("done", "shed", ...) for logs and benches.
+const char* to_string(RequestStatus s);
 
 struct RequestResult {
   RequestId request = kNoRequest;
@@ -58,16 +86,25 @@ struct RequestResult {
   RequestStatus status = RequestStatus::kQueued;
   TaskId task = kNoTask;  ///< task created (load) or affected
   Rect rect;              ///< final region of the task (load/relocate)
+  int tenant = 0;
+  int priority = 0;         ///< tenant priority captured at submit
+  int attempts = 1;         ///< 1 + transient-fault retries consumed
   bool cache_hit = false;   ///< decode skipped (cache or batch duplicate)
   int evicted_tasks = 0;    ///< evict-to-fit victims this request caused
-  double latency_seconds = 0.0;  ///< submit -> commit wall time
-  double decode_seconds = 0.0;   ///< devirtualization time spent on it
+  VbsErrc code = VbsErrc::kNone;  ///< typed cause when not kDone
+  long long latency_ticks = 0;    ///< submit -> completion, modeled ticks
+  double latency_seconds = 0.0;   ///< submit -> commit wall time
+  double decode_seconds = 0.0;    ///< devirtualization time spent on it
   std::string error;
 };
 
 struct ServiceStats {
   long long loads = 0, unloads = 0, relocates = 0;
   long long rejected = 0, failed = 0;
+  /// Overload semantics: admissions shed, deadline expiries, transient
+  /// fault retries, injected faults seen, modeled spike ticks served.
+  long long shed = 0, deadline_misses = 0, retries = 0;
+  long long faults_injected = 0, latency_spike_ticks = 0;
   /// Load requests that skipped devirtualization vs paid for it.
   long long warm_loads = 0, cold_loads = 0;
   /// Relocations served from cached payloads vs re-decoded.
@@ -77,6 +114,14 @@ struct ServiceStats {
   /// Devirtualization actually performed by the service (batch decodes and
   /// uncached relocations); cache hits add nothing here.
   DecodeStats decode;
+};
+
+/// Per-tenant slice of the service counters (QoS accounting).
+struct TenantStats {
+  int priority = 0;
+  long long submitted = 0;
+  long long done = 0, rejected = 0, failed = 0;
+  long long shed = 0, deadline_misses = 0, retries = 0;
 };
 
 /// One evict-to-fit victim, in eviction order.
@@ -98,6 +143,16 @@ struct ServiceOptions {
   bool evict_to_fit = true;
   /// Max consecutive load requests devirtualized as one batch.
   int max_batch = 16;
+  /// Max load requests queued at once; 0 = unbounded (no shedding).
+  std::size_t queue_limit = 0;
+  /// Max modeled ticks a request may wait before processing; 0 = none.
+  long long deadline_ticks = 0;
+  /// Transient injected faults are retried this many times before kFailed.
+  int retry_limit = 2;
+  /// Base backoff in modeled ticks; doubles per attempt.
+  long long retry_backoff_ticks = 1;
+  /// Deterministic fault plan; default (all rates 0) injects nothing.
+  FaultPlan faults;
 };
 
 class ReconfigService {
@@ -105,18 +160,26 @@ class ReconfigService {
   ReconfigService(const ArchSpec& spec, int width, int height,
                   ServiceOptions opts = {});
 
-  /// Enqueues a load of a serialized VBS.
-  RequestId submit_load(BitVector stream);
+  /// Enqueues a load of a serialized VBS on behalf of `tenant`. May shed
+  /// (this request or a lower-priority queued load) when queue_limit is
+  /// reached; the shed request still yields a kShed result from drain().
+  RequestId submit_load(BitVector stream, int tenant = 0);
   /// Enqueues an unload/relocate of the task created by load request
   /// `load_request` (resolved at commit time; tolerant of the task having
   /// been evicted meanwhile — the request then completes kRejected).
-  RequestId submit_unload(RequestId load_request);
-  RequestId submit_relocate(RequestId load_request);
+  /// Never shed: they release capacity rather than consume it.
+  RequestId submit_unload(RequestId load_request, int tenant = 0);
+  RequestId submit_relocate(RequestId load_request, int tenant = 0);
+
+  /// QoS weight for a tenant's future submissions (default 0; higher wins
+  /// both queue admission and drain order).
+  void set_tenant_priority(int tenant, int priority);
 
   std::size_t pending() const { return queue_.size(); }
 
-  /// Processes the whole queue; returns one result per request, in
-  /// admission order.
+  /// Processes the whole queue (including retries it spawns); returns one
+  /// result per request — shed and expired ones included — in admission
+  /// order.
   std::vector<RequestResult> drain();
 
   /// Task created by a completed load request, or kNoTask if the request
@@ -126,9 +189,15 @@ class ReconfigService {
   const ReconfigController& controller() const { return rtc_; }
   const DecodedStreamCache& cache() const { return cache_; }
   const ServiceStats& stats() const { return stats_; }
+  /// Per-tenant counters, keyed by tenant id (created lazily on first
+  /// submit or set_tenant_priority).
+  const std::map<int, TenantStats>& tenant_stats() const { return tenants_; }
   const std::vector<EvictionEvent>& eviction_log() const {
     return eviction_log_;
   }
+
+  /// The modeled clock: ticks consumed by all processing so far.
+  long long now_ticks() const { return now_ticks_; }
 
   /// External fragmentation of the fabric right now: 1 - largest free
   /// rectangle / total free area (0 when empty or unfragmented).
@@ -142,6 +211,12 @@ class ReconfigService {
     RequestKind kind = RequestKind::kLoad;
     BitVector stream;               ///< loads only
     RequestId target = kNoRequest;  ///< unload/relocate: the load request
+    int tenant = 0;
+    int priority = 0;           ///< captured at submit time
+    int attempt = 1;            ///< 1 on admission, +1 per retry
+    bool shed = false;          ///< dropped at admission, result pending
+    long long submitted_tick = 0;
+    long long not_before = 0;   ///< retry backoff release tick
     Clock::time_point submitted;
   };
 
@@ -151,6 +226,12 @@ class ReconfigService {
     std::uint64_t last_use = 0;  ///< request sequence, for victim selection
     RequestId origin_request = kNoRequest;
   };
+
+  Request make_request(RequestKind kind, int tenant);
+  /// Bounded admission: sheds the newest lowest-priority queued load (or
+  /// the incoming one) when the live-load count hits queue_limit.
+  void admit_load(Request req);
+  void shed_request(Request& req);
 
   void process_load_batch(const std::vector<Request*>& batch,
                           std::vector<RequestResult>& out);
@@ -162,6 +243,18 @@ class ReconfigService {
                                        RequestResult& res);
   void forget_task(TaskId id);
   RequestResult make_result(const Request& req) const;
+  /// Stamps latency, folds the result into the per-tenant counters and
+  /// appends it.
+  void finish(const Request& req, RequestResult res,
+              std::vector<RequestResult>& out);
+  /// Advances the modeled clock for one processed request (backoff
+  /// release, injected spike, the one-tick service cost). Returns false —
+  /// after emitting the kDeadline result — when the request expired.
+  bool tick_and_check_deadline(const Request& req,
+                               std::vector<RequestResult>& out);
+  /// Requeues a transient-fault victim for retry; returns false (caller
+  /// emits the permanent kFailed result) when retries are exhausted.
+  bool schedule_retry(const Request& req);
 
   ReconfigController rtc_;
   ServiceOptions opts_;
@@ -170,8 +263,12 @@ class ReconfigService {
   ThreadPool pool_;
 
   std::deque<Request> queue_;
+  std::size_t live_loads_ = 0;  ///< non-shed load requests in queue_
   RequestId next_request_ = 0;
   std::uint64_t use_seq_ = 0;
+  long long now_ticks_ = 0;
+  std::map<int, int> tenant_priority_;
+  std::map<int, TenantStats> tenants_;
   std::map<RequestId, TaskId> task_of_request_;
   std::map<TaskId, TaskInfo> task_info_;
   std::vector<EvictionEvent> eviction_log_;

@@ -1,6 +1,8 @@
 #include "rtc/service/stream_cache.h"
 
 #include <stdexcept>
+
+#include "util/error.h"
 #include <string>
 #include <utility>
 
@@ -32,7 +34,8 @@ std::shared_ptr<DecodedStream> decode_stream(VbsImage image) {
     const VbsEntry& e = img.entries[i];
     if (!cache.decoder_for(e.cx, e.cy)
              .decode_entry(e, out->payloads[i], &out->decode)) {
-      throw std::runtime_error("decode_stream: entry " + std::to_string(e.cx) +
+      throw VbsError(VbsErrc::kDecodeFailed,
+                     "decode_stream: entry " + std::to_string(e.cx) +
                                "," + std::to_string(e.cy) +
                                " failed to decode");
     }
@@ -63,6 +66,10 @@ std::shared_ptr<const DecodedStream> DecodedStreamCache::find(
 
 void DecodedStreamCache::insert(std::uint64_t key,
                                 std::shared_ptr<const DecodedStream> value) {
+  if (fault_plan_ != nullptr && fault_plan_->cache_drops(insert_seq_++)) {
+    ++fault_drops_;
+    return;
+  }
   if (const auto it = map_.find(key); it != map_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "util/bitvector.h"
+#include "util/fault.h"
 #include "vbs/devirtualizer.h"
 #include "vbs/vbs_format.h"
 
@@ -70,6 +71,13 @@ class DecodedStreamCache {
   long long misses() const { return misses_; }
   long long insertions() const { return insertions_; }
   long long evictions() const { return evictions_; }
+  long long fault_drops() const { return fault_drops_; }
+
+  /// Installs a deterministic fault plan (util/fault.h): insertions are
+  /// then dropped with the plan's cache rate, keyed by a serial insertion
+  /// counter — modeling transient cache-memory failure. The service keeps
+  /// working (the drop just costs a future re-decode); nullptr disables.
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
 
  private:
   struct Node {
@@ -87,6 +95,9 @@ class DecodedStreamCache {
   long long misses_ = 0;
   long long insertions_ = 0;
   long long evictions_ = 0;
+  long long fault_drops_ = 0;
+  const FaultPlan* fault_plan_ = nullptr;
+  std::uint64_t insert_seq_ = 0;
 };
 
 }  // namespace vbs

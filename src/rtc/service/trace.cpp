@@ -15,6 +15,8 @@ const char* to_string(ArrivalPattern p) {
     case ArrivalPattern::kBursty: return "bursty";
     case ArrivalPattern::kDiurnal: return "diurnal";
     case ArrivalPattern::kChurn: return "churn";
+    case ArrivalPattern::kFlashCrowd: return "flash_crowd";
+    case ArrivalPattern::kUniqueFlood: return "unique_flood";
   }
   return "?";
 }
@@ -24,6 +26,8 @@ ArrivalPattern arrival_pattern_from_string(const std::string& name) {
   if (name == "bursty") return ArrivalPattern::kBursty;
   if (name == "diurnal") return ArrivalPattern::kDiurnal;
   if (name == "churn") return ArrivalPattern::kChurn;
+  if (name == "flash_crowd") return ArrivalPattern::kFlashCrowd;
+  if (name == "unique_flood") return ArrivalPattern::kUniqueFlood;
   throw std::invalid_argument("unknown arrival pattern: " + name);
 }
 
@@ -44,6 +48,9 @@ double arrival_rate(ArrivalPattern p, int tick, int ticks, double base) {
       return base * (1.0 + std::sin(2.0 * 3.14159265358979 * phase)) * 1.0;
     case ArrivalPattern::kChurn:
       return base * 1.5;
+    case ArrivalPattern::kFlashCrowd:
+    case ArrivalPattern::kUniqueFlood:
+      return base;  // adversarial patterns have their own generator
   }
   return base;
 }
@@ -55,8 +62,100 @@ double departure_prob(ArrivalPattern p) {
     case ArrivalPattern::kBursty: return 0.12;
     case ArrivalPattern::kDiurnal: return 0.10;
     case ArrivalPattern::kChurn: return 0.45;  // short-lived tasks
+    case ArrivalPattern::kFlashCrowd:
+    case ArrivalPattern::kUniqueFlood: return 0.15;  // background tenant
   }
   return 0.1;
+}
+
+/// Adversarial two-tenant traces: tenant 0 runs a steady mixed workload
+/// from the normal kind library; tenant 1 is the attacker. flash_crowd
+/// hammers one hot content at ~5x the base rate inside a narrow window
+/// (phases [0.4, 0.6)); unique_flood streams never-repeating tiny kinds at
+/// ~4x all along, so every adversary load is a cold cache-busting
+/// decode. Replayed with a queue limit and priorities, these are the
+/// overload legs of bench/rtc_bench.cpp.
+Trace generate_adversarial_trace(const TraceGenOptions& opts) {
+  Trace t;
+  t.name = to_string(opts.pattern);
+  t.fabric_w = opts.fabric_w;
+  t.fabric_h = opts.fabric_h;
+  for (int k = 0; k < opts.kinds; ++k) {
+    TraceTaskKind kind;
+    const int grid = 3 + k % 4;
+    kind.grid = grid;
+    kind.n_lut = grid * grid - grid + 1;
+    kind.seed = 1000 + static_cast<std::uint64_t>(k);
+    kind.cluster = k % 2 == 0 ? 1 : 2;
+    kind.name = std::string(to_string(opts.pattern)) + "_k" +
+                std::to_string(k) + "_" + std::to_string(grid) + "x" +
+                std::to_string(grid);
+    t.kinds.push_back(std::move(kind));
+  }
+
+  Rng rng(opts.seed ^ (static_cast<std::uint64_t>(opts.pattern) << 32));
+  const double base =
+      static_cast<double>(opts.events) / (2.0 * opts.ticks);
+  const bool flash = opts.pattern == ArrivalPattern::kFlashCrowd;
+
+  std::vector<int> live;  ///< background load events still loaded
+  int uniq = 0;
+  for (int tick = 0;
+       tick < opts.ticks && static_cast<int>(t.events.size()) < opts.events;
+       ++tick) {
+    const double phase = static_cast<double>(tick) / opts.ticks;
+    // Background tenant 0: departures/relocations, then steady arrivals.
+    const double dep = departure_prob(opts.pattern);
+    for (std::size_t i = 0;
+         i < live.size() && static_cast<int>(t.events.size()) < opts.events;) {
+      if (rng.next_bool(dep)) {
+        t.events.push_back({TraceEvent::Kind::kUnload, tick, -1, live[i], 0});
+        live[i] = live.back();
+        live.pop_back();
+        continue;
+      }
+      if (rng.next_bool(opts.relocate_prob)) {
+        t.events.push_back(
+            {TraceEvent::Kind::kRelocate, tick, -1, live[i], 0});
+      }
+      ++i;
+    }
+    const double brate = base * 0.8;
+    int arrivals = static_cast<int>(brate);
+    if (rng.next_bool(brate - arrivals)) ++arrivals;
+    for (int a = 0;
+         a < arrivals && static_cast<int>(t.events.size()) < opts.events;
+         ++a) {
+      const int kind = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(opts.kinds)));
+      live.push_back(static_cast<int>(t.events.size()));
+      t.events.push_back({TraceEvent::Kind::kLoad, tick, kind, -1, 0});
+    }
+    // Adversary tenant 1.
+    const double arate =
+        flash ? (phase >= 0.4 && phase < 0.6 ? base * 5.0 : 0.0)
+              : base * 4.0;
+    int flood = static_cast<int>(arate);
+    if (arate > 0.0 && rng.next_bool(arate - flood)) ++flood;
+    for (int a = 0;
+         a < flood && static_cast<int>(t.events.size()) < opts.events; ++a) {
+      int kind = 0;  // flash crowd: everyone wants the same hot content
+      if (!flash) {
+        // unique_flood: a brand-new tiny kind per load, never repeated.
+        TraceTaskKind k;
+        k.grid = 3;
+        k.n_lut = 6 + uniq % 2;
+        k.seed = 50000 + static_cast<std::uint64_t>(uniq);
+        k.cluster = 1;
+        k.name = "uf_u" + std::to_string(uniq);
+        ++uniq;
+        kind = static_cast<int>(t.kinds.size());
+        t.kinds.push_back(std::move(k));
+      }
+      t.events.push_back({TraceEvent::Kind::kLoad, tick, kind, -1, 1});
+    }
+  }
+  return t;
 }
 
 }  // namespace
@@ -64,6 +163,10 @@ double departure_prob(ArrivalPattern p) {
 Trace generate_trace(const TraceGenOptions& opts) {
   if (opts.events < 1 || opts.ticks < 1 || opts.kinds < 1) {
     throw std::invalid_argument("trace generator: bad options");
+  }
+  if (opts.pattern == ArrivalPattern::kFlashCrowd ||
+      opts.pattern == ArrivalPattern::kUniqueFlood) {
+    return generate_adversarial_trace(opts);
   }
   Trace t;
   t.name = to_string(opts.pattern);
@@ -152,6 +255,7 @@ std::string trace_to_string(const Trace& trace) {
         out << "relocate " << e.ref;
         break;
     }
+    if (e.tenant != 0) out << " " << e.tenant;
     out << "\n";
   }
   return out.str();
@@ -162,9 +266,15 @@ Trace trace_from_string(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   int lineno = 0;
-  auto fail = [&](const std::string& what) {
-    throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
-                             what);
+  bool have_fabric = false;
+  int last_tick = 0;
+  auto fail = [&](const std::string& what) { throw TraceError(lineno, what); };
+  // Strict by design: a trace is input from outside the trust boundary
+  // (tools read arbitrary files), so every record must parse completely,
+  // every reference must resolve, and every field must be in range.
+  auto reject_trailing = [&](std::istringstream& ls) {
+    std::string extra;
+    if (ls >> extra) fail("trailing tokens: " + extra);
   };
   while (std::getline(in, line)) {
     ++lineno;
@@ -175,18 +285,28 @@ Trace trace_from_string(const std::string& text) {
     if (!(ls >> tag)) continue;  // blank / comment line
     if (tag == "trace") {
       if (!(ls >> t.name)) fail("trace needs a name");
+      reject_trailing(ls);
     } else if (tag == "fabric") {
       if (!(ls >> t.fabric_w >> t.fabric_h)) fail("fabric needs w h");
+      if (t.fabric_w < 1 || t.fabric_h < 1) fail("fabric dims must be >= 1");
+      reject_trailing(ls);
+      have_fabric = true;
     } else if (tag == "kind") {
       TraceTaskKind k;
       if (!(ls >> k.name >> k.n_lut >> k.grid >> k.seed >> k.cluster)) {
         fail("kind needs name n_lut grid seed cluster");
       }
+      if (k.n_lut < 1 || k.grid < 1 || k.cluster < 1) {
+        fail("kind fields must be >= 1");
+      }
+      reject_trailing(ls);
       t.kinds.push_back(std::move(k));
     } else if (tag == "ev") {
       TraceEvent e;
       std::string op;
       if (!(ls >> e.tick >> op)) fail("ev needs tick and op");
+      if (e.tick < 0) fail("tick must be >= 0");
+      if (e.tick < last_tick) fail("ticks must be non-decreasing");
       int arg = -1;
       if (!(ls >> arg)) fail("ev " + op + " needs an argument");
       if (op == "load") {
@@ -207,13 +327,21 @@ Trace trace_from_string(const std::string& text) {
       } else {
         fail("unknown event op: " + op);
       }
+      if (ls >> e.tenant) {
+        if (e.tenant < 0) fail("tenant must be >= 0");
+      } else {
+        e.tenant = 0;
+        ls.clear();
+      }
+      reject_trailing(ls);
+      last_tick = e.tick;
       t.events.push_back(e);
     } else {
       fail("unknown record: " + tag);
     }
   }
-  if (t.fabric_w < 1 || t.fabric_h < 1) {
-    throw std::runtime_error("trace: missing or bad fabric record");
+  if (!have_fabric) {
+    throw TraceError(lineno, "missing fabric record");
   }
   return t;
 }

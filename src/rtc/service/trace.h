@@ -7,27 +7,51 @@
 // self-describing. Unload/relocate events reference the index of an
 // earlier load event, not a task id: ids are assigned at replay time.
 //
-// The generator produces four arrival patterns (tools/rtcgen exposes it on
+// The generator produces six arrival patterns (tools/rtcgen exposes it on
 // the command line; bench/rtc_bench.cpp replays the bundled suite):
-//   steady   uniform arrivals, moderate lifetimes
-//   bursty   on/off arrival bursts that spike queue depth
-//   diurnal  sinusoidal arrival rate over the trace (a day of traffic)
-//   churn    short lifetimes, high load/unload turnover
+//   steady       uniform arrivals, moderate lifetimes
+//   bursty       on/off arrival bursts that spike queue depth
+//   diurnal      sinusoidal arrival rate over the trace (a day of traffic)
+//   churn        short lifetimes, high load/unload turnover
+//   flash_crowd  adversarial: tenant 1 floods one hot content in a narrow
+//                window at ~5x the base rate over tenant 0's steady work
+//   unique_flood adversarial: tenant 1 streams never-repeating tiny tasks
+//                (every load a fresh kind), defeating the stream cache
 //
 // Text format (`vbs.rtc_trace.v1`, one record per line, '#' comments):
 //   trace <name>
 //   fabric <w> <h>
 //   kind <name> <n_lut> <grid> <seed> <cluster>
-//   ev <tick> load <kind_index>
-//   ev <tick> unload <load_event_index>
-//   ev <tick> relocate <load_event_index>
+//   ev <tick> load <kind_index> [tenant]
+//   ev <tick> unload <load_event_index> [tenant]
+//   ev <tick> relocate <load_event_index> [tenant]
+// The trailing tenant id is optional and omitted when 0. Parsing is
+// strict — unknown records, trailing tokens, out-of-range fields,
+// dangling references and non-monotone ticks all raise a TraceError
+// carrying the offending line number.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "util/error.h"
+
 namespace vbs {
+
+/// Malformed trace text: VbsErrc::kBadTrace plus the 1-based line number
+/// of the offending record ("trace line N: ...").
+class TraceError : public VbsError {
+ public:
+  TraceError(int line, const std::string& what)
+      : VbsError(VbsErrc::kBadTrace,
+                 "trace line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
 
 /// Recipe for one task payload: a synthetic netlist of `n_lut` LUTs placed
 /// and routed on a grid x grid fabric, encoded at `cluster`.
@@ -47,6 +71,7 @@ struct TraceEvent {
   int tick = 0;
   int task_kind = -1;  ///< kLoad: index into Trace::kinds
   int ref = -1;        ///< kUnload/kRelocate: index of the load event
+  int tenant = 0;      ///< submitting tenant (QoS identity at replay)
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
@@ -61,7 +86,14 @@ struct Trace {
   friend bool operator==(const Trace&, const Trace&) = default;
 };
 
-enum class ArrivalPattern { kSteady, kBursty, kDiurnal, kChurn };
+enum class ArrivalPattern {
+  kSteady,
+  kBursty,
+  kDiurnal,
+  kChurn,
+  kFlashCrowd,   ///< adversarial: one-content flood in a narrow window
+  kUniqueFlood,  ///< adversarial: cache-busting never-repeating contents
+};
 
 const char* to_string(ArrivalPattern p);
 /// Throws std::invalid_argument on an unknown name.
@@ -86,7 +118,8 @@ struct TraceGenOptions {
 Trace generate_trace(const TraceGenOptions& opts);
 
 std::string trace_to_string(const Trace& trace);
-/// Parses the text format; throws std::runtime_error on malformed input.
+/// Parses the text format; throws TraceError (with the offending line
+/// number) on malformed input.
 Trace trace_from_string(const std::string& text);
 
 void write_trace_file(const std::string& path, const Trace& trace);

@@ -7,17 +7,22 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
+#include <string>
 
 #include "util/bitvector.h"
+#include "util/error.h"
 
 namespace vbs {
 
-/// Thrown by BitReader on an attempt to read past the end of the stream;
-/// indicates a malformed or truncated Virtual Bit-Stream.
-class BitstreamError : public std::runtime_error {
+/// Thrown on any malformed Virtual Bit-Stream: BitReader throws it with
+/// the default kTruncated code on a read past the end of the stream, and
+/// the format layer (vbs/vbs_format.cpp) throws it with a specific
+/// VbsErrc for every structural rejection.
+class BitstreamError : public VbsError {
  public:
-  using std::runtime_error::runtime_error;
+  explicit BitstreamError(const std::string& what,
+                          VbsErrc code = VbsErrc::kTruncated)
+      : VbsError(code, what) {}
 };
 
 class BitWriter {

@@ -1,0 +1,31 @@
+#include "util/error.h"
+
+namespace vbs {
+
+const char* to_string(VbsErrc c) {
+  switch (c) {
+    case VbsErrc::kNone: return "ok";
+    case VbsErrc::kTruncated: return "truncated";
+    case VbsErrc::kBadVersion: return "bad-version";
+    case VbsErrc::kBadHeader: return "bad-header";
+    case VbsErrc::kBadEntry: return "bad-entry";
+    case VbsErrc::kBadConnection: return "bad-connection";
+    case VbsErrc::kTrailingBits: return "trailing-bits";
+    case VbsErrc::kResourceLimit: return "resource-limit";
+    case VbsErrc::kBadContainer: return "bad-container";
+    case VbsErrc::kBadTrace: return "bad-trace";
+    case VbsErrc::kArchMismatch: return "arch-mismatch";
+    case VbsErrc::kDecodeFailed: return "decode-failed";
+    case VbsErrc::kNoPlacement: return "no-placement";
+    case VbsErrc::kFaultInjected: return "fault-injected";
+    case VbsErrc::kQueueFull: return "queue-full";
+    case VbsErrc::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+int exit_code_for(VbsErrc c) {
+  return c == VbsErrc::kNone ? 0 : 10 + static_cast<int>(c);
+}
+
+}  // namespace vbs

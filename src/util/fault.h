@@ -1,0 +1,72 @@
+// Deterministic fault injection: a seeded FaultPlan threaded through the
+// reconfiguration stack (ReconfigService, DecodedStreamCache,
+// ReconfigController) injects decode failures, allocation failures, cache
+// insertion drops and modeled latency spikes.
+//
+// Every decision is a pure function of (seed, site, sequence number) — a
+// splitmix64-style hash compared against the configured rate — never of
+// wall clock or thread schedule. Callers key each decision off a logical
+// sequence number (a request id and attempt, or a serial per-site
+// counter), so a fixed plan produces a byte-reproducible fault schedule at
+// any thread count: the invariant tests/test_service.cpp replays at
+// threads {1,2,8}.
+//
+// Plans parse from a compact spec string (tools expose it as --faults):
+//
+//   seed=7,decode=0.1,alloc=0.05,cache=0.02,latency=0.05x8
+//
+// where decode/alloc/cache are per-decision failure probabilities in
+// [0,1] and latency is probability x spike-ticks. Keys may appear in any
+// order; omitted keys default to 0 (off).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vbs {
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 0;
+  double decode_fail = 0.0;   ///< transient devirtualization failures
+  double alloc_fail = 0.0;    ///< transient allocation failures
+  double cache_drop = 0.0;    ///< cache insertions silently dropped
+  double latency_spike = 0.0; ///< probability of a modeled latency spike
+  long long spike_ticks = 8;  ///< spike magnitude in modeled ticks
+
+  friend bool operator==(const FaultPlanConfig&,
+                         const FaultPlanConfig&) = default;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultPlanConfig& cfg) : cfg_(cfg) {}
+
+  /// Parses the spec-string format documented above. Throws
+  /// std::invalid_argument on unknown keys or out-of-range rates.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Round-trips parse(): the canonical spec of this plan.
+  std::string spec() const;
+
+  bool enabled() const {
+    return cfg_.decode_fail > 0.0 || cfg_.alloc_fail > 0.0 ||
+           cfg_.cache_drop > 0.0 || cfg_.latency_spike > 0.0;
+  }
+
+  bool decode_fails(std::uint64_t seq) const;
+  bool alloc_fails(std::uint64_t seq) const;
+  bool cache_drops(std::uint64_t seq) const;
+  /// 0 when no spike fires at `seq`, else cfg().spike_ticks.
+  long long latency_spike_ticks(std::uint64_t seq) const;
+
+  const FaultPlanConfig& config() const { return cfg_; }
+
+ private:
+  /// Uniform [0,1) draw for (site, seq) under this plan's seed.
+  double roll(std::uint64_t site, std::uint64_t seq) const;
+
+  FaultPlanConfig cfg_;
+};
+
+}  // namespace vbs

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/error.h"
+
 namespace vbs {
 
 DecodeStats& DecodeStats::operator+=(const DecodeStats& o) {
@@ -282,7 +284,8 @@ std::pair<int, int> RegionDecoderCache::extent_of(int cx, int cy) const {
 RegionDecoderCache::Slot& RegionDecoderCache::slot_for(int cx, int cy) {
   const auto key = extent_of(cx, cy);
   if (key.first < 1 || key.second < 1) {
-    throw std::runtime_error("region cache: entry outside the task");
+    throw VbsError(VbsErrc::kBadEntry,
+                   "region cache: entry outside the task");
   }
   Slot& slot = slots_[key];
   if (!slot.region) {
@@ -306,19 +309,22 @@ BitVector devirtualize_image(const VbsImage& img, const Fabric& target,
   if (img.spec.chan_width != target.spec().chan_width ||
       img.spec.lut_k != target.spec().lut_k ||
       img.spec.sb_pattern != target.spec().sb_pattern) {
-    throw std::runtime_error("devirtualize: architecture mismatch");
+    throw VbsError(VbsErrc::kArchMismatch,
+                   "devirtualize: architecture mismatch");
   }
   if (origin.x < 0 || origin.y < 0 ||
       origin.x + img.task_w > target.width() ||
       origin.y + img.task_h > target.height()) {
-    throw std::runtime_error("devirtualize: task does not fit at origin");
+    throw VbsError(VbsErrc::kNoPlacement,
+                   "devirtualize: task does not fit at origin");
   }
   RegionDecoderCache cache(img.spec, img.cluster, img.task_w, img.task_h);
   BitVector config(target.config_bits_total());
   BitVector routing;
   for (const VbsEntry& e : img.entries) {
     if (!cache.decoder_for(e.cx, e.cy).decode_entry(e, routing, stats)) {
-      throw std::runtime_error(
+      throw VbsError(
+          VbsErrc::kDecodeFailed,
           "devirtualize: connection list failed to route (entry at " +
           std::to_string(e.cx) + "," + std::to_string(e.cy) + ")");
     }

@@ -4,10 +4,32 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/error.h"
+
 namespace vbs {
 
 namespace {
-constexpr char kMagic[4] = {'V', 'B', 'S', '1'};
+constexpr char kMagic[4] = {'V', 'B', 'S', '2'};
+constexpr char kLegacyMagic[4] = {'V', 'B', 'S', '1'};
+// magic(4) + bit count(8) + checksum(8)
+constexpr std::size_t kHeaderBytes = 20;
+
+// Same FNV-1a construction as the artifact container (flow/artifact_io),
+// duplicated here so the base VBS container does not depend on the flow
+// layer.
+std::uint64_t payload_checksum(const std::string& bytes,
+                               std::uint64_t bit_count) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  for (const char c : bytes) mix(static_cast<unsigned char>(c));
+  for (int i = 0; i < 8; ++i) {
+    mix(static_cast<unsigned char>((bit_count >> (8 * i)) & 0xff));
+  }
+  return h;
+}
 }  // namespace
 
 std::string pack_bits(const BitVector& bits) {
@@ -23,7 +45,7 @@ std::string pack_bits(const BitVector& bits) {
 
 BitVector unpack_bits(const std::string& bytes, std::size_t bit_count) {
   if (bytes.size() < (bit_count + 7) / 8) {
-    throw std::runtime_error("unpack_bits: byte buffer too short");
+    throw VbsError(VbsErrc::kTruncated, "unpack_bits: byte buffer too short");
   }
   BitVector bits(bit_count);
   for (std::size_t i = 0; i < bit_count; ++i) {
@@ -38,10 +60,14 @@ void write_vbs_file(const std::string& path, const BitVector& stream) {
   if (!os) throw std::runtime_error("cannot open for writing: " + path);
   os.write(kMagic, sizeof kMagic);
   const std::uint64_t n = stream.size();
-  char len[8];
-  for (int i = 0; i < 8; ++i) len[i] = static_cast<char>((n >> (8 * i)) & 0xff);
-  os.write(len, sizeof len);
   const std::string payload = pack_bits(stream);
+  const std::uint64_t sum = payload_checksum(payload, n);
+  char head[16];
+  for (int i = 0; i < 8; ++i) {
+    head[i] = static_cast<char>((n >> (8 * i)) & 0xff);
+    head[8 + i] = static_cast<char>((sum >> (8 * i)) & 0xff);
+  }
+  os.write(head, sizeof head);
   os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   if (!os) throw std::runtime_error("write failed: " + path);
 }
@@ -49,26 +75,60 @@ void write_vbs_file(const std::string& path, const BitVector& stream) {
 BitVector read_vbs_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  // The declared bit count is attacker-controlled; size the payload from
+  // the actual file, never from the header, so a hostile length field can
+  // demand at most what is really on disk.
+  is.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
   char magic[4];
-  char len[8];
-  if (!is.read(magic, sizeof magic) || !is.read(len, sizeof len)) {
-    throw std::runtime_error("truncated VBS file: " + path);
+  char head[16];
+  if (!is.read(magic, sizeof magic) || !is.read(head, sizeof head)) {
+    throw VbsError(VbsErrc::kTruncated, "truncated VBS file: " + path);
+  }
+  bool legacy = true;
+  for (int i = 0; i < 4; ++i) {
+    if (magic[i] != kLegacyMagic[i]) legacy = false;
+  }
+  if (legacy) {
+    throw VbsError(VbsErrc::kBadVersion,
+                   "legacy VBS1 container (no checksum), re-generate: " + path);
   }
   for (int i = 0; i < 4; ++i) {
     if (magic[i] != kMagic[i]) {
-      throw std::runtime_error("not a VBS file: " + path);
+      throw VbsError(VbsErrc::kBadContainer, "not a VBS file: " + path);
     }
   }
-  std::uint64_t n = 0;
+  std::uint64_t n = 0, sum = 0;
   for (int i = 0; i < 8; ++i) {
-    n |= static_cast<std::uint64_t>(static_cast<unsigned char>(len[i]))
+    n |= static_cast<std::uint64_t>(static_cast<unsigned char>(head[i]))
          << (8 * i);
+    sum |= static_cast<std::uint64_t>(static_cast<unsigned char>(head[8 + i]))
+           << (8 * i);
   }
-  std::string payload((n + 7) / 8, '\0');
+  const std::uint64_t nbytes = n / 8 + (n % 8 != 0 ? 1 : 0);
+  if (nbytes != file_size - kHeaderBytes) {
+    throw VbsError(VbsErrc::kBadContainer,
+                   "VBS container size mismatch: " + path);
+  }
+  std::string payload(static_cast<std::size_t>(nbytes), '\0');
   if (!is.read(payload.data(), static_cast<std::streamsize>(payload.size()))) {
-    throw std::runtime_error("truncated VBS payload: " + path);
+    throw VbsError(VbsErrc::kTruncated, "truncated VBS payload: " + path);
   }
-  return unpack_bits(payload, n);
+  // Padding bits of the last byte must be zero — a flipped padding bit is
+  // corruption even though unpack_bits would ignore it.
+  if (n % 8 != 0) {
+    const auto last = static_cast<unsigned char>(payload.back());
+    if ((last & ((1u << (8 - n % 8)) - 1u)) != 0) {
+      throw VbsError(VbsErrc::kBadContainer,
+                     "VBS container has nonzero padding bits: " + path);
+    }
+  }
+  if (payload_checksum(payload, n) != sum) {
+    throw VbsError(VbsErrc::kBadContainer,
+                   "VBS container checksum mismatch (corrupted): " + path);
+  }
+  return unpack_bits(payload, static_cast<std::size_t>(n));
 }
 
 }  // namespace vbs

@@ -2,11 +2,17 @@
 //
 // The on-wire VBS is a raw bit sequence (vbs_format.h); on disk it is
 // wrapped in a tiny byte-oriented container so that the exact bit length
-// survives the round trip:
+// survives the round trip and silent corruption cannot:
 //
-//   bytes 0-3   magic "VBS1"
+//   bytes 0-3   magic "VBS2"
 //   bytes 4-11  bit count, little-endian u64
-//   bytes 12-   payload, MSB-first within each byte, zero-padded
+//   bytes 12-19 FNV-1a of the packed payload bytes mixed with the bit
+//               count, little-endian u64
+//   bytes 20-   payload, MSB-first within each byte, zero-padded
+//
+// The checksum makes every single-byte corruption detectable: a reader
+// either returns exactly the written bits or throws a typed VbsError
+// (kBadContainer / kTruncated / kBadVersion for legacy VBS1 files).
 #pragma once
 
 #include <string>

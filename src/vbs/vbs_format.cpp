@@ -189,29 +189,68 @@ VbsImage deserialize_vbs(const BitVector& bits) {
   BitReader r(bits);
   const auto version = r.read(4);
   if (version != kVersion) {
-    throw BitstreamError("VBS: unsupported format version");
+    throw BitstreamError("VBS: unsupported format version",
+                         VbsErrc::kBadVersion);
   }
   VbsImage img;
   img.spec.chan_width = static_cast<int>(r.read(8));
   img.spec.lut_k = static_cast<int>(r.read(4));
   const auto pattern = r.read(2);
-  if (pattern > 1) throw BitstreamError("VBS: unknown switch-box pattern");
+  if (pattern > 1) {
+    throw BitstreamError("VBS: unknown switch-box pattern",
+                         VbsErrc::kBadHeader);
+  }
   img.spec.sb_pattern = static_cast<SbPattern>(pattern);
   img.compact_fanout = r.read_bit();
-  img.spec.validate();
+  try {
+    img.spec.validate();
+  } catch (const std::exception& ex) {
+    throw BitstreamError(std::string("VBS: bad architecture: ") + ex.what(),
+                         VbsErrc::kBadHeader);
+  }
   img.cluster = static_cast<int>(r.read(6));
-  if (img.cluster < 1) throw BitstreamError("VBS: bad cluster size");
+  if (img.cluster < 1) {
+    throw BitstreamError("VBS: bad cluster size", VbsErrc::kBadHeader);
+  }
   const unsigned dim = static_cast<unsigned>(r.read(6));
-  if (dim == 0 || dim > 16) throw BitstreamError("VBS: bad dimension width");
+  if (dim == 0 || dim > 16) {
+    throw BitstreamError("VBS: bad dimension width", VbsErrc::kBadHeader);
+  }
   img.task_w = static_cast<int>(r.read(dim));
   img.task_h = static_cast<int>(r.read(dim));
   if (img.task_w < 1 || img.task_h < 1) {
-    throw BitstreamError("VBS: bad task dimensions");
+    throw BitstreamError("VBS: bad task dimensions", VbsErrc::kBadHeader);
+  }
+  // Resource guards: a well-formed header may still describe a task whose
+  // decode-time footprint (region models, per-entry raw payloads) would be
+  // absurd. Hostile streams are rejected here with a typed code instead of
+  // exhausting memory later; the limits are far above anything the paper's
+  // fabrics (or this repo's encoder) produce.
+  if (static_cast<std::uint64_t>(img.task_w) * img.task_h >
+      kMaxTaskMacros) {
+    throw BitstreamError("VBS: task area exceeds resource limit",
+                         VbsErrc::kResourceLimit);
+  }
+  if (static_cast<std::uint64_t>(img.cluster) * img.cluster *
+          static_cast<std::uint64_t>(img.spec.nraw_bits()) >
+      kMaxEntryConfigBits) {
+    throw BitstreamError("VBS: per-entry region exceeds resource limit",
+                         VbsErrc::kResourceLimit);
   }
   const FieldWidths fw = widths_of(img);
-  if (fw.dim != dim) throw BitstreamError("VBS: inconsistent dimension width");
+  if (fw.dim != dim) {
+    throw BitstreamError("VBS: inconsistent dimension width",
+                         VbsErrc::kBadHeader);
+  }
   const auto n_entries = r.read(fw.entry);
   const int c = img.cluster;
+  const std::uint64_t grid_cells =
+      static_cast<std::uint64_t>(img.cluster_grid_w()) * img.cluster_grid_h();
+  if (n_entries > grid_cells) {
+    throw BitstreamError("VBS: more entries than cluster positions",
+                         VbsErrc::kBadEntry);
+  }
+  std::vector<bool> seen_pos(static_cast<std::size_t>(grid_cells), false);
 
   for (std::uint64_t i = 0; i < n_entries; ++i) {
     VbsEntry e;
@@ -219,8 +258,16 @@ VbsImage deserialize_vbs(const BitVector& bits) {
     e.cx = static_cast<std::uint16_t>(r.read(fw.dim));
     e.cy = static_cast<std::uint16_t>(r.read(fw.dim));
     if (e.cx >= img.cluster_grid_w() || e.cy >= img.cluster_grid_h()) {
-      throw BitstreamError("VBS: entry position out of range");
+      throw BitstreamError("VBS: entry position out of range",
+                           VbsErrc::kBadEntry);
     }
+    const std::size_t pos =
+        static_cast<std::size_t>(e.cy) * img.cluster_grid_w() + e.cx;
+    if (seen_pos[pos]) {
+      throw BitstreamError("VBS: duplicate entry position",
+                           VbsErrc::kBadEntry);
+    }
+    seen_pos[pos] = true;
     e.logic.resize(static_cast<std::size_t>(c) * c);
     if (c == 1) {
       const BitVector lb = r.read_vector(static_cast<std::size_t>(fw.nlb));
@@ -244,35 +291,65 @@ VbsImage deserialize_vbs(const BitVector& bits) {
           static_cast<std::uint64_t>(c) * c * img.spec.lb_pins();
       auto checked = [&](std::uint64_t v) {
         if (v >= max_port) {
-          throw BitstreamError("VBS: connection endpoint out of range");
+          throw BitstreamError("VBS: connection endpoint out of range",
+                               VbsErrc::kBadConnection);
         }
         return static_cast<std::uint16_t>(v);
       };
       e.compact = img.compact_fanout ? r.read_bit() : false;
       if (!e.compact) {
         const auto n_conns = r.read(fw.route);
+        // Each connection claims a distinct output port, so any valid list
+        // has at most num_ports entries; rejecting larger counts up front
+        // also bounds the reserve below by the region size.
+        if (n_conns > max_port) {
+          throw BitstreamError("VBS: connection count exceeds region ports",
+                               VbsErrc::kBadConnection);
+        }
         e.conns.reserve(static_cast<std::size_t>(n_conns));
         for (std::uint64_t k = 0; k < n_conns; ++k) {
           VbsConnection conn;
           conn.in = checked(r.read(fw.port));
           conn.out = checked(r.read(fw.port));
+          if (conn.in == conn.out) {
+            throw BitstreamError("VBS: connection to itself",
+                                 VbsErrc::kBadConnection);
+          }
           e.conns.push_back(conn);
         }
       } else {
         const auto n_groups = r.read(fw.route);
+        if (n_groups > max_port) {
+          throw BitstreamError("VBS: fan-out group count exceeds region ports",
+                               VbsErrc::kBadConnection);
+        }
         for (std::uint64_t g = 0; g < n_groups; ++g) {
           const std::uint16_t in = checked(r.read(fw.port));
           const auto n_outs = r.read(fw.route);
-          if (n_outs == 0) throw BitstreamError("VBS: empty fan-out group");
+          if (n_outs == 0) {
+            throw BitstreamError("VBS: empty fan-out group",
+                                 VbsErrc::kBadConnection);
+          }
+          if (e.conns.size() + n_outs > max_port) {
+            throw BitstreamError("VBS: fan-out total exceeds region ports",
+                                 VbsErrc::kBadConnection);
+          }
           for (std::uint64_t k = 0; k < n_outs; ++k) {
-            e.conns.push_back({in, checked(r.read(fw.port))});
+            const std::uint16_t out = checked(r.read(fw.port));
+            if (in == out) {
+              throw BitstreamError("VBS: connection to itself",
+                                   VbsErrc::kBadConnection);
+            }
+            e.conns.push_back({in, out});
           }
         }
       }
     }
     img.entries.push_back(std::move(e));
   }
-  if (!r.at_end()) throw BitstreamError("VBS: trailing bits");
+  if (!r.at_end()) {
+    throw BitstreamError("VBS: trailing bits", VbsErrc::kTrailingBits);
+  }
   return img;
 }
 

@@ -75,12 +75,24 @@ struct VbsImage {
   int cluster_grid_h() const { return (task_h + cluster - 1) / cluster; }
 };
 
+/// Decode-time resource guards: deserialize_vbs rejects headers whose
+/// task area or per-entry region footprint exceeds these with a typed
+/// kResourceLimit error, so a hostile 31-bit preamble cannot demand
+/// gigabytes of region-model or payload memory. Both are far above any
+/// fabric the paper (W=20, c<=8) or this repo's encoder produces.
+inline constexpr std::uint64_t kMaxTaskMacros = std::uint64_t{1} << 20;
+inline constexpr std::uint64_t kMaxEntryConfigBits = std::uint64_t{1} << 22;
+
 /// Serializes to the on-wire bit format; the paper's compressed sizes are
 /// measured as serialize(img).size().
 BitVector serialize_vbs(const VbsImage& img);
 
-/// Parses a serialized stream back; throws BitstreamError on malformed
-/// input. Round-trips exactly with serialize_vbs.
+/// Parses a serialized stream back; throws BitstreamError carrying a
+/// specific VbsErrc on malformed input — truncation, bad version/header,
+/// duplicate or out-of-range entries, invalid connection lists, trailing
+/// bits, or a resource-limit violation. Round-trips exactly with
+/// serialize_vbs. Never crashes or reads out of bounds on arbitrary input
+/// (tools/vbsfuzz.cpp holds this as a hard invariant).
 VbsImage deserialize_vbs(const BitVector& bits);
 
 /// Size in bits the image will serialize to, without serializing.

@@ -1,0 +1,162 @@
+// Fault-injection and error-taxonomy tests: FaultPlan determinism, spec
+// parsing, rate accuracy, and the stability contract of the VbsErrc codes
+// that tools expose as exit codes and --json error objects.
+#include <gtest/gtest.h>
+
+#include "flow/artifact_io.h"
+#include "rtc/service/trace.h"
+#include "util/bitio.h"
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace vbs {
+namespace {
+
+// --- error taxonomy ----------------------------------------------------------
+
+TEST(ErrorTaxonomy, CodesAndExitCodesAreStable) {
+  // These pairs are a frozen contract (CLI exit codes, --json "errc"):
+  // append-only, never renumber. A failure here means an accidental break.
+  EXPECT_EQ(static_cast<int>(VbsErrc::kNone), 0);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kTruncated), 1);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kBadVersion), 2);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kBadHeader), 3);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kBadEntry), 4);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kBadConnection), 5);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kTrailingBits), 6);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kResourceLimit), 7);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kBadContainer), 8);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kBadTrace), 9);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kArchMismatch), 10);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kDecodeFailed), 11);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kNoPlacement), 12);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kFaultInjected), 13);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kQueueFull), 14);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kDeadline), 15);
+
+  EXPECT_EQ(exit_code_for(VbsErrc::kNone), 0);
+  EXPECT_EQ(exit_code_for(VbsErrc::kTruncated), 11);
+  EXPECT_EQ(exit_code_for(VbsErrc::kArchMismatch), 20);
+  EXPECT_EQ(exit_code_for(VbsErrc::kDeadline), 25);
+
+  EXPECT_STREQ(to_string(VbsErrc::kNone), "ok");
+  EXPECT_STREQ(to_string(VbsErrc::kTruncated), "truncated");
+  EXPECT_STREQ(to_string(VbsErrc::kBadHeader), "bad-header");
+  EXPECT_STREQ(to_string(VbsErrc::kBadContainer), "bad-container");
+  EXPECT_STREQ(to_string(VbsErrc::kArchMismatch), "arch-mismatch");
+  EXPECT_STREQ(to_string(VbsErrc::kFaultInjected), "fault-injected");
+  EXPECT_STREQ(to_string(VbsErrc::kQueueFull), "queue-full");
+}
+
+TEST(ErrorTaxonomy, LegacyExceptionTypesDeriveFromVbsError) {
+  // Existing catch (BitstreamError) / catch (std::runtime_error) sites
+  // must keep working while new code dispatches on VbsError::code().
+  const BitstreamError b("bits", VbsErrc::kBadEntry);
+  const ArtifactError a("artifact");
+  const TraceError t(4, "bad record");
+  const VbsError* vb = &b;
+  const VbsError* va = &a;
+  const VbsError* vt = &t;
+  EXPECT_EQ(vb->code(), VbsErrc::kBadEntry);
+  EXPECT_EQ(va->code(), VbsErrc::kBadContainer);
+  EXPECT_EQ(vt->code(), VbsErrc::kBadTrace);
+  EXPECT_EQ(t.line(), 4);
+  EXPECT_NE(std::string(t.what()).find("line 4"), std::string::npos);
+}
+
+// --- fault plan --------------------------------------------------------------
+
+TEST(FaultPlan, DefaultIsDisabledAndNeverFires) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (std::uint64_t seq = 0; seq < 1000; ++seq) {
+    EXPECT_FALSE(plan.decode_fails(seq));
+    EXPECT_FALSE(plan.alloc_fails(seq));
+    EXPECT_FALSE(plan.cache_drops(seq));
+    EXPECT_EQ(plan.latency_spike_ticks(seq), 0);
+  }
+}
+
+TEST(FaultPlan, SpecRoundTripAndParseErrors) {
+  const FaultPlan plan =
+      FaultPlan::parse("seed=7,decode=0.1,alloc=0.05,cache=0.02,latency=0.05x8");
+  EXPECT_EQ(plan.config().seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.config().decode_fail, 0.1);
+  EXPECT_DOUBLE_EQ(plan.config().alloc_fail, 0.05);
+  EXPECT_DOUBLE_EQ(plan.config().cache_drop, 0.02);
+  EXPECT_DOUBLE_EQ(plan.config().latency_spike, 0.05);
+  EXPECT_EQ(plan.config().spike_ticks, 8);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(FaultPlan::parse(plan.spec()).config(), plan.config());
+  // Keys in any order; omitted keys stay off.
+  EXPECT_DOUBLE_EQ(FaultPlan::parse("alloc=0.5,seed=3").config().alloc_fail,
+                   0.5);
+  EXPECT_DOUBLE_EQ(FaultPlan::parse("alloc=0.5,seed=3").config().decode_fail,
+                   0.0);
+
+  EXPECT_THROW(FaultPlan::parse("decode=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("decode=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("decode=fast"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("frobnicate=0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("decode"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("latency=0.1x0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=banana"), std::invalid_argument);
+}
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfSeedSiteAndSequence) {
+  FaultPlanConfig cfg;
+  cfg.seed = 42;
+  cfg.decode_fail = 0.3;
+  cfg.alloc_fail = 0.3;
+  cfg.cache_drop = 0.3;
+  cfg.latency_spike = 0.3;
+  const FaultPlan a(cfg);
+  const FaultPlan b(cfg);
+  cfg.seed = 43;
+  const FaultPlan other(cfg);
+  int decode_diff_from_alloc = 0;
+  int diff_across_seeds = 0;
+  for (std::uint64_t seq = 0; seq < 2000; ++seq) {
+    // Same plan, same seq: identical decision, any number of times.
+    EXPECT_EQ(a.decode_fails(seq), b.decode_fails(seq));
+    EXPECT_EQ(a.alloc_fails(seq), b.alloc_fails(seq));
+    EXPECT_EQ(a.cache_drops(seq), b.cache_drops(seq));
+    EXPECT_EQ(a.latency_spike_ticks(seq), b.latency_spike_ticks(seq));
+    // Sites are independent streams; seeds are independent plans.
+    if (a.decode_fails(seq) != a.alloc_fails(seq)) ++decode_diff_from_alloc;
+    if (a.decode_fails(seq) != other.decode_fails(seq)) ++diff_across_seeds;
+  }
+  EXPECT_GT(decode_diff_from_alloc, 0);
+  EXPECT_GT(diff_across_seeds, 0);
+}
+
+TEST(FaultPlan, RatesAreHonoredAndSpikesHaveFixedMagnitude) {
+  FaultPlanConfig cfg;
+  cfg.seed = 11;
+  cfg.decode_fail = 0.1;
+  cfg.latency_spike = 0.5;
+  cfg.spike_ticks = 6;
+  const FaultPlan plan(cfg);
+  int decode_hits = 0, spike_hits = 0;
+  const int trials = 20000;
+  for (int seq = 0; seq < trials; ++seq) {
+    if (plan.decode_fails(static_cast<std::uint64_t>(seq))) ++decode_hits;
+    const long long spike =
+        plan.latency_spike_ticks(static_cast<std::uint64_t>(seq));
+    EXPECT_TRUE(spike == 0 || spike == 6);
+    if (spike > 0) ++spike_hits;
+  }
+  EXPECT_NEAR(static_cast<double>(decode_hits) / trials, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(spike_hits) / trials, 0.5, 0.03);
+  // Edge rates: 1.0 always fires, 0.0 never does.
+  cfg.decode_fail = 1.0;
+  cfg.latency_spike = 0.0;
+  const FaultPlan always(cfg);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    EXPECT_TRUE(always.decode_fails(seq));
+    EXPECT_EQ(always.latency_spike_ticks(seq), 0);
+  }
+}
+
+}  // namespace
+}  // namespace vbs

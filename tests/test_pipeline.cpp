@@ -184,6 +184,47 @@ TEST(ArtifactIo, FileRoundTripAndRejection) {
                ArtifactError);
 }
 
+// Systematic single-bit corruption of the whole vbs.artifact.v1 header
+// (magic, stage, fingerprint, content hash, bit count — 29 bytes): every
+// one of the 232 possible flips must be caught by a typed ArtifactError.
+// No header bit is slack; none silently decodes to garbage.
+TEST(ArtifactIo, EveryHeaderBitFlipIsRejected) {
+  TempDir dir("artifact_flip");
+  fs::create_directories(dir.path);
+  const std::string path = dir.path + "/flip.art";
+  BitVector payload;
+  payload.append_bits(0xdeadbeefcafe, 48);
+  payload.append_bits(0x123456789, 33);  // odd length: padding in play
+  write_artifact_file(path, ArtifactStage::kPack, 42, payload);
+  const std::uint64_t good_fp = 42;
+  ASSERT_EQ(read_artifact_file(path, ArtifactStage::kPack, &good_fp), payload);
+
+  std::string original;
+  {
+    std::ifstream is(path, std::ios::binary);
+    original.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  constexpr std::size_t kHeaderBytes = 29;
+  ASSERT_GT(original.size(), kHeaderBytes);
+  for (std::size_t byte = 0; byte < kHeaderBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = original;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1u << bit));
+      {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+      }
+      try {
+        read_artifact_file(path, ArtifactStage::kPack, &good_fp);
+        FAIL() << "header byte " << byte << " bit " << bit
+               << " flip was accepted";
+      } catch (const ArtifactError&) {
+        // Typed rejection: exactly what the contract requires.
+      }
+    }
+  }
+}
+
 // --- pipeline semantics ------------------------------------------------------
 
 TEST(Pipeline, StagesRunLazilyAndObserversReport) {

@@ -385,7 +385,36 @@ TEST(Controller, RejectsArchMismatch) {
   ArchSpec other;
   other.chan_width = 12;
   ReconfigController rtc(other, 8, 8);
-  EXPECT_THROW(rtc.load_at(t.stream, {0, 0}), std::logic_error);
+  // A stream built for another architecture is hostile input, not a
+  // programming error: typed rejection with full rollback.
+  try {
+    rtc.load_at(t.stream, {0, 0});
+    FAIL() << "arch mismatch not rejected";
+  } catch (const VbsError& e) {
+    EXPECT_EQ(e.code(), VbsErrc::kArchMismatch);
+  }
+  EXPECT_EQ(rtc.num_tasks(), 0);
+  EXPECT_EQ(rtc.occupancy(), 0.0);
+}
+
+TEST(Controller, FaultPlanInjectsAndRollsBack) {
+  TaskFixture t(20, 52, 5, 8);
+  ReconfigController rtc(t.r.fabric->spec(), 8, 8);
+  // decode=1 fails every decode deterministically; the controller must
+  // roll back cleanly and recover the moment the plan is removed.
+  const FaultPlan plan(FaultPlanConfig{7, 1.0, 0.0, 0.0, 0.0, 8});
+  rtc.set_fault_plan(&plan);
+  try {
+    rtc.load_at(t.stream, {0, 0});
+    FAIL() << "injected decode fault not thrown";
+  } catch (const VbsError& e) {
+    EXPECT_EQ(e.code(), VbsErrc::kFaultInjected);
+  }
+  EXPECT_EQ(rtc.num_tasks(), 0);
+  EXPECT_EQ(rtc.occupancy(), 0.0);
+  for (const std::uint64_t w : rtc.config_memory().words()) EXPECT_EQ(w, 0u);
+  rtc.set_fault_plan(nullptr);
+  EXPECT_NE(rtc.load_at(t.stream, {0, 0}), kNoTask);
 }
 
 }  // namespace

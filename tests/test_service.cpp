@@ -4,6 +4,8 @@
 // eviction log at any thread count).
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "flow/flow.h"
 #include "netlist/generator.h"
 #include "rtc/service/placement_policy.h"
@@ -233,6 +235,90 @@ TEST(Trace, ParserDiagnosesBadInput) {
   EXPECT_NO_THROW(trace_from_string("# comment\nfabric 4 4\n\n"));
 }
 
+// Every malformed line is rejected with a TraceError carrying the 1-based
+// line number and the kBadTrace code — the parser trusts nothing.
+TEST(Trace, BadLineMatrixReportsLineNumbers) {
+  const std::string header =
+      "trace t\nfabric 4 4\nkind a 5 3 1 1\n";  // lines 1-3
+  const struct {
+    const char* line;    ///< appended as line 4
+    const char* reason;  ///< must appear in what()
+  } bad[] = {
+      {"fabric 0 4", "fabric dims"},
+      {"fabric 4", "fabric needs"},
+      {"fabric 4 4 9", "trailing"},
+      {"kind b 0 3 1 1", "must be >= 1"},
+      {"kind b 5 3 1", "kind needs"},
+      {"kind b 5 3 1 1 1", "trailing"},
+      {"ev -1 load 0", "tick"},
+      {"ev 0 load 1", "out of range"},
+      {"ev 0 load", "argument"},
+      {"ev 0 unload 0", "earlier load"},
+      {"ev 0 relocate 5", "earlier load"},
+      {"ev 0 explode 0", "unknown event"},
+      {"ev 0 load 0 -2", "tenant"},
+      {"ev 0 load 0 1 junk", "trailing"},
+      {"quux 1 2", "unknown record"},
+  };
+  for (const auto& c : bad) {
+    try {
+      trace_from_string(header + c.line + "\n");
+      FAIL() << "accepted: " << c.line;
+    } catch (const TraceError& e) {
+      EXPECT_EQ(e.line(), 4) << c.line;
+      EXPECT_EQ(e.code(), VbsErrc::kBadTrace) << c.line;
+      EXPECT_NE(std::string(e.what()).find(c.reason), std::string::npos)
+          << c.line << " -> " << e.what();
+    }
+  }
+  // Non-monotone ticks: the violation is on line 5.
+  try {
+    trace_from_string(header + "ev 5 load 0\nev 4 load 0\n");
+    FAIL() << "accepted non-monotone ticks";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_NE(std::string(e.what()).find("non-decreasing"),
+              std::string::npos);
+  }
+  // A missing fabric record is diagnosed at end of input.
+  EXPECT_THROW(trace_from_string("kind a 5 3 1 1\n"), TraceError);
+  // The optional tenant column parses and round-trips.
+  const Trace t = trace_from_string(header + "ev 0 load 0 2\nev 1 load 0\n");
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.events[0].tenant, 2);
+  EXPECT_EQ(t.events[1].tenant, 0);
+  EXPECT_EQ(trace_from_string(trace_to_string(t)), t);
+}
+
+TEST(Trace, AdversarialPatternsAreTwoTenant) {
+  for (const ArrivalPattern p :
+       {ArrivalPattern::kFlashCrowd, ArrivalPattern::kUniqueFlood}) {
+    TraceGenOptions opts;
+    opts.pattern = p;
+    opts.events = 100;
+    const Trace t = generate_trace(opts);
+    EXPECT_EQ(generate_trace(opts), t) << to_string(p);  // deterministic
+    int background = 0, flood = 0;
+    std::set<int> flood_kinds;
+    for (const TraceEvent& e : t.events) {
+      (e.tenant == 0 ? background : flood)++;
+      if (e.tenant == 1 && e.kind == TraceEvent::Kind::kLoad) {
+        flood_kinds.insert(e.task_kind);
+      }
+    }
+    EXPECT_GT(background, 0) << to_string(p);
+    EXPECT_GT(flood, 0) << to_string(p);
+    if (p == ArrivalPattern::kFlashCrowd) {
+      // Everyone in the crowd wants the same hot content.
+      EXPECT_EQ(flood_kinds.size(), 1u);
+    } else {
+      // Every flood load is brand-new content: cache-busting by design.
+      EXPECT_EQ(flood_kinds.size(), static_cast<std::size_t>(flood));
+    }
+    EXPECT_EQ(trace_from_string(trace_to_string(t)), t) << to_string(p);
+  }
+}
+
 // --- service ----------------------------------------------------------------
 
 TEST(Service, BatchedLoadsMatchControllerAndDedupe) {
@@ -393,46 +479,57 @@ TEST(Service, UncachedRelocateRedecodesCorrectly) {
 struct ReplayOutcome {
   BitVector config;
   std::vector<EvictionEvent> evictions;
+  std::vector<int> statuses;          ///< per request, admission order
+  std::vector<long long> latencies;   ///< modeled ticks, same order
   long long warm_loads = 0;
   long long decode_nodes = 0;
+  long long shed = 0, deadline_misses = 0, retries = 0, faults = 0;
+  long long now_ticks = 0;
 };
 
 ReplayOutcome replay(const Trace& trace,
                      const std::vector<BitVector>& kind_streams,
                      const ArchSpec& arch, int threads,
-                     std::size_t cache_bits) {
-  ServiceOptions opts;
+                     std::size_t cache_bits, ServiceOptions opts = {}) {
   opts.threads = threads;
   opts.cache_capacity_bits = cache_bits;
   ReconfigService svc(arch, trace.fabric_w, trace.fabric_h, opts);
+  ReplayOutcome out;
   std::vector<RequestId> req_of_event(trace.events.size(), kNoRequest);
   for (std::size_t i = 0; i < trace.events.size(); ++i) {
     const TraceEvent& e = trace.events[i];
     switch (e.kind) {
       case TraceEvent::Kind::kLoad:
         req_of_event[i] = svc.submit_load(
-            kind_streams[static_cast<std::size_t>(e.task_kind)]);
+            kind_streams[static_cast<std::size_t>(e.task_kind)], e.tenant);
         break;
       case TraceEvent::Kind::kUnload:
         req_of_event[i] = svc.submit_unload(
-            req_of_event[static_cast<std::size_t>(e.ref)]);
+            req_of_event[static_cast<std::size_t>(e.ref)], e.tenant);
         break;
       case TraceEvent::Kind::kRelocate:
         req_of_event[i] = svc.submit_relocate(
-            req_of_event[static_cast<std::size_t>(e.ref)]);
+            req_of_event[static_cast<std::size_t>(e.ref)], e.tenant);
         break;
     }
     // Drain at tick boundaries so batches match the bench's replay shape.
     if (i + 1 == trace.events.size() ||
         trace.events[i + 1].tick != e.tick) {
-      svc.drain();
+      for (const RequestResult& r : svc.drain()) {
+        out.statuses.push_back(static_cast<int>(r.status));
+        out.latencies.push_back(r.latency_ticks);
+      }
     }
   }
-  ReplayOutcome out;
   out.config = svc.controller().config_memory();
   out.evictions = svc.eviction_log();
   out.warm_loads = svc.stats().warm_loads;
   out.decode_nodes = svc.stats().decode.nodes_expanded;
+  out.shed = svc.stats().shed;
+  out.deadline_misses = svc.stats().deadline_misses;
+  out.retries = svc.stats().retries;
+  out.faults = svc.stats().faults_injected;
+  out.now_ticks = svc.now_ticks();
   return out;
 }
 
@@ -446,6 +543,13 @@ void expect_same_outcome(const ReplayOutcome& a, const ReplayOutcome& b,
     EXPECT_EQ(a.evictions[i].rect, b.evictions[i].rect) << what;
     EXPECT_EQ(a.evictions[i].cause, b.evictions[i].cause) << what;
   }
+  EXPECT_EQ(a.statuses, b.statuses) << what;
+  EXPECT_EQ(a.latencies, b.latencies) << what;
+  EXPECT_EQ(a.shed, b.shed) << what;
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses) << what;
+  EXPECT_EQ(a.retries, b.retries) << what;
+  EXPECT_EQ(a.faults, b.faults) << what;
+  EXPECT_EQ(a.now_ticks, b.now_ticks) << what;
 }
 
 TEST(Service, TraceReplayIsDeterministicAcrossThreadCounts) {
@@ -477,6 +581,166 @@ TEST(Service, TraceReplayIsDeterministicAcrossThreadCounts) {
   const ReplayOutcome cold = replay(trace, streams, arch, 2, 0);
   expect_same_outcome(serial, cold, "cold");
   EXPECT_GT(cold.decode_nodes, serial.decode_nodes);
+}
+
+// --- overload semantics: shedding, deadlines, retries, QoS ------------------
+
+TEST(ServiceOverload, HigherPriorityPreemptsQueuedLoad) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 40, arch);
+  ServiceOptions opts;
+  opts.queue_limit = 1;
+  ReconfigService svc(arch, 8, 4, opts);
+  svc.set_tenant_priority(1, 10);
+  const RequestId low = svc.submit_load(s, 0);
+  const RequestId high = svc.submit_load(s, 1);  // full queue: low is shed
+  const auto results = svc.drain();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].request, low);
+  EXPECT_EQ(results[0].status, RequestStatus::kShed);
+  EXPECT_EQ(results[0].code, VbsErrc::kQueueFull);
+  EXPECT_EQ(results[1].request, high);
+  EXPECT_EQ(results[1].status, RequestStatus::kDone);
+  EXPECT_EQ(results[1].tenant, 1);
+  EXPECT_EQ(results[1].priority, 10);
+  // The shed load never touched the fabric.
+  EXPECT_EQ(svc.task_of(low), kNoTask);
+  EXPECT_EQ(svc.controller().num_tasks(), 1);
+  EXPECT_EQ(svc.stats().shed, 1);
+  EXPECT_EQ(svc.tenant_stats().at(0).shed, 1);
+  EXPECT_EQ(svc.tenant_stats().at(1).done, 1);
+}
+
+TEST(ServiceOverload, EqualPriorityShedsTheArrivalButNeverUnloads) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 41, arch);
+  ServiceOptions opts;
+  opts.queue_limit = 1;
+  ReconfigService svc(arch, 8, 4, opts);
+  const RequestId a = svc.submit_load(s);
+  const RequestId b = svc.submit_load(s);  // same priority: b itself is shed
+  const RequestId u = svc.submit_unload(a);  // never shed: frees capacity
+  const auto results = svc.drain();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status, RequestStatus::kDone);
+  EXPECT_EQ(results[1].status, RequestStatus::kShed);
+  EXPECT_EQ(results[2].status, RequestStatus::kDone);
+  EXPECT_EQ(svc.controller().num_tasks(), 0);
+  (void)b;
+  (void)u;
+}
+
+TEST(ServiceOverload, DeadlineExpiresLateRequestsOnTheModeledClock) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 42, arch);
+  ServiceOptions opts;
+  opts.deadline_ticks = 1;
+  ReconfigService svc(arch, 8, 4, opts);
+  svc.submit_load(s);
+  svc.submit_load(s);
+  svc.submit_load(s);  // waits 2 ticks behind the first two: expired
+  const auto results = svc.drain();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status, RequestStatus::kDone);
+  EXPECT_EQ(results[0].latency_ticks, 1);
+  EXPECT_EQ(results[1].status, RequestStatus::kDone);
+  EXPECT_EQ(results[1].latency_ticks, 2);
+  EXPECT_EQ(results[2].status, RequestStatus::kDeadline);
+  EXPECT_EQ(results[2].code, VbsErrc::kDeadline);
+  EXPECT_EQ(results[2].latency_ticks, 2);  // expired while waiting
+  EXPECT_EQ(svc.stats().deadline_misses, 1);
+  EXPECT_EQ(svc.tenant_stats().at(0).deadline_misses, 1);
+  EXPECT_EQ(svc.now_ticks(), 2);
+}
+
+TEST(ServiceOverload, PermanentDecodeFaultExhaustsRetriesWithBackoff) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 43, arch);
+  ServiceOptions opts;
+  opts.cache_capacity_bits = 0;  // every attempt pays a fresh decode
+  opts.retry_limit = 2;
+  opts.retry_backoff_ticks = 1;
+  FaultPlanConfig fcfg;
+  fcfg.seed = 1;
+  fcfg.decode_fail = 1.0;  // every attempt loses its decode
+  opts.faults = FaultPlan(fcfg);
+  ReconfigService svc(arch, 8, 4, opts);
+  svc.submit_load(s);
+  const auto results = svc.drain();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RequestStatus::kFailed);
+  EXPECT_EQ(results[0].code, VbsErrc::kFaultInjected);
+  EXPECT_EQ(results[0].attempts, 3);  // 1 + retry_limit
+  // Backoff 1, then 2 ticks, plus one service tick per attempt.
+  EXPECT_EQ(results[0].latency_ticks, 6);
+  EXPECT_EQ(svc.stats().retries, 2);
+  EXPECT_EQ(svc.stats().faults_injected, 3);
+  EXPECT_EQ(svc.stats().failed, 1);
+  EXPECT_EQ(svc.stats().loads, 1);  // retries are not new requests
+  EXPECT_EQ(svc.controller().num_tasks(), 0);
+  EXPECT_EQ(svc.tenant_stats().at(0).retries, 2);
+  EXPECT_EQ(svc.tenant_stats().at(0).failed, 1);
+}
+
+TEST(ServiceOverload, TransientAllocFaultRecoversOnRetry) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 44, arch);
+  // Find a plan whose first allocation roll fails and second succeeds; the
+  // controller keys alloc faults off a serial per-load counter (0, 1, ...),
+  // which this test pins down as part of the determinism contract.
+  FaultPlanConfig fcfg;
+  fcfg.alloc_fail = 0.5;
+  for (fcfg.seed = 0;; ++fcfg.seed) {
+    const FaultPlan probe(fcfg);
+    if (probe.alloc_fails(0) && !probe.alloc_fails(1)) break;
+  }
+  ServiceOptions opts;
+  opts.retry_limit = 2;
+  opts.faults = FaultPlan(fcfg);
+  ReconfigService svc(arch, 8, 4, opts);
+  const RequestId id = svc.submit_load(s);
+  const auto results = svc.drain();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RequestStatus::kDone);
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_EQ(svc.stats().retries, 1);
+  EXPECT_EQ(svc.stats().faults_injected, 1);
+  EXPECT_NE(svc.task_of(id), kNoTask);
+  // The faulted first attempt rolled back completely before the retry.
+  EXPECT_EQ(svc.controller().num_tasks(), 1);
+}
+
+TEST(ServiceOverload, FaultedTraceReplayIsDeterministicAcrossThreadCounts) {
+  const ArchSpec arch = test_arch();
+  TraceGenOptions gopts;
+  gopts.pattern = ArrivalPattern::kBursty;
+  gopts.events = 60;
+  gopts.kinds = 3;
+  gopts.fabric_w = 10;
+  gopts.fabric_h = 8;
+  const Trace trace = generate_trace(gopts);
+  std::vector<BitVector> streams;
+  for (const TraceTaskKind& k : trace.kinds) {
+    streams.push_back(make_stream(k.n_lut, k.grid, k.seed, arch, k.cluster));
+  }
+  ServiceOptions fopts;
+  fopts.queue_limit = 6;
+  fopts.deadline_ticks = 10;
+  fopts.retry_limit = 2;
+  fopts.faults =
+      FaultPlan::parse("seed=7,decode=0.2,alloc=0.1,cache=0.15,latency=0.2x5");
+  const std::size_t cache_bits = std::size_t{16} << 20;
+  const ReplayOutcome serial =
+      replay(trace, streams, arch, 1, cache_bits, fopts);
+  EXPECT_GT(serial.faults, 0);  // the plan actually fired
+  for (const int threads : {2, 8}) {
+    const ReplayOutcome parallel =
+        replay(trace, streams, arch, threads, cache_bits, fopts);
+    expect_same_outcome(serial, parallel,
+                        ("faulted threads=" + std::to_string(threads)).c_str());
+    EXPECT_EQ(serial.warm_loads, parallel.warm_loads);
+    EXPECT_EQ(serial.decode_nodes, parallel.decode_nodes);
+  }
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <unistd.h>
 #include <filesystem>
 
+#include "util/error.h"
 #include "util/rng.h"
 #include "vbs/vbs_file.h"
 
@@ -69,10 +71,67 @@ TEST(VbsFile, RejectsBadMagicAndTruncation) {
   EXPECT_THROW(read_vbs_file(path), std::runtime_error);
   BitVector v(100, true);
   write_vbs_file(path, v);
-  std::filesystem::resize_file(path, 14);  // cut into the payload
+  std::filesystem::resize_file(path, 14);  // cut into the header
+  EXPECT_THROW(read_vbs_file(path), std::runtime_error);
+  write_vbs_file(path, v);
+  std::filesystem::resize_file(path, 25);  // cut into the payload
   EXPECT_THROW(read_vbs_file(path), std::runtime_error);
   std::filesystem::remove(path);
   EXPECT_THROW(read_vbs_file(path), std::runtime_error);  // missing file
+}
+
+// The container checksum makes every single-byte corruption a typed
+// rejection: no byte of a VBS2 file is slack.
+TEST(VbsFile, EveryByteCorruptionIsRejectedTyped) {
+  const std::string path = temp_path("corrupt");
+  Rng rng(23);
+  BitVector v;
+  for (int i = 0; i < 203; ++i) v.push_back(rng.next_bool(0.4));  // odd tail
+  write_vbs_file(path, v);
+  std::string original;
+  {
+    std::ifstream is(path, std::ios::binary);
+    original.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  ASSERT_EQ(original.size(), 20u + (203 + 7) / 8);
+  for (std::size_t byte = 0; byte < original.size(); ++byte) {
+    std::string bad = original;
+    bad[byte] = static_cast<char>(bad[byte] ^ 0x10);
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+    try {
+      read_vbs_file(path);
+      FAIL() << "byte " << byte << " corruption was accepted";
+    } catch (const VbsError& e) {
+      EXPECT_NE(e.code(), VbsErrc::kNone) << "byte " << byte;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(VbsFile, LegacyVbs1ContainerIsRejectedWithBadVersion) {
+  const std::string path = temp_path("legacy");
+  BitVector v(64, true);
+  write_vbs_file(path, v);
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  bytes[3] = '1';  // masquerade as the pre-checksum container
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    read_vbs_file(path);
+    FAIL() << "legacy container was accepted";
+  } catch (const VbsError& e) {
+    EXPECT_EQ(e.code(), VbsErrc::kBadVersion);
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -4,7 +4,8 @@
 // bench/rtc_bench --trace, or parse it from your own driver.
 //
 // Usage:
-//   rtcgen --pattern steady|bursty|diurnal|churn [--events N] [--ticks T]
+//   rtcgen --pattern steady|bursty|diurnal|churn|flash_crowd|unique_flood
+//          [--events N] [--ticks T]
 //          [--seed S] [--fabric WxH] [--kinds K] [--out trace.rtc]
 //
 // Without --out the trace goes to stdout.
@@ -19,7 +20,8 @@ using namespace vbs;
 namespace {
 
 constexpr const char* kUsage =
-    "rtcgen --pattern steady|bursty|diurnal|churn [--events N] [--ticks T] "
+    "rtcgen --pattern steady|bursty|diurnal|churn|flash_crowd|unique_flood "
+    "[--events N] [--ticks T] "
     "[--seed S] [--fabric WxH] [--kinds K] [--out trace.rtc]";
 
 }  // namespace

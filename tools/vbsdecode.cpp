@@ -11,10 +11,19 @@
 // --json replaces the human-readable report with a single JSON object
 // (stable keys, same conventions as vbsinfo --json; suitable for traces
 // and CI scripting).
+//
+// Hostile input exits typed: a VbsError maps to exit code
+// exit_code_for(code) (10 + the numeric VbsErrc), and with --json the
+// tool prints {"error": {"code": ..., "errc": N, "message": ...}} on
+// stdout so scripted callers can dispatch without parsing stderr. Exit
+// code 1 stays reserved for untyped errors (bad CLI usage, I/O).
 #include <cstdio>
+#include <optional>
+#include <string>
 
 #include "rtc/controller.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "vbs/devirtualizer.h"
 #include "vbs/vbs_file.h"
 
@@ -25,6 +34,27 @@ namespace {
 constexpr const char* kUsage =
     "vbsdecode <task.vbs> --out config.bin [--fabric WxH] [--origin X,Y] "
     "[--threads N] [--json]";
+
+/// Minimal JSON string escaping for error messages (quotes, backslashes,
+/// control bytes); our own messages are plain ASCII but file paths echoed
+/// into them may not be.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -38,23 +68,49 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "usage: %s\n", kUsage);
       return args.has_flag("--help") ? 0 : 1;
     }
-    const BitVector stream = read_vbs_file(args.positional()[0]);
-    const VbsImage img = deserialize_vbs(stream);
-
-    int fw = img.task_w, fh = img.task_h;
-    if (const auto f = args.value("--fabric")) {
-      std::tie(fw, fh) = parse_pair(*f, 'x');
+    // CLI mistakes keep the untyped exit 1; everything past this point
+    // consumes hostile bytes and exits typed on rejection.
+    int fw = 0, fh = 0;
+    const bool have_fabric = args.value("--fabric").has_value();
+    if (have_fabric) {
+      std::tie(fw, fh) = parse_pair(*args.value("--fabric"), 'x');
     }
     Point origin{0, 0};
     if (const auto o = args.value("--origin")) {
       std::tie(origin.x, origin.y) = parse_pair(*o, ',');
     }
     const int threads = threads_or(args);
+    const bool json = args.has_flag("--json");
 
-    // Route the load through the controller so the tool measures exactly
-    // what the runtime would do.
-    ReconfigController rtc(img.spec, fw, fh);
-    const TaskId id = rtc.load_at(stream, origin, threads);
+    BitVector stream;
+    VbsImage img;
+    std::optional<ReconfigController> rtc_opt;
+    TaskId id = kNoTask;
+    try {
+      stream = read_vbs_file(args.positional()[0]);
+      img = deserialize_vbs(stream);
+      if (!have_fabric) {
+        fw = img.task_w;
+        fh = img.task_h;
+      }
+      // Route the load through the controller so the tool measures
+      // exactly what the runtime would do.
+      rtc_opt.emplace(img.spec, fw, fh);
+      id = rtc_opt->load_at(stream, origin, threads);
+    } catch (const VbsError& ex) {
+      if (json) {
+        std::printf(
+            "{\n  \"error\": {\"code\": \"%s\", \"errc\": %d, "
+            "\"message\": \"%s\"}\n}\n",
+            to_string(ex.code()), static_cast<int>(ex.code()),
+            json_escape(ex.what()).c_str());
+      } else {
+        std::fprintf(stderr, "vbsdecode: %s [%s]\n", ex.what(),
+                     to_string(ex.code()));
+      }
+      return exit_code_for(ex.code());
+    }
+    ReconfigController& rtc = *rtc_opt;
     const TaskRecord& rec = rtc.record(id);
     write_vbs_file(args.value_or("--out", ""), rtc.config_memory());
 

@@ -1,0 +1,311 @@
+// vbsfuzz — seeded mutational fuzzer for the hostile-input surfaces: the
+// VBS deserializer, the VBS2 / vbs.artifact.v1 file containers, the
+// controller's load path, and the service's submit/drain loop.
+//
+// The harness builds a small vbsgen-style corpus in-process (two routed
+// tasks, cluster 1 and cluster 2), then repeatedly mutates a corpus
+// stream — truncation at a random bit, 1-8 random bit flips, targeted
+// flips in the preamble/header bits, appended garbage bits, spliced
+// runs — and feeds the mutant to the decode stack. The contract under
+// test (the PR's fuzz invariant):
+//
+//   * deserialize_vbs either succeeds or throws a typed VbsError — never
+//     any other exception type, never a crash or sanitizer report;
+//   * a stream that parses but fails later (decode, placement, arch)
+//     rolls the controller back completely: configuration memory all
+//     zero and occupancy 0 after the rejected load;
+//   * the service survives mutant submissions and reports per-request
+//     typed failures instead of tearing down the drain loop;
+//   * mutated VBS2 / artifact files are rejected with the typed
+//     container errors, and a file round-trip of a surviving mutant is
+//     bit-exact.
+//
+// Everything is a pure function of --seed, so a failure line
+// ("iter 123 seed 7") is a standalone repro. Exit status: 0 if every
+// iteration upheld the contract, 1 with a repro line otherwise.
+//
+// Usage:
+//   vbsfuzz [--iters N] [--seed S] [--smoke]
+//
+// --smoke caps the run at the CI budget (600 iterations) regardless of
+// --iters; the asan-ubsan CI job runs exactly `vbsfuzz --smoke`.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "flow/artifact_io.h"
+#include "flow/flow.h"
+#include "netlist/generator.h"
+#include "rtc/controller.h"
+#include "rtc/service/service.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "vbs/encoder.h"
+#include "vbs/vbs_file.h"
+#include "vbs/vbs_format.h"
+
+using namespace vbs;
+
+namespace {
+
+constexpr const char* kUsage = "vbsfuzz [--iters N] [--seed S] [--smoke]";
+
+/// One corpus entry: a valid serialized stream plus the arch it targets.
+struct CorpusEntry {
+  BitVector stream;
+  ArchSpec spec;
+  int grid = 0;
+};
+
+CorpusEntry make_entry(int n_lut, std::uint64_t seed, int grid, int cluster) {
+  GenParams p;
+  p.n_lut = n_lut;
+  p.n_pi = 3;
+  p.n_po = 3;
+  p.seed = seed;
+  FlowOptions o;
+  o.seed = seed;
+  const FlowResult r = run_flow(generate_netlist(p), grid, grid, o);
+  if (!r.routed()) throw std::runtime_error("vbsfuzz: corpus task unroutable");
+  EncodeOptions eo;
+  eo.cluster = cluster;
+  CorpusEntry e;
+  e.stream = serialize_vbs(encode_vbs(*r.fabric, r.netlist, r.packed,
+                                      r.placement, r.routing.routes, eo));
+  e.spec = r.fabric->spec();
+  e.grid = grid;
+  return e;
+}
+
+/// Applies one randomly chosen mutation; returns a description for repros.
+std::string mutate(Rng& rng, BitVector& bits) {
+  const std::size_t n = bits.size();
+  // A prior truncation can leave the stream empty; the only mutation that
+  // still applies is appending garbage (case 3 below, inlined).
+  if (n == 0) {
+    const std::size_t extra = 1 + rng.next_below(64);
+    BitVector t(extra);
+    for (std::size_t i = 0; i < extra; ++i) t.set(i, rng.next_below(2) != 0);
+    bits = std::move(t);
+    return "append" + std::to_string(extra);
+  }
+  switch (rng.next_below(5)) {
+    case 0: {  // truncate at a random bit
+      const std::size_t cut = rng.next_below(n);
+      BitVector t(cut);
+      for (std::size_t i = 0; i < cut; ++i) t.set(i, bits.get(i));
+      bits = std::move(t);
+      return "truncate@" + std::to_string(cut);
+    }
+    case 1: {  // flip 1-8 random bits anywhere
+      const int flips = 1 + static_cast<int>(rng.next_below(8));
+      for (int i = 0; i < flips; ++i) {
+        const std::size_t at = rng.next_below(n);
+        bits.set(at, !bits.get(at));
+      }
+      return "flip" + std::to_string(flips);
+    }
+    case 2: {  // targeted flip in the preamble/header bits
+      const std::size_t at = rng.next_below(std::min<std::size_t>(n, 31));
+      bits.set(at, !bits.get(at));
+      return "header-flip@" + std::to_string(at);
+    }
+    case 3: {  // append 1-64 garbage bits
+      const std::size_t extra = 1 + rng.next_below(64);
+      BitVector t(n + extra);
+      for (std::size_t i = 0; i < n; ++i) t.set(i, bits.get(i));
+      for (std::size_t i = n; i < n + extra; ++i)
+        t.set(i, rng.next_below(2) != 0);
+      bits = std::move(t);
+      return "append" + std::to_string(extra);
+    }
+    default: {  // splice a random run of the stream over another position
+      const std::size_t len = 1 + rng.next_below(std::min<std::size_t>(n, 96));
+      const std::size_t src = rng.next_below(n - len + 1);
+      const std::size_t dst = rng.next_below(n - len + 1);
+      for (std::size_t i = 0; i < len; ++i)
+        bits.set(dst + i, bits.get(src + i));
+      return "splice" + std::to_string(len);
+    }
+  }
+}
+
+/// Byte-level mutation of a file on disk: truncate or flip one byte.
+void mutate_file(Rng& rng, const std::string& path) {
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw std::runtime_error("vbsfuzz: reopen " + path);
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+      bytes.append(buf, got);
+    std::fclose(f);
+  }
+  if (bytes.empty()) return;
+  if (rng.next_below(2) == 0) {
+    bytes.resize(rng.next_below(bytes.size()));
+  } else {
+    bytes[rng.next_below(bytes.size())] ^=
+        static_cast<char>(1u << rng.next_below(8));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("vbsfuzz: rewrite " + path);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+bool config_is_clean(const ReconfigController& rtc) {
+  if (rtc.occupancy() != 0.0 || rtc.num_tasks() != 0) return false;
+  const BitVector& cfg = rtc.config_memory();
+  for (const std::uint64_t w : cfg.words())
+    if (w != 0) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tool_main("vbsfuzz", kUsage, [&] {
+    const CliArgs args(argc, argv, {"--iters", "--seed"},
+                       {"--smoke", "--help"});
+    if (args.has_flag("--help") || !args.positional().empty()) {
+      std::fprintf(stderr, "usage: %s\n", kUsage);
+      return args.has_flag("--help") ? 0 : 1;
+    }
+    long long iters = args.int_or("--iters", 600);
+    if (args.has_flag("--smoke")) iters = std::min<long long>(iters, 600);
+    if (iters < 1) throw std::runtime_error("--iters must be >= 1");
+    const std::uint64_t seed = seed_or(args, 1);
+
+    const std::vector<CorpusEntry> corpus = {
+        make_entry(18, 5, 5, 1),
+        make_entry(25, 31, 6, 2),
+    };
+    const auto tmp = std::filesystem::temp_directory_path() /
+                     ("vbsfuzz." + std::to_string(seed));
+    std::filesystem::create_directories(tmp);
+
+    long long parsed = 0, rejected = 0, loaded = 0, load_rejected = 0;
+    Rng rng(seed ^ 0x5bd1e995u);
+    for (long long iter = 0; iter < iters; ++iter) {
+      const CorpusEntry& base =
+          corpus[static_cast<std::size_t>(rng.next_below(corpus.size()))];
+      BitVector bits = base.stream;
+      std::string what = mutate(rng, bits);
+      if (rng.next_below(3) == 0) what += "+" + mutate(rng, bits);
+
+      const auto fail = [&](const std::string& msg) {
+        std::fprintf(stderr,
+                     "vbsfuzz: CONTRACT VIOLATION at iter %lld seed %llu "
+                     "(%s): %s\n",
+                     iter, static_cast<unsigned long long>(seed), what.c_str(),
+                     msg.c_str());
+        return 1;
+      };
+
+      // 1. Parse: success or typed VbsError, nothing else.
+      bool ok = false;
+      VbsImage img;
+      try {
+        img = deserialize_vbs(bits);
+        ok = true;
+        ++parsed;
+      } catch (const VbsError& e) {
+        if (e.code() == VbsErrc::kNone) return fail("VbsError with code ok");
+        ++rejected;
+      } catch (const std::exception& e) {
+        return fail(std::string("untyped exception: ") + e.what());
+      }
+
+      // 2. Survivors meet the controller: load either commits or rolls
+      // back to a pristine fabric.
+      if (ok) {
+        ReconfigController rtc(base.spec, base.grid, base.grid);
+        try {
+          const TaskId id = rtc.load(bits);
+          if (id != kNoTask) {
+            ++loaded;
+            rtc.unload(id);
+          }
+          if (!config_is_clean(rtc)) {
+            return fail("config dirty after load+unload");
+          }
+        } catch (const VbsError&) {
+          ++load_rejected;
+          if (!config_is_clean(rtc)) {
+            return fail("config dirty after rejected load");
+          }
+        } catch (const std::exception& e) {
+          return fail(std::string("untyped load exception: ") + e.what());
+        }
+      }
+
+      // 3. Every 4th iteration: the service drain loop must survive the
+      // mutant and report a per-request status instead of throwing.
+      if (iter % 4 == 0) {
+        ReconfigService svc(base.spec, base.grid, base.grid);
+        try {
+          svc.submit_load(bits);
+          svc.submit_load(base.stream);  // a valid load must still succeed
+          const auto results = svc.drain();
+          long long done = 0;
+          for (const RequestResult& r : results)
+            if (r.status == RequestStatus::kDone) ++done;
+          if (done < 1) return fail("valid load failed after mutant");
+        } catch (const std::exception& e) {
+          return fail(std::string("service drain threw: ") + e.what());
+        }
+      }
+
+      // 4. Every 8th iteration: container files. A surviving mutant must
+      // round-trip bit-exactly; a mutated file must be rejected typed.
+      if (iter % 8 == 0) {
+        const std::string vpath = (tmp / "fuzz.vbs").string();
+        const std::string apath = (tmp / "fuzz.var").string();
+        try {
+          write_vbs_file(vpath, bits);
+          if (read_vbs_file(vpath) != bits) {
+            return fail("VBS container round-trip not bit-exact");
+          }
+          write_artifact_file(apath, ArtifactStage::kEncode, 0xfeedULL, bits);
+          const std::uint64_t want_fp = 0xfeedULL;
+          if (read_artifact_file(apath, ArtifactStage::kEncode, &want_fp) !=
+              bits) {
+            return fail("artifact round-trip not bit-exact");
+          }
+          mutate_file(rng, vpath);
+          mutate_file(rng, apath);
+          try {
+            const BitVector back = read_vbs_file(vpath);
+            if (back != bits) return fail("mutated VBS container read garbage");
+          } catch (const VbsError&) {
+          } catch (const std::exception& e) {
+            return fail(std::string("untyped VBS container error: ") + e.what());
+          }
+          try {
+            const BitVector back =
+                read_artifact_file(apath, ArtifactStage::kEncode, &want_fp);
+            if (back != bits) return fail("mutated artifact read garbage");
+          } catch (const ArtifactError&) {
+          } catch (const std::exception& e) {
+            return fail(std::string("untyped artifact error: ") + e.what());
+          }
+        } catch (const std::exception& e) {
+          return fail(std::string("container leg threw: ") + e.what());
+        }
+      }
+    }
+
+    std::error_code ec;
+    std::filesystem::remove_all(tmp, ec);
+    std::printf(
+        "vbsfuzz: %lld iters seed %llu: %lld parsed (%lld loaded, %lld "
+        "load-rejected), %lld rejected typed, 0 contract violations\n",
+        iters, static_cast<unsigned long long>(seed), parsed, loaded,
+        load_rejected, rejected);
+    return 0;
+  });
+}
