@@ -27,7 +27,16 @@
 //                     eviction log must be byte-identical to the headline
 //                     run at any thread count.
 //
-// Results go to stdout as a table and to a JSON file (vbs.rtc_bench.v2,
+// After the overload legs, a recovery leg replays each overload trace
+// once more with a write-ahead journal attached (src/rtc/service/journal),
+// then rebuilds a service from the journal directory alone and compares
+// state fingerprints: journaling must be transparent (the journaled run
+// fingerprints identically to an unjournaled one) and recovery must be
+// byte-identical to the run it replaces. The leg reports journal size,
+// WAL record counts, journaling overhead and the cold-recovery replay
+// rate in records per second.
+//
+// Results go to stdout as a table and to a JSON file (vbs.rtc_bench.v3,
 // documented in bench/README.md). BENCH_rtc.json at the repo root is the
 // committed trajectory.
 //
@@ -36,11 +45,16 @@
 //             [--cache-bits N] [--events N] [--ticks K] [--seed S]
 //             [--queue-limit N] [--deadline T] [--faults SPEC]
 //             [--out PATH]
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -128,8 +142,13 @@ struct Replay {
 
 Replay replay_trace(const Trace& trace, StreamLibrary& lib,
                     const ArchSpec& arch, const ServiceOptions& opts,
-                    const std::map<int, int>& priorities = {}) {
+                    const std::map<int, int>& priorities = {},
+                    const std::string& journal_dir = {},
+                    std::uint64_t* fingerprint_out = nullptr) {
   ReconfigService svc(arch, trace.fabric_w, trace.fabric_h, opts);
+  // The journal must attach before any journaled mutation — priority
+  // assignments included — so recovery replays the whole run.
+  if (!journal_dir.empty()) svc.open_journal(journal_dir);
   for (const auto& [tenant, prio] : priorities) {
     svc.set_tenant_priority(tenant, prio);
   }
@@ -196,6 +215,7 @@ Replay replay_trace(const Trace& trace, StreamLibrary& lib,
   out.cache_evictions = svc.cache().evictions();
   out.cache_size_bits = svc.cache().size_bits();
   out.tenants = svc.tenant_stats();
+  if (fingerprint_out != nullptr) *fingerprint_out = svc.state_fingerprint();
   return out;
 }
 
@@ -233,6 +253,20 @@ struct OverloadRecord {
   std::map<int, std::pair<double, double>> tick_percentiles;
 };
 
+/// One crash-recovery leg: an overload trace replayed with a write-ahead
+/// journal attached, then a service rebuilt from the journal directory
+/// alone. Both fingerprint comparisons are part of the bench's FAIL gate.
+struct RecoveryRecord {
+  Trace trace;
+  ReconfigService::RecoveryInfo info;
+  double baseline_seconds = 0.0;   ///< drain time, no journal
+  double journaled_seconds = 0.0;  ///< drain time with the journal attached
+  double recover_seconds = 0.0;    ///< rebuild-from-journal wall time
+  double replay_rps = 0.0;         ///< WAL records replayed per second
+  bool journal_transparent = false;  ///< journaled fp == unjournaled fp
+  bool fingerprint_ok = false;       ///< recovered fp == journaled fp
+};
+
 bool same_outcomes(const Replay& a, const Replay& b) {
   return a.config == b.config && same_evictions(a.evictions, b.evictions) &&
          a.statuses == b.statuses && a.latency_ticks == b.latency_ticks &&
@@ -242,7 +276,8 @@ bool same_outcomes(const Replay& a, const Replay& b) {
 }
 
 void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
-                const std::vector<OverloadRecord>& over, bool smoke,
+                const std::vector<OverloadRecord>& over,
+                const std::vector<RecoveryRecord>& recov, bool smoke,
                 const ServiceOptions& sopts, const ServiceOptions& oopts,
                 std::uint64_t seed) {
   FILE* f = std::fopen(path.c_str(), "w");
@@ -250,7 +285,7 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"vbs.rtc_bench.v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"vbs.rtc_bench.v3\",\n");
   std::fprintf(f,
                "  \"options\": {\"smoke\": %s, \"policy\": \"%s\", "
                "\"threads\": %d, \"cache_bits\": %zu, \"evict_to_fit\": %s, "
@@ -372,6 +407,37 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
     std::fprintf(f, "]}%s\n", i + 1 < over.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"recovery\": [\n");
+  bool all_recov = true;
+  for (std::size_t i = 0; i < recov.size(); ++i) {
+    const RecoveryRecord& r = recov[i];
+    all_recov &= r.fingerprint_ok && r.journal_transparent;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"events\": %zu, \"journal_bytes\": %llu, "
+        "\"wal_records\": %lld, \"admits\": %lld, \"commits\": %lld, "
+        "\"epoch\": %llu,\n",
+        r.trace.name.c_str(), r.trace.events.size(),
+        static_cast<unsigned long long>(r.info.journal_bytes), r.info.records,
+        r.info.admits, r.info.commits,
+        static_cast<unsigned long long>(r.info.epoch));
+    std::fprintf(
+        f,
+        "     \"baseline_seconds\": %.4f, \"journaled_seconds\": %.4f, "
+        "\"journal_overhead\": %.3f, \"recover_seconds\": %.4f, "
+        "\"replay_records_per_sec\": %.0f,\n",
+        r.baseline_seconds, r.journaled_seconds,
+        r.baseline_seconds > 0 ? r.journaled_seconds / r.baseline_seconds
+                               : 0.0,
+        r.recover_seconds, r.replay_rps);
+    std::fprintf(f,
+                 "     \"journal_transparent\": %s, \"fingerprint_ok\": "
+                 "%s}%s\n",
+                 r.journal_transparent ? "true" : "false",
+                 r.fingerprint_ok ? "true" : "false",
+                 i + 1 < recov.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(
       f,
       "  \"summary\": {\"traces\": %zu, \"events\": %lld, "
@@ -379,7 +445,8 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
       "\"decode_nodes_warm\": %lld, \"decode_nodes_cold\": %lld, "
       "\"decode_node_ratio\": %.2f, \"cache_hit_rate\": %.3f, "
       "\"task_evictions\": %lld, \"determinism_ok\": %s, "
-      "\"warm_equals_cold_ok\": %s, \"overload_ok\": %s}\n",
+      "\"warm_equals_cold_ok\": %s, \"overload_ok\": %s, "
+      "\"recovery_ok\": %s}\n",
       recs.size(), tot_events, tot_seconds,
       tot_seconds > 0 ? static_cast<double>(tot_events) / tot_seconds : 0.0,
       tot_warm, tot_cold,
@@ -389,7 +456,7 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
           ? static_cast<double>(tot_hits) / static_cast<double>(tot_lookups)
           : 0.0,
       tot_evict, all_det ? "true" : "false", all_wc ? "true" : "false",
-      all_over ? "true" : "false");
+      all_over ? "true" : "false", all_recov ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -531,6 +598,47 @@ int main(int argc, char** argv) try {
     over.push_back(std::move(rec));
   }
 
+  // Recovery legs: the overload traces once more, this time journaled,
+  // then rebuilt from the journal directory alone. Journaling must not
+  // perturb the replay and the cold recovery must fingerprint identically.
+  std::vector<RecoveryRecord> recov;
+  if (!overload_traces.empty()) {
+    namespace fs = std::filesystem;
+    const fs::path jroot =
+        fs::temp_directory_path() /
+        ("vbs_rtc_bench_" +
+         std::to_string(static_cast<long long>(::getpid())));
+    for (const Trace& t : overload_traces) {
+      RecoveryRecord rec;
+      rec.trace = t;
+      std::printf("replaying %-12s recovery leg (journaled, then cold "
+                  "recover)...\n",
+                  t.name.c_str());
+      const fs::path jdir = jroot / t.name;
+      fs::remove_all(jdir);
+      std::uint64_t fp_live = 0, fp_journaled = 0;
+      rec.baseline_seconds =
+          replay_trace(t, lib, arch, oopts, priorities, {}, &fp_live)
+              .drain_seconds;
+      rec.journaled_seconds =
+          replay_trace(t, lib, arch, oopts, priorities, jdir.string(),
+                       &fp_journaled)
+              .drain_seconds;
+      rec.journal_transparent = fp_journaled == fp_live;
+      const auto t0 = Clock::now();
+      const std::unique_ptr<ReconfigService> back =
+          ReconfigService::recover(jdir.string(), oopts.threads, &rec.info);
+      rec.recover_seconds = seconds_since(t0);
+      rec.replay_rps =
+          rec.recover_seconds > 0
+              ? static_cast<double>(rec.info.records) / rec.recover_seconds
+              : 0.0;
+      rec.fingerprint_ok = back->state_fingerprint() == fp_journaled;
+      recov.push_back(std::move(rec));
+    }
+    fs::remove_all(jroot);
+  }
+
   TablePrinter table({"trace", "events", "rps", "p50 ms", "p99 ms",
                       "hit rate", "nodes w/c", "evict", "frag", "det"});
   for (const TraceRecord& r : recs) {
@@ -579,7 +687,31 @@ int main(int argc, char** argv) try {
     otable.print();
   }
 
-  write_json(out, recs, over, smoke, sopts, oopts, seed);
+  if (!recov.empty()) {
+    std::printf("\nrecovery legs (journaled replay + cold recover):\n");
+    TablePrinter rtable({"trace", "wal bytes", "records", "admits",
+                         "commits", "jrnl ovh", "recover ms", "rec/s",
+                         "ok"});
+    for (const RecoveryRecord& r : recov) {
+      rtable.add_row(
+          {r.trace.name,
+           TablePrinter::fmt_int(
+               static_cast<long long>(r.info.journal_bytes)),
+           TablePrinter::fmt_int(r.info.records),
+           TablePrinter::fmt_int(r.info.admits),
+           TablePrinter::fmt_int(r.info.commits),
+           TablePrinter::fmt(r.baseline_seconds > 0
+                                 ? r.journaled_seconds / r.baseline_seconds
+                                 : 0.0,
+                             2),
+           TablePrinter::fmt(1e3 * r.recover_seconds, 2),
+           TablePrinter::fmt(r.replay_rps, 0),
+           r.fingerprint_ok && r.journal_transparent ? "ok" : "FAIL"});
+    }
+    rtable.print();
+  }
+
+  write_json(out, recs, over, recov, smoke, sopts, oopts, seed);
   std::printf("\nwrote %s\n", out.c_str());
 
   // Fail loudly: a nondeterministic replay or a cached commit that diverges
@@ -649,6 +781,24 @@ int main(int argc, char** argv) try {
                    "FAIL: %s high-priority p99 %.1f ticks above flood p99 "
                    "%.1f\n",
                    r.trace.name.c_str(), p0->second.second, p1->second.second);
+      ok = false;
+    }
+  }
+  // Durability promises of the recovery legs: attaching a journal is
+  // invisible to the model, and a service rebuilt from the journal alone
+  // is byte-identical to the one it replaces.
+  for (const RecoveryRecord& r : recov) {
+    if (!r.journal_transparent) {
+      std::fprintf(stderr, "FAIL: %s journaled replay diverged from the "
+                           "unjournaled run\n",
+                   r.trace.name.c_str());
+      ok = false;
+    }
+    if (!r.fingerprint_ok) {
+      std::fprintf(stderr,
+                   "FAIL: %s recovered fingerprint diverged from the "
+                   "journaled run\n",
+                   r.trace.name.c_str());
       ok = false;
     }
   }

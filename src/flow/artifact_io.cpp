@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "util/bitio.h"
+#include "util/io.h"
 #include "vbs/vbs_file.h"
 
 namespace vbs {
@@ -14,10 +15,10 @@ namespace {
 
 constexpr char kMagic[4] = {'V', 'A', 'R', '1'};
 
-void put_le64(std::ofstream& os, std::uint64_t v) {
-  char b[8];
-  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  os.write(b, sizeof b);
+void put_le64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
 }
 
 std::uint64_t take_le64(const std::string& bytes, std::size_t pos) {
@@ -197,16 +198,20 @@ RoutingResult deserialize_routing(const BitVector& bits) {
 
 void write_artifact_file(const std::string& path, ArtifactStage stage,
                          std::uint64_t fingerprint, const BitVector& payload) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
-  os.write(kMagic, sizeof kMagic);
-  os.put(static_cast<char>(stage));
   const std::string bytes = pack_bits(payload);
-  put_le64(os, fingerprint);
-  put_le64(os, content_hash(bytes, payload.size()));
-  put_le64(os, payload.size());
-  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!os) throw std::runtime_error("write failed: " + path);
+  std::string file;
+  file.reserve(29 + bytes.size());
+  file.append(kMagic, sizeof kMagic);
+  file.push_back(static_cast<char>(stage));
+  put_le64(file, fingerprint);
+  put_le64(file, content_hash(bytes, payload.size()));
+  put_le64(file, payload.size());
+  file.append(bytes);
+  // Atomic replacement: a crash mid-save leaves the previous artifact (or
+  // no artifact) plus at worst an orphaned *.tmp, never a torn container.
+  AtomicFile out(path);
+  out.write(file);
+  out.commit();
 }
 
 BitVector read_artifact_file(const std::string& path, ArtifactStage stage,

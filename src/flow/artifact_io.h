@@ -58,6 +58,7 @@ enum class ArtifactStage : std::uint8_t {
   kRoute = 2,
   kEncode = 3,
   kMeta = 4,
+  kServiceSnapshot = 5,  ///< ReconfigService journal snapshot (journal.h)
 };
 
 // --- hashing -----------------------------------------------------------------
@@ -130,7 +131,10 @@ RoutingResult deserialize_routing(const BitVector& bits);
 
 // --- container I/O -----------------------------------------------------------
 
-/// Writes `payload` wrapped in the vbs.artifact.v1 container.
+/// Writes `payload` wrapped in the vbs.artifact.v1 container, atomically:
+/// the bytes land in `path + ".tmp"` and are renamed over `path` only
+/// after an fsync, so a crash mid-save never tears an existing artifact
+/// (util/io.h AtomicFile; injection via the thread-local injector).
 /// Throws std::runtime_error on I/O failure.
 void write_artifact_file(const std::string& path, ArtifactStage stage,
                          std::uint64_t fingerprint, const BitVector& payload);

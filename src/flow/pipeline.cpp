@@ -8,6 +8,7 @@
 #include "netlist/netlist_io.h"
 #include "route/route_request.h"
 #include "util/bitio.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "vbs/encoder.h"
 #include "vbs/vbs_file.h"
@@ -375,8 +376,9 @@ void FlowPipeline::save_checkpoint(const std::string& dir, Stage up_to) const {
     const std::string path = join(dir, kArtifactFiles[i]);
     if (!done_[i] || s > up_to) {
       // Drop stale files so a reused directory never mixes checkpoint
-      // generations (resume stops at the first missing stage).
-      std::filesystem::remove(path);
+      // generations (resume stops at the first missing stage). Injectable
+      // remove: the crash sweep counts this as an I/O site too.
+      checked_remove(path, current_io_faults());
       continue;
     }
     BitVector payload;
@@ -413,6 +415,13 @@ void FlowPipeline::save_checkpoint(const std::string& dir, Stage up_to) const {
 }
 
 FlowPipeline FlowPipeline::resume_from(const std::string& dir) {
+  // A crash mid-save (or mid-AtomicFile-commit) can orphan "*.tmp" files;
+  // they are not part of any checkpoint generation — ignore and clean them.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tmp") {
+      std::filesystem::remove(entry.path());
+    }
+  }
   Netlist nl = read_netlist_file(join(dir, kNetlistFile));
   const std::string text = netlist_to_string(nl);
   const std::uint64_t expected_meta = fnv1a64(text.data(), text.size());

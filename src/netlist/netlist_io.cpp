@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/io.h"
+
 namespace vbs {
 
 void write_netlist(std::ostream& os, const Netlist& nl) {
@@ -150,10 +152,11 @@ Netlist netlist_from_string(const std::string& text) {
 }
 
 void write_netlist_file(const std::string& path, const Netlist& nl) {
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
-  write_netlist(os, nl);
-  if (!os) throw std::runtime_error("write failed: " + path);
+  // Atomic replacement (util/io.h): checkpoints must never expose a
+  // half-written netlist under the real name.
+  AtomicFile out(path);
+  out.write(netlist_to_string(nl));
+  out.commit();
 }
 
 Netlist read_netlist_file(const std::string& path) {

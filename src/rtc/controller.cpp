@@ -296,4 +296,19 @@ void ReconfigController::defragment(int threads) {
   }
 }
 
+void ReconfigController::restore_config_memory(const BitVector& config) {
+  if (config.size() != config_.size()) {
+    throw std::logic_error("restore_config_memory: size mismatch");
+  }
+  config_ = config;
+}
+
+void ReconfigController::restore_task(const TaskRecord& rec, VbsImage image) {
+  if (tasks_.count(rec.id) != 0) {
+    throw std::logic_error("restore_task: duplicate task id");
+  }
+  alloc_.occupy(rec.rect);  // throws std::logic_error if unavailable
+  tasks_[rec.id] = LoadedTask{rec, std::move(image)};
+}
+
 }  // namespace vbs

@@ -100,6 +100,33 @@ class ReconfigController {
   /// injection; the plan must outlive the controller.
   void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
 
+  // --- snapshot / recovery hooks (rtc/service/journal.h) ---------------------
+  //
+  // The service journal restores a controller to a byte-identical prior
+  // state: the whole configuration memory, every task (region re-occupied,
+  // record and retained image re-adopted — without re-decoding), and the
+  // serial counters that key fault-plan decisions. Restore hooks are only
+  // meaningful on a freshly-constructed controller.
+
+  TaskId next_task_id() const { return next_id_; }
+  std::uint64_t decode_seq() const { return decode_seq_; }
+  std::uint64_t alloc_seq() const { return alloc_seq_; }
+  void restore_counters(TaskId next_id, std::uint64_t decode_seq,
+                        std::uint64_t alloc_seq) {
+    next_id_ = next_id;
+    decode_seq_ = decode_seq;
+    alloc_seq_ = alloc_seq;
+  }
+  void set_total_decode_stats(const DecodeStats& s) { total_stats_ = s; }
+  /// Replaces the configuration memory wholesale; throws std::logic_error
+  /// on a size mismatch (snapshot from a different fabric).
+  void restore_config_memory(const BitVector& config);
+  /// Re-adopts a snapshotted task: occupies rec.rect and installs the
+  /// record + image without touching configuration memory (the restored
+  /// config already contains its decoded bits). Throws std::logic_error if
+  /// the region is unavailable or the id is already in use.
+  void restore_task(const TaskRecord& rec, VbsImage image);
+
  private:
   struct LoadedTask {
     TaskRecord rec;

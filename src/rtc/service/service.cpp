@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "flow/artifact_io.h"
+#include "util/bitio.h"
+
 namespace vbs {
 
 namespace {
@@ -82,6 +85,7 @@ void ReconfigService::shed_request(Request& req) {
   req.shed = true;
   ++stats_.shed;
   ++tenants_[req.tenant].shed;
+  last_shed_ = req.id;
 }
 
 void ReconfigService::admit_load(Request req) {
@@ -114,7 +118,27 @@ RequestId ReconfigService::submit_load(BitVector stream, int tenant) {
   Request req = make_request(RequestKind::kLoad, tenant);
   req.stream = std::move(stream);
   const RequestId id = req.id;
+  last_shed_ = kNoRequest;
   admit_load(std::move(req));
+  if (journal_) {
+    // Apply-then-append: both admission paths leave the new request at the
+    // back of the queue, so its stream is journaled from there. The shed
+    // decision is deterministic given replayed state; its record is a
+    // cross-check, bundled into the same append so a torn tail can only
+    // lose the companion, never reorder it.
+    std::string p;
+    ServiceJournal::put_u64(p, static_cast<std::uint64_t>(id));
+    ServiceJournal::put_u32(p, static_cast<std::uint32_t>(tenant));
+    ServiceJournal::put_bits(p, queue_.back().stream);
+    if (last_shed_ != kNoRequest) {
+      std::string s;
+      ServiceJournal::put_u64(s, static_cast<std::uint64_t>(last_shed_));
+      journal_append2(ServiceJournal::Kind::kAdmitLoad, p,
+                      ServiceJournal::Kind::kShed, s);
+    } else {
+      journal_append(ServiceJournal::Kind::kAdmitLoad, p);
+    }
+  }
   return id;
 }
 
@@ -123,6 +147,13 @@ RequestId ReconfigService::submit_unload(RequestId load_request, int tenant) {
   req.target = load_request;
   const RequestId id = req.id;
   queue_.push_back(std::move(req));
+  if (journal_) {
+    std::string p;
+    ServiceJournal::put_u64(p, static_cast<std::uint64_t>(id));
+    ServiceJournal::put_u64(p, static_cast<std::uint64_t>(load_request));
+    ServiceJournal::put_u32(p, static_cast<std::uint32_t>(tenant));
+    journal_append(ServiceJournal::Kind::kAdmitUnload, p);
+  }
   return id;
 }
 
@@ -132,12 +163,25 @@ RequestId ReconfigService::submit_relocate(RequestId load_request,
   req.target = load_request;
   const RequestId id = req.id;
   queue_.push_back(std::move(req));
+  if (journal_) {
+    std::string p;
+    ServiceJournal::put_u64(p, static_cast<std::uint64_t>(id));
+    ServiceJournal::put_u64(p, static_cast<std::uint64_t>(load_request));
+    ServiceJournal::put_u32(p, static_cast<std::uint32_t>(tenant));
+    journal_append(ServiceJournal::Kind::kAdmitRelocate, p);
+  }
   return id;
 }
 
 void ReconfigService::set_tenant_priority(int tenant, int priority) {
   tenant_priority_[tenant] = priority;
   tenants_[tenant].priority = priority;
+  if (journal_) {
+    std::string p;
+    ServiceJournal::put_u32(p, static_cast<std::uint32_t>(tenant));
+    ServiceJournal::put_u32(p, static_cast<std::uint32_t>(priority));
+    journal_append(ServiceJournal::Kind::kSetPriority, p);
+  }
 }
 
 TaskId ReconfigService::task_of(RequestId load_request) const {
@@ -225,6 +269,7 @@ double ReconfigService::fragmentation() const {
 }
 
 std::vector<RequestResult> ReconfigService::drain() {
+  if (queue_.empty()) return {};  // pure no-op: nothing to journal either
   std::vector<RequestResult> results;
   results.reserve(queue_.size());
   // Outer loop: retries requeue themselves, so one pass may spawn another.
@@ -287,6 +332,14 @@ std::vector<RequestResult> ReconfigService::drain() {
                    [](const RequestResult& a, const RequestResult& b) {
                      return a.request < b.request;
                    });
+  if (journal_) {
+    // drain() performs no I/O between records, so a single post-drain
+    // commit record gives exact crash semantics: a torn or missing kCommit
+    // recovers to the pre-drain state and the drain is simply redone.
+    std::string p;
+    ServiceJournal::put_u64(p, state_fingerprint());
+    journal_append(ServiceJournal::Kind::kCommit, p);
+  }
   return results;
 }
 
@@ -640,6 +693,704 @@ void ReconfigService::process_relocate(const Request& req,
   }
   res.status = RequestStatus::kDone;
   finish(req, std::move(res), out);
+}
+
+// --- durability: journaling, snapshots, recovery -----------------------------
+
+namespace {
+
+[[noreturn]] void bad_journal(const std::string& what) {
+  throw VbsError(VbsErrc::kBadJournal, "journal: " + what);
+}
+
+void put_decode_stats(BitWriter& w, const DecodeStats& s) {
+  artio::put_i64(w, s.pairs_routed);
+  artio::put_i64(w, s.pairs_failed);
+  artio::put_i64(w, s.nodes_expanded);
+  artio::put_i64(w, s.entries_decoded);
+  artio::put_i64(w, s.raw_entries);
+  artio::put_i64(w, s.negotiation_iterations);
+}
+
+DecodeStats get_decode_stats(BitReader& r) {
+  DecodeStats s;
+  s.pairs_routed = artio::get_i64(r);
+  s.pairs_failed = artio::get_i64(r);
+  s.nodes_expanded = artio::get_i64(r);
+  s.entries_decoded = artio::get_i64(r);
+  s.raw_entries = artio::get_i64(r);
+  s.negotiation_iterations = artio::get_i64(r);
+  return s;
+}
+
+void put_bytes(BitWriter& w, const std::string& s) {
+  artio::put_i64(w, static_cast<std::int64_t>(s.size()));
+  for (const char c : s) w.write(static_cast<unsigned char>(c), 8);
+}
+
+std::string get_bytes(BitReader& r) {
+  const std::int64_t n = artio::get_i64(r);
+  // Bound BEFORE allocating: a corrupt length must reject, not bad_alloc.
+  if (n < 0 || static_cast<std::uint64_t>(n) > r.remaining() / 8) {
+    bad_journal("bad byte count");
+  }
+  std::string s(static_cast<std::size_t>(n), '\0');
+  for (char& c : s) c = static_cast<char>(r.read(8));
+  return s;
+}
+
+/// Rejects element counts that could not possibly fit in the remaining
+/// bits (each element consumes at least `min_bits`) — corrupt counts must
+/// fail typed, before any proportional allocation.
+void check_count(const BitReader& r, std::int64_t n, std::size_t min_bits,
+                 const char* what) {
+  if (n < 0 || static_cast<std::uint64_t>(n) > r.remaining() / min_bits) {
+    bad_journal(std::string("bad ") + what + " count");
+  }
+}
+
+void put_bitvec(BitWriter& w, const BitVector& bits) {
+  w.write(bits.size(), 64);
+  w.write_vector(bits);
+}
+
+BitVector get_bitvec(BitReader& r) {
+  const std::uint64_t nbits = r.read(64);
+  return r.read_vector(static_cast<std::size_t>(nbits));
+}
+
+void put_rect(BitWriter& w, const Rect& rect) {
+  artio::put_i32(w, rect.x);
+  artio::put_i32(w, rect.y);
+  artio::put_i32(w, rect.w);
+  artio::put_i32(w, rect.h);
+}
+
+Rect get_rect(BitReader& r) {
+  Rect rect;
+  rect.x = artio::get_i32(r);
+  rect.y = artio::get_i32(r);
+  rect.w = artio::get_i32(r);
+  rect.h = artio::get_i32(r);
+  return rect;
+}
+
+void fp_u64(std::uint64_t& h, std::uint64_t v) { h = hash_u64(h, v); }
+void fp_i64(std::uint64_t& h, long long v) {
+  h = hash_u64(h, static_cast<std::uint64_t>(v));
+}
+void fp_decode(std::uint64_t& h, const DecodeStats& s) {
+  fp_i64(h, s.pairs_routed);
+  fp_i64(h, s.pairs_failed);
+  fp_i64(h, s.nodes_expanded);
+  fp_i64(h, s.entries_decoded);
+  fp_i64(h, s.raw_entries);
+  fp_i64(h, s.negotiation_iterations);
+}
+void fp_rect(std::uint64_t& h, const Rect& r) {
+  fp_i64(h, r.x);
+  fp_i64(h, r.y);
+  fp_i64(h, r.w);
+  fp_i64(h, r.h);
+}
+
+constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr std::uint32_t kOpenVersion = 1;
+
+}  // namespace
+
+std::uint64_t ReconfigService::state_fingerprint() const {
+  constexpr char kTag[] = "vbs.service.state.v1";
+  std::uint64_t h = fnv1a64(kTag, sizeof kTag - 1);
+  // Configuration memory: the paper-level ground truth.
+  const BitVector& config = rtc_.config_memory();
+  for (const std::uint64_t w : config.words()) fp_u64(h, w);
+  fp_u64(h, config.size());
+  // Controller: tasks, serial fault counters, aggregate decode stats.
+  fp_i64(h, rtc_.next_task_id());
+  fp_u64(h, rtc_.decode_seq());
+  fp_u64(h, rtc_.alloc_seq());
+  fp_decode(h, rtc_.total_decode_stats());
+  const std::vector<TaskId> ids = rtc_.task_ids();
+  fp_u64(h, ids.size());
+  for (const TaskId id : ids) {
+    const TaskRecord& rec = rtc_.record(id);
+    fp_i64(h, id);
+    fp_rect(h, rec.rect);
+    fp_u64(h, rec.stream_bits);
+    fp_decode(h, rec.decode);  // wall time and threads_used excluded
+  }
+  // Cache: content keys in MRU order, counters, the insertion fault clock.
+  const auto entries = cache_.entries_mru();
+  fp_u64(h, entries.size());
+  for (const auto& [key, value] : entries) {
+    fp_u64(h, key);  // key IS the content hash; payload bytes add nothing
+    fp_u64(h, value->footprint_bits());
+  }
+  fp_u64(h, cache_.size_bits());
+  fp_i64(h, cache_.hits());
+  fp_i64(h, cache_.misses());
+  fp_i64(h, cache_.insertions());
+  fp_i64(h, cache_.evictions());
+  fp_i64(h, cache_.fault_drops());
+  fp_u64(h, cache_.insert_seq());
+  // Service scalars: request ids, the modeled clock, admission state.
+  fp_i64(h, next_request_);
+  fp_u64(h, use_seq_);
+  fp_i64(h, now_ticks_);
+  fp_u64(h, live_loads_);
+  fp_i64(h, last_shed_);
+  fp_u64(h, tenant_priority_.size());
+  for (const auto& [tenant, prio] : tenant_priority_) {
+    fp_i64(h, tenant);
+    fp_i64(h, prio);
+  }
+  fp_u64(h, tenants_.size());
+  for (const auto& [tenant, t] : tenants_) {
+    fp_i64(h, tenant);
+    fp_i64(h, t.priority);
+    fp_i64(h, t.submitted);
+    fp_i64(h, t.done);
+    fp_i64(h, t.rejected);
+    fp_i64(h, t.failed);
+    fp_i64(h, t.shed);
+    fp_i64(h, t.deadline_misses);
+    fp_i64(h, t.retries);
+  }
+  fp_u64(h, task_of_request_.size());
+  for (const auto& [req, task] : task_of_request_) {
+    fp_i64(h, req);
+    fp_i64(h, task);
+  }
+  fp_u64(h, task_info_.size());
+  for (const auto& [task, info] : task_info_) {
+    fp_i64(h, task);
+    fp_u64(h, info.content_hash);
+    fp_u64(h, info.last_use);
+    fp_i64(h, info.origin_request);
+  }
+  fp_u64(h, eviction_log_.size());
+  for (const EvictionEvent& e : eviction_log_) {
+    fp_i64(h, e.seq);
+    fp_i64(h, e.task);
+    fp_rect(h, e.rect);
+    fp_i64(h, e.cause);
+  }
+  fp_i64(h, stats_.loads);
+  fp_i64(h, stats_.unloads);
+  fp_i64(h, stats_.relocates);
+  fp_i64(h, stats_.rejected);
+  fp_i64(h, stats_.failed);
+  fp_i64(h, stats_.shed);
+  fp_i64(h, stats_.deadline_misses);
+  fp_i64(h, stats_.retries);
+  fp_i64(h, stats_.faults_injected);
+  fp_i64(h, stats_.latency_spike_ticks);
+  fp_i64(h, stats_.warm_loads);
+  fp_i64(h, stats_.cold_loads);
+  fp_i64(h, stats_.relocates_cached);
+  fp_i64(h, stats_.relocates_decoded);
+  fp_i64(h, stats_.batches);
+  fp_i64(h, stats_.task_evictions);
+  fp_decode(h, stats_.decode);
+  fp_u64(h, queue_.size());
+  for (const Request& q : queue_) {
+    fp_i64(h, q.id);
+    fp_i64(h, static_cast<int>(q.kind));
+    fp_u64(h, q.kind == RequestKind::kLoad ? stream_content_hash(q.stream)
+                                           : 0);
+    fp_i64(h, q.target);
+    fp_i64(h, q.tenant);
+    fp_i64(h, q.priority);
+    fp_i64(h, q.attempt);
+    fp_i64(h, q.shed ? 1 : 0);
+    fp_i64(h, q.submitted_tick);
+    fp_i64(h, q.not_before);
+  }
+  return h;
+}
+
+std::string ReconfigService::serialize_open() const {
+  const ArchSpec& spec = rtc_.fabric().spec();
+  std::string p;
+  ServiceJournal::put_u32(p, kOpenVersion);
+  ServiceJournal::put_u32(p, static_cast<std::uint32_t>(spec.chan_width));
+  ServiceJournal::put_u32(p, static_cast<std::uint32_t>(spec.lut_k));
+  ServiceJournal::put_u32(p, static_cast<std::uint32_t>(spec.sb_pattern));
+  ServiceJournal::put_u32(p,
+                          static_cast<std::uint32_t>(rtc_.fabric().width()));
+  ServiceJournal::put_u32(p,
+                          static_cast<std::uint32_t>(rtc_.fabric().height()));
+  ServiceJournal::put_u32(p, static_cast<std::uint32_t>(opts_.threads));
+  ServiceJournal::put_u64(p, opts_.cache_capacity_bits);
+  ServiceJournal::put_str(p, opts_.policy);
+  ServiceJournal::put_u32(p, opts_.evict_to_fit ? 1 : 0);
+  ServiceJournal::put_u32(p, static_cast<std::uint32_t>(opts_.max_batch));
+  ServiceJournal::put_u64(p, opts_.queue_limit);
+  ServiceJournal::put_u64(p, static_cast<std::uint64_t>(opts_.deadline_ticks));
+  ServiceJournal::put_u32(p, static_cast<std::uint32_t>(opts_.retry_limit));
+  ServiceJournal::put_u64(
+      p, static_cast<std::uint64_t>(opts_.retry_backoff_ticks));
+  ServiceJournal::put_str(p, opts_.faults.spec());
+  return p;
+}
+
+std::unique_ptr<ReconfigService> ReconfigService::construct_from_open(
+    const std::string& open_payload, int threads) {
+  try {
+    std::size_t pos = 0;
+    const std::uint32_t version = ServiceJournal::get_u32(open_payload, pos);
+    if (version != kOpenVersion) bad_journal("unsupported open version");
+    ArchSpec spec;
+    spec.chan_width =
+        static_cast<int>(ServiceJournal::get_u32(open_payload, pos));
+    spec.lut_k = static_cast<int>(ServiceJournal::get_u32(open_payload, pos));
+    const std::uint32_t sb = ServiceJournal::get_u32(open_payload, pos);
+    if (sb > static_cast<std::uint32_t>(SbPattern::kWilton)) {
+      bad_journal("bad sb_pattern");
+    }
+    spec.sb_pattern = static_cast<SbPattern>(sb);
+    const int w = static_cast<int>(ServiceJournal::get_u32(open_payload, pos));
+    const int h = static_cast<int>(ServiceJournal::get_u32(open_payload, pos));
+    ServiceOptions o;
+    o.threads = static_cast<int>(ServiceJournal::get_u32(open_payload, pos));
+    o.cache_capacity_bits = static_cast<std::size_t>(
+        ServiceJournal::get_u64(open_payload, pos));
+    o.policy = ServiceJournal::get_str(open_payload, pos);
+    o.evict_to_fit = ServiceJournal::get_u32(open_payload, pos) != 0;
+    o.max_batch = static_cast<int>(ServiceJournal::get_u32(open_payload, pos));
+    o.queue_limit = static_cast<std::size_t>(
+        ServiceJournal::get_u64(open_payload, pos));
+    o.deadline_ticks =
+        static_cast<long long>(ServiceJournal::get_u64(open_payload, pos));
+    o.retry_limit =
+        static_cast<int>(ServiceJournal::get_u32(open_payload, pos));
+    o.retry_backoff_ticks =
+        static_cast<long long>(ServiceJournal::get_u64(open_payload, pos));
+    o.faults = FaultPlan::parse(ServiceJournal::get_str(open_payload, pos));
+    if (pos != open_payload.size()) bad_journal("trailing open bytes");
+    if (threads > 0) o.threads = threads;
+    return std::make_unique<ReconfigService>(spec, w, h, std::move(o));
+  } catch (const VbsError& e) {
+    if (e.code() == VbsErrc::kBadJournal) throw;
+    bad_journal(e.what());
+  } catch (const std::exception& e) {
+    // Validation failures (ArchSpec, ServiceOptions, FaultPlan::parse) mean
+    // the journal's configuration record is corrupt.
+    bad_journal(e.what());
+  }
+}
+
+BitVector ReconfigService::serialize_snapshot() const {
+  BitWriter w;
+  w.write(kSnapshotVersion, 32);
+  put_bytes(w, serialize_open());
+  // Controller.
+  put_bitvec(w, rtc_.config_memory());
+  artio::put_i32(w, rtc_.next_task_id());
+  w.write(rtc_.decode_seq(), 64);
+  w.write(rtc_.alloc_seq(), 64);
+  put_decode_stats(w, rtc_.total_decode_stats());
+  const std::vector<TaskId> ids = rtc_.task_ids();
+  artio::put_i32(w, static_cast<std::int32_t>(ids.size()));
+  for (const TaskId id : ids) {
+    const TaskRecord& rec = rtc_.record(id);
+    artio::put_i32(w, id);
+    put_rect(w, rec.rect);
+    artio::put_i64(w, static_cast<std::int64_t>(rec.stream_bits));
+    put_decode_stats(w, rec.decode);
+    artio::put_i32(w, rec.threads_used);
+    put_bitvec(w, serialize_vbs(rtc_.image_of(id)));
+  }
+  // Cache (entries MRU -> LRU; restore_entry rebuilds the same order).
+  artio::put_i64(w, cache_.hits());
+  artio::put_i64(w, cache_.misses());
+  artio::put_i64(w, cache_.insertions());
+  artio::put_i64(w, cache_.evictions());
+  artio::put_i64(w, cache_.fault_drops());
+  w.write(cache_.insert_seq(), 64);
+  const auto entries = cache_.entries_mru();
+  artio::put_i32(w, static_cast<std::int32_t>(entries.size()));
+  for (const auto& [key, value] : entries) {
+    w.write(key, 64);
+    put_bitvec(w, serialize_vbs(value->image));
+    artio::put_i32(w, static_cast<std::int32_t>(value->payloads.size()));
+    for (const BitVector& p : value->payloads) put_bitvec(w, p);
+    put_decode_stats(w, value->decode);
+  }
+  // Service scalars and tables.
+  artio::put_i64(w, next_request_);
+  w.write(use_seq_, 64);
+  artio::put_i64(w, now_ticks_);
+  artio::put_i64(w, static_cast<std::int64_t>(live_loads_));
+  artio::put_i64(w, last_shed_);
+  artio::put_i32(w, static_cast<std::int32_t>(tenant_priority_.size()));
+  for (const auto& [tenant, prio] : tenant_priority_) {
+    artio::put_i32(w, tenant);
+    artio::put_i32(w, prio);
+  }
+  artio::put_i32(w, static_cast<std::int32_t>(tenants_.size()));
+  for (const auto& [tenant, t] : tenants_) {
+    artio::put_i32(w, tenant);
+    artio::put_i32(w, t.priority);
+    artio::put_i64(w, t.submitted);
+    artio::put_i64(w, t.done);
+    artio::put_i64(w, t.rejected);
+    artio::put_i64(w, t.failed);
+    artio::put_i64(w, t.shed);
+    artio::put_i64(w, t.deadline_misses);
+    artio::put_i64(w, t.retries);
+  }
+  artio::put_i32(w, static_cast<std::int32_t>(task_of_request_.size()));
+  for (const auto& [req, task] : task_of_request_) {
+    artio::put_i64(w, req);
+    artio::put_i32(w, task);
+  }
+  artio::put_i32(w, static_cast<std::int32_t>(task_info_.size()));
+  for (const auto& [task, info] : task_info_) {
+    artio::put_i32(w, task);
+    w.write(info.content_hash, 64);
+    w.write(info.last_use, 64);
+    artio::put_i64(w, info.origin_request);
+  }
+  artio::put_i32(w, static_cast<std::int32_t>(eviction_log_.size()));
+  for (const EvictionEvent& e : eviction_log_) {
+    artio::put_i64(w, e.seq);
+    artio::put_i32(w, e.task);
+    put_rect(w, e.rect);
+    artio::put_i64(w, e.cause);
+  }
+  artio::put_i64(w, stats_.loads);
+  artio::put_i64(w, stats_.unloads);
+  artio::put_i64(w, stats_.relocates);
+  artio::put_i64(w, stats_.rejected);
+  artio::put_i64(w, stats_.failed);
+  artio::put_i64(w, stats_.shed);
+  artio::put_i64(w, stats_.deadline_misses);
+  artio::put_i64(w, stats_.retries);
+  artio::put_i64(w, stats_.faults_injected);
+  artio::put_i64(w, stats_.latency_spike_ticks);
+  artio::put_i64(w, stats_.warm_loads);
+  artio::put_i64(w, stats_.cold_loads);
+  artio::put_i64(w, stats_.relocates_cached);
+  artio::put_i64(w, stats_.relocates_decoded);
+  artio::put_i64(w, stats_.batches);
+  artio::put_i64(w, stats_.task_evictions);
+  put_decode_stats(w, stats_.decode);
+  artio::put_i32(w, static_cast<std::int32_t>(queue_.size()));
+  for (const Request& q : queue_) {
+    artio::put_i64(w, q.id);
+    w.write(static_cast<std::uint64_t>(q.kind), 8);
+    put_bitvec(w, q.stream);
+    artio::put_i64(w, q.target);
+    artio::put_i32(w, q.tenant);
+    artio::put_i32(w, q.priority);
+    artio::put_i32(w, q.attempt);
+    w.write_bit(q.shed);
+    artio::put_i64(w, q.submitted_tick);
+    artio::put_i64(w, q.not_before);
+  }
+  return w.take();
+}
+
+std::unique_ptr<ReconfigService> ReconfigService::restore_snapshot(
+    const BitVector& snapshot, int threads) {
+  try {
+    BitReader r(snapshot);
+    if (r.read(32) != kSnapshotVersion) {
+      bad_journal("unsupported snapshot version");
+    }
+    auto svc = construct_from_open(get_bytes(r), threads);
+    // Controller.
+    svc->rtc_.restore_config_memory(get_bitvec(r));
+    const TaskId next_id = artio::get_i32(r);
+    const std::uint64_t decode_seq = r.read(64);
+    const std::uint64_t alloc_seq = r.read(64);
+    svc->rtc_.restore_counters(next_id, decode_seq, alloc_seq);
+    svc->rtc_.set_total_decode_stats(get_decode_stats(r));
+    const std::int32_t ntasks = artio::get_i32(r);
+    check_count(r, ntasks, 64, "task");
+    for (std::int32_t i = 0; i < ntasks; ++i) {
+      TaskRecord rec;
+      rec.id = artio::get_i32(r);
+      rec.rect = get_rect(r);
+      rec.stream_bits = static_cast<std::size_t>(artio::get_i64(r));
+      rec.decode = get_decode_stats(r);
+      rec.threads_used = artio::get_i32(r);
+      svc->rtc_.restore_task(rec, deserialize_vbs(get_bitvec(r)));
+    }
+    // Cache.
+    const long long hits = artio::get_i64(r);
+    const long long misses = artio::get_i64(r);
+    const long long insertions = artio::get_i64(r);
+    const long long evictions = artio::get_i64(r);
+    const long long fault_drops = artio::get_i64(r);
+    const std::uint64_t insert_seq = r.read(64);
+    svc->cache_.restore_counters(hits, misses, insertions, evictions,
+                                 fault_drops, insert_seq);
+    const std::int32_t nentries = artio::get_i32(r);
+    check_count(r, nentries, 64, "cache entry");
+    for (std::int32_t i = 0; i < nentries; ++i) {
+      const std::uint64_t key = r.read(64);
+      auto ds = std::make_shared<DecodedStream>();
+      ds->image = deserialize_vbs(get_bitvec(r));
+      const std::int32_t npayloads = artio::get_i32(r);
+      check_count(r, npayloads, 64, "payload");
+      ds->payloads.resize(static_cast<std::size_t>(npayloads));
+      for (BitVector& p : ds->payloads) p = get_bitvec(r);
+      ds->decode = get_decode_stats(r);
+      svc->cache_.restore_entry(key, std::move(ds));
+    }
+    // Service scalars and tables.
+    svc->next_request_ = artio::get_i64(r);
+    svc->use_seq_ = r.read(64);
+    svc->now_ticks_ = artio::get_i64(r);
+    svc->live_loads_ = static_cast<std::size_t>(artio::get_i64(r));
+    svc->last_shed_ = artio::get_i64(r);
+    const std::int32_t nprio = artio::get_i32(r);
+    check_count(r, nprio, 64, "priority");
+    for (std::int32_t i = 0; i < nprio; ++i) {
+      const int tenant = artio::get_i32(r);
+      svc->tenant_priority_[tenant] = artio::get_i32(r);
+    }
+    const std::int32_t ntenants = artio::get_i32(r);
+    check_count(r, ntenants, 64, "tenant");
+    for (std::int32_t i = 0; i < ntenants; ++i) {
+      const int tenant = artio::get_i32(r);
+      TenantStats& t = svc->tenants_[tenant];
+      t.priority = artio::get_i32(r);
+      t.submitted = artio::get_i64(r);
+      t.done = artio::get_i64(r);
+      t.rejected = artio::get_i64(r);
+      t.failed = artio::get_i64(r);
+      t.shed = artio::get_i64(r);
+      t.deadline_misses = artio::get_i64(r);
+      t.retries = artio::get_i64(r);
+    }
+    const std::int32_t nreq = artio::get_i32(r);
+    check_count(r, nreq, 64, "request-map");
+    for (std::int32_t i = 0; i < nreq; ++i) {
+      const RequestId req = artio::get_i64(r);
+      svc->task_of_request_[req] = artio::get_i32(r);
+    }
+    const std::int32_t ninfo = artio::get_i32(r);
+    check_count(r, ninfo, 64, "task-info");
+    for (std::int32_t i = 0; i < ninfo; ++i) {
+      const TaskId task = artio::get_i32(r);
+      TaskInfo& info = svc->task_info_[task];
+      info.content_hash = r.read(64);
+      info.last_use = r.read(64);
+      info.origin_request = artio::get_i64(r);
+    }
+    const std::int32_t nevict = artio::get_i32(r);
+    check_count(r, nevict, 64, "eviction");
+    svc->eviction_log_.reserve(static_cast<std::size_t>(nevict));
+    for (std::int32_t i = 0; i < nevict; ++i) {
+      EvictionEvent e;
+      e.seq = artio::get_i64(r);
+      e.task = artio::get_i32(r);
+      e.rect = get_rect(r);
+      e.cause = artio::get_i64(r);
+      svc->eviction_log_.push_back(e);
+    }
+    svc->stats_.loads = artio::get_i64(r);
+    svc->stats_.unloads = artio::get_i64(r);
+    svc->stats_.relocates = artio::get_i64(r);
+    svc->stats_.rejected = artio::get_i64(r);
+    svc->stats_.failed = artio::get_i64(r);
+    svc->stats_.shed = artio::get_i64(r);
+    svc->stats_.deadline_misses = artio::get_i64(r);
+    svc->stats_.retries = artio::get_i64(r);
+    svc->stats_.faults_injected = artio::get_i64(r);
+    svc->stats_.latency_spike_ticks = artio::get_i64(r);
+    svc->stats_.warm_loads = artio::get_i64(r);
+    svc->stats_.cold_loads = artio::get_i64(r);
+    svc->stats_.relocates_cached = artio::get_i64(r);
+    svc->stats_.relocates_decoded = artio::get_i64(r);
+    svc->stats_.batches = artio::get_i64(r);
+    svc->stats_.task_evictions = artio::get_i64(r);
+    svc->stats_.decode = get_decode_stats(r);
+    const std::int32_t nqueue = artio::get_i32(r);
+    check_count(r, nqueue, 64, "queue");
+    for (std::int32_t i = 0; i < nqueue; ++i) {
+      Request q;
+      q.id = artio::get_i64(r);
+      const std::uint64_t kind = r.read(8);
+      if (kind > static_cast<std::uint64_t>(RequestKind::kRelocate)) {
+        bad_journal("bad queued request kind");
+      }
+      q.kind = static_cast<RequestKind>(kind);
+      q.stream = get_bitvec(r);
+      q.target = artio::get_i64(r);
+      q.tenant = artio::get_i32(r);
+      q.priority = artio::get_i32(r);
+      q.attempt = artio::get_i32(r);
+      q.shed = r.read_bit();
+      q.submitted_tick = artio::get_i64(r);
+      q.not_before = artio::get_i64(r);
+      q.submitted = Clock::now();  // wall clock: not part of the contract
+      svc->queue_.push_back(std::move(q));
+    }
+    if (!r.at_end()) bad_journal("trailing snapshot bits");
+    return svc;
+  } catch (const VbsError& e) {
+    if (e.code() == VbsErrc::kBadJournal) throw;
+    bad_journal(e.what());  // truncation, bad VBS image, ... : corrupt
+  } catch (const std::exception& e) {
+    bad_journal(e.what());  // inconsistent snapshot (overlapping tasks, ...)
+  }
+}
+
+void ReconfigService::journal_append(ServiceJournal::Kind kind,
+                                     const std::string& payload) {
+  try {
+    journal_->append(kind, payload);
+  } catch (const VbsError&) {
+    journal_.reset();  // durability is gone; keep serving from memory
+    throw;
+  }
+}
+
+void ReconfigService::journal_append2(ServiceJournal::Kind k1,
+                                      const std::string& p1,
+                                      ServiceJournal::Kind k2,
+                                      const std::string& p2) {
+  try {
+    journal_->append2(k1, p1, k2, p2);
+  } catch (const VbsError&) {
+    journal_.reset();
+    throw;
+  }
+}
+
+void ReconfigService::open_journal(const std::string& dir,
+                                   const FaultPlan* io_faults) {
+  journal_ = std::make_unique<ServiceJournal>(
+      dir, io_faults != nullptr ? *io_faults : FaultPlan(), serialize_open());
+}
+
+void ReconfigService::compact_journal() {
+  if (!journal_) {
+    throw std::logic_error("compact_journal: no journal attached");
+  }
+  try {
+    journal_->compact(serialize_snapshot(), state_fingerprint());
+  } catch (const VbsError&) {
+    journal_.reset();
+    throw;
+  }
+}
+
+std::unique_ptr<ReconfigService> ReconfigService::recover(
+    const std::string& dir, int threads, RecoveryInfo* info) {
+  const ServiceJournal::ScanResult sr = ServiceJournal::scan(dir);
+  RecoveryInfo ri;
+  ri.records = static_cast<long long>(sr.records.size());
+  ri.torn_tail = sr.torn_tail;
+  ri.journal_bytes = sr.wal_bytes;
+  ri.epoch = sr.epoch;
+
+  std::unique_ptr<ReconfigService> svc;
+  if (!sr.snapshot_path.empty()) {
+    ri.from_snapshot = true;
+    std::uint64_t stored_fp = 0;
+    const BitVector snap =
+        ServiceJournal::read_snapshot(sr.snapshot_path, &stored_fp);
+    svc = restore_snapshot(snap, threads);
+    if (svc->state_fingerprint() != stored_fp) {
+      bad_journal("snapshot fingerprint mismatch");
+    }
+  } else {
+    svc = construct_from_open(sr.records.front().payload, threads);
+  }
+
+  // Replay through the public mutators — the same code path as the live
+  // run, so every deterministic decision (shedding, faults, deadlines,
+  // eviction) reproduces itself.
+  for (std::size_t i = 1; i < sr.records.size(); ++i) {
+    const ServiceJournal::Record& rec = sr.records[i];
+    std::size_t pos = 0;
+    switch (rec.kind) {
+      case ServiceJournal::Kind::kAdmitLoad: {
+        const RequestId id = static_cast<RequestId>(
+            ServiceJournal::get_u64(rec.payload, pos));
+        const int tenant = static_cast<int>(
+            ServiceJournal::get_u32(rec.payload, pos));
+        BitVector stream = ServiceJournal::get_bits(rec.payload, pos);
+        if (svc->submit_load(std::move(stream), tenant) != id) {
+          bad_journal("replayed load got a different request id");
+        }
+        // The shed decision re-derives deterministically; the journaled
+        // companion (same append) must agree — unless it was torn off the
+        // tail, which is the one legitimate crash window.
+        if (svc->last_shed_ != kNoRequest) {
+          if (i + 1 < sr.records.size()) {
+            const ServiceJournal::Record& shed = sr.records[i + 1];
+            std::size_t spos = 0;
+            if (shed.kind != ServiceJournal::Kind::kShed ||
+                ServiceJournal::get_u64(shed.payload, spos) !=
+                    static_cast<std::uint64_t>(svc->last_shed_)) {
+              bad_journal("shed record disagrees with replay");
+            }
+            ++i;
+          }
+        } else if (i + 1 < sr.records.size() &&
+                   sr.records[i + 1].kind == ServiceJournal::Kind::kShed) {
+          bad_journal("shed record without a shed admission");
+        }
+        ++ri.admits;
+        break;
+      }
+      case ServiceJournal::Kind::kAdmitUnload:
+      case ServiceJournal::Kind::kAdmitRelocate: {
+        const RequestId id = static_cast<RequestId>(
+            ServiceJournal::get_u64(rec.payload, pos));
+        const RequestId target = static_cast<RequestId>(
+            ServiceJournal::get_u64(rec.payload, pos));
+        const int tenant = static_cast<int>(
+            ServiceJournal::get_u32(rec.payload, pos));
+        const RequestId got =
+            rec.kind == ServiceJournal::Kind::kAdmitUnload
+                ? svc->submit_unload(target, tenant)
+                : svc->submit_relocate(target, tenant);
+        if (got != id) {
+          bad_journal("replayed request got a different id");
+        }
+        ++ri.admits;
+        break;
+      }
+      case ServiceJournal::Kind::kSetPriority: {
+        const int tenant = static_cast<int>(
+            ServiceJournal::get_u32(rec.payload, pos));
+        const int priority = static_cast<int>(
+            ServiceJournal::get_u32(rec.payload, pos));
+        svc->set_tenant_priority(tenant, priority);
+        ++ri.admits;
+        break;
+      }
+      case ServiceJournal::Kind::kCommit: {
+        const std::uint64_t fp = ServiceJournal::get_u64(rec.payload, pos);
+        svc->drain();
+        if (svc->state_fingerprint() != fp) {
+          bad_journal("commit fingerprint mismatch after replayed drain");
+        }
+        ++ri.commits;
+        break;
+      }
+      case ServiceJournal::Kind::kShed:
+        bad_journal("stray shed record");
+      case ServiceJournal::Kind::kOpen:
+      case ServiceJournal::Kind::kSnapshotBarrier:
+        bad_journal("open/barrier record mid-stream");  // scan enforces too
+    }
+  }
+
+  // Reattach for continued appends — with no I/O injection: the plan that
+  // killed the predecessor must not re-kill recovery's successor.
+  svc->journal_ = std::make_unique<ServiceJournal>(
+      ServiceJournal::AttachTag{}, dir, sr.epoch);
+  if (info != nullptr) *info = ri;
+  return svc;
 }
 
 }  // namespace vbs

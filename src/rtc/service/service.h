@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "rtc/controller.h"
+#include "rtc/service/journal.h"
 #include "rtc/service/placement_policy.h"
 #include "rtc/service/stream_cache.h"
 #include "util/fault.h"
@@ -203,6 +204,66 @@ class ReconfigService {
   /// rectangle / total free area (0 when empty or unfragmented).
   double fragmentation() const;
 
+  const ServiceOptions& options() const { return opts_; }
+
+  // --- durability (rtc/service/journal.h) ------------------------------------
+  //
+  // With a journal attached, every mutation (submit_*, set_tenant_priority,
+  // a non-empty drain) is applied in memory and then appended as a
+  // checksummed WAL record; recover(dir) replays the durable prefix onto
+  // the last snapshot and is byte-identical — config memory, task ids,
+  // eviction log, tenant stats, modeled clock — to the uninterrupted run
+  // at any thread count (state_fingerprint covers exactly that contract).
+
+  /// What recover() found and replayed.
+  struct RecoveryInfo {
+    long long admits = 0;   ///< admit/priority records replayed
+    long long commits = 0;  ///< drain commits replayed
+    long long records = 0;  ///< total WAL records, open/barrier included
+    bool torn_tail = false; ///< an incomplete trailing record was dropped
+    bool from_snapshot = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t journal_bytes = 0;  ///< WAL size after truncation
+  };
+
+  /// Attaches a fresh write-ahead journal rooted at `dir` (the directory
+  /// is created; stale journal files in it are removed). Must be called on
+  /// a freshly-constructed service: the journal's base record captures the
+  /// service *configuration*, and pre-existing state would not be replayed.
+  /// `io_faults` is the journal's own I/O fault plan — deliberately
+  /// distinct from options().faults (the model plan), so recovery can
+  /// reattach without re-injecting the crash that killed its predecessor;
+  /// nullptr injects nothing. On a journal I/O failure the failed append
+  /// is truncated away, the journal detaches (journaled() turns false) and
+  /// the typed error is rethrown — the in-memory operation stays applied.
+  void open_journal(const std::string& dir,
+                    const FaultPlan* io_faults = nullptr);
+  /// Snapshot + truncate compaction (journal.h). Requires journaled().
+  void compact_journal();
+  bool journaled() const { return journal_ != nullptr; }
+  /// Journal I/O ops so far — the crash-plan sweep bound. 0 when detached.
+  long long journal_io_ops() const {
+    return journal_ ? journal_->io_ops() : 0;
+  }
+
+  /// Rebuilds a service from a journal directory: restores the snapshot
+  /// (if any), replays the WAL, verifies every commit fingerprint, drops a
+  /// torn tail, and reattaches the journal for continued appends (with no
+  /// I/O injection). `threads` overrides the journaled thread count when
+  /// > 0 — recovered state is thread-count-invariant by the determinism
+  /// contract. Throws VbsError{kBadJournal} on structural corruption.
+  static std::unique_ptr<ReconfigService> recover(const std::string& dir,
+                                                  int threads = 0,
+                                                  RecoveryInfo* info = nullptr);
+
+  /// Order-sensitive fingerprint of every replay-deterministic piece of
+  /// state: configuration memory, tasks and their records, the decoded-
+  /// stream cache (keys, order, counters), queue contents, tenant stats,
+  /// eviction log, all serial counters and the modeled clock. Wall-clock
+  /// fields and thread counts are excluded. This is the value kCommit
+  /// records carry and the crash harness compares.
+  std::uint64_t state_fingerprint() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -256,6 +317,24 @@ class ReconfigService {
   /// emits the permanent kFailed result) when retries are exhausted.
   bool schedule_retry(const Request& req);
 
+  /// Full service configuration (arch, fabric, options) — the journal's
+  /// kOpen payload and the head of every snapshot.
+  std::string serialize_open() const;
+  /// Whole-state snapshot payload (everything state_fingerprint covers,
+  /// plus the bulk data — config memory, task images, cache payloads —
+  /// needed to rebuild it). Wall-clock fields are zeroed.
+  BitVector serialize_snapshot() const;
+  /// Rebuilds a service from a snapshot payload (static: the payload's
+  /// open section decides the construction parameters).
+  static std::unique_ptr<ReconfigService> restore_snapshot(
+      const BitVector& snapshot, int threads);
+  static std::unique_ptr<ReconfigService> construct_from_open(
+      const std::string& open_payload, int threads);
+  /// Appends to the journal, detaching it on a (typed) I/O failure.
+  void journal_append(ServiceJournal::Kind kind, const std::string& payload);
+  void journal_append2(ServiceJournal::Kind k1, const std::string& p1,
+                       ServiceJournal::Kind k2, const std::string& p2);
+
   ReconfigController rtc_;
   ServiceOptions opts_;
   std::unique_ptr<PlacementPolicy> policy_;
@@ -273,6 +352,10 @@ class ReconfigService {
   std::map<TaskId, TaskInfo> task_info_;
   std::vector<EvictionEvent> eviction_log_;
   ServiceStats stats_;
+  /// Request shed by the most recent submit_load (kNoRequest if none):
+  /// what the journal's kShed companion record asserts on replay.
+  RequestId last_shed_ = kNoRequest;
+  std::unique_ptr<ServiceJournal> journal_;
 };
 
 }  // namespace vbs

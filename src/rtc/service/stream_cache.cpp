@@ -83,6 +83,25 @@ void DecodedStreamCache::insert(std::uint64_t key,
   evict_until_fits();
 }
 
+std::vector<std::pair<std::uint64_t, std::shared_ptr<const DecodedStream>>>
+DecodedStreamCache::entries_mru() const {
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const DecodedStream>>>
+      out;
+  out.reserve(lru_.size());
+  for (const Node& n : lru_) out.emplace_back(n.key, n.value);
+  return out;
+}
+
+void DecodedStreamCache::restore_entry(
+    std::uint64_t key, std::shared_ptr<const DecodedStream> value) {
+  if (map_.count(key) != 0) {
+    throw std::logic_error("restore_entry: duplicate key");
+  }
+  size_bits_ += value->footprint_bits();
+  lru_.push_back({key, std::move(value)});  // MRU -> LRU call order
+  map_.emplace(key, std::prev(lru_.end()));
+}
+
 void DecodedStreamCache::evict_until_fits() {
   while (size_bits_ > capacity_bits_ && !lru_.empty()) {
     const Node& victim = lru_.back();

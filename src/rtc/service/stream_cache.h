@@ -15,6 +15,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/bitvector.h"
@@ -78,6 +79,27 @@ class DecodedStreamCache {
   /// counter — modeling transient cache-memory failure. The service keeps
   /// working (the drop just costs a future re-decode); nullptr disables.
   void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+
+  // --- snapshot / recovery hooks (rtc/service/journal.h) ---------------------
+
+  /// Entries in MRU -> LRU order, for snapshots.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const DecodedStream>>>
+  entries_mru() const;
+  /// Re-adopts a snapshotted entry, bypassing fault rolls and counters.
+  /// Call in MRU -> LRU order on an empty cache to rebuild it exactly.
+  void restore_entry(std::uint64_t key,
+                     std::shared_ptr<const DecodedStream> value);
+  std::uint64_t insert_seq() const { return insert_seq_; }
+  void restore_counters(long long hits, long long misses, long long insertions,
+                        long long evictions, long long fault_drops,
+                        std::uint64_t insert_seq) {
+    hits_ = hits;
+    misses_ = misses;
+    insertions_ = insertions;
+    evictions_ = evictions;
+    fault_drops_ = fault_drops;
+    insert_seq_ = insert_seq;
+  }
 
  private:
   struct Node {

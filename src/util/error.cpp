@@ -20,6 +20,8 @@ const char* to_string(VbsErrc c) {
     case VbsErrc::kFaultInjected: return "fault-injected";
     case VbsErrc::kQueueFull: return "queue-full";
     case VbsErrc::kDeadline: return "deadline";
+    case VbsErrc::kBadJournal: return "bad-journal";
+    case VbsErrc::kTornWrite: return "torn-write";
   }
   return "?";
 }

@@ -38,6 +38,8 @@ enum class VbsErrc : std::uint8_t {
   kFaultInjected = 13, ///< deterministic fault-plan injection
   kQueueFull = 14,     ///< shed by bounded-queue admission control
   kDeadline = 15,      ///< per-request deadline exceeded before commit
+  kBadJournal = 16,    ///< service journal malformed beyond a torn tail
+  kTornWrite = 17,     ///< in-flight write cut short (injected or detected)
 };
 
 /// Stable kebab-case name of a code ("truncated", "bad-header", ...).

@@ -14,6 +14,9 @@ constexpr std::uint64_t kSiteDecode = 0x9e3779b97f4a7c15ull;
 constexpr std::uint64_t kSiteAlloc = 0xbf58476d1ce4e5b9ull;
 constexpr std::uint64_t kSiteCache = 0x94d049bb133111ebull;
 constexpr std::uint64_t kSiteLatency = 0xd6e8feb86659fd93ull;
+constexpr std::uint64_t kSiteWrite = 0xa0761d6478bd642full;
+constexpr std::uint64_t kSiteSync = 0xe7037ed1a0b428dbull;
+constexpr std::uint64_t kSiteRename = 0x8ebc6af09c88c6e3ull;
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -56,6 +59,18 @@ long long FaultPlan::latency_spike_ticks(std::uint64_t seq) const {
   return roll(kSiteLatency, seq) < cfg_.latency_spike ? cfg_.spike_ticks : 0;
 }
 
+bool FaultPlan::write_fails(std::uint64_t seq) const {
+  return cfg_.write_fail > 0.0 && roll(kSiteWrite, seq) < cfg_.write_fail;
+}
+
+bool FaultPlan::sync_fails(std::uint64_t seq) const {
+  return cfg_.sync_fail > 0.0 && roll(kSiteSync, seq) < cfg_.sync_fail;
+}
+
+bool FaultPlan::rename_fails(std::uint64_t seq) const {
+  return cfg_.rename_fail > 0.0 && roll(kSiteRename, seq) < cfg_.rename_fail;
+}
+
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlanConfig cfg;
   std::istringstream in(spec);
@@ -91,6 +106,18 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
           throw std::invalid_argument("fault plan: bad spike ticks: " + value);
         }
       }
+    } else if (key == "write") {
+      cfg.write_fail = parse_rate(key, value);
+    } else if (key == "sync") {
+      cfg.sync_fail = parse_rate(key, value);
+    } else if (key == "rename") {
+      cfg.rename_fail = parse_rate(key, value);
+    } else if (key == "crash") {
+      char* end = nullptr;
+      cfg.crash_at = std::strtoll(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || cfg.crash_at < 0) {
+        throw std::invalid_argument("fault plan: bad crash op: " + value);
+      }
     } else {
       throw std::invalid_argument("fault plan: unknown key: " + key);
     }
@@ -107,6 +134,10 @@ std::string FaultPlan::spec() const {
   if (cfg_.latency_spike > 0.0) {
     out << ",latency=" << cfg_.latency_spike << "x" << cfg_.spike_ticks;
   }
+  if (cfg_.write_fail > 0.0) out << ",write=" << cfg_.write_fail;
+  if (cfg_.sync_fail > 0.0) out << ",sync=" << cfg_.sync_fail;
+  if (cfg_.rename_fail > 0.0) out << ",rename=" << cfg_.rename_fail;
+  if (cfg_.crash_at >= 0) out << ",crash=" << cfg_.crash_at;
   return out.str();
 }
 

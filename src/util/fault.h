@@ -18,6 +18,14 @@
 // where decode/alloc/cache are per-decision failure probabilities in
 // [0,1] and latency is probability x spike-ticks. Keys may appear in any
 // order; omitted keys default to 0 (off).
+//
+// The durability layer (util/io.h) adds four I/O sites: write/sync/rename
+// are per-operation failure probabilities like the model sites above, and
+// crash=N kills the process model at the Nth I/O operation (a global serial
+// op count across all sites — see IoFaultInjector). crash is an exact
+// sequence match, not a rate, so a sweep over N visits every site once:
+//
+//   seed=7,write=0.01,sync=0.01,rename=0.01,crash=42
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,10 @@ struct FaultPlanConfig {
   double cache_drop = 0.0;    ///< cache insertions silently dropped
   double latency_spike = 0.0; ///< probability of a modeled latency spike
   long long spike_ticks = 8;  ///< spike magnitude in modeled ticks
+  double write_fail = 0.0;    ///< short (torn) file writes
+  double sync_fail = 0.0;     ///< fsync failures
+  double rename_fail = 0.0;   ///< atomic-rename failures
+  long long crash_at = -1;    ///< kill at this global I/O op (-1 = off)
 
   friend bool operator==(const FaultPlanConfig&,
                          const FaultPlanConfig&) = default;
@@ -51,7 +63,9 @@ class FaultPlan {
 
   bool enabled() const {
     return cfg_.decode_fail > 0.0 || cfg_.alloc_fail > 0.0 ||
-           cfg_.cache_drop > 0.0 || cfg_.latency_spike > 0.0;
+           cfg_.cache_drop > 0.0 || cfg_.latency_spike > 0.0 ||
+           cfg_.write_fail > 0.0 || cfg_.sync_fail > 0.0 ||
+           cfg_.rename_fail > 0.0 || cfg_.crash_at >= 0;
   }
 
   bool decode_fails(std::uint64_t seq) const;
@@ -59,6 +73,14 @@ class FaultPlan {
   bool cache_drops(std::uint64_t seq) const;
   /// 0 when no spike fires at `seq`, else cfg().spike_ticks.
   long long latency_spike_ticks(std::uint64_t seq) const;
+
+  bool write_fails(std::uint64_t seq) const;
+  bool sync_fails(std::uint64_t seq) const;
+  bool rename_fails(std::uint64_t seq) const;
+  /// True exactly when `op` equals crash_at (the Nth global I/O op).
+  bool crashes_at(long long op) const {
+    return cfg_.crash_at >= 0 && op == cfg_.crash_at;
+  }
 
   const FaultPlanConfig& config() const { return cfg_; }
 

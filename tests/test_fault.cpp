@@ -33,11 +33,15 @@ TEST(ErrorTaxonomy, CodesAndExitCodesAreStable) {
   EXPECT_EQ(static_cast<int>(VbsErrc::kFaultInjected), 13);
   EXPECT_EQ(static_cast<int>(VbsErrc::kQueueFull), 14);
   EXPECT_EQ(static_cast<int>(VbsErrc::kDeadline), 15);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kBadJournal), 16);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kTornWrite), 17);
 
   EXPECT_EQ(exit_code_for(VbsErrc::kNone), 0);
   EXPECT_EQ(exit_code_for(VbsErrc::kTruncated), 11);
   EXPECT_EQ(exit_code_for(VbsErrc::kArchMismatch), 20);
   EXPECT_EQ(exit_code_for(VbsErrc::kDeadline), 25);
+  EXPECT_EQ(exit_code_for(VbsErrc::kBadJournal), 26);
+  EXPECT_EQ(exit_code_for(VbsErrc::kTornWrite), 27);
 
   EXPECT_STREQ(to_string(VbsErrc::kNone), "ok");
   EXPECT_STREQ(to_string(VbsErrc::kTruncated), "truncated");
@@ -46,6 +50,8 @@ TEST(ErrorTaxonomy, CodesAndExitCodesAreStable) {
   EXPECT_STREQ(to_string(VbsErrc::kArchMismatch), "arch-mismatch");
   EXPECT_STREQ(to_string(VbsErrc::kFaultInjected), "fault-injected");
   EXPECT_STREQ(to_string(VbsErrc::kQueueFull), "queue-full");
+  EXPECT_STREQ(to_string(VbsErrc::kBadJournal), "bad-journal");
+  EXPECT_STREQ(to_string(VbsErrc::kTornWrite), "torn-write");
 }
 
 TEST(ErrorTaxonomy, LegacyExceptionTypesDeriveFromVbsError) {
@@ -101,6 +107,38 @@ TEST(FaultPlan, SpecRoundTripAndParseErrors) {
   EXPECT_THROW(FaultPlan::parse("decode"), std::invalid_argument);
   EXPECT_THROW(FaultPlan::parse("latency=0.1x0"), std::invalid_argument);
   EXPECT_THROW(FaultPlan::parse("seed=banana"), std::invalid_argument);
+}
+
+TEST(FaultPlan, IoSitesParseRoundTripAndCrashIsExact) {
+  const FaultPlan plan =
+      FaultPlan::parse("seed=9,write=0.1,sync=0.05,rename=0.02,crash=42");
+  EXPECT_DOUBLE_EQ(plan.config().write_fail, 0.1);
+  EXPECT_DOUBLE_EQ(plan.config().sync_fail, 0.05);
+  EXPECT_DOUBLE_EQ(plan.config().rename_fail, 0.02);
+  EXPECT_EQ(plan.config().crash_at, 42);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(FaultPlan::parse(plan.spec()).config(), plan.config());
+  // A crash plan alone is an enabled plan (all rates zero).
+  EXPECT_TRUE(FaultPlan::parse("crash=0").enabled());
+  EXPECT_THROW(FaultPlan::parse("crash=-1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("write=1.5"), std::invalid_argument);
+
+  // crash=N is an exact-sequence kill, not a rate: exactly one op fires,
+  // identically on every evaluation — that is what makes a site sweep
+  // visit each I/O operation exactly once.
+  int fires = 0;
+  for (long long op = 0; op < 1000; ++op) {
+    if (plan.crashes_at(op)) ++fires;
+  }
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(plan.crashes_at(42));
+  // The rate sites are pure in (seed, site, seq), like the model sites.
+  const FaultPlan again = FaultPlan::parse(plan.spec());
+  for (std::uint64_t seq = 0; seq < 500; ++seq) {
+    EXPECT_EQ(plan.write_fails(seq), again.write_fails(seq));
+    EXPECT_EQ(plan.sync_fails(seq), again.sync_fails(seq));
+    EXPECT_EQ(plan.rename_fails(seq), again.rename_fails(seq));
+  }
 }
 
 TEST(FaultPlan, DecisionsArePureFunctionsOfSeedSiteAndSequence) {

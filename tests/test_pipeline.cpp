@@ -17,6 +17,8 @@
 #include "flow/pipeline.h"
 #include "netlist/generator.h"
 #include "netlist/mcnc.h"
+#include "util/fault.h"
+#include "util/io.h"
 #include "vbs/encoder.h"
 
 namespace vbs {
@@ -340,6 +342,48 @@ TEST(Pipeline, SaveDropsStaleDownstreamArtifacts) {
   FlowPipeline re = FlowPipeline::resume_from(dir.path);
   EXPECT_TRUE(re.completed(Stage::kPlace));
   EXPECT_FALSE(re.completed(Stage::kRoute));
+}
+
+bool has_tmp_files(const std::string& dir) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") return true;
+  }
+  return false;
+}
+
+TEST(Pipeline, CheckpointSurvivesCrashAtEveryIoSite) {
+  TempDir dir("ckpt_crash");
+  FlowPipeline pipe(small_netlist(), 7, 7, small_opts());
+  pipe.run_to(Stage::kPlace);
+  pipe.save_checkpoint(dir.path);  // the old generation on disk
+  pipe.run_to(Stage::kEncode);
+
+  // Kill the deeper re-save at its Nth I/O operation, for every N. After
+  // each kill the directory must still resume — to at least the old
+  // generation's prefix (atomic replacement: a half-written artifact is
+  // never visible under its final name) — and resume sweeps the orphaned
+  // "*.tmp" the crash left behind.
+  long long kills = 0;
+  for (long long n = 0;; ++n) {
+    const FaultPlan plan = FaultPlan::parse("crash=" + std::to_string(n));
+    IoFaultInjector inj(&plan);
+    bool crashed = false;
+    try {
+      ScopedIoFaults scope(&inj);
+      pipe.save_checkpoint(dir.path);
+    } catch (const CrashInjected&) {
+      crashed = true;
+      ++kills;
+    }
+    if (!crashed) break;  // past the last I/O op: the save completed
+    FlowPipeline re = FlowPipeline::resume_from(dir.path);
+    EXPECT_TRUE(re.completed(Stage::kPlace)) << "killed at io op " << n;
+    EXPECT_FALSE(has_tmp_files(dir.path)) << "killed at io op " << n;
+  }
+  EXPECT_GT(kills, 3);  // the save really has several distinct crash sites
+  FlowPipeline re = FlowPipeline::resume_from(dir.path);
+  EXPECT_TRUE(re.completed(Stage::kEncode));
+  EXPECT_EQ(re.vbs_stream(), pipe.vbs_stream());
 }
 
 // The acceptance bar of the redesign: for every circuit of the perf suite,

@@ -4,6 +4,9 @@
 // eviction log at any thread count).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <set>
 
 #include "flow/flow.h"
@@ -40,6 +43,17 @@ ArchSpec test_arch() {
   arch.chan_width = 8;
   return arch;
 }
+
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = (std::filesystem::temp_directory_path() /
+            ("vbs_service_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
 
 // --- content hash & cache ---------------------------------------------------
 
@@ -490,10 +504,13 @@ struct ReplayOutcome {
 ReplayOutcome replay(const Trace& trace,
                      const std::vector<BitVector>& kind_streams,
                      const ArchSpec& arch, int threads,
-                     std::size_t cache_bits, ServiceOptions opts = {}) {
+                     std::size_t cache_bits, ServiceOptions opts = {},
+                     const std::string& journal_dir = {},
+                     std::uint64_t* fingerprint_out = nullptr) {
   opts.threads = threads;
   opts.cache_capacity_bits = cache_bits;
   ReconfigService svc(arch, trace.fabric_w, trace.fabric_h, opts);
+  if (!journal_dir.empty()) svc.open_journal(journal_dir);
   ReplayOutcome out;
   std::vector<RequestId> req_of_event(trace.events.size(), kNoRequest);
   for (std::size_t i = 0; i < trace.events.size(); ++i) {
@@ -530,6 +547,7 @@ ReplayOutcome replay(const Trace& trace,
   out.retries = svc.stats().retries;
   out.faults = svc.stats().faults_injected;
   out.now_ticks = svc.now_ticks();
+  if (fingerprint_out != nullptr) *fingerprint_out = svc.state_fingerprint();
   return out;
 }
 
@@ -741,6 +759,82 @@ TEST(ServiceOverload, FaultedTraceReplayIsDeterministicAcrossThreadCounts) {
     EXPECT_EQ(serial.warm_loads, parallel.warm_loads);
     EXPECT_EQ(serial.decode_nodes, parallel.decode_nodes);
   }
+}
+
+TEST(ServiceOverload, RetryReleasedPastDeadlineCompletesDeadline) {
+  const ArchSpec arch = test_arch();
+  const BitVector s = make_stream(13, 4, 45, arch);
+  ServiceOptions opts;
+  opts.cache_capacity_bits = 0;
+  opts.deadline_ticks = 2;
+  opts.retry_limit = 3;
+  opts.retry_backoff_ticks = 64;  // the backoff release lands past expiry
+  FaultPlanConfig fcfg;
+  fcfg.seed = 1;
+  fcfg.decode_fail = 1.0;  // first attempt always faults into a retry
+  opts.faults = FaultPlan(fcfg);
+  for (const int threads : {1, 2, 8}) {
+    opts.threads = threads;
+    TempDir dir("retry_deadline_" + std::to_string(threads));
+    ReconfigService svc(arch, 8, 4, opts);
+    svc.open_journal(dir.path);
+    const RequestId id = svc.submit_load(s);
+    const auto results = svc.drain();
+    ASSERT_EQ(results.size(), 1u);
+    // The retry was scheduled, but its release tick is past the deadline:
+    // the request must complete kDeadline — not burn the remaining retry
+    // budget, and above all not half-commit.
+    EXPECT_EQ(results[0].status, RequestStatus::kDeadline);
+    EXPECT_EQ(results[0].code, VbsErrc::kDeadline);
+    EXPECT_EQ(svc.stats().retries, 1);
+    EXPECT_EQ(svc.stats().faults_injected, 1);
+    EXPECT_EQ(svc.stats().deadline_misses, 1);
+    EXPECT_EQ(svc.task_of(id), kNoTask);
+    EXPECT_EQ(svc.controller().num_tasks(), 0);
+    // The same terminal state reproduces from the journal alone.
+    EXPECT_EQ(ReconfigService::recover(dir.path, threads)->state_fingerprint(),
+              svc.state_fingerprint());
+  }
+}
+
+TEST(ServiceOverload, JournaledFaultedRunRecoversIdenticallyAcrossThreads) {
+  const ArchSpec arch = test_arch();
+  TraceGenOptions gopts;
+  gopts.pattern = ArrivalPattern::kBursty;
+  gopts.events = 60;
+  gopts.kinds = 3;
+  gopts.fabric_w = 10;
+  gopts.fabric_h = 8;
+  const Trace trace = generate_trace(gopts);
+  std::vector<BitVector> streams;
+  for (const TraceTaskKind& k : trace.kinds) {
+    streams.push_back(make_stream(k.n_lut, k.grid, k.seed, arch, k.cluster));
+  }
+  ServiceOptions fopts;
+  fopts.queue_limit = 6;  // shedding active: kShed companion records too
+  fopts.deadline_ticks = 10;
+  fopts.retry_limit = 2;
+  fopts.faults =
+      FaultPlan::parse("seed=7,decode=0.2,alloc=0.1,cache=0.15,latency=0.2x5");
+  const std::size_t cache_bits = std::size_t{16} << 20;
+  std::vector<std::uint64_t> fps;
+  for (const int threads : {1, 2, 8}) {
+    TempDir dir("journal_recover_" + std::to_string(threads));
+    std::uint64_t fp = 0;
+    const ReplayOutcome out =
+        replay(trace, streams, arch, threads, cache_bits, fopts, dir.path, &fp);
+    EXPECT_GT(out.faults, 0) << "the model fault plan never fired";
+    ReconfigService::RecoveryInfo info;
+    const auto recovered = ReconfigService::recover(dir.path, threads, &info);
+    EXPECT_EQ(recovered->state_fingerprint(), fp)
+        << "recovery diverged at threads=" << threads;
+    EXPECT_GT(info.admits, 0);
+    EXPECT_GT(info.commits, 0);
+    fps.push_back(fp);
+  }
+  // One durable history, one state: thread count changes neither.
+  EXPECT_EQ(fps[0], fps[1]);
+  EXPECT_EQ(fps[0], fps[2]);
 }
 
 }  // namespace

@@ -1,0 +1,420 @@
+// vbscrash — kill-at-every-site crash harness for the durability layer.
+//
+// Two legs, both sweeping an injected process death across every I/O
+// operation (util/io.h numbers each write/sync/rename/remove performed
+// under a FaultPlan with crash=N):
+//
+//   service leg  a journaled ReconfigService runs a bursty overload trace
+//                (with an active model fault plan: decode/alloc/cache
+//                faults, shedding, deadlines) and compacts periodically.
+//                For each N the run is killed at its Nth I/O op, the dead
+//                process's memory is discarded, ReconfigService::recover
+//                rebuilds the service from the journal directory alone,
+//                the remaining workload resumes from the durable prefix
+//                (RecoveryInfo tells how far the journal got), and the
+//                final state fingerprint must be byte-identical to the
+//                uninterrupted run's. A kill inside the journal-creation
+//                window (no durable WAL yet) must recover-by-restart: a
+//                fresh journal, the whole workload, the same fingerprint.
+//
+//   flow leg     a FlowPipeline checkpoint directory holding an older
+//                (shallower) generation is re-saved after running deeper,
+//                killed at each I/O op of the save. After every kill,
+//                resume_from must load a valid checkpoint (atomic artifact
+//                replacement: half-written files are never visible), clean
+//                up orphaned *.tmp, and re-running to encode must
+//                reproduce the reference VBS stream bit for bit.
+//
+// Everything is a pure function of --seed and --threads. Exit status 0 if
+// every kill recovered, 1 with the offending site otherwise.
+//
+// Usage:
+//   vbscrash [--smoke] [--threads T] [--seed S] [--service-only|--flow-only]
+//
+// --smoke strides the site sweep (every 7th site plus the first and last)
+// for the CI build job; the TSan job runs the full service sweep at
+// --threads 2.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+#include "flow/pipeline.h"
+#include "netlist/generator.h"
+#include "rtc/service/service.h"
+#include "rtc/service/trace.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/fault.h"
+#include "util/io.h"
+#include "vbs/encoder.h"
+
+using namespace vbs;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kUsage =
+    "vbscrash [--smoke] [--threads T] [--seed S] "
+    "[--service-only|--flow-only]";
+
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("vbscrash_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+ArchSpec bench_arch() {
+  ArchSpec arch;
+  arch.chan_width = 8;
+  return arch;
+}
+
+BitVector make_stream(const TraceTaskKind& k, const ArchSpec& arch) {
+  GenParams p;
+  p.n_lut = k.n_lut;
+  p.n_pi = 3;
+  p.n_po = 3;
+  p.seed = k.seed;
+  FlowOptions o;
+  o.arch = arch;
+  o.seed = k.seed;
+  const FlowResult r = run_flow(generate_netlist(p), k.grid, k.grid, o);
+  if (!r.routed()) throw std::runtime_error("vbscrash: task unroutable");
+  EncodeOptions eo;
+  eo.cluster = k.cluster;
+  return serialize_vbs(encode_vbs(*r.fabric, r.netlist, r.packed, r.placement,
+                                  r.routing.routes, eo));
+}
+
+// --- the service workload as a resumable op list -----------------------------
+
+struct Op {
+  enum Kind { kPriority, kLoad, kUnload, kRelocate, kDrain, kCompact };
+  Kind kind = kDrain;
+  int tenant = 0;
+  int priority = 0;       ///< kPriority
+  int stream_idx = -1;    ///< kLoad
+  std::size_t ref = 0;    ///< kUnload/kRelocate: index of the load op
+  RequestId expected = kNoRequest;  ///< request id, from the reference run
+};
+
+/// Flattens a generated trace into the harness's op list: submissions with
+/// a drain at every tick boundary and a compaction after every third
+/// drain. The op list IS the workload; every run (reference, killed,
+/// resumed) executes the same list, so "resume where the journal ends"
+/// is an index into it.
+std::vector<Op> build_ops(const Trace& trace) {
+  std::vector<Op> ops;
+  ops.push_back({Op::kPriority, 1, 5, -1, 0, kNoRequest});
+  ops.push_back({Op::kPriority, 2, 1, -1, 0, kNoRequest});
+  std::vector<std::size_t> op_of_event(trace.events.size(), 0);
+  int drains = 0;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    Op op;
+    op.tenant = e.tenant;
+    switch (e.kind) {
+      case TraceEvent::Kind::kLoad:
+        op.kind = Op::kLoad;
+        op.stream_idx = e.task_kind;
+        break;
+      case TraceEvent::Kind::kUnload:
+        op.kind = Op::kUnload;
+        op.ref = op_of_event[static_cast<std::size_t>(e.ref)];
+        break;
+      case TraceEvent::Kind::kRelocate:
+        op.kind = Op::kRelocate;
+        op.ref = op_of_event[static_cast<std::size_t>(e.ref)];
+        break;
+    }
+    op_of_event[i] = ops.size();
+    ops.push_back(op);
+    if (i + 1 == trace.events.size() || trace.events[i + 1].tick != e.tick) {
+      ops.push_back({Op::kDrain, 0, 0, -1, 0, kNoRequest});
+      if (++drains % 3 == 0) {
+        ops.push_back({Op::kCompact, 0, 0, -1, 0, kNoRequest});
+      }
+    }
+  }
+  return ops;
+}
+
+/// Executes ops[from..]. With fill_expected, records returned request ids
+/// into the list (the reference pass); otherwise asserts them — recovery
+/// must hand out the same ids the dead process did. CrashInjected
+/// propagates to the caller.
+void run_ops(ReconfigService& svc, std::vector<Op>& ops, std::size_t from,
+             const std::vector<BitVector>& streams, bool fill_expected) {
+  for (std::size_t i = from; i < ops.size(); ++i) {
+    Op& op = ops[i];
+    RequestId got = kNoRequest;
+    switch (op.kind) {
+      case Op::kPriority:
+        svc.set_tenant_priority(op.tenant, op.priority);
+        continue;
+      case Op::kLoad:
+        got = svc.submit_load(
+            streams[static_cast<std::size_t>(op.stream_idx)], op.tenant);
+        break;
+      case Op::kUnload:
+        got = svc.submit_unload(ops[op.ref].expected, op.tenant);
+        break;
+      case Op::kRelocate:
+        got = svc.submit_relocate(ops[op.ref].expected, op.tenant);
+        break;
+      case Op::kDrain:
+        svc.drain();
+        continue;
+      case Op::kCompact:
+        if (svc.journaled()) svc.compact_journal();
+        continue;
+    }
+    if (fill_expected) {
+      op.expected = got;
+    } else if (got != op.expected) {
+      throw std::runtime_error("request id diverged at op " +
+                               std::to_string(i) + ": got " +
+                               std::to_string(got) + " want " +
+                               std::to_string(op.expected));
+    }
+  }
+}
+
+/// Where to resume after recovery: skip to just past the epoch-th
+/// compaction (each durable compaction bumps the epoch and resets the
+/// WAL), then past the admissions and commits the current WAL replayed.
+std::size_t resume_index(const std::vector<Op>& ops,
+                         const ReconfigService::RecoveryInfo& info) {
+  std::size_t i = 0;
+  std::uint64_t epochs = info.epoch;
+  while (epochs > 0) {
+    if (i >= ops.size()) throw std::runtime_error("epoch past op list");
+    if (ops[i].kind == Op::kCompact) --epochs;
+    ++i;
+  }
+  long long admits = info.admits;
+  long long commits = info.commits;
+  while (admits > 0 || commits > 0) {
+    if (i >= ops.size()) throw std::runtime_error("records past op list");
+    const Op::Kind k = ops[i].kind;
+    if (k == Op::kDrain) {
+      --commits;
+    } else if (k != Op::kCompact) {
+      --admits;  // every submission/priority op is exactly one record
+    } else {
+      throw std::runtime_error("journal records straddle a compaction");
+    }
+    ++i;
+  }
+  return i;
+}
+
+int service_sweep(int threads, std::uint64_t seed, bool smoke) {
+  const ArchSpec arch = bench_arch();
+  TraceGenOptions gopts;
+  gopts.pattern = ArrivalPattern::kBursty;
+  gopts.events = 48;
+  gopts.kinds = 3;
+  gopts.seed = seed;
+  gopts.fabric_w = 12;
+  gopts.fabric_h = 10;
+  const Trace trace = generate_trace(gopts);
+  std::vector<BitVector> streams;
+  for (const TraceTaskKind& k : trace.kinds) {
+    streams.push_back(make_stream(k, arch));
+  }
+  std::vector<Op> ops = build_ops(trace);
+
+  ServiceOptions opts;
+  opts.threads = threads;
+  opts.cache_capacity_bits = std::size_t{8} << 20;
+  opts.queue_limit = 5;  // shedding active: kShed companions in the WAL
+  opts.deadline_ticks = 12;
+  opts.retry_limit = 2;
+  opts.faults = FaultPlan::parse(
+      "seed=" + std::to_string(seed + 1) +
+      ",decode=0.15,alloc=0.1,cache=0.15,latency=0.15x4");
+
+  // Reference A: unjournaled. Fills the expected request ids.
+  ReconfigService plain(arch, trace.fabric_w, trace.fabric_h, opts);
+  run_ops(plain, ops, 0, streams, /*fill_expected=*/true);
+  const std::uint64_t ref_fp = plain.state_fingerprint();
+
+  // Reference B: journaled, no injection. Journaling must not perturb the
+  // model, and its op count bounds the sweep.
+  long long total_ops = 0;
+  {
+    TempDir dir("svc_ref");
+    ReconfigService svc(arch, trace.fabric_w, trace.fabric_h, opts);
+    svc.open_journal(dir.path);
+    run_ops(svc, ops, 0, streams, false);
+    if (svc.state_fingerprint() != ref_fp) {
+      std::fprintf(stderr,
+                   "vbscrash: journaling changed the model state\n");
+      return 1;
+    }
+    total_ops = svc.journal_io_ops();
+  }
+  std::printf("vbscrash: service sweep: %lld I/O sites, threads=%d\n",
+              total_ops, threads);
+
+  int swept = 0;
+  for (long long n = 0; n < total_ops; ++n) {
+    if (smoke && n % 7 != 0 && n != total_ops - 1) continue;
+    ++swept;
+    TempDir dir("svc_kill");
+    const FaultPlan io_plan =
+        FaultPlan::parse("crash=" + std::to_string(n));
+    bool crashed = false;
+    const char* site = "?";
+    {
+      ReconfigService svc(arch, trace.fabric_w, trace.fabric_h, opts);
+      try {
+        svc.open_journal(dir.path, &io_plan);
+        run_ops(svc, ops, 0, streams, false);
+      } catch (const CrashInjected& c) {
+        crashed = true;
+        site = c.site;
+      }
+      // svc dies here: the crashed process's memory is gone.
+    }
+    if (!crashed) {
+      std::fprintf(stderr, "vbscrash: site %lld never executed\n", n);
+      return 1;
+    }
+    try {
+      std::uint64_t final_fp = 0;
+      if (!fs::exists(dir.path + "/journal.wal")) {
+        // Killed inside journal creation: nothing was ever durable. The
+        // recovery story is a fresh start — and it must reach the same
+        // final state.
+        ReconfigService svc(arch, trace.fabric_w, trace.fabric_h, opts);
+        svc.open_journal(dir.path);
+        run_ops(svc, ops, 0, streams, false);
+        final_fp = svc.state_fingerprint();
+      } else {
+        ReconfigService::RecoveryInfo info;
+        auto svc = ReconfigService::recover(dir.path, threads, &info);
+        run_ops(*svc, ops, resume_index(ops, info), streams, false);
+        final_fp = svc->state_fingerprint();
+      }
+      if (final_fp != ref_fp) {
+        std::fprintf(stderr,
+                     "vbscrash: kill at io op %lld (%s): resumed state "
+                     "diverged from the uninterrupted run\n",
+                     n, site);
+        return 1;
+      }
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "vbscrash: kill at io op %lld (%s): %s\n", n,
+                   site, ex.what());
+      return 1;
+    }
+  }
+  std::printf("vbscrash: service sweep ok (%d/%lld sites killed)\n", swept,
+              total_ops);
+  return 0;
+}
+
+// --- flow checkpoint sweep ---------------------------------------------------
+
+int flow_sweep(std::uint64_t seed, bool smoke) {
+  struct Circuit {
+    int n_lut, grid;
+  };
+  const std::vector<Circuit> circuits = {{18, 5}, {26, 6}};
+  for (const Circuit& c : circuits) {
+    GenParams p;
+    p.n_lut = c.n_lut;
+    p.n_pi = 4;
+    p.n_po = 4;
+    p.seed = seed + static_cast<std::uint64_t>(c.n_lut);
+    FlowOptions o;
+    o.arch = bench_arch();
+    o.seed = seed;
+    FlowPipeline ref(generate_netlist(p), c.grid, c.grid, o);
+    ref.run_to(Stage::kEncode);
+    const BitVector want = ref.vbs_stream();
+
+    TempDir dir("flow");
+    ref.save_checkpoint(dir.path, Stage::kPlace);  // the older generation
+    long long kills = 0;
+    for (long long n = 0;; ++n) {
+      const FaultPlan plan = FaultPlan::parse("crash=" + std::to_string(n));
+      IoFaultInjector inj(&plan);
+      bool crashed = false;
+      try {
+        ScopedIoFaults scope(&inj);
+        ref.save_checkpoint(dir.path);
+      } catch (const CrashInjected&) {
+        crashed = true;
+        ++kills;
+      }
+      if (!crashed) break;  // past the save's last I/O op
+      if (smoke && n % 3 != 0) continue;
+      try {
+        FlowPipeline re = FlowPipeline::resume_from(dir.path);
+        re.run_to(Stage::kEncode);
+        if (re.vbs_stream() != want) {
+          std::fprintf(stderr,
+                       "vbscrash: flow kill at io op %lld: resumed stream "
+                       "diverged\n",
+                       n);
+          return 1;
+        }
+        for (const auto& entry : fs::directory_iterator(dir.path)) {
+          if (entry.path().extension() == ".tmp") {
+            std::fprintf(stderr,
+                         "vbscrash: flow kill at io op %lld: orphan %s "
+                         "survived resume\n",
+                         n, entry.path().c_str());
+            return 1;
+          }
+        }
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "vbscrash: flow kill at io op %lld: %s\n", n,
+                     ex.what());
+        return 1;
+      }
+    }
+    std::printf("vbscrash: flow sweep ok (lut=%d, %lld sites)\n", c.n_lut,
+                kills);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tool_main("vbscrash", kUsage, [&] {
+    const CliArgs args(argc, argv, {"--threads", "--seed"},
+                       {"--smoke", "--service-only", "--flow-only", "--help"});
+    if (args.has_flag("--help") || !args.positional().empty()) {
+      std::fprintf(stderr, "usage: %s\n", kUsage);
+      return args.has_flag("--help") ? 0 : 1;
+    }
+    const bool smoke = args.has_flag("--smoke");
+    const int threads = threads_or(args, 1);
+    const std::uint64_t seed = seed_or(args, 1);
+    if (args.has_flag("--service-only") && args.has_flag("--flow-only")) {
+      throw std::runtime_error("--service-only and --flow-only conflict");
+    }
+    int rc = 0;
+    if (!args.has_flag("--flow-only")) {
+      rc = service_sweep(threads, seed, smoke);
+    }
+    if (rc == 0 && !args.has_flag("--service-only")) {
+      rc = flow_sweep(seed, smoke);
+    }
+    if (rc == 0) std::printf("vbscrash: all kills recovered\n");
+    return rc;
+  });
+}

@@ -18,7 +18,12 @@
 //     typed failures instead of tearing down the drain loop;
 //   * mutated VBS2 / artifact files are rejected with the typed
 //     container errors, and a file round-trip of a surviving mutant is
-//     bit-exact.
+//     bit-exact;
+//   * a mutated service journal (truncated / bit-flipped / record-spliced
+//     WAL or snapshot) either recovers to a working service — a torn tail
+//     is legitimately survivable — or is rejected with a typed VbsError
+//     (kBadJournal and friends); never any other exception, crash, or
+//     unbounded allocation.
 //
 // Everything is a pure function of --seed, so a failure line
 // ("iter 123 seed 7") is a standalone repro. Exit status: 0 if every
@@ -157,6 +162,55 @@ void mutate_file(Rng& rng, const std::string& path) {
   std::fclose(f);
 }
 
+/// Journal-specific file mutation: truncation, bit flips, or a record
+/// splice (a byte run copied over another position — forges duplicated /
+/// reordered records with valid checksums).
+std::string mutate_journal_file(Rng& rng, const std::string& path) {
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw std::runtime_error("vbsfuzz: reopen " + path);
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+      bytes.append(buf, got);
+    std::fclose(f);
+  }
+  std::string what;
+  if (bytes.empty()) return "empty";
+  switch (rng.next_below(3)) {
+    case 0: {  // truncate: mid-record cuts must read as a torn tail
+      const std::size_t cut = rng.next_below(bytes.size());
+      bytes.resize(cut);
+      what = "truncate@" + std::to_string(cut);
+      break;
+    }
+    case 1: {  // flip 1-4 bits anywhere
+      const int flips = 1 + static_cast<int>(rng.next_below(4));
+      for (int i = 0; i < flips; ++i) {
+        bytes[rng.next_below(bytes.size())] ^=
+            static_cast<char>(1u << rng.next_below(8));
+      }
+      what = "flip" + std::to_string(flips);
+      break;
+    }
+    default: {  // splice a byte run over another position
+      const std::size_t len =
+          1 + rng.next_below(std::min<std::size_t>(bytes.size(), 64));
+      const std::size_t src = rng.next_below(bytes.size() - len + 1);
+      const std::size_t dst = rng.next_below(bytes.size() - len + 1);
+      bytes.replace(dst, len, bytes, src, len);
+      what = "splice" + std::to_string(len);
+      break;
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("vbsfuzz: rewrite " + path);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return what;
+}
+
 bool config_is_clean(const ReconfigController& rtc) {
   if (rtc.occupancy() != 0.0 || rtc.num_tasks() != 0) return false;
   const BitVector& cfg = rtc.config_memory();
@@ -188,7 +242,22 @@ int main(int argc, char** argv) {
                      ("vbsfuzz." + std::to_string(seed));
     std::filesystem::create_directories(tmp);
 
+    // A pristine journal directory (WAL + one snapshot), copied and
+    // mutated by the journal leg below.
+    const std::string pristine = (tmp / "journal_pristine").string();
+    {
+      ReconfigService svc(corpus[1].spec, corpus[1].grid, corpus[1].grid);
+      svc.open_journal(pristine);
+      svc.submit_load(corpus[0].stream);
+      svc.submit_load(corpus[1].stream);
+      svc.drain();
+      svc.compact_journal();
+      svc.submit_load(corpus[0].stream);  // warm load after the snapshot
+      svc.drain();
+    }
+
     long long parsed = 0, rejected = 0, loaded = 0, load_rejected = 0;
+    long long journal_recovered = 0, journal_rejected = 0;
     Rng rng(seed ^ 0x5bd1e995u);
     for (long long iter = 0; iter < iters; ++iter) {
       const CorpusEntry& base =
@@ -297,15 +366,53 @@ int main(int argc, char** argv) {
           return fail(std::string("container leg threw: ") + e.what());
         }
       }
+
+      // 5. Every 6th iteration: the durability surface. A mutated journal
+      // directory must either recover into a working service (torn tails
+      // are survivable by design) or be rejected with a typed VbsError.
+      if (iter % 6 == 2) {
+        const std::string jdir = (tmp / "journal_fuzz").string();
+        std::filesystem::remove_all(jdir);
+        std::filesystem::copy(pristine, jdir,
+                              std::filesystem::copy_options::recursive);
+        // Mostly the WAL; sometimes the snapshot artifact.
+        std::string target = jdir + "/journal.wal";
+        if (rng.next_below(4) == 0) {
+          for (const auto& entry :
+               std::filesystem::directory_iterator(jdir)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind("snap.", 0) == 0) target = entry.path().string();
+          }
+        }
+        const std::string jwhat = mutate_journal_file(rng, target);
+        try {
+          const auto svc = ReconfigService::recover(jdir);
+          ++journal_recovered;
+          // Whatever prefix survived must be a working service.
+          svc->submit_load(corpus[1].stream);
+          if (svc->drain().empty()) {
+            return fail("recovered service drained nothing (" + jwhat + ")");
+          }
+        } catch (const VbsError& e) {
+          if (e.code() == VbsErrc::kNone) {
+            return fail("journal VbsError with code ok (" + jwhat + ")");
+          }
+          ++journal_rejected;
+        } catch (const std::exception& e) {
+          return fail("untyped journal exception (" + jwhat + "): " +
+                      e.what());
+        }
+      }
     }
 
     std::error_code ec;
     std::filesystem::remove_all(tmp, ec);
     std::printf(
         "vbsfuzz: %lld iters seed %llu: %lld parsed (%lld loaded, %lld "
-        "load-rejected), %lld rejected typed, 0 contract violations\n",
+        "load-rejected), %lld rejected typed, journals %lld recovered / "
+        "%lld rejected typed, 0 contract violations\n",
         iters, static_cast<unsigned long long>(seed), parsed, loaded,
-        load_rejected, rejected);
+        load_rejected, rejected, journal_recovered, journal_rejected);
     return 0;
   });
 }
