@@ -18,13 +18,13 @@
 // it then runs the minimum-channel-width search twice through the
 // pipeline, warm-started and cold. Results go to stdout as a table and to
 // a machine-readable JSON file (see bench/README.md for the
-// vbs.flow_bench.v4 schema).
+// vbs.flow_bench.v5 schema).
 //
 // Usage:
 //   flow_bench [--smoke] [--circuits a,b] [--seeds N] [--width W]
 //              [--threads T] [--margin M] [--effort E] [--no-mcw]
 //              [--stage pack|place|route|all] [--checkpoint-dir DIR]
-//              [--out PATH]
+//              [--trace-out trace.json] [--metrics] [--out PATH]
 //
 //   --smoke      tiny synthetic circuits (seconds; used by CI to catch
 //                harness bitrot)
@@ -41,9 +41,15 @@
 //                persist each run's pack+place prefix here and resume it
 //                on the next invocation — repeated router-leg sweeps skip
 //                the redundant anneals (stale checkpoints are re-run)
+//   --trace-out  write a Chrome trace-event JSON of the run (flow stages,
+//                router iterations, annealer temperatures, MCW trials)
+//   --metrics    dump the metrics registry as JSON to stderr
 //   --out        JSON output path (default BENCH_flow.json)
+//
+// The telemetry registry is always on in this harness (the JSON embeds
+// its counters); determinism is unaffected — every identity check below
+// holds with telemetry on or off.
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -61,18 +67,13 @@
 #include "route/mcw.h"
 #include "route/route_request.h"
 #include "route/router.h"
+#include "util/build_info.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 using namespace vbs;
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
 
 /// How far a bench run drives the flow: 0..2 = stop after that stage,
 /// kAllLegs = route legs plus the MCW searches.
@@ -144,10 +145,10 @@ RouteSample sample_of(const RoutingResult& rr, double seconds) {
 RouteSample route_once(const Fabric& fabric, const RouteRequest& req,
                        const RouterOptions& ropts,
                        RoutingResult* out = nullptr) {
-  const auto t0 = Clock::now();
+  const std::uint64_t t0 = telem::now_ns();
   PathfinderRouter router(fabric, req);
   RoutingResult rr = router.route(ropts);
-  RouteSample s = sample_of(rr, seconds_since(t0));
+  RouteSample s = sample_of(rr, telem::seconds_since(t0));
   if (out != nullptr) *out = std::move(rr);
   return s;
 }
@@ -289,11 +290,11 @@ RunRecord run_one(const std::string& name, Netlist nl, int grid,
   ppar.seed = seed;
   ppar.effort = effort;
   ppar.threads = threads;
-  const auto tpar = Clock::now();
+  const std::uint64_t tpar = telem::now_ns();
   const Placement pl_par =
       place_design(pipe->netlist(), pipe->packed(), pipe->options().arch,
                    grid, grid, ppar, &rec.place_par);
-  rec.place_par_seconds = seconds_since(tpar);
+  rec.place_par_seconds = telem::seconds_since(tpar);
   rec.place_identical =
       identical_placements(pl_par, pipe->placement()) &&
       rec.place_par.moves == rec.place.moves &&
@@ -385,7 +386,7 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
   const char* stage_names[] = {"pack", "place", "route", "all"};
   const std::string ckpt_json =
       ckpt_root.empty() ? "null" : "\"" + ckpt_root + "\"";
-  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v4\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v5\",\n");
   std::fprintf(f,
                "  \"options\": {\"smoke\": %s, \"chan_width\": %d, \"seeds\": "
                "%d, \"threads\": %d, \"bb_margin\": %d, \"effort\": %.3f, "
@@ -395,6 +396,9 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
                ckpt_json.c_str());
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"build\": %s,\n", build_info_json(2).c_str());
+  std::fprintf(f, "  \"metrics\": %s,\n",
+               telem::snapshot().to_json(2).c_str());
   const RouterOptions def;
   std::fprintf(f,
                "  \"router_default\": {\"bounded_box\": %s, "
@@ -513,8 +517,11 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
 int main(int argc, char** argv) try {
   CliArgs args(argc, argv,
                {"--circuits", "--seeds", "--width", "--threads", "--margin",
-                "--effort", "--stage", "--checkpoint-dir", "--out"},
-               {"--smoke", "--no-mcw"});
+                "--effort", "--stage", "--checkpoint-dir", "--trace-out",
+                "--out"},
+               {"--smoke", "--no-mcw", "--metrics"});
+  const TelemetryCli telemetry(args);
+  telem::set_enabled(true);  // harness JSON embeds the counters
   const bool smoke = args.has_flag("--smoke");
   const int seeds = static_cast<int>(args.int_or("--seeds", 1));
   const int width = static_cast<int>(args.int_or("--width", smoke ? 10 : 20));
@@ -549,9 +556,9 @@ int main(int argc, char** argv) try {
         p.n_pi = 8;
         p.n_po = 8;
         p.seed = seed;
-        const auto t0 = Clock::now();
+        const std::uint64_t t0 = telem::now_ns();
         Netlist nl = generate_netlist(p);
-        const double gen_s = seconds_since(t0);
+        const double gen_s = telem::seconds_since(t0);
         const int grid =
             static_cast<int>(std::ceil(std::sqrt(n_lut * 1.25)));
         runs.push_back(run_one("smoke" + std::to_string(n_lut), std::move(nl),
@@ -583,9 +590,9 @@ int main(int argc, char** argv) try {
         circuits.resize(5);
       }
       for (const McncCircuit& c : circuits) {
-        const auto t0 = Clock::now();
+        const std::uint64_t t0 = telem::now_ns();
         Netlist nl = make_mcnc_like(c, seed);
-        const double gen_s = seconds_since(t0);
+        const double gen_s = telem::seconds_since(t0);
         runs.push_back(run_one(c.name, std::move(nl), c.size, seed, width,
                                gen_s, effort, margin, threads, with_mcw,
                                stage_limit, ckpt_root));
@@ -618,6 +625,7 @@ int main(int argc, char** argv) try {
   write_json(out, runs, smoke, width, seeds, threads, margin, effort,
              with_mcw, stage_limit, ckpt_root);
   std::printf("\nwrote %s\n", out.c_str());
+  telemetry.finish();
 
   // Fail loudly if any leg that ran regressed: an unroutable run, a
   // parallel tree that diverged from the serial one, or a checkpoint
@@ -665,7 +673,8 @@ int main(int argc, char** argv) try {
                "usage: flow_bench [--smoke] [--circuits a,b] [--seeds N] "
                "[--width W] [--threads T] [--margin M] [--effort E] "
                "[--no-mcw] [--stage pack|place|route|all] "
-               "[--checkpoint-dir DIR] [--out PATH]\n",
+               "[--checkpoint-dir DIR] [--trace-out trace.json] [--metrics] "
+               "[--out PATH]\n",
                e.what());
   return 1;
 }

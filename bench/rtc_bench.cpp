@@ -36,19 +36,29 @@
 // WAL record counts, journaling overhead and the cold-recovery replay
 // rate in records per second.
 //
-// Results go to stdout as a table and to a JSON file (vbs.rtc_bench.v3,
+// After the recovery legs, a latency-decomposition leg (new in v4)
+// replays each overload trace once more with the trace-event buffer
+// sliced around the replay: every RequestResult must satisfy the tick
+// identity latency == queue_wait + backoff + spike + exec, and the
+// modeled-tick request/phase spans in the sliced trace must sum, per
+// tenant, to exactly the breakdown TenantStats reports — so a Chrome
+// trace written with --trace-out is a faithful rendering of the numbers
+// in the JSON.
+//
+// Results go to stdout as a table and to a JSON file (vbs.rtc_bench.v4,
 // documented in bench/README.md). BENCH_rtc.json at the repo root is the
-// committed trajectory.
+// committed trajectory. The telemetry registry is always on in this
+// harness (the JSON embeds its counters); every determinism and
+// fingerprint check holds with telemetry on or off.
 //
 // Usage:
 //   rtc_bench [--smoke] [--trace FILE] [--policy P] [--threads T]
 //             [--cache-bits N] [--events N] [--ticks K] [--seed S]
 //             [--queue-limit N] [--deadline T] [--faults SPEC]
-//             [--out PATH]
+//             [--trace-out trace.json] [--metrics] [--out PATH]
 #include <unistd.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -64,6 +74,7 @@
 #include "netlist/generator.h"
 #include "rtc/service/service.h"
 #include "rtc/service/trace.h"
+#include "util/build_info.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -72,12 +83,6 @@
 using namespace vbs;
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
 
 /// Offline flow per distinct task recipe, shared across traces.
 class StreamLibrary {
@@ -138,6 +143,8 @@ struct Replay {
   /// Modeled-tick latencies of committed loads, by tenant.
   std::map<int, std::vector<double>> tenant_done_ticks;
   std::map<int, TenantStats> tenants;
+  /// Every result satisfied latency == queue_wait + backoff + spike + exec.
+  bool tick_identity_ok = true;
 };
 
 Replay replay_trace(const Trace& trace, StreamLibrary& lib,
@@ -180,9 +187,9 @@ Replay replay_trace(const Trace& trace, StreamLibrary& lib,
       }
       ++next;
     }
-    const auto t0 = Clock::now();
+    const std::uint64_t t0 = telem::now_ns();
     const std::vector<RequestResult> results = svc.drain();
-    out.drain_seconds += seconds_since(t0);
+    out.drain_seconds += telem::seconds_since(t0);
     for (const RequestResult& r : results) {
       switch (r.status) {
         case RequestStatus::kDone: ++out.done; break;
@@ -199,6 +206,9 @@ Replay replay_trace(const Trace& trace, StreamLibrary& lib,
       }
       out.statuses.push_back(static_cast<int>(r.status));
       out.latency_ticks.push_back(r.latency_ticks);
+      out.tick_identity_ok &=
+          r.latency_ticks == r.queue_wait_ticks + r.backoff_ticks +
+                                 r.spike_ticks + r.exec_ticks;
     }
     out.frag_sum += svc.fragmentation();
     ++out.frag_samples;
@@ -267,6 +277,17 @@ struct RecoveryRecord {
   bool fingerprint_ok = false;       ///< recovered fp == journaled fp
 };
 
+/// The latency-decomposition leg (new in v4): one more overload replay
+/// with the trace-event buffer sliced around it, so the modeled-tick spans
+/// can be summed per tenant and compared against TenantStats.
+struct BreakdownRecord {
+  Trace trace;
+  Replay run;
+  bool identity_ok = false;   ///< per-result tick identity held throughout
+  bool spans_ok = false;      ///< span sums == per-tenant breakdown
+  std::string pairing_error;  ///< first event-pairing violation, or empty
+};
+
 bool same_outcomes(const Replay& a, const Replay& b) {
   return a.config == b.config && same_evictions(a.evictions, b.evictions) &&
          a.statuses == b.statuses && a.latency_ticks == b.latency_ticks &&
@@ -277,7 +298,8 @@ bool same_outcomes(const Replay& a, const Replay& b) {
 
 void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
                 const std::vector<OverloadRecord>& over,
-                const std::vector<RecoveryRecord>& recov, bool smoke,
+                const std::vector<RecoveryRecord>& recov,
+                const std::vector<BreakdownRecord>& breakdown, bool smoke,
                 const ServiceOptions& sopts, const ServiceOptions& oopts,
                 std::uint64_t seed) {
   FILE* f = std::fopen(path.c_str(), "w");
@@ -285,7 +307,7 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"vbs.rtc_bench.v3\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"vbs.rtc_bench.v4\",\n");
   std::fprintf(f,
                "  \"options\": {\"smoke\": %s, \"policy\": \"%s\", "
                "\"threads\": %d, \"cache_bits\": %zu, \"evict_to_fit\": %s, "
@@ -301,6 +323,9 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
                oopts.retry_backoff_ticks, oopts.faults.spec().c_str());
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"build\": %s,\n", build_info_json(2).c_str());
+  std::fprintf(f, "  \"metrics\": %s,\n",
+               telem::snapshot().to_json(2).c_str());
   std::fprintf(f, "  \"traces\": [\n");
   long long tot_events = 0, tot_warm = 0, tot_cold = 0, tot_evict = 0;
   long long tot_hits = 0, tot_lookups = 0;
@@ -438,6 +463,32 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
                  i + 1 < recov.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"latency_breakdown\": [\n");
+  bool all_bd = true;
+  for (std::size_t i = 0; i < breakdown.size(); ++i) {
+    const BreakdownRecord& r = breakdown[i];
+    all_bd &= r.identity_ok && r.spans_ok && r.pairing_error.empty();
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"identity_ok\": %s, "
+                 "\"spans_match_stats\": %s, \"event_pairing_ok\": %s,\n",
+                 r.trace.name.c_str(), r.identity_ok ? "true" : "false",
+                 r.spans_ok ? "true" : "false",
+                 r.pairing_error.empty() ? "true" : "false");
+    std::fprintf(f, "     \"tenants\": [");
+    bool first = true;
+    for (const auto& [tenant, ts] : r.run.tenants) {
+      std::fprintf(f,
+                   "%s\n      {\"tenant\": %d, \"latency_ticks\": %lld, "
+                   "\"queue_wait_ticks\": %lld, \"backoff_ticks\": %lld, "
+                   "\"spike_ticks\": %lld, \"exec_ticks\": %lld}",
+                   first ? "" : ",", tenant, ts.latency_ticks,
+                   ts.queue_wait_ticks, ts.backoff_ticks, ts.spike_ticks,
+                   ts.exec_ticks);
+      first = false;
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < breakdown.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(
       f,
       "  \"summary\": {\"traces\": %zu, \"events\": %lld, "
@@ -446,7 +497,7 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
       "\"decode_node_ratio\": %.2f, \"cache_hit_rate\": %.3f, "
       "\"task_evictions\": %lld, \"determinism_ok\": %s, "
       "\"warm_equals_cold_ok\": %s, \"overload_ok\": %s, "
-      "\"recovery_ok\": %s}\n",
+      "\"recovery_ok\": %s, \"breakdown_ok\": %s}\n",
       recs.size(), tot_events, tot_seconds,
       tot_seconds > 0 ? static_cast<double>(tot_events) / tot_seconds : 0.0,
       tot_warm, tot_cold,
@@ -456,7 +507,8 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
           ? static_cast<double>(tot_hits) / static_cast<double>(tot_lookups)
           : 0.0,
       tot_evict, all_det ? "true" : "false", all_wc ? "true" : "false",
-      all_over ? "true" : "false", all_recov ? "true" : "false");
+      all_over ? "true" : "false", all_recov ? "true" : "false",
+      all_bd ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -467,8 +519,14 @@ int main(int argc, char** argv) try {
   CliArgs args(argc, argv,
                {"--trace", "--policy", "--threads", "--cache-bits",
                 "--events", "--ticks", "--seed", "--out", "--queue-limit",
-                "--deadline", "--faults"},
-               {"--smoke", "--no-evict"});
+                "--deadline", "--faults", "--trace-out"},
+               {"--smoke", "--no-evict", "--metrics"});
+  // Handled directly (not via TelemetryCli): the breakdown legs slice the
+  // event buffer with take_trace(), so the file is written from the
+  // accumulated slices at the end.
+  const std::string trace_out = args.value_or("--trace-out", "");
+  const bool want_metrics = args.has_flag("--metrics");
+  telem::set_enabled(true);  // harness JSON embeds the counters
   const bool smoke = args.has_flag("--smoke");
   ServiceOptions sopts;
   sopts.policy = args.value_or("--policy", "first_fit");
@@ -625,10 +683,10 @@ int main(int argc, char** argv) try {
                        &fp_journaled)
               .drain_seconds;
       rec.journal_transparent = fp_journaled == fp_live;
-      const auto t0 = Clock::now();
+      const std::uint64_t t0 = telem::now_ns();
       const std::unique_ptr<ReconfigService> back =
           ReconfigService::recover(jdir.string(), oopts.threads, &rec.info);
-      rec.recover_seconds = seconds_since(t0);
+      rec.recover_seconds = telem::seconds_since(t0);
       rec.replay_rps =
           rec.recover_seconds > 0
               ? static_cast<double>(rec.info.records) / rec.recover_seconds
@@ -637,6 +695,51 @@ int main(int argc, char** argv) try {
       recov.push_back(std::move(rec));
     }
     fs::remove_all(jroot);
+  }
+
+  // Latency-decomposition legs: everything traced so far moves to
+  // all_events, then each overload trace replays once more with its own
+  // clean slice of the event buffer.
+  std::vector<telem::TraceEvent> all_events = telem::take_trace();
+  std::vector<BreakdownRecord> breakdown;
+  for (const Trace& t : overload_traces) {
+    BreakdownRecord rec;
+    rec.trace = t;
+    std::printf("replaying %-12s breakdown leg (span-model check)...\n",
+                t.name.c_str());
+    rec.run = replay_trace(t, lib, arch, oopts, priorities);
+    std::vector<telem::TraceEvent> ev = telem::take_trace();
+    rec.identity_ok = rec.run.tick_identity_ok;
+    rec.pairing_error = telem::check_event_pairing(ev);
+    // Sum the modeled-tick spans per tenant lane: the parent "request"
+    // spans and each phase span, in nanoseconds (1 tick == 1000 ns).
+    std::map<std::uint64_t, long long> request_ns;
+    std::map<std::uint64_t, std::map<std::string, long long>> phase_ns;
+    for (const telem::TraceEvent& e : ev) {
+      if (e.pid != telem::kPidTicks) continue;
+      if (e.name == "request") {
+        request_ns[e.tid] += static_cast<long long>(e.dur_ns);
+      } else {
+        phase_ns[e.tid][e.name] += static_cast<long long>(e.dur_ns);
+      }
+    }
+    rec.spans_ok = true;
+    for (const auto& [tenant, ts] : rec.run.tenants) {
+      const auto tid = static_cast<std::uint64_t>(tenant);
+      const auto phase = [&](const char* name) {
+        const auto it = phase_ns.find(tid);
+        if (it == phase_ns.end()) return 0LL;
+        const auto jt = it->second.find(name);
+        return jt == it->second.end() ? 0LL : jt->second;
+      };
+      rec.spans_ok &= request_ns[tid] == ts.latency_ticks * 1000 &&
+                      phase("queue_wait") == ts.queue_wait_ticks * 1000 &&
+                      phase("backoff") == ts.backoff_ticks * 1000 &&
+                      phase("spike") == ts.spike_ticks * 1000 &&
+                      phase("exec") == ts.exec_ticks * 1000;
+    }
+    all_events.insert(all_events.end(), ev.begin(), ev.end());
+    breakdown.push_back(std::move(rec));
   }
 
   TablePrinter table({"trace", "events", "rps", "p50 ms", "p99 ms",
@@ -711,8 +814,40 @@ int main(int argc, char** argv) try {
     rtable.print();
   }
 
-  write_json(out, recs, over, recov, smoke, sopts, oopts, seed);
+  if (!breakdown.empty()) {
+    std::printf("\nlatency decomposition (per-tenant tick sums):\n");
+    TablePrinter btable({"trace", "tenant", "latency", "queue", "backoff",
+                         "spike", "exec", "spans"});
+    for (const BreakdownRecord& r : breakdown) {
+      for (const auto& [tenant, ts] : r.run.tenants) {
+        btable.add_row(
+            {r.trace.name, TablePrinter::fmt_int(tenant),
+             TablePrinter::fmt_int(ts.latency_ticks),
+             TablePrinter::fmt_int(ts.queue_wait_ticks),
+             TablePrinter::fmt_int(ts.backoff_ticks),
+             TablePrinter::fmt_int(ts.spike_ticks),
+             TablePrinter::fmt_int(ts.exec_ticks),
+             r.identity_ok && r.spans_ok && r.pairing_error.empty()
+                 ? "ok"
+                 : "FAIL"});
+      }
+    }
+    btable.print();
+  }
+
+  write_json(out, recs, over, recov, breakdown, smoke, sopts, oopts, seed);
   std::printf("\nwrote %s\n", out.c_str());
+
+  if (!trace_out.empty()) {
+    const std::vector<telem::TraceEvent> tail = telem::take_trace();
+    all_events.insert(all_events.end(), tail.begin(), tail.end());
+    telem::write_trace_file(trace_out, all_events);
+    std::printf("wrote %s (%zu trace events)\n", trace_out.c_str(),
+                all_events.size());
+  }
+  if (want_metrics) {
+    std::fprintf(stderr, "%s\n", telem::snapshot().to_json(0).c_str());
+  }
 
   // Fail loudly: a nondeterministic replay or a cached commit that diverges
   // from a fresh decode would invalidate every number above.
@@ -784,6 +919,29 @@ int main(int argc, char** argv) try {
       ok = false;
     }
   }
+  // The span model is part of the bench contract: the tick identity must
+  // hold for every result, and the exported spans must be the same numbers
+  // TenantStats reports.
+  for (const BreakdownRecord& r : breakdown) {
+    if (!r.identity_ok) {
+      std::fprintf(stderr,
+                   "FAIL: %s latency breakdown violates the tick identity\n",
+                   r.trace.name.c_str());
+      ok = false;
+    }
+    if (!r.spans_ok) {
+      std::fprintf(stderr,
+                   "FAIL: %s trace spans diverge from the TenantStats "
+                   "breakdown\n",
+                   r.trace.name.c_str());
+      ok = false;
+    }
+    if (!r.pairing_error.empty()) {
+      std::fprintf(stderr, "FAIL: %s trace pairing: %s\n",
+                   r.trace.name.c_str(), r.pairing_error.c_str());
+      ok = false;
+    }
+  }
   // Durability promises of the recovery legs: attaching a journal is
   // invisible to the model, and a service rebuilt from the journal alone
   // is byte-identical to the one it replaces.
@@ -809,7 +967,8 @@ int main(int argc, char** argv) try {
                "usage: rtc_bench [--smoke] [--trace FILE] [--policy P] "
                "[--threads T] [--cache-bits N] [--events N] [--ticks K] "
                "[--seed S] [--no-evict] [--queue-limit N] [--deadline T] "
-               "[--faults SPEC] [--out PATH]\n",
+               "[--faults SPEC] [--trace-out trace.json] [--metrics] "
+               "[--out PATH]\n",
                e.what());
   return 1;
 }

@@ -1,6 +1,5 @@
 #include "flow/pipeline.h"
 
-#include <chrono>
 #include <filesystem>
 #include <stdexcept>
 
@@ -10,6 +9,7 @@
 #include "util/bitio.h"
 #include "util/io.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
 #include "vbs/encoder.h"
 #include "vbs/vbs_file.h"
 
@@ -18,8 +18,6 @@ namespace vbs {
 using namespace artio;  // the artifact format's field primitives
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 constexpr const char* kStageNames[kNumStages] = {"pack", "place", "route",
                                                  "encode"};
@@ -180,7 +178,8 @@ void FlowPipeline::ensure_fabric() {
 }
 
 void FlowPipeline::run_stage(Stage s) {
-  const auto t0 = Clock::now();
+  telem::Span span("flow", kStageNames[static_cast<int>(s)]);
+  const std::uint64_t t0 = telem::now_ns();
   switch (s) {
     case Stage::kPack:
       packed_ = pack_netlist(nl_, opts_.arch);
@@ -223,9 +222,12 @@ void FlowPipeline::run_stage(Stage s) {
   done_[static_cast<int>(s)] = true;
   StageReport report;
   report.stage = s;
-  report.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  report.seconds = telem::seconds_since(t0);
   report.rerun = ran_before_[static_cast<int>(s)];
   ran_before_[static_cast<int>(s)] = true;
+  span.arg("circuit", nl_.name.c_str()).arg("rerun", (long long)report.rerun);
+  telem::counter_add("flow.stage.runs");
+  telem::histogram_record("flow.stage.seconds", report.seconds);
   for (const Observer& cb : observers_) cb(*this, report);
 }
 

@@ -11,6 +11,7 @@
 #include "util/csr.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace vbs {
@@ -611,10 +612,12 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
     int n_temps = 0;
     long long batch_len = kMinSpecBatch;  // first temperature accepts ~all
     while (true) {
+      telem::Span temp_span("place", "temperature");
       long long accepted = 0, evaluated = 0;
       // The bounded trip count stays moves_per_t slots; how many of them
       // are real proposals (and so feed the schedule) varies.
       for (long long base = 0; base < moves_per_t; base += batch_len) {
+        telem::counter_add("place.batches");
         const auto bsz =
             static_cast<std::size_t>(std::min(batch_len, moves_per_t - base));
         // 1. Generate the batch serially from the master RNG, against the
@@ -694,6 +697,9 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
       else alpha = 0.8;
       t *= alpha;
       batch_len = batch_len_for(frac);
+      temp_span.arg("t", t).arg("frac", frac).arg("moves", evaluated);
+      telem::counter_add("place.temperatures");
+      telem::counter_add("place.moves", evaluated);
       if (t < 0.005 * state.total_cost() / std::max(1, state.num_nets())) {
         break;
       }

@@ -1,24 +1,21 @@
 #include "route/mcw.h"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
 
 #include "fabric/fabric.h"
 #include "flow/pipeline.h"
 #include "route/route_request.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace vbs {
-
-namespace {
-using Clock = std::chrono::steady_clock;
-}  // namespace
 
 McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
                                  const PackedDesign& pd, const Placement& pl,
                                  const McwOptions& opts) {
-  const auto search_start = Clock::now();
+  telem::Span search_span("mcw", "search");
+  const std::uint64_t search_start = telem::now_ns();
   McwResult res;
   int lo = std::max(2, opts.lo);  // below 2 tracks the SB degenerates
   const int hi = opts.hi;
@@ -39,8 +36,9 @@ McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
   std::vector<NetRoute> warm;  // last routable solution (narrowest so far)
 
   auto trial = [&](int width) {
+    telem::Span trial_span("mcw", "trial");
     ++res.trials;
-    const auto t0 = Clock::now();
+    const std::uint64_t t0 = telem::now_ns();
     if (width > fabric_w) {
       ArchSpec spec = base_spec;
       spec.chan_width = width;
@@ -70,8 +68,12 @@ McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
     t.routable = rr.success;
     t.iterations = rr.iterations;
     t.heap_pops = rr.heap_pops;
-    t.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    t.seconds = telem::seconds_since(t0);
     res.heap_pops += rr.heap_pops;
+    trial_span.arg("width", width)
+        .arg("routable", (long long)(rr.success ? 1 : 0))
+        .arg("pops", rr.heap_pops);
+    telem::counter_add("mcw.trials");
     res.trial_log.push_back(t);
     log_debug("mcw trial W=" + std::to_string(width) + ": " +
               (rr.success ? "routable" : "unroutable") + " (" +
@@ -94,8 +96,7 @@ McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
     probe = std::min(probe * 2, hi);
   }
   if (known_good < 0) {
-    res.seconds =
-        std::chrono::duration<double>(Clock::now() - search_start).count();
+    res.seconds = telem::seconds_since(search_start);
     return res;  // mcw = -1
   }
 
@@ -110,8 +111,8 @@ McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
     }
   }
   res.mcw = good;
-  res.seconds =
-      std::chrono::duration<double>(Clock::now() - search_start).count();
+  res.seconds = telem::seconds_since(search_start);
+  search_span.arg("mcw", good).arg("trials", (long long)res.trials);
   return res;
 }
 

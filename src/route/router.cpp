@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cmath>
 #include <functional>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace vbs {
@@ -640,7 +640,8 @@ RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
   int iter_limit = opts.max_iterations;
 
   for (int iter = 1; iter <= iter_limit; ++iter) {
-    const auto iter_start = std::chrono::steady_clock::now();
+    telem::Span iter_span("route", "iteration");
+    const std::uint64_t iter_start = telem::now_ns();
     const long long pops_before = total_pops();
     std::size_t rerouted = 0;
     result.iterations = iter;
@@ -673,12 +674,15 @@ RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
       }
     }
     result.overused_nodes = overused;
-    result.iter_stats.push_back(
-        {iter,
-         std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       iter_start)
-             .count(),
-         total_pops() - pops_before, rerouted, overused});
+    const long long iter_pops = total_pops() - pops_before;
+    result.iter_stats.push_back({iter, telem::seconds_since(iter_start),
+                                 iter_pops, rerouted, overused});
+    iter_span.arg("iter", iter)
+        .arg("pops", iter_pops)
+        .arg("rerouted", rerouted)
+        .arg("overused", overused);
+    telem::counter_add("route.iterations");
+    telem::counter_add("route.heap_pops", iter_pops);
     if (overused == 0) {
       result.success = true;
       break;

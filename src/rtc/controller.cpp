@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/telemetry.h"
+
 namespace vbs {
 
 ReconfigController::ReconfigController(const ArchSpec& spec, int width,
@@ -46,9 +48,11 @@ std::vector<TaskId> ReconfigController::task_ids() const {
 void ReconfigController::decode_into(const VbsImage& img, Point origin,
                                      int threads, TaskRecord& rec) {
   if (fault_plan_ != nullptr && fault_plan_->decode_fails(decode_seq_++)) {
+    telem::counter_add("rtc.decode.fault_injected");
     throw VbsError(VbsErrc::kFaultInjected, "rtc: injected decode fault");
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  telem::Span span("rtc", "decode");
+  const std::uint64_t t0 = telem::now_ns();
   const std::size_t n = img.entries.size();
   std::vector<BitVector> payloads(n);
   std::vector<DecodeStats> stats(std::max(1, threads));
@@ -102,14 +106,16 @@ void ReconfigController::decode_into(const VbsImage& img, Point origin,
                        config_);
   }
 
-  rec.decode_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  rec.decode_seconds = telem::seconds_since(t0);
   rec.threads_used = std::max(1, threads);
   for (const DecodeStats& s : stats) {
     rec.decode += s;
     total_stats_ += s;
   }
+  span.arg("entries", n).arg("threads", rec.threads_used);
+  telem::counter_add("rtc.decode.ops");
+  telem::counter_add("rtc.decode.entries", static_cast<long long>(n));
+  telem::histogram_record("rtc.decode.seconds", rec.decode_seconds);
 }
 
 void ReconfigController::clear_region(const Rect& r) {

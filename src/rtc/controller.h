@@ -6,7 +6,6 @@
 // migration the VBS format exists to enable.
 #pragma once
 
-#include <chrono>
 #include <map>
 #include <optional>
 

@@ -7,6 +7,7 @@
 
 #include "flow/artifact_io.h"
 #include "util/error.h"
+#include "util/telemetry.h"
 #include "vbs/vbs_file.h"
 
 namespace vbs {
@@ -158,6 +159,10 @@ std::string ServiceJournal::snapshot_path(std::uint64_t epoch) const {
 // --- appends -----------------------------------------------------------------
 
 void ServiceJournal::append_raw(const std::string& bytes) {
+  TELEM_SPAN("journal", "append");
+  telem::counter_add("journal.append.ops");
+  telem::counter_add("journal.append.bytes",
+                     static_cast<long long>(bytes.size()));
   const std::uint64_t before = fs::file_size(wal_path());
   for (int attempt = 0;; ++attempt) {
     try {
@@ -170,6 +175,7 @@ void ServiceJournal::append_raw(const std::string& bytes) {
       // with the torn tail on disk, exactly as real death would leave it.
       std::error_code ec;
       fs::resize_file(wal_path(), before, ec);
+      telem::counter_add("journal.append.retries");
       if (attempt == 1) throw;
     }
   }
@@ -186,6 +192,8 @@ void ServiceJournal::append2(Kind k1, const std::string& p1, Kind k2,
 
 void ServiceJournal::compact(const BitVector& snapshot,
                              std::uint64_t fingerprint) {
+  TELEM_SPAN("journal", "compact");
+  telem::counter_add("journal.compactions");
   const std::uint64_t old_epoch = epoch_;
   const std::uint64_t new_epoch = epoch_ + 1;
   {

@@ -5,15 +5,11 @@
 
 #include "flow/artifact_io.h"
 #include "util/bitio.h"
+#include "util/telemetry.h"
 
 namespace vbs {
 
 namespace {
-
-double seconds_between(std::chrono::steady_clock::time_point a,
-                       std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
 
 /// Fault-plan sequence key of one request attempt: id and attempt are the
 /// logical identity of a processing step, so the same plan rolls the same
@@ -74,7 +70,7 @@ ReconfigService::Request ReconfigService::make_request(RequestKind kind,
   const auto it = tenant_priority_.find(tenant);
   req.priority = it == tenant_priority_.end() ? 0 : it->second;
   req.submitted_tick = now_ticks_;
-  req.submitted = Clock::now();
+  req.submitted_ns = telem::now_ns();
   TenantStats& t = tenants_[tenant];
   t.priority = req.priority;
   ++t.submitted;
@@ -202,8 +198,22 @@ RequestResult ReconfigService::make_result(const Request& req) const {
 void ReconfigService::finish(const Request& req, RequestResult res,
                              std::vector<RequestResult>& out) {
   res.latency_ticks = now_ticks_ - req.submitted_tick;
-  res.latency_seconds = seconds_between(req.submitted, Clock::now());
+  res.latency_seconds = telem::seconds_since(req.submitted_ns);
+  if (res.status == RequestStatus::kShed) {
+    // Never processed: the whole lifetime was spent queued.
+    res.queue_wait_ticks = res.latency_ticks;
+  } else {
+    res.queue_wait_ticks = req.queue_wait_ticks;
+    res.backoff_ticks = req.backoff_ticks;
+    res.spike_ticks = req.spike_ticks;
+    res.exec_ticks = req.exec_ticks;
+  }
   TenantStats& t = tenants_[req.tenant];
+  t.latency_ticks += res.latency_ticks;
+  t.queue_wait_ticks += res.queue_wait_ticks;
+  t.backoff_ticks += res.backoff_ticks;
+  t.spike_ticks += res.spike_ticks;
+  t.exec_ticks += res.exec_ticks;
   switch (res.status) {
     case RequestStatus::kDone:
       ++t.done;
@@ -221,16 +231,56 @@ void ReconfigService::finish(const Request& req, RequestResult res,
     case RequestStatus::kQueued:
       break;
   }
+  if (telem::enabled()) {
+    // Modeled-tick request spans (pid 2, tid = tenant, 1 tick = 1us): one
+    // parent span for the whole request, then the phases laid end to end —
+    // they tile it exactly, by the tick identity on RequestResult.
+    const auto ns = [](long long ticks) {
+      return static_cast<std::uint64_t>(ticks) * 1000;
+    };
+    const std::uint64_t tid = static_cast<std::uint64_t>(req.tenant);
+    std::uint64_t cursor = ns(req.submitted_tick);
+    telem::emit_complete(
+        telem::kPidTicks, tid, cursor, ns(res.latency_ticks), "service",
+        "request",
+        {{"id", telem::SpanArg::Type::kInt, res.request, 0.0, {}},
+         {"status", telem::SpanArg::Type::kString, 0, 0.0,
+          to_string(res.status)}});
+    const struct {
+      const char* name;
+      long long ticks;
+    } phases[] = {{"queue_wait", res.queue_wait_ticks},
+                  {"backoff", res.backoff_ticks},
+                  {"spike", res.spike_ticks},
+                  {"exec", res.exec_ticks}};
+    for (const auto& ph : phases) {
+      if (ph.ticks > 0) {
+        telem::emit_complete(telem::kPidTicks, tid, cursor, ns(ph.ticks),
+                             "service", ph.name);
+      }
+      cursor += ns(ph.ticks);
+    }
+  }
   out.push_back(std::move(res));
 }
 
-bool ReconfigService::tick_and_check_deadline(const Request& req,
+bool ReconfigService::tick_and_check_deadline(Request& req,
                                               std::vector<RequestResult>& out) {
+  const long long entry = now_ticks_;
   now_ticks_ = std::max(now_ticks_, req.not_before);
+  // Phase attribution: a first attempt waited in the admission queue since
+  // submit; a retry waited (idle to not_before included) since
+  // schedule_retry stamped retry_tick.
+  if (req.attempt == 1) {
+    req.queue_wait_ticks = entry - req.submitted_tick;
+  } else {
+    req.backoff_ticks += now_ticks_ - req.retry_tick;
+  }
   const long long spike =
       opts_.faults.latency_spike_ticks(attempt_key(req.id, req.attempt));
   if (spike > 0) {
     now_ticks_ += spike;
+    req.spike_ticks += spike;
     ++stats_.faults_injected;
     stats_.latency_spike_ticks += spike;
   }
@@ -246,6 +296,7 @@ bool ReconfigService::tick_and_check_deadline(const Request& req,
     return false;
   }
   ++now_ticks_;  // the one-tick service cost of actually processing it
+  ++req.exec_ticks;
   return true;
 }
 
@@ -255,6 +306,7 @@ bool ReconfigService::schedule_retry(const Request& req) {
   retry.attempt = req.attempt + 1;
   const int shift = std::min(req.attempt - 1, 20);
   retry.not_before = now_ticks_ + (opts_.retry_backoff_ticks << shift);
+  retry.retry_tick = now_ticks_;
   queue_.push_back(std::move(retry));
   ++stats_.retries;
   ++tenants_[req.tenant].retries;
@@ -270,6 +322,7 @@ double ReconfigService::fragmentation() const {
 
 std::vector<RequestResult> ReconfigService::drain() {
   if (queue_.empty()) return {};  // pure no-op: nothing to journal either
+  TELEM_SPAN("service", "drain");
   std::vector<RequestResult> results;
   results.reserve(queue_.size());
   // Outer loop: retries requeue themselves, so one pass may spawn another.
@@ -447,6 +500,8 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
   }
   if (!items.empty()) {
     ++stats_.batches;
+    telem::Span batch_span("service", "decode_batch");
+    batch_span.arg("requests", batch.size()).arg("entries", items.size());
     std::vector<DecodeStats> item_stats(items.size());
     std::vector<double> item_seconds(items.size(), 0.0);
     std::vector<std::string> item_errors(items.size());
@@ -458,7 +513,7 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
     for (auto& row : decoders) row.resize(jobs.size());
     pool_.parallel_for(items.size(), [&](int rank, std::size_t idx) {
       const Item item = items[idx];
-      const auto t0 = Clock::now();
+      const std::uint64_t t0 = telem::now_ns();
       try {
         const VbsImage& img =
             jobs[static_cast<std::size_t>(item.job)].decoded->image;
@@ -486,7 +541,7 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
         item_errors[idx] = ex.what();
         item_codes[idx] = VbsErrc::kDecodeFailed;
       }
-      item_seconds[idx] = seconds_between(t0, Clock::now());
+      item_seconds[idx] = telem::seconds_since(t0);
     });
     for (std::size_t idx = 0; idx < items.size(); ++idx) {
       Job& job = jobs[static_cast<std::size_t>(items[idx].job)];
@@ -502,7 +557,7 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
 
   // Commit strictly in processing order.
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Request& req = *batch[i];
+    Request& req = *batch[i];
     Pending& p = pending[i];
     if (req.attempt == 1) ++stats_.loads;  // retries are not new requests
     // A request past its deadline is dropped here: any decode work it
@@ -617,7 +672,7 @@ void ReconfigService::process_load_batch(const std::vector<Request*>& batch,
   }
 }
 
-void ReconfigService::process_unload(const Request& req,
+void ReconfigService::process_unload(Request& req,
                                      std::vector<RequestResult>& out) {
   ++stats_.unloads;
   if (!tick_and_check_deadline(req, out)) return;
@@ -640,7 +695,7 @@ void ReconfigService::process_unload(const Request& req,
   finish(req, std::move(res), out);
 }
 
-void ReconfigService::process_relocate(const Request& req,
+void ReconfigService::process_relocate(Request& req,
                                        std::vector<RequestResult>& out) {
   ++stats_.relocates;
   if (!tick_and_check_deadline(req, out)) return;
@@ -663,7 +718,7 @@ void ReconfigService::process_relocate(const Request& req,
   const auto slot = policy_->place(rtc_.allocator(), cur.w, cur.h);
   if (slot) {
     TaskInfo& info = task_info_.at(id);
-    const auto t0 = Clock::now();
+    const std::uint64_t t0 = telem::now_ns();
     try {
       if (const auto cached = cache_.find(info.content_hash)) {
         rtc_.relocate_decoded(id, *slot, cached->payloads);
@@ -687,7 +742,7 @@ void ReconfigService::process_relocate(const Request& req,
       finish(req, std::move(res), out);
       return;
     }
-    res.decode_seconds = seconds_between(t0, Clock::now());
+    res.decode_seconds = telem::seconds_since(t0);
     res.rect = rtc_.record(id).rect;
     info.last_use = ++use_seq_;
   }
@@ -794,7 +849,7 @@ void fp_rect(std::uint64_t& h, const Rect& r) {
   fp_i64(h, r.h);
 }
 
-constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr std::uint32_t kSnapshotVersion = 2;
 constexpr std::uint32_t kOpenVersion = 1;
 
 }  // namespace
@@ -856,6 +911,11 @@ std::uint64_t ReconfigService::state_fingerprint() const {
     fp_i64(h, t.shed);
     fp_i64(h, t.deadline_misses);
     fp_i64(h, t.retries);
+    fp_i64(h, t.latency_ticks);
+    fp_i64(h, t.queue_wait_ticks);
+    fp_i64(h, t.backoff_ticks);
+    fp_i64(h, t.spike_ticks);
+    fp_i64(h, t.exec_ticks);
   }
   fp_u64(h, task_of_request_.size());
   for (const auto& [req, task] : task_of_request_) {
@@ -906,6 +966,11 @@ std::uint64_t ReconfigService::state_fingerprint() const {
     fp_i64(h, q.shed ? 1 : 0);
     fp_i64(h, q.submitted_tick);
     fp_i64(h, q.not_before);
+    fp_i64(h, q.retry_tick);
+    fp_i64(h, q.queue_wait_ticks);
+    fp_i64(h, q.backoff_ticks);
+    fp_i64(h, q.spike_ticks);
+    fp_i64(h, q.exec_ticks);
   }
   return h;
 }
@@ -1040,6 +1105,11 @@ BitVector ReconfigService::serialize_snapshot() const {
     artio::put_i64(w, t.shed);
     artio::put_i64(w, t.deadline_misses);
     artio::put_i64(w, t.retries);
+    artio::put_i64(w, t.latency_ticks);
+    artio::put_i64(w, t.queue_wait_ticks);
+    artio::put_i64(w, t.backoff_ticks);
+    artio::put_i64(w, t.spike_ticks);
+    artio::put_i64(w, t.exec_ticks);
   }
   artio::put_i32(w, static_cast<std::int32_t>(task_of_request_.size()));
   for (const auto& [req, task] : task_of_request_) {
@@ -1089,6 +1159,11 @@ BitVector ReconfigService::serialize_snapshot() const {
     w.write_bit(q.shed);
     artio::put_i64(w, q.submitted_tick);
     artio::put_i64(w, q.not_before);
+    artio::put_i64(w, q.retry_tick);
+    artio::put_i64(w, q.queue_wait_ticks);
+    artio::put_i64(w, q.backoff_ticks);
+    artio::put_i64(w, q.spike_ticks);
+    artio::put_i64(w, q.exec_ticks);
   }
   return w.take();
 }
@@ -1166,6 +1241,11 @@ std::unique_ptr<ReconfigService> ReconfigService::restore_snapshot(
       t.shed = artio::get_i64(r);
       t.deadline_misses = artio::get_i64(r);
       t.retries = artio::get_i64(r);
+      t.latency_ticks = artio::get_i64(r);
+      t.queue_wait_ticks = artio::get_i64(r);
+      t.backoff_ticks = artio::get_i64(r);
+      t.spike_ticks = artio::get_i64(r);
+      t.exec_ticks = artio::get_i64(r);
     }
     const std::int32_t nreq = artio::get_i32(r);
     check_count(r, nreq, 64, "request-map");
@@ -1228,7 +1308,14 @@ std::unique_ptr<ReconfigService> ReconfigService::restore_snapshot(
       q.shed = r.read_bit();
       q.submitted_tick = artio::get_i64(r);
       q.not_before = artio::get_i64(r);
-      q.submitted = Clock::now();  // wall clock: not part of the contract
+      q.retry_tick = artio::get_i64(r);
+      q.queue_wait_ticks = artio::get_i64(r);
+      q.backoff_ticks = artio::get_i64(r);
+      q.spike_ticks = artio::get_i64(r);
+      q.exec_ticks = artio::get_i64(r);
+      // Wall clock is not part of the contract; restamp on the telemetry
+      // clock so the restored request still reports a sane wall latency.
+      q.submitted_ns = telem::now_ns();
       svc->queue_.push_back(std::move(q));
     }
     if (!r.at_end()) bad_journal("trailing snapshot bits");

@@ -49,7 +49,7 @@
 // without a fault plan).
 #pragma once
 
-#include <chrono>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -94,6 +94,17 @@ struct RequestResult {
   int evicted_tasks = 0;    ///< evict-to-fit victims this request caused
   VbsErrc code = VbsErrc::kNone;  ///< typed cause when not kDone
   long long latency_ticks = 0;    ///< submit -> completion, modeled ticks
+  /// Latency decomposition on the modeled clock. The identity
+  ///   latency_ticks == queue_wait_ticks + backoff_ticks
+  ///                    + spike_ticks + exec_ticks
+  /// holds exactly for every result (shed requests spend their whole life
+  /// as queue wait; deadline expiries have no exec tick for the expired
+  /// attempt), so the phases tile the request's lifetime — the trace
+  /// export lays them out as adjacent spans on the tick timebase.
+  long long queue_wait_ticks = 0;  ///< submit -> first processing
+  long long backoff_ticks = 0;     ///< retry scheduling -> retry release
+  long long spike_ticks = 0;       ///< injected latency spikes served
+  long long exec_ticks = 0;        ///< one per attempt actually processed
   double latency_seconds = 0.0;   ///< submit -> commit wall time
   double decode_seconds = 0.0;    ///< devirtualization time spent on it
   std::string error;
@@ -123,6 +134,12 @@ struct TenantStats {
   long long submitted = 0;
   long long done = 0, rejected = 0, failed = 0;
   long long shed = 0, deadline_misses = 0, retries = 0;
+  /// Tick sums over this tenant's completed results: the per-tenant
+  /// latency breakdown. latency_ticks == queue_wait + backoff + spike +
+  /// exec, summed over results, by the RequestResult identity.
+  long long latency_ticks = 0;
+  long long queue_wait_ticks = 0, backoff_ticks = 0;
+  long long spike_ticks = 0, exec_ticks = 0;
 };
 
 /// One evict-to-fit victim, in eviction order.
@@ -265,8 +282,6 @@ class ReconfigService {
   std::uint64_t state_fingerprint() const;
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct Request {
     RequestId id = kNoRequest;
     RequestKind kind = RequestKind::kLoad;
@@ -278,7 +293,12 @@ class ReconfigService {
     bool shed = false;          ///< dropped at admission, result pending
     long long submitted_tick = 0;
     long long not_before = 0;   ///< retry backoff release tick
-    Clock::time_point submitted;
+    long long retry_tick = 0;   ///< tick the latest retry was scheduled at
+    /// Phase accumulators carried across retry attempts; finish() copies
+    /// them onto the result (see RequestResult for the tick identity).
+    long long queue_wait_ticks = 0, backoff_ticks = 0;
+    long long spike_ticks = 0, exec_ticks = 0;
+    std::uint64_t submitted_ns = 0;  ///< telemetry clock, wall latency only
   };
 
   /// Loaded-task bookkeeping the controller does not track.
@@ -296,8 +316,8 @@ class ReconfigService {
 
   void process_load_batch(const std::vector<Request*>& batch,
                           std::vector<RequestResult>& out);
-  void process_unload(const Request& req, std::vector<RequestResult>& out);
-  void process_relocate(const Request& req, std::vector<RequestResult>& out);
+  void process_unload(Request& req, std::vector<RequestResult>& out);
+  void process_relocate(Request& req, std::vector<RequestResult>& out);
   /// Chooses an origin, evicting victims if allowed; fills result's
   /// eviction fields. Returns nullopt when the load must be rejected.
   std::optional<Point> admit_placement(int w, int h, RequestId cause,
@@ -309,9 +329,10 @@ class ReconfigService {
   void finish(const Request& req, RequestResult res,
               std::vector<RequestResult>& out);
   /// Advances the modeled clock for one processed request (backoff
-  /// release, injected spike, the one-tick service cost). Returns false —
-  /// after emitting the kDeadline result — when the request expired.
-  bool tick_and_check_deadline(const Request& req,
+  /// release, injected spike, the one-tick service cost) and attributes
+  /// the elapsed ticks to the request's phase accumulators. Returns false
+  /// — after emitting the kDeadline result — when the request expired.
+  bool tick_and_check_deadline(Request& req,
                                std::vector<RequestResult>& out);
   /// Requeues a transient-fault victim for retry; returns false (caller
   /// emits the permanent kFailed result) when retries are exhausted.

@@ -1,10 +1,11 @@
 #include "rtc/service/stream_cache.h"
 
 #include <stdexcept>
-
-#include "util/error.h"
 #include <string>
 #include <utility>
+
+#include "util/error.h"
+#include "util/telemetry.h"
 
 namespace vbs {
 
@@ -57,9 +58,11 @@ std::shared_ptr<const DecodedStream> DecodedStreamCache::find(
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    telem::counter_add("rtc.cache.miss");
     return nullptr;
   }
   ++hits_;
+  telem::counter_add("rtc.cache.hit");
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }
@@ -68,6 +71,7 @@ void DecodedStreamCache::insert(std::uint64_t key,
                                 std::shared_ptr<const DecodedStream> value) {
   if (fault_plan_ != nullptr && fault_plan_->cache_drops(insert_seq_++)) {
     ++fault_drops_;
+    telem::counter_add("rtc.cache.fault_drop");
     return;
   }
   if (const auto it = map_.find(key); it != map_.end()) {
@@ -80,6 +84,7 @@ void DecodedStreamCache::insert(std::uint64_t key,
   map_.emplace(key, lru_.begin());
   size_bits_ += bits;
   ++insertions_;
+  telem::counter_add("rtc.cache.insert");
   evict_until_fits();
 }
 
@@ -109,6 +114,7 @@ void DecodedStreamCache::evict_until_fits() {
     map_.erase(victim.key);
     lru_.pop_back();
     ++evictions_;
+    telem::counter_add("rtc.cache.evict");
   }
 }
 

@@ -17,6 +17,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/telemetry.h"
+#include "util/trace_export.h"
+
 namespace vbs {
 
 class CliArgs {
@@ -134,6 +137,35 @@ inline std::pair<int, int> parse_pair(const std::string& s, char sep) {
                              std::string(1, sep) + "<b>: " + s);
   }
 }
+
+/// `--trace-out FILE` and `--metrics` as every tool spells them: construct
+/// right after argument parsing (either flag switches the telemetry
+/// registry on — it defaults off and is near-zero-cost that way), do the
+/// work, then call finish() exactly once: it writes the Chrome trace-event
+/// JSON (load into chrome://tracing or Perfetto) and dumps the metrics
+/// snapshot as JSON to stderr, where it cannot corrupt a tool's --json
+/// stdout contract.
+class TelemetryCli {
+ public:
+  explicit TelemetryCli(const CliArgs& args)
+      : trace_out_(args.value_or("--trace-out", "")),
+        metrics_(args.has_flag("--metrics")) {
+    if (!trace_out_.empty() || metrics_) telem::set_enabled(true);
+  }
+
+  void finish() const {
+    if (!trace_out_.empty()) telem::write_trace_file(trace_out_);
+    if (metrics_) {
+      std::fprintf(stderr, "%s\n", telem::snapshot().to_json(0).c_str());
+    }
+  }
+
+  bool tracing() const { return !trace_out_.empty(); }
+
+ private:
+  std::string trace_out_;
+  bool metrics_ = false;
+};
 
 /// The shared main() shell of the tools/ binaries: runs `body`, and on any
 /// std::exception prints "<name>: <what>" plus the usage line to stderr and

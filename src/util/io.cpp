@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "util/error.h"
+#include "util/telemetry.h"
 
 namespace vbs {
 
@@ -87,34 +88,71 @@ ScopedIoFaults::~ScopedIoFaults() { g_io_faults = prev_; }
 void checked_write(int fd, const void* data, std::size_t n,
                    const std::string& path, IoFaultInjector* faults) {
   const char* bytes = static_cast<const char*>(data);
+  telem::counter_add("io.write.ops");
   if (faults != nullptr) {
     const IoFaultInjector::WriteOutcome out = faults->on_write();
     if (out.crash || out.torn) {
       // Tear the write in half: the prefix IS durable (it hit the file),
       // the rest never happened — exactly what death mid-write leaves.
       write_all(fd, bytes, n / 2, path);
-      if (out.crash) throw CrashInjected{out.op, "write"};
+      telem::counter_add("io.write.bytes", static_cast<long long>(n / 2));
+      if (out.crash) {
+        telem::counter_add("io.fault.crash");
+        throw CrashInjected{out.op, "write"};
+      }
+      telem::counter_add("io.fault.torn");
       throw VbsError(VbsErrc::kTornWrite, "injected short write: " + path);
     }
   }
   write_all(fd, bytes, n, path);
+  telem::counter_add("io.write.bytes", static_cast<long long>(n));
 }
 
 void checked_sync(int fd, const std::string& path, IoFaultInjector* faults) {
-  if (faults != nullptr) faults->on_sync();
+  telem::counter_add("io.sync.ops");
+  if (faults != nullptr) {
+    try {
+      faults->on_sync();
+    } catch (const CrashInjected&) {
+      telem::counter_add("io.fault.crash");
+      throw;
+    } catch (const VbsError&) {
+      telem::counter_add("io.fault.sync_fail");
+      throw;
+    }
+  }
   if (::fsync(fd) != 0) throw_errno("fsync failed", path);
 }
 
 void checked_rename(const std::string& from, const std::string& to,
                     IoFaultInjector* faults) {
-  if (faults != nullptr) faults->on_rename();
+  telem::counter_add("io.rename.ops");
+  if (faults != nullptr) {
+    try {
+      faults->on_rename();
+    } catch (const CrashInjected&) {
+      telem::counter_add("io.fault.crash");
+      throw;
+    } catch (const VbsError&) {
+      telem::counter_add("io.fault.rename_fail");
+      throw;
+    }
+  }
   if (std::rename(from.c_str(), to.c_str()) != 0) {
     throw_errno("rename failed", from + " -> " + to);
   }
 }
 
 void checked_remove(const std::string& path, IoFaultInjector* faults) {
-  if (faults != nullptr) faults->on_remove();
+  telem::counter_add("io.remove.ops");
+  if (faults != nullptr) {
+    try {
+      faults->on_remove();
+    } catch (const CrashInjected&) {
+      telem::counter_add("io.fault.crash");
+      throw;
+    }
+  }
   std::remove(path.c_str());  // missing file is fine
 }
 

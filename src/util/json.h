@@ -1,0 +1,34 @@
+// Minimal JSON emission helpers shared by the tools, the benches and the
+// telemetry exporters. The repo deliberately has no JSON library — every
+// emitter hand-rolls printf-style output against a documented schema — so
+// the one piece that is easy to get subtly wrong (string escaping) lives
+// here, once.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace vbs {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control bytes). Our own messages are plain ASCII but file
+/// paths and netlist names echoed into them may not be.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace vbs

@@ -1,0 +1,423 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "util/json.h"
+
+namespace vbs::telem {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::atomic<TelemetryClock*> g_clock{nullptr};
+
+// Per-metric accumulation inside one shard. Counters and bucket tallies are
+// integers (order-independent under merge); sum/min/max are per-shard doubles
+// merged deterministically in snapshot().
+struct HistogramShard {
+  std::uint64_t counts[kHistBuckets] = {};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct Shard {
+  std::mutex mu;
+  std::uint64_t ordinal = 0;  // stable per-thread id for trace tids
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramShard> histograms;
+  std::vector<TraceEvent> events;
+
+  bool empty_unlocked() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           events.empty();
+  }
+};
+
+// The registry singleton is leaked on purpose: thread_local shard handles
+// unregister themselves during thread exit, which can outlive any
+// destruction order a static Registry would get.
+struct Registry {
+  std::mutex mu;
+  std::vector<Shard*> live;                        // registered, owned by TLS
+  std::vector<std::unique_ptr<Shard>> retired;     // from exited threads
+  std::uint64_t next_ordinal = 0;
+
+  static Registry& get() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+};
+
+// TLS handle: registers a shard on first telemetry touch from this thread,
+// moves it to the retired list (data intact) when the thread exits.
+struct ShardHandle {
+  Shard* shard = nullptr;
+
+  Shard& acquire() {
+    if (!shard) {
+      auto owned = std::make_unique<Shard>();
+      shard = owned.get();
+      Registry& reg = Registry::get();
+      std::lock_guard<std::mutex> lock(reg.mu);
+      shard->ordinal = reg.next_ordinal++;
+      reg.live.push_back(shard);
+      owned.release();
+    }
+    return *shard;
+  }
+
+  ~ShardHandle() {
+    if (!shard) return;
+    Registry& reg = Registry::get();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.live.erase(std::remove(reg.live.begin(), reg.live.end(), shard),
+                   reg.live.end());
+    reg.retired.emplace_back(shard);
+  }
+};
+
+Shard& local_shard() {
+  thread_local ShardHandle handle;
+  return handle.acquire();
+}
+
+// Deterministic double reduction: identical per-shard contributions must
+// produce identical sums regardless of shard registration order, so sort
+// the partials (ties broken by bit pattern are irrelevant — equal doubles
+// add equally) before accumulating.
+double merge_sum(std::vector<double>& parts) {
+  std::sort(parts.begin(), parts.end());
+  double s = 0.0;
+  for (const double p : parts) s += p;
+  return s;
+}
+
+}  // namespace
+
+// --- clock -------------------------------------------------------------------
+
+void set_clock(TelemetryClock* clock) {
+  g_clock.store(clock, std::memory_order_release);
+}
+
+std::uint64_t now_ns() {
+  if (TelemetryClock* c = g_clock.load(std::memory_order_acquire)) {
+    return c->now_ns();
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedClock::ScopedClock(TelemetryClock* clock)
+    : prev_(g_clock.exchange(clock, std::memory_order_acq_rel)) {}
+
+ScopedClock::~ScopedClock() {
+  g_clock.store(prev_, std::memory_order_release);
+}
+
+// --- enable / reset ----------------------------------------------------------
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+ScopedEnable::ScopedEnable(bool on)
+    : prev_(detail::g_enabled.exchange(on, std::memory_order_relaxed)) {}
+
+ScopedEnable::~ScopedEnable() {
+  detail::g_enabled.store(prev_, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& reg = Registry::get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (Shard* s : reg.live) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    s->counters.clear();
+    s->gauges.clear();
+    s->histograms.clear();
+    s->events.clear();
+  }
+  reg.retired.clear();
+}
+
+// --- metrics -----------------------------------------------------------------
+
+int histogram_bucket(double v) {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+  // frexp exponent e means v in [2^(e-1), 2^e), powers of two landing on
+  // their inclusive lower edge — so bucket i covers [2^(i-32), 2^(i-31)),
+  // matching the [floor(i), floor(i+1)) span percentile() interpolates.
+  const int bucket = exp + 31;
+  if (bucket < 1) return 1;
+  if (bucket > kHistBuckets - 1) return kHistBuckets - 1;
+  return bucket;
+}
+
+double histogram_bucket_floor(int i) {
+  if (i <= 0) return 0.0;
+  return std::ldexp(1.0, i - 32);
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p <= 0.0) return min;
+  if (p >= 1.0) return max;
+  // Rank in [0, count-1], type-7 style, then walk buckets.
+  const double rank = p * static_cast<double>(count - 1);
+  std::uint64_t below = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    const std::uint64_t c = counts[i];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(below + c)) {
+      // Interpolate linearly across this bucket's span, clamped to the
+      // observed min/max so tails stay honest.
+      const double lo = std::max(histogram_bucket_floor(i), min);
+      const double hi = std::min(
+          i + 1 < kHistBuckets ? histogram_bucket_floor(i + 1) : max, max);
+      const double frac =
+          c > 1 ? (rank - static_cast<double>(below)) /
+                      static_cast<double>(c - 1)
+                : 0.5;
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    below += c;
+  }
+  return max;
+}
+
+void counter_add(const char* name, long long delta) {
+  if (!enabled()) return;
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.counters[name] += delta;
+}
+
+void gauge_set(const char* name, double value) {
+  if (!enabled()) return;
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.gauges[name] = value;
+}
+
+void histogram_record(const char* name, double value) {
+  if (!enabled()) return;
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  HistogramShard& h = s.histograms[name];
+  ++h.counts[histogram_bucket(value)];
+  h.sum += value;
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  ++h.count;
+}
+
+MetricsSnapshot snapshot() {
+  Registry& reg = Registry::get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+
+  // Collect shard pointers; hold each shard lock only while copying.
+  std::vector<const Shard*> shards;
+  for (Shard* s : reg.live) shards.push_back(s);
+  for (const auto& s : reg.retired) shards.push_back(s.get());
+
+  MetricsSnapshot out;
+  std::map<std::string, std::vector<double>> sum_parts;
+  std::map<std::string, std::vector<double>> gauge_parts;
+  for (const Shard* cs : shards) {
+    Shard* s = const_cast<Shard*>(cs);
+    std::lock_guard<std::mutex> slock(s->mu);
+    for (const auto& [name, v] : s->counters) out.counters[name] += v;
+    for (const auto& [name, v] : s->gauges) gauge_parts[name].push_back(v);
+    for (const auto& [name, h] : s->histograms) {
+      HistogramSnapshot& m = out.histograms[name];
+      for (int i = 0; i < kHistBuckets; ++i) m.counts[i] += h.counts[i];
+      if (h.count > 0) {
+        if (m.count == 0 || h.min < m.min) m.min = h.min;
+        if (m.count == 0 || h.max > m.max) m.max = h.max;
+      }
+      m.count += h.count;
+      sum_parts[name].push_back(h.sum);
+    }
+  }
+  for (auto& [name, parts] : sum_parts) {
+    out.histograms[name].sum = merge_sum(parts);
+  }
+  for (auto& [name, parts] : gauge_parts) {
+    out.gauges[name] = *std::max_element(parts.begin(), parts.end());
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  const std::string pad(indent, ' ');
+  const std::string pad2(indent + 2, ' ');
+  const std::string pad4(indent + 4, ' ');
+  std::string out = "{\n";
+  char buf[64];
+
+  out += pad2 + "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf, "%lld", v);
+    out += pad4 + "\"" + json_escape(name) + "\": " + buf;
+  }
+  out += counters.empty() ? "},\n" : "\n" + pad2 + "},\n";
+
+  out += pad2 + "\"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out += pad4 + "\"" + json_escape(name) + "\": " + buf;
+  }
+  out += gauges.empty() ? "},\n" : "\n" + pad2 + "},\n";
+
+  out += pad2 + "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad4 + "\"" + json_escape(name) + "\": {";
+    std::snprintf(buf, sizeof buf, "\"count\": %llu",
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+    std::snprintf(buf, sizeof buf, ", \"sum\": %.9g", h.sum);
+    out += buf;
+    std::snprintf(buf, sizeof buf, ", \"min\": %.9g", h.min);
+    out += buf;
+    std::snprintf(buf, sizeof buf, ", \"max\": %.9g", h.max);
+    out += buf;
+    std::snprintf(buf, sizeof buf, ", \"p50\": %.9g", h.percentile(0.50));
+    out += buf;
+    std::snprintf(buf, sizeof buf, ", \"p99\": %.9g", h.percentile(0.99));
+    out += buf;
+    out += "}";
+  }
+  out += histograms.empty() ? "}\n" : "\n" + pad2 + "}\n";
+
+  out += pad + "}";
+  return out;
+}
+
+// --- spans / trace events ----------------------------------------------------
+
+void emit_complete(std::uint32_t pid, std::uint64_t tid, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns, const char* category,
+                   const char* name, std::vector<SpanArg> args) {
+  if (!enabled()) return;
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  TraceEvent ev;
+  ev.phase = 'X';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.category = category;
+  ev.name = name;
+  ev.args = std::move(args);
+  s.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> take_trace() {
+  Registry& reg = Registry::get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<Shard*> shards;
+  for (Shard* s : reg.live) shards.push_back(s);
+  for (const auto& s : reg.retired) shards.push_back(s.get());
+  std::sort(shards.begin(), shards.end(),
+            [](const Shard* a, const Shard* b) {
+              return a->ordinal < b->ordinal;
+            });
+  std::vector<TraceEvent> out;
+  for (Shard* s : shards) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    for (TraceEvent& ev : s->events) out.push_back(std::move(ev));
+    s->events.clear();
+  }
+  return out;
+}
+
+Span::Span(const char* category, const char* name) {
+  if (!enabled()) return;
+  active_ = true;
+  category_ = category;
+  name_ = name;
+  t0_ = now_ns();
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  TraceEvent ev;
+  ev.phase = 'B';
+  ev.pid = kPidWall;
+  ev.tid = s.ordinal;
+  ev.ts_ns = t0_;
+  ev.category = category;
+  ev.name = name;
+  s.events.push_back(std::move(ev));
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  TraceEvent ev;
+  ev.phase = 'E';
+  ev.pid = kPidWall;
+  ev.tid = s.ordinal;
+  ev.ts_ns = std::max(now_ns(), t0_);
+  ev.category = category_;
+  ev.name = name_;
+  ev.args = std::move(args_);
+  s.events.push_back(std::move(ev));
+}
+
+Span& Span::arg(const char* key, long long v) {
+  if (!active_) return *this;
+  SpanArg a;
+  a.key = key;
+  a.type = SpanArg::Type::kInt;
+  a.i = v;
+  args_.push_back(std::move(a));
+  return *this;
+}
+
+Span& Span::arg(const char* key, double v) {
+  if (!active_) return *this;
+  SpanArg a;
+  a.key = key;
+  a.type = SpanArg::Type::kDouble;
+  a.d = v;
+  args_.push_back(std::move(a));
+  return *this;
+}
+
+Span& Span::arg(const char* key, const char* v) {
+  if (!active_) return *this;
+  SpanArg a;
+  a.key = key;
+  a.type = SpanArg::Type::kString;
+  a.s = v;
+  args_.push_back(std::move(a));
+  return *this;
+}
+
+}  // namespace vbs::telem

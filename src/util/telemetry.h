@@ -1,0 +1,265 @@
+// Process-wide telemetry: a metrics registry (counters, gauges,
+// fixed-bucket histograms), a span-based tracer, and the injectable clock
+// every wall-time measurement in the repo goes through.
+//
+// Design rules, in the order they matter here:
+//
+//   observation-only   Telemetry never feeds back into any computation.
+//                      Enabling it must leave every artifact, counter and
+//                      fingerprint byte-identical at any thread count
+//                      (tests/test_telemetry.cpp holds this as a hard
+//                      invariant).
+//   near-zero off      Every record/span entry point starts with a relaxed
+//                      atomic load of the global enable flag and returns
+//                      immediately when telemetry is off. No locks, no
+//                      clock reads, no allocation on the disabled path.
+//   sharded on         When enabled, each thread writes its own shard
+//                      (per-shard mutex, uncontended in steady state);
+//                      snapshot() merges shards at read time. Integer
+//                      merges (counts, bucket tallies) are sums and so
+//                      exactly order-independent; floating-point aggregates
+//                      are merged smallest-first so the same per-thread
+//                      contributions always produce the same bytes.
+//   injectable time    now_ns() reads a process-wide TelemetryClock
+//                      (default: std::chrono::steady_clock). Tests install
+//                      a ManualClock and drive time by hand instead of
+//                      sleeping or asserting `seconds >= 0`. Wall-clock
+//                      values never enter fingerprints or artifacts.
+//
+// Span usage:
+//
+//   void Router::iteration() {
+//     TELEM_SPAN("route", "iteration");   // B/E pair on this thread
+//     ...
+//   }
+//
+// or, when args are wanted:
+//
+//   telem::Span span("route", "iteration");
+//   ...
+//   span.arg("overused", overused);       // attached to the E event
+//
+// Spans record begin/end timestamps from the telemetry clock plus a small
+// per-thread ordinal as the trace thread id. Events can also be emitted
+// directly (emit_complete) with caller-chosen timestamps — the service
+// uses this to lay out per-request latency phases on its *modeled tick*
+// clock (trace_export.h explains the two timebases).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vbs::telem {
+
+// --- the injectable clock ----------------------------------------------------
+
+/// Source of wall-clock-like time for every telemetry measurement and for
+/// all the `seconds` fields the engines report (StageReport, RouteIterStats,
+/// McwResult, RequestResult...). Implementations must be callable from any
+/// thread.
+class TelemetryClock {
+ public:
+  virtual ~TelemetryClock() = default;
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// Installs `clock` process-wide (nullptr restores the steady_clock
+/// default). The caller keeps ownership and must outlive the installation;
+/// tests pair this with a ScopedClock.
+void set_clock(TelemetryClock* clock);
+
+/// Nanoseconds from the installed clock.
+std::uint64_t now_ns();
+
+/// Seconds elapsed since a now_ns() sample.
+inline double seconds_since(std::uint64_t t0_ns) {
+  return static_cast<double>(now_ns() - t0_ns) * 1e-9;
+}
+
+/// A clock tests drive by hand: starts at 0 and only moves on advance().
+class ManualClock : public TelemetryClock {
+ public:
+  std::uint64_t now_ns() override { return t_.load(std::memory_order_relaxed); }
+  void advance_ns(std::uint64_t d) {
+    t_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void advance_seconds(double s) {
+    advance_ns(static_cast<std::uint64_t>(s * 1e9));
+  }
+
+ private:
+  std::atomic<std::uint64_t> t_{0};
+};
+
+/// RAII clock installation (restores the previous clock on destruction).
+class ScopedClock {
+ public:
+  explicit ScopedClock(TelemetryClock* clock);
+  ~ScopedClock();
+  ScopedClock(const ScopedClock&) = delete;
+  ScopedClock& operator=(const ScopedClock&) = delete;
+
+ private:
+  TelemetryClock* prev_;
+};
+
+// --- enable / disable --------------------------------------------------------
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when metrics and spans are being collected.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on or off process-wide. Turning it off does not drop
+/// already-collected data (reset() does).
+void set_enabled(bool on);
+
+/// RAII enable (restores the previous state on destruction).
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true);
+  ~ScopedEnable();
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Drops all collected metrics and trace events (all shards, all threads).
+void reset();
+
+// --- metrics -----------------------------------------------------------------
+
+/// Fixed power-of-two bucket layout shared by every histogram: bucket 0
+/// holds values <= 0, bucket i (1..62) holds (2^(i-32), 2^(i-31)], bucket
+/// 63 is the overflow. Covers ~2.3e-10 .. 2.1e9 — nanoseconds-as-seconds
+/// through gigabytes — with no per-metric configuration, which is what
+/// makes merging shards trivial and deterministic.
+inline constexpr int kHistBuckets = 64;
+
+/// Bucket index for a value (pure; shared by record and snapshot sides).
+int histogram_bucket(double v);
+
+/// Lower edge of bucket i (bucket 0 -> 0).
+double histogram_bucket_floor(int i);
+
+/// Merged view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t counts[kHistBuckets] = {};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< exact (not bucketed); 0 when count == 0
+  double max = 0.0;
+  /// Approximate p-th percentile (p in [0,1]) by linear interpolation
+  /// inside the straddling bucket — the fixed-bucket generalization of
+  /// util/stats percentile(). Empty -> 0.
+  double percentile(double p) const;
+};
+
+/// Merged, deterministic view of the whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;  ///< merged by max across shards
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// The "metrics" JSON object block the tools and benches embed:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"count","sum","min","max","p50","p99"}}}. `indent` is the number of
+  /// leading spaces on the block's own lines.
+  std::string to_json(int indent) const;
+};
+
+/// Adds `delta` to the named counter (no-op when disabled).
+void counter_add(const char* name, long long delta = 1);
+
+/// Sets the named gauge on this thread's shard (merged by max; no-op when
+/// disabled).
+void gauge_set(const char* name, double value);
+
+/// Records one sample into the named histogram (no-op when disabled).
+void histogram_record(const char* name, double value);
+
+/// Merges every shard (live and retired) into one deterministic snapshot.
+MetricsSnapshot snapshot();
+
+// --- spans / trace events ----------------------------------------------------
+
+/// Trace timebases (the `pid` of an exported Chrome trace event).
+inline constexpr std::uint32_t kPidWall = 1;   ///< telemetry-clock ns
+inline constexpr std::uint32_t kPidTicks = 2;  ///< modeled ticks (1 tick = 1us)
+
+struct SpanArg {
+  enum class Type { kInt, kDouble, kString };
+  std::string key;
+  Type type = Type::kInt;
+  long long i = 0;
+  double d = 0.0;
+  std::string s;
+};
+
+/// One trace event. phase 'B'/'E' are duration begin/end pairs (per-thread
+/// stack order), 'X' is a complete event with an explicit duration.
+struct TraceEvent {
+  char phase = 'X';
+  std::uint32_t pid = kPidWall;
+  std::uint64_t tid = 0;     ///< per-thread ordinal (wall) or tenant (ticks)
+  std::uint64_t ts_ns = 0;   ///< exported as microseconds (ns / 1000)
+  std::uint64_t dur_ns = 0;  ///< 'X' only
+  std::string category;
+  std::string name;
+  std::vector<SpanArg> args;
+};
+
+/// Appends a complete ('X') event with caller-chosen timebase/timestamps
+/// (no-op when disabled). This is how the modeled-tick spans are emitted.
+void emit_complete(std::uint32_t pid, std::uint64_t tid, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns, const char* category,
+                   const char* name, std::vector<SpanArg> args = {});
+
+/// Moves every collected trace event out of the registry, ordered by
+/// (thread ordinal, append order) — which keeps each thread's B/E pairs in
+/// stack order, the only ordering the Chrome trace format requires.
+std::vector<TraceEvent> take_trace();
+
+/// RAII span: records begin on construction, emits the B/E pair into this
+/// thread's shard on destruction. Inactive (and cost-free beyond one
+/// atomic load) when telemetry is disabled at construction time.
+class Span {
+ public:
+  Span(const char* category, const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& arg(const char* key, long long v);
+  Span& arg(const char* key, int v) { return arg(key, (long long)v); }
+  Span& arg(const char* key, std::size_t v) { return arg(key, (long long)v); }
+  Span& arg(const char* key, double v);
+  Span& arg(const char* key, const char* v);
+
+ private:
+  bool active_ = false;
+  std::uint64_t t0_ = 0;
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  std::vector<SpanArg> args_;
+};
+
+#define TELEM_CONCAT_(a, b) a##b
+#define TELEM_CONCAT(a, b) TELEM_CONCAT_(a, b)
+/// Anonymous scope span: TELEM_SPAN("route", "iteration");
+#define TELEM_SPAN(category, name) \
+  ::vbs::telem::Span TELEM_CONCAT(telem_span_, __LINE__)(category, name)
+
+}  // namespace vbs::telem

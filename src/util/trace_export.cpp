@@ -1,0 +1,171 @@
+#include "util/trace_export.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "util/io.h"
+#include "util/json.h"
+
+namespace vbs::telem {
+
+namespace {
+
+void append_args_json(std::string& out, const std::vector<SpanArg>& args) {
+  out += '{';
+  bool first = true;
+  for (const SpanArg& a : args) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += json_escape(a.key);
+    out += "\": ";
+    char buf[64];
+    switch (a.type) {
+      case SpanArg::Type::kInt:
+        std::snprintf(buf, sizeof buf, "%lld", a.i);
+        out += buf;
+        break;
+      case SpanArg::Type::kDouble:
+        std::snprintf(buf, sizeof buf, "%.9g", a.d);
+        out += buf;
+        break;
+      case SpanArg::Type::kString:
+        out += '"';
+        out += json_escape(a.s);
+        out += '"';
+        break;
+    }
+  }
+  out += '}';
+}
+
+std::string metadata_event(std::uint32_t pid, const char* what,
+                           const char* value) {
+  std::string out = "{\"ph\": \"M\", \"pid\": ";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u", pid);
+  out += buf;
+  out += ", \"tid\": 0, \"name\": \"";
+  out += what;
+  out += "\", \"args\": {\"name\": \"";
+  out += value;
+  out += "\"}}";
+  return out;
+}
+
+}  // namespace
+
+std::string trace_event_json(const TraceEvent& ev) {
+  char buf[64];
+  std::string out = "{\"ph\": \"";
+  out += ev.phase;
+  out += '"';
+  std::snprintf(buf, sizeof buf, ", \"pid\": %u, \"tid\": %llu", ev.pid,
+                static_cast<unsigned long long>(ev.tid));
+  out += buf;
+  // ts is microseconds; three decimals keeps the full ns resolution.
+  std::snprintf(buf, sizeof buf, ", \"ts\": %llu.%03u",
+                static_cast<unsigned long long>(ev.ts_ns / 1000),
+                static_cast<unsigned>(ev.ts_ns % 1000));
+  out += buf;
+  if (ev.phase == 'X') {
+    std::snprintf(buf, sizeof buf, ", \"dur\": %llu.%03u",
+                  static_cast<unsigned long long>(ev.dur_ns / 1000),
+                  static_cast<unsigned>(ev.dur_ns % 1000));
+    out += buf;
+  }
+  out += ", \"cat\": \"" + json_escape(ev.category) + "\"";
+  out += ", \"name\": \"" + json_escape(ev.name) + "\"";
+  if (!ev.args.empty()) {
+    out += ", \"args\": ";
+    append_args_json(out, ev.args);
+  }
+  out += '}';
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  out += "    " + metadata_event(kPidWall, "process_name", "wall-clock");
+  out += ",\n    " +
+         metadata_event(kPidTicks, "process_name", "modeled-ticks");
+  for (const TraceEvent& ev : events) {
+    out += ",\n    " + trace_event_json(ev);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceEvent>& events) {
+  AtomicFile file(path);
+  file.write(chrome_trace_json(events));
+  file.commit();
+}
+
+void write_trace_file(const std::string& path) {
+  write_trace_file(path, take_trace());
+}
+
+std::string check_event_pairing(const std::vector<TraceEvent>& events) {
+  // Per (pid, tid) lane: a stack of open 'B' events plus the last seen ts.
+  struct Lane {
+    std::vector<const TraceEvent*> open;
+    std::uint64_t last_ts = 0;
+    bool any = false;
+  };
+  std::map<std::pair<std::uint32_t, std::uint64_t>, Lane> lanes;
+  char buf[256];
+  for (const TraceEvent& ev : events) {
+    Lane& lane = lanes[{ev.pid, ev.tid}];
+    if (ev.phase == 'B' || ev.phase == 'E') {
+      // B/E streams must be time-ordered within their lane; 'X' events may
+      // be emitted retroactively (the service's tick spans are) and are
+      // exempt from the monotonicity check.
+      if (lane.any && ev.ts_ns < lane.last_ts) {
+        std::snprintf(buf, sizeof buf,
+                      "lane pid=%u tid=%llu: ts goes backwards at %s/%s",
+                      ev.pid, static_cast<unsigned long long>(ev.tid),
+                      ev.category.c_str(), ev.name.c_str());
+        return buf;
+      }
+      lane.last_ts = ev.ts_ns;
+      lane.any = true;
+    }
+    if (ev.phase == 'B') {
+      lane.open.push_back(&ev);
+    } else if (ev.phase == 'E') {
+      if (lane.open.empty()) {
+        std::snprintf(buf, sizeof buf,
+                      "lane pid=%u tid=%llu: E without open B at %s/%s",
+                      ev.pid, static_cast<unsigned long long>(ev.tid),
+                      ev.category.c_str(), ev.name.c_str());
+        return buf;
+      }
+      const TraceEvent* b = lane.open.back();
+      lane.open.pop_back();
+      if (b->category != ev.category || b->name != ev.name) {
+        std::snprintf(buf, sizeof buf,
+                      "lane pid=%u tid=%llu: E %s/%s closes B %s/%s", ev.pid,
+                      static_cast<unsigned long long>(ev.tid),
+                      ev.category.c_str(), ev.name.c_str(),
+                      b->category.c_str(), b->name.c_str());
+        return buf;
+      }
+    }
+  }
+  for (const auto& [key, lane] : lanes) {
+    if (!lane.open.empty()) {
+      const TraceEvent* b = lane.open.back();
+      std::snprintf(buf, sizeof buf,
+                    "lane pid=%u tid=%llu: unclosed B %s/%s", key.first,
+                    static_cast<unsigned long long>(key.second),
+                    b->category.c_str(), b->name.c_str());
+      return buf;
+    }
+  }
+  return "";
+}
+
+}  // namespace vbs::telem

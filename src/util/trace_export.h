@@ -1,0 +1,51 @@
+// Chrome trace-event export for the telemetry tracer.
+//
+// The emitted file is the JSON-object form of the trace-event format
+// ({"traceEvents": [...]}), loadable in chrome://tracing and Perfetto.
+// Two timebases coexist in one file, separated by pid:
+//
+//   pid 1 ("wall")   RAII spans ('B'/'E' pairs) timestamped from the
+//                    telemetry clock; tid is a small per-thread ordinal.
+//                    Microsecond ts = clock ns / 1000.
+//   pid 2 ("ticks")  The service's modeled-tick request phases, emitted as
+//                    complete ('X') events with 1 tick rendered as 1 us and
+//                    tid = tenant id. These are fully deterministic: the
+//                    same trace replay produces the same pid-2 events at
+//                    any thread count, and per-request phase spans sum
+//                    exactly to the reported per-tenant latency breakdown.
+//
+// Metadata ('M') events naming the two pids are prepended so viewers label
+// the lanes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/telemetry.h"
+
+namespace vbs::telem {
+
+/// One event as a JSON object (no trailing newline/comma).
+std::string trace_event_json(const TraceEvent& ev);
+
+/// Serializes events into a complete Chrome trace JSON document, with pid
+/// metadata and a displayTimeUnit hint.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Writes chrome_trace_json() of take_trace() to `path` through util/io
+/// (atomic tmp -> fsync -> rename). Throws VbsError on I/O failure.
+void write_trace_file(const std::string& path);
+
+/// Same, for an event list the caller already drained (e.g. sliced with
+/// take_trace() around a measured leg).
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceEvent>& events);
+
+/// Structural check used by tests and tools: within every (pid, tid) lane,
+/// 'B'/'E' events must nest like a well-formed bracket sequence with
+/// matching category/name and monotonically non-decreasing timestamps.
+/// Returns an empty string when the events pass, else a description of the
+/// first violation.
+std::string check_event_pairing(const std::vector<TraceEvent>& events);
+
+}  // namespace vbs::telem

@@ -15,7 +15,9 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
+#include "util/trace_export.h"
 
 namespace vbs {
 namespace {
@@ -281,6 +283,103 @@ TEST(ThreadPool, StealsSkewedWork) {
     ++done;
   });
   EXPECT_EQ(done.load(), 64);
+}
+
+// --- trace export ----------------------------------------------------------
+
+telem::TraceEvent event(char phase, std::uint32_t pid, std::uint64_t tid,
+                        std::uint64_t ts_ns, const char* name,
+                        std::uint64_t dur_ns = 0) {
+  telem::TraceEvent e;
+  e.phase = phase;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.category = "test";
+  e.name = name;
+  return e;
+}
+
+TEST(TraceExport, EventJsonCarriesTypedArgs) {
+  telem::TraceEvent e = event('X', telem::kPidTicks, 3, 1500, "req", 2750);
+  e.args.push_back({"id", telem::SpanArg::Type::kInt, 42, 0.0, {}});
+  e.args.push_back({"frac", telem::SpanArg::Type::kDouble, 0, 0.25, {}});
+  e.args.push_back({"who", telem::SpanArg::Type::kString, 0, 0.0, "a\"b"});
+  const std::string json = telem::trace_event_json(e);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  // ts/dur are microseconds with nanosecond decimals.
+  EXPECT_NE(json.find("\"ts\": 1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 2.750"), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"frac\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"who\": \"a\\\"b\""), std::string::npos);
+}
+
+TEST(TraceExport, ChromeTraceJsonIsWellFormed) {
+  // Balanced braces/brackets outside strings is as close to "parses" as a
+  // library-free check gets; the CI job runs a real JSON parser on top.
+  std::vector<telem::TraceEvent> ev;
+  ev.push_back(event('B', telem::kPidWall, 1, 100, "outer"));
+  ev.push_back(event('X', telem::kPidTicks, 7, 0, "req", 4000));
+  ev.push_back(event('E', telem::kPidWall, 1, 900, "outer"));
+  const std::string json = telem::chrome_trace_json(ev);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : json) {
+    if (escaped) { escaped = false; continue; }
+    if (c == '\\') { escaped = true; continue; }
+    if (c == '"') { in_string = !in_string; continue; }
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(TraceExport, PairingAcceptsNestedSpansPerLane) {
+  std::vector<telem::TraceEvent> ev;
+  ev.push_back(event('B', 1, 1, 100, "outer"));
+  ev.push_back(event('B', 1, 1, 200, "inner"));
+  ev.push_back(event('X', 2, 5, 50, "req", 1000));  // X never pairs
+  ev.push_back(event('E', 1, 1, 300, "inner"));
+  ev.push_back(event('E', 1, 1, 400, "outer"));
+  ev.push_back(event('B', 1, 2, 150, "other-lane"));
+  ev.push_back(event('E', 1, 2, 250, "other-lane"));
+  EXPECT_EQ(telem::check_event_pairing(ev), "");
+}
+
+TEST(TraceExport, PairingRejectsBrokenStreams) {
+  {  // E without a matching B
+    std::vector<telem::TraceEvent> ev;
+    ev.push_back(event('E', 1, 1, 100, "orphan"));
+    EXPECT_NE(telem::check_event_pairing(ev), "");
+  }
+  {  // mismatched nesting order
+    std::vector<telem::TraceEvent> ev;
+    ev.push_back(event('B', 1, 1, 100, "outer"));
+    ev.push_back(event('B', 1, 1, 200, "inner"));
+    ev.push_back(event('E', 1, 1, 300, "outer"));
+    EXPECT_NE(telem::check_event_pairing(ev), "");
+  }
+  {  // unclosed B at end of stream
+    std::vector<telem::TraceEvent> ev;
+    ev.push_back(event('B', 1, 1, 100, "leak"));
+    EXPECT_NE(telem::check_event_pairing(ev), "");
+  }
+  {  // time going backwards within a lane
+    std::vector<telem::TraceEvent> ev;
+    ev.push_back(event('B', 1, 1, 500, "a"));
+    ev.push_back(event('E', 1, 1, 400, "a"));
+    EXPECT_NE(telem::check_event_pairing(ev), "");
+  }
 }
 
 TEST(ThreadPool, PropagatesFirstException) {

@@ -22,8 +22,10 @@
 #include <string>
 
 #include "rtc/controller.h"
+#include "util/build_info.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "vbs/devirtualizer.h"
 #include "vbs/vbs_file.h"
 
@@ -33,36 +35,16 @@ namespace {
 
 constexpr const char* kUsage =
     "vbsdecode <task.vbs> --out config.bin [--fabric WxH] [--origin X,Y] "
-    "[--threads N] [--json]";
-
-/// Minimal JSON string escaping for error messages (quotes, backslashes,
-/// control bytes); our own messages are plain ASCII but file paths echoed
-/// into them may not be.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
+    "[--threads N] [--trace-out trace.json] [--metrics] [--json]";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   return tool_main("vbsdecode", kUsage, [&] {
     const CliArgs args(argc, argv,
-                       {"--out", "--fabric", "--origin", "--threads"},
-                       {"--json", "--help"});
+                       {"--out", "--fabric", "--origin", "--threads",
+                        "--trace-out"},
+                       {"--json", "--metrics", "--help"});
     if (args.has_flag("--help") || args.positional().size() != 1 ||
         !args.value("--out")) {
       std::fprintf(stderr, "usage: %s\n", kUsage);
@@ -81,6 +63,7 @@ int main(int argc, char** argv) {
     }
     const int threads = threads_or(args);
     const bool json = args.has_flag("--json");
+    const TelemetryCli telemetry(args);
 
     BitVector stream;
     VbsImage img;
@@ -135,9 +118,13 @@ int main(int argc, char** argv) {
                   rtc.fabric().config_bits_total());
       std::printf(
           "  \"timing\": {\"seconds\": %.6f, \"threads\": %d, "
-          "\"mbits_per_sec\": %.2f}\n",
+          "\"mbits_per_sec\": %.2f},\n",
           rec.decode_seconds, rec.threads_used, mbits_per_sec);
+      std::printf("  \"build\": %s,\n", build_info_json(2).c_str());
+      std::printf("  \"metrics\": %s\n",
+                  telem::snapshot().to_json(2).c_str());
       std::printf("}\n");
+      telemetry.finish();
       return 0;
     }
     std::printf("vbsdecode: task %dx%d (cluster %d) at (%d,%d) on %dx%d\n",
@@ -152,6 +139,7 @@ int main(int argc, char** argv) {
         "vbsdecode: %.3f s with %d thread(s): %.2f Mb of configuration per "
         "second\n",
         rec.decode_seconds, rec.threads_used, mbits_per_sec);
+    telemetry.finish();
     return 0;
   });
 }

@@ -7,9 +7,16 @@
 // Usage:
 //   vbsgen <netlist.netl> --out task.vbs [--arch arch.txt] [--grid N]
 //          [--cluster C] [--seed S] [--threads T] [--raw-out raw.bin]
-//          [--save-checkpoint DIR] [--verbose]
+//          [--save-checkpoint DIR] [--trace-out trace.json] [--metrics]
+//          [--verbose]
 //   vbsgen --from-checkpoint DIR --out task.vbs [--cluster C] [--threads T]
-//          [--raw-out raw.bin] [--save-checkpoint DIR] [--verbose]
+//          [--raw-out raw.bin] [--save-checkpoint DIR]
+//          [--trace-out trace.json] [--metrics] [--verbose]
+//
+// --trace-out writes a Chrome trace-event JSON of the flow stages (open in
+// chrome://tracing or Perfetto); --metrics dumps the telemetry counters
+// and histograms as JSON to stderr. Neither changes the stream: the
+// output is byte-identical with telemetry on or off.
 //
 // --threads routes with the deterministic parallel engines: the stream is
 // byte-identical for every thread count, only wall time changes.
@@ -43,9 +50,11 @@ namespace {
 constexpr const char* kUsage =
     "vbsgen <netlist.netl> --out task.vbs [--arch arch.txt] [--grid N] "
     "[--cluster C] [--seed S] [--threads T] [--raw-out raw.bin] "
-    "[--save-checkpoint DIR] [--verbose]\n"
+    "[--save-checkpoint DIR] [--trace-out trace.json] [--metrics] "
+    "[--verbose]\n"
     "       vbsgen --from-checkpoint DIR --out task.vbs [--cluster C] "
-    "[--threads T] [--raw-out raw.bin] [--save-checkpoint DIR] [--verbose]";
+    "[--threads T] [--raw-out raw.bin] [--save-checkpoint DIR] "
+    "[--trace-out trace.json] [--metrics] [--verbose]";
 
 }  // namespace
 
@@ -54,8 +63,9 @@ int main(int argc, char** argv) {
     const CliArgs args(
         argc, argv,
         {"--out", "--arch", "--grid", "--cluster", "--seed", "--threads",
-         "--raw-out", "--save-checkpoint", "--from-checkpoint"},
-        {"--verbose", "--help"});
+         "--raw-out", "--save-checkpoint", "--from-checkpoint",
+         "--trace-out"},
+        {"--verbose", "--metrics", "--help"});
     const auto from_ckpt = args.value("--from-checkpoint");
     const std::size_t want_positional = from_ckpt ? 0 : 1;
     if (args.has_flag("--help") ||
@@ -64,6 +74,7 @@ int main(int argc, char** argv) {
       return args.has_flag("--help") ? 0 : 1;
     }
     if (args.has_flag("--verbose")) set_log_level(LogLevel::kInfo);
+    const TelemetryCli telemetry(args);
 
     std::optional<FlowPipeline> pipe;
     if (from_ckpt) {
@@ -145,6 +156,7 @@ int main(int argc, char** argv) {
       pipe->save_checkpoint(*ckpt);
       std::printf("vbsgen: saved checkpoint to %s\n", ckpt->c_str());
     }
+    telemetry.finish();
     return 0;
   });
 }

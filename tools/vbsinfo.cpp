@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "util/bitio.h"
+#include "util/build_info.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "vbs/region_model.h"
@@ -83,10 +84,12 @@ void print_json(const BitVector& stream, const VbsImage& img,
       s.conns, s.max_conns);
   std::printf(
       "  \"size_breakdown\": {\"logic\": %zu, \"connections\": %zu, "
-      "\"raw_payload\": %zu, \"framing\": %zu}%s\n",
+      "\"raw_payload\": %zu, \"framing\": %zu},\n",
       s.logic_bits, s.conn_bits, s.raw_payload_bits,
-      stream.size() - s.logic_bits - s.conn_bits - s.raw_payload_bits,
-      with_entries ? "," : "");
+      stream.size() - s.logic_bits - s.conn_bits - s.raw_payload_bits);
+  std::printf("  \"build\": %s,\n", build_info_json(2).c_str());
+  std::printf("  \"metrics\": %s%s\n",
+              telem::snapshot().to_json(2).c_str(), with_entries ? "," : "");
   if (with_entries) {
     std::printf("  \"entry_list\": [\n");
     for (std::size_t i = 0; i < img.entries.size(); ++i) {
