@@ -18,16 +18,27 @@
 // it then runs the minimum-channel-width search twice through the
 // pipeline, warm-started and cold. Results go to stdout as a table and to
 // a machine-readable JSON file (see bench/README.md for the
-// vbs.flow_bench.v5 schema).
+// vbs.flow_bench.v6 schema).
+//
+// Two in-run identity legs guard the SoA data-layout kernels: a
+// bounding-box kernel micro-bench times cost sweeps over the committed
+// placement in both the SoA layout and the retained AoS reference and
+// requires bit-identical per-net costs, and a fourth route leg reruns the
+// bounded route with the precomputed congestion-cost stride disabled and
+// requires identical trees and heap pops. Either mismatch fails the run.
 //
 // Usage:
 //   flow_bench [--smoke] [--circuits a,b] [--seeds N] [--width W]
-//              [--threads T] [--margin M] [--effort E] [--no-mcw]
+//              [--threads T] [--margin M] [--effort E] [--no-mcw] [--big]
 //              [--stage pack|place|route|all] [--checkpoint-dir DIR]
 //              [--trace-out trace.json] [--metrics] [--out PATH]
 //
 //   --smoke      tiny synthetic circuits (seconds; used by CI to catch
 //                harness bitrot)
+//   --big        append the Rent-exponent synthetic family (grid 64 and
+//                128) to the suite — hours on one core, MCW skipped for
+//                those runs; opt-in for cache-behaviour studies beyond
+//                the Table II scale
 //   --circuits   comma-separated Table II names (default: the 5 smallest)
 //   --seeds      number of seeds per circuit, 1..N (default 1)
 //   --width      routed channel width (default 20, the paper's norm)
@@ -99,6 +110,15 @@ struct McwSample {
   double seconds = 0.0;
 };
 
+/// Bounding-box kernel micro-bench: SoA sweep vs the retained AoS
+/// reference over the same committed placement (bench_place_kernels).
+struct KernelSample {
+  long long sweeps = 0;
+  double soa_seconds = 0.0;
+  double ref_seconds = 0.0;
+  bool identical = false;  ///< per-net costs bit-identical across layouts
+};
+
 struct RunRecord {
   std::string circuit;
   int grid = 0;
@@ -116,10 +136,18 @@ struct RunRecord {
   double place_par_seconds = 0.0;
   PlaceStats place_par;
   bool place_identical = false;  ///< parallel placement+stats == serial
+  KernelSample kernel;
+  bool kernel_checked = false;
   RouteSample bounded;
   RouteSample parallel;
   bool parallel_identical = false;  ///< parallel trees == serial trees
   RouteSample unbounded;
+  // Reference-cost route leg: the bounded route rerun with the precomputed
+  // congestion-cost stride disabled (RouterOptions::precomputed_cost =
+  // false); trees and counters must match the bounded leg exactly.
+  RouteSample route_ref;
+  bool route_ref_checked = false;
+  bool route_ref_identical = false;
   // Checkpoint/resume verification: save after route, resume, rerun the
   // route stage from the loaded placement, compare byte for byte.
   bool checkpoint_checked = false;
@@ -303,6 +331,23 @@ RunRecord run_one(const std::string& name, Netlist nl, int grid,
       rec.place_par.initial_cost == rec.place.initial_cost &&
       rec.place_par.final_cost == rec.place.final_cost &&
       rec.place_par.cost_drift == rec.place.cost_drift;
+
+  // SoA kernel cross-check: full bounding-box cost sweeps over the
+  // committed placement in both layouts. The sweep count is scaled so the
+  // timed region stays ~constant work across circuit sizes; identity is
+  // exact per-net double equality, so any layout-induced arithmetic
+  // difference fails the run.
+  {
+    const long long sweeps =
+        std::max<long long>(4, 2'000'000 / std::max(1, rec.nets));
+    const PlaceKernelReport kr = bench_place_kernels(
+        pipe->netlist(), pipe->packed(), pipe->placement(), sweeps);
+    rec.kernel_checked = true;
+    rec.kernel.sweeps = kr.sweeps;
+    rec.kernel.soa_seconds = kr.soa_seconds;
+    rec.kernel.ref_seconds = kr.ref_seconds;
+    rec.kernel.identical = kr.identical;
+  }
   if (stage_limit < 2) return rec;
 
   // Default options: bounded-box expansion, incremental reroute, calibrated
@@ -330,6 +375,20 @@ RunRecord run_one(const std::string& name, Netlist nl, int grid,
   baseline.incremental_reroute = false;
   baseline.astar_fac = 1.15;
   rec.unbounded = route_once(pipe->fabric(), pipe->route_request(), baseline);
+  // Reference-cost leg: the bounded route with the precomputed
+  // congestion-cost stride turned off, i.e. the pre-refactor inner loop
+  // recomputing each node's cost inline. The stride is identity-preserving
+  // by construction, so trees, pops and iterations must all match the
+  // bounded leg — this cross-checks the SoA router layout in-run.
+  RouterOptions refc = pipe->options().route;
+  refc.precomputed_cost = false;
+  RoutingResult ref_routes;
+  rec.route_ref =
+      route_once(pipe->fabric(), pipe->route_request(), refc, &ref_routes);
+  rec.route_ref_checked = true;
+  rec.route_ref_identical = identical_routes(pipe->routing(), ref_routes) &&
+                            rec.route_ref.heap_pops == rec.bounded.heap_pops &&
+                            rec.route_ref.iterations == rec.bounded.iterations;
 
   // Checkpoint/resume verification (scratch dir; --checkpoint-dir keeps
   // only the pack+place prefix, this leg exercises the full chain).
@@ -364,6 +423,8 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
   long long pspec_c = 0, pspec_r = 0;
   int ok_b = 0, ok_u = 0, identical = 0, place_identical = 0, mcw_match = 0;
   int ckpt_identical = 0;
+  int kernel_identical = 0, refcost_identical = 0;
+  double ksecs_soa = 0, ksecs_ref = 0;
   for (const RunRecord& r : runs) {
     pops_b += r.bounded.heap_pops;
     pops_u += r.unbounded.heap_pops;
@@ -379,6 +440,10 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
     identical += r.parallel_identical ? 1 : 0;
     place_identical += r.place_identical ? 1 : 0;
     ckpt_identical += r.checkpoint_identical ? 1 : 0;
+    kernel_identical += r.kernel_checked && r.kernel.identical ? 1 : 0;
+    refcost_identical += r.route_ref_checked && r.route_ref_identical ? 1 : 0;
+    ksecs_soa += r.kernel.soa_seconds;
+    ksecs_ref += r.kernel.ref_seconds;
     mcw_w += r.mcw_warm.heap_pops;
     mcw_c += r.mcw_cold.heap_pops;
     mcw_match += with_mcw && r.mcw_warm.mcw == r.mcw_cold.mcw ? 1 : 0;
@@ -386,7 +451,7 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
   const char* stage_names[] = {"pack", "place", "route", "all"};
   const std::string ckpt_json =
       ckpt_root.empty() ? "null" : "\"" + ckpt_root + "\"";
-  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v5\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"vbs.flow_bench.v6\",\n");
   std::fprintf(f,
                "  \"options\": {\"smoke\": %s, \"chan_width\": %d, \"seeds\": "
                "%d, \"threads\": %d, \"bb_margin\": %d, \"effort\": %.3f, "
@@ -439,6 +504,17 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
                  threads, r.place_par_seconds, r.place_par.spec_commits,
                  r.place_par.spec_rejected,
                  r.place_identical ? "true" : "false");
+    if (r.kernel_checked) {
+      std::fprintf(f,
+                   "     \"kernels\": {\"bbox_sweeps\": %lld, "
+                   "\"soa_seconds\": %.4f, \"ref_seconds\": %.4f, "
+                   "\"soa_speedup\": %.3f, \"identical\": %s},\n",
+                   r.kernel.sweeps, r.kernel.soa_seconds, r.kernel.ref_seconds,
+                   r.kernel.soa_seconds > 0
+                       ? r.kernel.ref_seconds / r.kernel.soa_seconds
+                       : 0.0,
+                   r.kernel.identical ? "true" : "false");
+    }
     auto route_json = [&](const char* key, const RouteSample& s,
                           const char* tail) {
       std::fprintf(f,
@@ -460,6 +536,13 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
                  r.parallel.spec_wasted_pops,
                  r.parallel_identical ? "true" : "false");
     route_json("route_unbounded", r.unbounded, ",");
+    if (r.route_ref_checked) {
+      std::fprintf(f,
+                   "     \"route_refcost\": {\"seconds\": %.4f, "
+                   "\"heap_pops\": %lld, \"identical_to_bounded\": %s},\n",
+                   r.route_ref.seconds, r.route_ref.heap_pops,
+                   r.route_ref_identical ? "true" : "false");
+    }
     std::fprintf(f,
                  "     \"checkpoint\": {\"checked\": %s, "
                  "\"resume_identical\": %s}%s\n",
@@ -490,6 +573,9 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
       "\"parallel_identical\": %d, \"place_seconds_serial\": %.4f, "
       "\"place_seconds_parallel\": %.4f, \"place_speedup\": %.3f, "
       "\"place_spec_commit_rate\": %.3f, \"place_identical\": %d, "
+      "\"kernel_identical\": %d, \"kernel_soa_seconds\": %.4f, "
+      "\"kernel_ref_seconds\": %.4f, \"kernel_speedup\": %.3f, "
+      "\"route_refcost_identical\": %d, "
       "\"checkpoint_identical\": %d, "
       "\"mcw_heap_pops_warm\": %lld, "
       "\"mcw_heap_pops_cold\": %lld, \"mcw_pop_ratio\": %.3f, "
@@ -504,7 +590,9 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs,
           ? static_cast<double>(pspec_c) /
                 static_cast<double>(pspec_c + pspec_r)
           : 0.0,
-      place_identical, ckpt_identical, mcw_w, mcw_c,
+      place_identical, kernel_identical, ksecs_soa, ksecs_ref,
+      ksecs_soa > 0 ? ksecs_ref / ksecs_soa : 0.0, refcost_identical,
+      ckpt_identical, mcw_w, mcw_c,
       mcw_w > 0 ? static_cast<double>(mcw_c) / static_cast<double>(mcw_w)
                 : 0.0,
       mcw_match);
@@ -519,10 +607,11 @@ int main(int argc, char** argv) try {
                {"--circuits", "--seeds", "--width", "--threads", "--margin",
                 "--effort", "--stage", "--checkpoint-dir", "--trace-out",
                 "--out"},
-               {"--smoke", "--no-mcw", "--metrics"});
+               {"--smoke", "--no-mcw", "--metrics", "--big"});
   const TelemetryCli telemetry(args);
   telem::set_enabled(true);  // harness JSON embeds the counters
   const bool smoke = args.has_flag("--smoke");
+  const bool big = args.has_flag("--big");
   const int seeds = static_cast<int>(args.int_or("--seeds", 1));
   const int width = static_cast<int>(args.int_or("--width", smoke ? 10 : 20));
   const int threads = threads_or(args, 8);
@@ -598,6 +687,32 @@ int main(int argc, char** argv) try {
                                stage_limit, ckpt_root));
       }
     }
+    if (big && !smoke) {
+      // The Rent-exponent synthetic family: larger-than-Table-II arrays
+      // whose locality is steered by a single exponent, for cache-behaviour
+      // studies of the SoA kernels. MCW is skipped — a 128x128 bisection
+      // would dominate the whole suite — but every identity leg still runs.
+      struct BigSpec {
+        const char* name;
+        int grid;
+        double rent;
+      };
+      for (const BigSpec& b :
+           {BigSpec{"rent62_g64", 64, 0.62}, BigSpec{"rent58_g128", 128, 0.58}}) {
+        GenParams p;
+        p.n_lut = (b.grid * b.grid * 4) / 5;  // ~80% logic utilisation
+        p.n_pi = b.grid;
+        p.n_po = b.grid;
+        p.seed = seed;
+        p.rent_exponent = b.rent;
+        const std::uint64_t t0 = telem::now_ns();
+        Netlist nl = generate_netlist(p);
+        const double gen_s = telem::seconds_since(t0);
+        runs.push_back(run_one(b.name, std::move(nl), b.grid, seed, width,
+                               gen_s, effort, margin, threads,
+                               /*with_mcw=*/false, stage_limit, ckpt_root));
+      }
+    }
   }
 
   TablePrinter t({"circuit", "seed", "plc s/par", "route s", "pops", "par s",
@@ -639,6 +754,13 @@ int main(int argc, char** argv) try {
           r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
       return 1;
     }
+    if (r.kernel_checked && !r.kernel.identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s seed %llu SoA bbox kernel diverged from the AoS "
+                   "reference\n",
+                   r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
+      return 1;
+    }
     if (stage_limit < 2) continue;
     if (!r.bounded.success || !r.unbounded.success || !r.parallel.success) {
       std::fprintf(stderr, "FAIL: %s seed %llu did not route\n",
@@ -648,6 +770,13 @@ int main(int argc, char** argv) try {
     if (!r.parallel_identical) {
       std::fprintf(stderr,
                    "FAIL: %s seed %llu parallel routing diverged from serial\n",
+                   r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
+      return 1;
+    }
+    if (r.route_ref_checked && !r.route_ref_identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s seed %llu precomputed-cost route diverged from "
+                   "the reference-cost route\n",
                    r.circuit.c_str(), static_cast<unsigned long long>(r.seed));
       return 1;
     }
@@ -672,7 +801,7 @@ int main(int argc, char** argv) try {
                "flow_bench: %s\n"
                "usage: flow_bench [--smoke] [--circuits a,b] [--seeds N] "
                "[--width W] [--threads T] [--margin M] [--effort E] "
-               "[--no-mcw] [--stage pack|place|route|all] "
+               "[--no-mcw] [--big] [--stage pack|place|route|all] "
                "[--checkpoint-dir DIR] [--trace-out trace.json] [--metrics] "
                "[--out PATH]\n",
                e.what());

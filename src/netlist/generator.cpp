@@ -19,7 +19,21 @@ struct VPos {
 
 }  // namespace
 
-Netlist generate_netlist(const GenParams& p) {
+void apply_rent_exponent(GenParams& params, double r) {
+  r = std::clamp(r, 0.4, 0.9);
+  // Locality falls linearly with r: r=0.5 keeps ~82% of fan-in within the
+  // radius (near the default 0.85), r=0.75 drops to ~51%.
+  params.p_local = std::clamp(1.45 - 1.25 * r, 0.35, 0.95);
+  // The exponential tail lengthens with r — higher-Rent circuits spread
+  // their non-local wires further across the die.
+  params.global_scale_frac = std::clamp(0.08 + 0.55 * (r - 0.5), 0.05, 0.45);
+  // A sliver of truly uniform (chip-crossing) connections grows with r.
+  params.p_uniform = std::clamp(0.015 + 0.12 * (r - 0.5), 0.01, 0.10);
+}
+
+Netlist generate_netlist(const GenParams& p_in) {
+  GenParams p = p_in;
+  if (p.rent_exponent > 0.0) apply_rent_exponent(p, p.rent_exponent);
   if (p.n_lut < 1 || p.n_pi < 1 || p.n_po < 1) {
     throw std::invalid_argument("generate_netlist: counts must be positive");
   }

@@ -39,7 +39,22 @@ struct GenParams {
   /// Fraction of LUTs with a registered output.
   double ff_frac = 0.3;
   std::uint64_t seed = 1;
+  /// When > 0, a Rent exponent that OVERRIDES the three locality knobs
+  /// (p_local, global_scale_frac, p_uniform) via apply_rent_exponent()
+  /// inside generate_netlist. Typical FPGA-mapped circuits sit in
+  /// [0.5, 0.75]; higher exponents mean less locality and a fatter
+  /// wirelength tail, i.e. higher routed channel-width demand.
+  double rent_exponent = 0.0;
 };
+
+/// Maps a Rent exponent r (clamped to [0.4, 0.9]) onto the generator's
+/// three locality knobs. The mapping is a calibration, not a derivation:
+/// r = 0.5 lands near the repo's default "easy" locality mix, and each
+/// +0.1 of r sheds local bias and feeds the exponential/uniform tails so
+/// that routed MCW climbs the way Rent's rule predicts for real circuits.
+/// Exposed (rather than folded into generate_netlist) so tests can pin
+/// the mapping and tools can report the effective knob values.
+void apply_rent_exponent(GenParams& params, double r);
 
 /// Generates a connected, validated netlist. Deterministic in the params.
 Netlist generate_netlist(const GenParams& params);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -46,17 +47,114 @@ double crossing_factor(int terminals) {
   return 2.2334 + 0.02616 * (terminals - 30);
 }
 
-struct NetBox {
-  int minx, maxx, miny, maxy;
+/// Register-resident working copy of one net's bounding box. The committed
+/// boxes live in NetBoxStore's parallel arrays; a Box is what the kernels
+/// load, mutate and store back.
+struct Box {
+  std::int32_t xmin, xmax, ymin, ymax;
   // Terminals sitting exactly on each bounding edge. A single-block move
   // updates the box in O(1); only when the last terminal leaves a bounding
   // edge (its count hits 0) does the box need a full terminal rescan.
-  int nmin_x, nmax_x, nmin_y, nmax_y;
+  std::int32_t nxmin, nxmax, nymin, nymax;
   double cost;
 };
 
-/// Per-evaluation scratch: the net -> affected-slot dedup epochs. One per
-/// participant, so speculative evaluations can run concurrently.
+/// Committed per-net boxes in structure-of-arrays layout: each field is one
+/// contiguous array indexed by net, so the cost-delta accumulation reads a
+/// single double stride and the commit scatter touches exactly the fields
+/// it writes — no 40-byte struct pulled through the cache per access.
+struct NetBoxStore {
+  std::vector<std::int32_t> xmin, xmax, ymin, ymax;
+  std::vector<std::int32_t> nxmin, nxmax, nymin, nymax;
+  std::vector<double> cost;
+
+  void assign(std::size_t n) {
+    xmin.assign(n, 0);
+    xmax.assign(n, 0);
+    ymin.assign(n, 0);
+    ymax.assign(n, 0);
+    nxmin.assign(n, 0);
+    nxmax.assign(n, 0);
+    nymin.assign(n, 0);
+    nymax.assign(n, 0);
+    cost.assign(n, 0.0);
+  }
+  Box load(std::size_t i) const {
+    return {xmin[i], xmax[i], ymin[i], ymax[i],
+            nxmin[i], nxmax[i], nymin[i], nymax[i], cost[i]};
+  }
+  void store(std::size_t i, const Box& b) {
+    xmin[i] = b.xmin;
+    xmax[i] = b.xmax;
+    ymin[i] = b.ymin;
+    ymax[i] = b.ymax;
+    nxmin[i] = b.nxmin;
+    nxmax[i] = b.nxmax;
+    nymin[i] = b.nymin;
+    nymax[i] = b.nymax;
+    cost[i] = b.cost;
+  }
+};
+
+/// Folds one terminal at (x, y) into the box — branch-light: every bound
+/// and count is updated with selects, no if/else ladder for the compiler to
+/// serialize on.
+inline void add_point(Box& b, std::int32_t x, std::int32_t y) {
+  b.nxmin = x < b.xmin ? 1 : b.nxmin + (x == b.xmin ? 1 : 0);
+  b.nxmax = x > b.xmax ? 1 : b.nxmax + (x == b.xmax ? 1 : 0);
+  b.nymin = y < b.ymin ? 1 : b.nymin + (y == b.ymin ? 1 : 0);
+  b.nymax = y > b.ymax ? 1 : b.nymax + (y == b.ymax ? 1 : 0);
+  b.xmin = std::min(b.xmin, x);
+  b.xmax = std::max(b.xmax, x);
+  b.ymin = std::min(b.ymin, y);
+  b.ymax = std::max(b.ymax, y);
+}
+
+/// Moves one terminal `from` -> `to`. Returns false when the terminal was
+/// the last one on a bounding edge, i.e. the box may shrink and must be
+/// rescanned (the box is left inconsistent in that case — the caller
+/// discards it). Decrementing all four counts before testing is equivalent
+/// to the short-circuiting formulation: on success every count would have
+/// been decremented anyway, on failure the box is thrown away.
+inline bool move_point(Box& b, Point from, Point to) {
+  add_point(b, to.x, to.y);
+  b.nxmin -= from.x == b.xmin ? 1 : 0;
+  b.nxmax -= from.x == b.xmax ? 1 : 0;
+  b.nymin -= from.y == b.ymin ? 1 : 0;
+  b.nymax -= from.y == b.ymax ? 1 : 0;
+  return b.nxmin != 0 && b.nxmax != 0 && b.nymin != 0 && b.nymax != 0;
+}
+
+/// Branch-light two-pass scan over gathered terminal coordinates: pass one
+/// reduces min/max with selects, pass two counts terminals on each final
+/// bound. Both passes stream two contiguous int32 spans — exactly the shape
+/// the vectorizer wants — and produce the same counts the fold-in
+/// formulation would (a bound's count is the number of terminals equal to
+/// the final bound, however it was reached).
+inline Box scan_box(const std::int32_t* xs, const std::int32_t* ys,
+                    std::size_t n, double q) {
+  std::int32_t xmin = xs[0], xmax = xs[0], ymin = ys[0], ymax = ys[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    xmin = std::min(xmin, xs[i]);
+    xmax = std::max(xmax, xs[i]);
+    ymin = std::min(ymin, ys[i]);
+    ymax = std::max(ymax, ys[i]);
+  }
+  std::int32_t nxmin = 0, nxmax = 0, nymin = 0, nymax = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    nxmin += xs[i] == xmin ? 1 : 0;
+    nxmax += xs[i] == xmax ? 1 : 0;
+    nymin += ys[i] == ymin ? 1 : 0;
+    nymax += ys[i] == ymax ? 1 : 0;
+  }
+  Box b{xmin, xmax, ymin, ymax, nxmin, nxmax, nymin, nymax, 0.0};
+  b.cost = q * ((xmax - xmin) + (ymax - ymin));
+  return b;
+}
+
+/// Per-evaluation scratch: the net -> affected-slot dedup epochs plus the
+/// gather buffers the scan kernel reads. One per participant, so
+/// speculative evaluations can run concurrently.
 struct EvalScratch {
   // 64-bit epochs: a wrapped stamp would silently alias a stale net_slot
   // entry, and a long anneal on one scratch can plausibly exceed 2^32
@@ -64,6 +162,7 @@ struct EvalScratch {
   std::vector<std::uint64_t> net_epoch;
   std::vector<std::uint32_t> net_slot;   ///< net -> index in the eval's affected list
   std::vector<std::uint8_t> dirty;       ///< parallel to affected: needs rescan
+  std::vector<std::int32_t> tx, ty;      ///< gathered terminal coords (scan kernel)
   std::uint64_t epoch = 0;
 
   void init(int num_nets) {
@@ -89,7 +188,7 @@ struct MoveEval {
   Moved moved[2];
   int n_moved = 0;
   std::vector<NetId> affected;
-  std::vector<NetBox> new_boxes;
+  std::vector<Box> new_boxes;
 };
 
 /// Incremental-cost annealing state.
@@ -105,14 +204,15 @@ class AnnealState {
   AnnealState(const Netlist& nl, const PackedDesign& pd, Placement& pl,
               bool incremental)
       : nl_(nl), pd_(pd), pl_(pl), incremental_(incremental) {
-    pt_of_block_.assign(static_cast<std::size_t>(nl.num_blocks()), Point{});
+    ptx_.assign(static_cast<std::size_t>(nl.num_blocks()), 0);
+    pty_.assign(static_cast<std::size_t>(nl.num_blocks()), 0);
     for (int i = 0; i < pd.num_luts(); ++i) {
-      pt_of_block_[static_cast<std::size_t>(pd.luts[i])] =
-          pl.lut_loc[static_cast<std::size_t>(i)];
+      set_pos(pd.luts[static_cast<std::size_t>(i)],
+              pl.lut_loc[static_cast<std::size_t>(i)]);
     }
     for (int i = 0; i < pd.num_ios(); ++i) {
-      pt_of_block_[static_cast<std::size_t>(pd.ios[i])] =
-          pl.io_point(pl.io_loc[static_cast<std::size_t>(i)]);
+      set_pos(pd.ios[static_cast<std::size_t>(i)],
+              pl.io_point(pl.io_loc[static_cast<std::size_t>(i)]));
     }
 
     // block -> (net, terminal multiplicity) in CSR form. The multiplicity
@@ -162,16 +262,44 @@ class AnnealState {
       nets_of_block_ = std::move(builder).build();
     }
 
+    // net -> terminal block list (driver first, then every sink occurrence)
+    // in CSR form: the scan kernel's gather source. Empty-sink nets get an
+    // empty row and a zero box.
+    {
+      CsrBuilder<BlockId> builder(static_cast<std::size_t>(nl.num_nets()));
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        const Net& net = nl.net(n);
+        if (net.sinks.empty()) continue;
+        for (std::size_t k = 0; k < net.sinks.size() + 1; ++k) {
+          builder.count(static_cast<std::size_t>(n));
+        }
+      }
+      builder.prepare();
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        const Net& net = nl.net(n);
+        if (net.sinks.empty()) continue;
+        builder.add(static_cast<std::size_t>(n), net.driver);
+        for (const Net::Sink& s : net.sinks) {
+          builder.add(static_cast<std::size_t>(n), s.block);
+        }
+      }
+      net_terms_ = std::move(builder).build();
+    }
+
     q_.resize(static_cast<std::size_t>(nl.num_nets()));
     for (NetId n = 0; n < nl.num_nets(); ++n) {
       q_[static_cast<std::size_t>(n)] =
           crossing_factor(static_cast<int>(nl.net(n).sinks.size()) + 1);
     }
-    boxes_.resize(static_cast<std::size_t>(nl.num_nets()));
+    boxes_.assign(static_cast<std::size_t>(nl.num_nets()));
     total_cost_ = 0.0;
+    std::vector<std::int32_t> tx, ty;
     for (NetId n = 0; n < nl.num_nets(); ++n) {
-      recompute_box(n);
-      total_cost_ += boxes_[static_cast<std::size_t>(n)].cost;
+      const auto sn = static_cast<std::size_t>(n);
+      const std::size_t cnt = gather(n, tx, ty);
+      if (cnt == 0) continue;  // empty-sink net: zero box from assign()
+      boxes_.store(sn, scan_box(tx.data(), ty.data(), cnt, q_[sn]));
+      total_cost_ += boxes_.cost[sn];
     }
     site_of_.assign(
         static_cast<std::size_t>(pl.grid_w) * static_cast<std::size_t>(pl.grid_h),
@@ -187,15 +315,39 @@ class AnnealState {
   double total_cost() const { return total_cost_; }
   int num_nets() const { return nl_.num_nets(); }
 
+  /// From-scratch cost over all non-empty nets via the scan kernel — the
+  /// reference the incremental bookkeeping is measured against.
+  double fresh_total_cost() const {
+    double fresh = 0.0;
+    std::vector<std::int32_t> tx, ty;
+    for (NetId n = 0; n < nl_.num_nets(); ++n) {
+      const std::size_t cnt = gather(n, tx, ty);
+      if (cnt == 0) continue;
+      fresh +=
+          scan_box(tx.data(), ty.data(), cnt, q_[static_cast<std::size_t>(n)])
+              .cost;
+    }
+    return fresh;
+  }
+
+  /// Per-net from-scratch costs (0.0 for empty-sink nets); the kernel
+  /// cross-check harness compares these against an independent reference.
+  void fresh_costs(std::vector<double>& out) const {
+    out.assign(static_cast<std::size_t>(nl_.num_nets()), 0.0);
+    std::vector<std::int32_t> tx, ty;
+    for (NetId n = 0; n < nl_.num_nets(); ++n) {
+      const std::size_t cnt = gather(n, tx, ty);
+      if (cnt == 0) continue;
+      out[static_cast<std::size_t>(n)] =
+          scan_box(tx.data(), ty.data(), cnt, q_[static_cast<std::size_t>(n)])
+              .cost;
+    }
+  }
+
   /// |accumulated cost - from-scratch recomputation| over all nets; bounds
   /// the drift of thousands of incremental += delta updates.
   double cost_drift() const {
-    double fresh = 0.0;
-    for (NetId n = 0; n < nl_.num_nets(); ++n) {
-      if (nl_.net(n).sinks.empty()) continue;
-      fresh += compute_box(n).cost;
-    }
-    return std::abs(fresh - total_cost_);
+    return std::abs(fresh_total_cost() - total_cost_);
   }
 
   Point lut_loc(int li) const {
@@ -236,7 +388,7 @@ class AnnealState {
           slot = out.affected.size();
           s.net_slot[sn] = static_cast<std::uint32_t>(slot);
           out.affected.push_back(ref.net);
-          out.new_boxes.push_back(boxes_[sn]);
+          out.new_boxes.push_back(boxes_.load(sn));
           // In full-recompute mode every affected box is rescanned.
           s.dirty.push_back(incremental_ ? 0 : 1);
         } else {
@@ -245,9 +397,9 @@ class AnnealState {
           slot = s.net_slot[sn];
         }
         if (s.dirty[slot] != 0) continue;
-        NetBox& nb = out.new_boxes[slot];
+        Box& nb = out.new_boxes[slot];
         for (std::int32_t k = 0; k < ref.mult; ++k) {
-          if (!update_box(nb, mv.from, mv.to)) {
+          if (!move_point(nb, mv.from, mv.to)) {
             s.dirty[slot] = 1;  // moved off a shrinking edge: rescan below
             break;
           }
@@ -258,12 +410,13 @@ class AnnealState {
     for (std::size_t k = 0; k < out.affected.size(); ++k) {
       const auto sn = static_cast<std::size_t>(out.affected[k]);
       if (s.dirty[k] != 0) {
-        out.new_boxes[k] = compute_box_moved(out.affected[k], out);
+        const std::size_t cnt = gather_moved(out.affected[k], out, s.tx, s.ty);
+        out.new_boxes[k] = scan_box(s.tx.data(), s.ty.data(), cnt, q_[sn]);
       } else {
-        NetBox& nb = out.new_boxes[k];
-        nb.cost = q_[sn] * ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
+        Box& nb = out.new_boxes[k];
+        nb.cost = q_[sn] * ((nb.xmax - nb.xmin) + (nb.ymax - nb.ymin));
       }
-      delta += out.new_boxes[k].cost - boxes_[sn].cost;
+      delta += out.new_boxes[k].cost - boxes_.cost[sn];
     }
     out.delta = delta;
   }
@@ -272,12 +425,11 @@ class AnnealState {
   /// in canonical slot order).
   void commit(const MoveEval& ev) {
     for (std::size_t k = 0; k < ev.affected.size(); ++k) {
-      boxes_[static_cast<std::size_t>(ev.affected[k])] = ev.new_boxes[k];
+      boxes_.store(static_cast<std::size_t>(ev.affected[k]), ev.new_boxes[k]);
     }
     total_cost_ += ev.delta;
     for (int i = 0; i < ev.n_moved; ++i) {
-      pt_of_block_[static_cast<std::size_t>(ev.moved[i].block)] =
-          ev.moved[i].to;
+      set_pos(ev.moved[i].block, ev.moved[i].to);
     }
     pl_.lut_loc[static_cast<std::size_t>(ev.li)] = ev.to;
     site_of_[site_index(ev.to)] = ev.li;
@@ -332,98 +484,67 @@ class AnnealState {
     return static_cast<std::size_t>(p.y) * pl_.grid_w + p.x;
   }
 
-  /// Folds one terminal at `q` into the box (bounds and edge counts).
-  static void add_point(NetBox& nb, Point q) {
-    if (q.x < nb.minx) {
-      nb.minx = q.x;
-      nb.nmin_x = 1;
-    } else if (q.x == nb.minx) {
-      ++nb.nmin_x;
-    }
-    if (q.x > nb.maxx) {
-      nb.maxx = q.x;
-      nb.nmax_x = 1;
-    } else if (q.x == nb.maxx) {
-      ++nb.nmax_x;
-    }
-    if (q.y < nb.miny) {
-      nb.miny = q.y;
-      nb.nmin_y = 1;
-    } else if (q.y == nb.miny) {
-      ++nb.nmin_y;
-    }
-    if (q.y > nb.maxy) {
-      nb.maxy = q.y;
-      nb.nmax_y = 1;
-    } else if (q.y == nb.maxy) {
-      ++nb.nmax_y;
-    }
+  void set_pos(BlockId b, Point p) {
+    ptx_[static_cast<std::size_t>(b)] = p.x;
+    pty_[static_cast<std::size_t>(b)] = p.y;
   }
 
-  /// Moves one terminal `from` -> `to`. Returns false when the terminal was
-  /// the last one on a bounding edge, i.e. the box may shrink and must be
-  /// rescanned (the box is left inconsistent in that case).
-  static bool update_box(NetBox& nb, Point from, Point to) {
-    add_point(nb, to);
-    if (from.x == nb.minx && --nb.nmin_x == 0) return false;
-    if (from.x == nb.maxx && --nb.nmax_x == 0) return false;
-    if (from.y == nb.miny && --nb.nmin_y == 0) return false;
-    if (from.y == nb.maxy && --nb.nmax_y == 0) return false;
-    return true;
+  /// Gathers net `n`'s terminal coordinates into contiguous spans for the
+  /// scan kernel. Returns the terminal count (0 for empty-sink nets).
+  std::size_t gather(NetId n, std::vector<std::int32_t>& tx,
+                     std::vector<std::int32_t>& ty) const {
+    const auto row = net_terms_.row(static_cast<std::size_t>(n));
+    tx.resize(row.size());
+    ty.resize(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const auto sb = static_cast<std::size_t>(row[i]);
+      tx[i] = ptx_[sb];
+      ty[i] = pty_[sb];
+    }
+    return row.size();
   }
 
-  /// Terminal position under the evaluation's move overlay: the would-be
-  /// position of the (at most two) moved blocks, the committed position of
-  /// everything else.
-  Point moved_pos(BlockId b, const MoveEval& ev) const {
-    for (int i = 0; i < ev.n_moved; ++i) {
-      if (ev.moved[i].block == b) return ev.moved[i].to;
+  /// Gather under the evaluation's move overlay: the would-be position of
+  /// the (at most two) moved blocks, the committed position of everything
+  /// else. Select-based — no per-terminal branch ladder.
+  std::size_t gather_moved(NetId n, const MoveEval& ev,
+                           std::vector<std::int32_t>& tx,
+                           std::vector<std::int32_t>& ty) const {
+    const auto row = net_terms_.row(static_cast<std::size_t>(n));
+    tx.resize(row.size());
+    ty.resize(row.size());
+    const BlockId b0 = ev.moved[0].block;
+    const BlockId b1 = ev.n_moved > 1 ? ev.moved[1].block : BlockId{-1};
+    const Point p0 = ev.moved[0].to;
+    const Point p1 = ev.n_moved > 1 ? ev.moved[1].to : Point{};
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const BlockId b = row[i];
+      std::int32_t x = ptx_[static_cast<std::size_t>(b)];
+      std::int32_t y = pty_[static_cast<std::size_t>(b)];
+      if (b == b0) {
+        x = p0.x;
+        y = p0.y;
+      }
+      if (b == b1) {
+        x = p1.x;
+        y = p1.y;
+      }
+      tx[i] = x;
+      ty[i] = y;
     }
-    return pt_of_block_[static_cast<std::size_t>(b)];
-  }
-
-  NetBox compute_box(NetId n) const {
-    const Net& net = nl_.net(n);
-    const Point p = pt_of_block_[static_cast<std::size_t>(net.driver)];
-    NetBox nb{p.x, p.x, p.y, p.y, 1, 1, 1, 1, 0.0};
-    for (const Net::Sink& s : net.sinks) {
-      add_point(nb, pt_of_block_[static_cast<std::size_t>(s.block)]);
-    }
-    nb.cost = q_[static_cast<std::size_t>(n)] *
-              ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
-    return nb;
-  }
-
-  /// Full terminal rescan under the move overlay (the slow path when a
-  /// terminal leaves a bounding edge, or full-recompute mode).
-  NetBox compute_box_moved(NetId n, const MoveEval& ev) const {
-    const Net& net = nl_.net(n);
-    const Point p = moved_pos(net.driver, ev);
-    NetBox nb{p.x, p.x, p.y, p.y, 1, 1, 1, 1, 0.0};
-    for (const Net::Sink& s : net.sinks) {
-      add_point(nb, moved_pos(s.block, ev));
-    }
-    nb.cost = q_[static_cast<std::size_t>(n)] *
-              ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
-    return nb;
-  }
-
-  void recompute_box(NetId n) {
-    if (nl_.net(n).sinks.empty()) {
-      boxes_[static_cast<std::size_t>(n)] = {0, 0, 0, 0, 0, 0, 0, 0, 0.0};
-      return;
-    }
-    boxes_[static_cast<std::size_t>(n)] = compute_box(n);
+    return row.size();
   }
 
   const Netlist& nl_;
   const PackedDesign& pd_;
   Placement& pl_;
   const bool incremental_;
-  std::vector<Point> pt_of_block_;
+  // Block positions, SoA (one contiguous int32 stride per axis).
+  std::vector<std::int32_t> ptx_, pty_;
   Csr<NetRef> nets_of_block_;
+  Csr<BlockId> net_terms_;  ///< net -> terminal blocks (gather source)
   std::vector<double> q_;  ///< per-net crossing factor (terminal count is static)
-  std::vector<NetBox> boxes_;
+  NetBoxStore boxes_;
   std::vector<int> site_of_;
   // Batch validation epochs: which nets / sites were written by a commit
   // of the current speculation batch.
@@ -437,13 +558,21 @@ class AnnealState {
 /// Exactly four draws per slot (instance, two offsets, acceptance uniform)
 /// whether or not the slot is degenerate, so the RNG stream is a pure
 /// function of the seed and the schedule — independent of thread count and
-/// of accept/reject outcomes.
+/// of accept/reject outcomes. The acceptance uniform is drawn as raw bits
+/// (one next_u64, the same single state advance next_double performs) and
+/// converted only if the accept test actually needs it.
 struct Slot {
   int li = 0;
   Point to;
-  double u = 0.0;   ///< pre-drawn acceptance uniform
-  bool skip = false;  ///< degenerate to == from at generation time
+  std::uint64_t ubits = 0;  ///< pre-drawn acceptance uniform, raw bits
+  bool skip = false;        ///< degenerate to == from at generation time
 };
+
+/// Bits -> uniform in [0,1): the exact mapping Rng::next_double uses, so a
+/// lazily-converted Slot::ubits reproduces the eagerly-drawn double.
+inline double slot_u(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
 
 /// Assigns each I/O to the free perimeter slot nearest the centroid of the
 /// logic it connects to.
@@ -516,7 +645,107 @@ void assign_ios(const Netlist& nl, const PackedDesign& pd, Placement& pl,
   }
 }
 
+/// Pre-SoA AoS bounding-box formulation, retained verbatim as the
+/// cross-check oracle for bench_place_kernels: an independent code path
+/// (branchy fold-in, struct-of-everything per net) that must produce
+/// bit-identical per-net costs.
+namespace reference {
+
+struct RefBox {
+  int minx, maxx, miny, maxy;
+  int nmin_x, nmax_x, nmin_y, nmax_y;
+  double cost;
+};
+
+void add_point(RefBox& nb, Point q) {
+  if (q.x < nb.minx) {
+    nb.minx = q.x;
+    nb.nmin_x = 1;
+  } else if (q.x == nb.minx) {
+    ++nb.nmin_x;
+  }
+  if (q.x > nb.maxx) {
+    nb.maxx = q.x;
+    nb.nmax_x = 1;
+  } else if (q.x == nb.maxx) {
+    ++nb.nmax_x;
+  }
+  if (q.y < nb.miny) {
+    nb.miny = q.y;
+    nb.nmin_y = 1;
+  } else if (q.y == nb.miny) {
+    ++nb.nmin_y;
+  }
+  if (q.y > nb.maxy) {
+    nb.maxy = q.y;
+    nb.nmax_y = 1;
+  } else if (q.y == nb.maxy) {
+    ++nb.nmax_y;
+  }
+}
+
+/// Per-net costs of `pl` via the AoS fold (driver first, then sinks).
+void sweep_costs(const Netlist& nl, const PackedDesign& pd,
+                 const Placement& pl, std::vector<double>& out) {
+  std::vector<Point> pt(static_cast<std::size_t>(nl.num_blocks()), Point{});
+  for (int i = 0; i < pd.num_luts(); ++i) {
+    pt[static_cast<std::size_t>(pd.luts[i])] =
+        pl.lut_loc[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < pd.num_ios(); ++i) {
+    pt[static_cast<std::size_t>(pd.ios[i])] =
+        pl.io_point(pl.io_loc[static_cast<std::size_t>(i)]);
+  }
+  out.assign(static_cast<std::size_t>(nl.num_nets()), 0.0);
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.sinks.empty()) continue;
+    const Point p = pt[static_cast<std::size_t>(net.driver)];
+    RefBox nb{p.x, p.x, p.y, p.y, 1, 1, 1, 1, 0.0};
+    for (const Net::Sink& s : net.sinks) {
+      add_point(nb, pt[static_cast<std::size_t>(s.block)]);
+    }
+    out[static_cast<std::size_t>(n)] =
+        crossing_factor(static_cast<int>(net.sinks.size()) + 1) *
+        ((nb.maxx - nb.minx) + (nb.maxy - nb.miny));
+  }
+}
+
+}  // namespace reference
+
 }  // namespace
+
+PlaceKernelReport bench_place_kernels(const Netlist& nl,
+                                      const PackedDesign& pd,
+                                      const Placement& pl, long long sweeps) {
+  PlaceKernelReport rep;
+  rep.nets = nl.num_nets();
+  rep.sweeps = std::max<long long>(1, sweeps);
+
+  Placement scratch_pl = pl;  // AnnealState takes the placement by reference
+  AnnealState state(nl, pd, scratch_pl, /*incremental=*/true);
+
+  std::vector<double> soa_costs, ref_costs;
+  const std::uint64_t t_soa = telem::now_ns();
+  for (long long s = 0; s < rep.sweeps; ++s) {
+    state.fresh_costs(soa_costs);
+  }
+  rep.soa_seconds = telem::seconds_since(t_soa);
+
+  const std::uint64_t t_ref = telem::now_ns();
+  for (long long s = 0; s < rep.sweeps; ++s) {
+    reference::sweep_costs(nl, pd, pl, ref_costs);
+  }
+  rep.ref_seconds = telem::seconds_since(t_ref);
+
+  rep.identical = soa_costs.size() == ref_costs.size();
+  rep.total_cost = 0.0;
+  for (std::size_t n = 0; rep.identical && n < soa_costs.size(); ++n) {
+    if (soa_costs[n] != ref_costs[n]) rep.identical = false;
+  }
+  for (const double c : soa_costs) rep.total_cost += c;
+  return rep;
+}
 
 Placement place_design(const Netlist& nl, const PackedDesign& pd,
                        const ArchSpec& spec, int grid_w, int grid_h,
@@ -575,7 +804,7 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
         spec_scratch.back()->init(nl.num_nets());
       }
     }
-    std::vector<Slot> slots(static_cast<std::size_t>(kSpecBatch));
+    std::vector<Slot> slots(pool ? static_cast<std::size_t>(kSpecBatch) : 0);
     std::vector<MoveEval> spec_evals(
         pool ? static_cast<std::size_t>(kSpecBatch) : 0);
     // Built once: constructing the type-erased std::function per batch
@@ -587,6 +816,26 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
                          *spec_scratch[static_cast<std::size_t>(rank)],
                          spec_evals[i]);
         };
+
+    // Serial fused-generation overlay: the batch-start position of every
+    // LUT moved earlier in the current batch, epoch-stamped. Generation
+    // fused into the evaluate/commit pass must still read the state frozen
+    // at batch start — exactly what a separate pre-generation pass would
+    // have seen — so committed movers park their old position here.
+    std::vector<std::uint64_t> gen_epoch_of;
+    std::vector<Point> gen_frozen;
+    std::uint64_t gen_epoch = 0;
+    if (!pool) {
+      gen_epoch_of.assign(static_cast<std::size_t>(pd.num_luts()), 0);
+      gen_frozen.assign(static_cast<std::size_t>(pd.num_luts()), Point{});
+    }
+    auto freeze = [&](int li, Point at) {
+      const auto s = static_cast<std::size_t>(li);
+      if (gen_epoch_of[s] != gen_epoch) {
+        gen_epoch_of[s] = gen_epoch;
+        gen_frozen[s] = at;
+      }
+    };
 
     // Initial temperature: 20 x the std-dev of deltas over a random-walk
     // sample (all moves accepted), per VPR.
@@ -614,40 +863,41 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
     while (true) {
       telem::Span temp_span("place", "temperature");
       long long accepted = 0, evaluated = 0;
+      long long batches = 0;
       // The bounded trip count stays moves_per_t slots; how many of them
       // are real proposals (and so feed the schedule) varies.
+      telem::Span kernel_span("place", "batches");
       for (long long base = 0; base < moves_per_t; base += batch_len) {
         telem::counter_add("place.batches");
+        ++batches;
         const auto bsz =
             static_cast<std::size_t>(std::min(batch_len, moves_per_t - base));
-        // 1. Generate the batch serially from the master RNG, against the
-        //    state frozen at batch start.
         const int r = std::max(1, static_cast<int>(rlim));
-        for (std::size_t i = 0; i < bsz; ++i) {
-          Slot& sl = slots[i];
-          sl.li = static_cast<int>(
-              rng.next_below(static_cast<std::uint64_t>(pd.num_luts())));
-          const Point from = state.lut_loc(sl.li);
-          sl.to = {std::clamp(from.x + rng.next_int(-r, r), 0, grid_w - 1),
-                   std::clamp(from.y + rng.next_int(-r, r), 0, grid_h - 1)};
-          sl.u = rng.next_double();
-          sl.skip = sl.to == from;
-        }
-        // 2. Speculate: evaluate every real slot against the frozen state,
-        //    in per-thread scratch arenas.
         if (pool) {
+          // 1. Generate the batch serially from the master RNG, against
+          //    the state frozen at batch start.
+          for (std::size_t i = 0; i < bsz; ++i) {
+            Slot& sl = slots[i];
+            sl.li = static_cast<int>(
+                rng.next_below(static_cast<std::uint64_t>(pd.num_luts())));
+            const Point from = state.lut_loc(sl.li);
+            sl.to = {std::clamp(from.x + rng.next_int(-r, r), 0, grid_w - 1),
+                     std::clamp(from.y + rng.next_int(-r, r), 0, grid_h - 1)};
+            sl.ubits = rng.next_u64();
+            sl.skip = sl.to == from;
+          }
+          // 2. Speculate: evaluate every real slot against the frozen
+          //    state, in per-thread scratch arenas.
           pool->parallel_for(bsz, spec_fn);
           state.begin_batch();
-        }
-        // 3. Validate + commit in canonical slot order. A clean
-        //    speculative delta is bit-identical to evaluating here, so the
-        //    accept/reject decisions — and the committed state — match the
-        //    serial path exactly.
-        for (std::size_t i = 0; i < bsz; ++i) {
-          const Slot& sl = slots[i];
-          if (sl.skip) continue;  // not a proposal: free of charge
-          const MoveEval* ev;
-          if (pool) {
+          // 3. Validate + commit in canonical slot order. A clean
+          //    speculative delta is bit-identical to evaluating here, so
+          //    the accept/reject decisions — and the committed state —
+          //    match the serial path exactly.
+          for (std::size_t i = 0; i < bsz; ++i) {
+            const Slot& sl = slots[i];
+            if (sl.skip) continue;  // not a proposal: free of charge
+            const MoveEval* ev;
             if (state.batch_clean(spec_evals[i])) {
               ev = &spec_evals[i];
               ++spec_commits;
@@ -656,27 +906,63 @@ Placement place_design(const Netlist& nl, const PackedDesign& pd,
               ev = &serial_eval;
               ++spec_rejected;
             }
-          } else {
-            state.evaluate(sl.li, sl.to, main_scratch, serial_eval);
-            ev = &serial_eval;
+            // A slot can also become degenerate at commit time: an earlier
+            // commit of this batch moved the drawn LUT onto the slot's
+            // target. Same contract as generation-time skips — a self-swap
+            // is not a proposal and must not feed the schedule. The
+            // decision is thread-count-invariant: moving the LUT dirtied
+            // its sites, so the parallel path always re-evaluated such a
+            // slot against the same current state the serial path reads.
+            if (ev->from == ev->to) continue;
+            ++evaluated;
+            const double d = ev->delta;
+            if (d <= 0 || slot_u(sl.ubits) < std::exp(-d / t)) {
+              state.commit(*ev);
+              ++accepted;
+              state.mark_batch_dirty(*ev);
+            }
           }
-          // A slot can also become degenerate at commit time: an earlier
-          // commit of this batch moved the drawn LUT onto the slot's
-          // target. Same contract as generation-time skips — a self-swap
-          // is not a proposal and must not feed the schedule. The decision
-          // is thread-count-invariant: moving the LUT dirtied its sites,
-          // so the parallel path always re-evaluated such a slot against
-          // the same current state the serial path reads.
-          if (ev->from == ev->to) continue;
-          ++evaluated;
-          const double d = ev->delta;
-          if (d <= 0 || sl.u < std::exp(-d / t)) {
-            state.commit(*ev);
-            ++accepted;
-            if (pool) state.mark_batch_dirty(*ev);
+        } else {
+          // Serial path: generation fused into the evaluate/commit pass —
+          // no slot buffer, no second walk over the batch. The RNG draws
+          // are the same four per slot in the same order (evaluation draws
+          // nothing), and the frozen overlay makes generation read exactly
+          // the batch-start state the pre-generation pass saw, so the
+          // trajectory is byte-identical to the parallel engine's.
+          ++gen_epoch;
+          for (std::size_t i = 0; i < bsz; ++i) {
+            const int li = static_cast<int>(
+                rng.next_below(static_cast<std::uint64_t>(pd.num_luts())));
+            const auto sli = static_cast<std::size_t>(li);
+            const Point from = gen_epoch_of[sli] == gen_epoch
+                                   ? gen_frozen[sli]
+                                   : state.lut_loc(li);
+            const Point to{
+                std::clamp(from.x + rng.next_int(-r, r), 0, grid_w - 1),
+                std::clamp(from.y + rng.next_int(-r, r), 0, grid_h - 1)};
+            const std::uint64_t ubits = rng.next_u64();
+            if (to == from) continue;  // degenerate at generation time
+            state.evaluate(li, to, main_scratch, serial_eval);
+            // Degenerate at commit time: an earlier commit of this batch
+            // moved the drawn LUT onto the slot's target.
+            if (serial_eval.from == serial_eval.to) continue;
+            ++evaluated;
+            const double d = serial_eval.delta;
+            if (d <= 0 || slot_u(ubits) < std::exp(-d / t)) {
+              // Park the movers' batch-start positions before the commit
+              // changes them (no-ops if already parked this batch).
+              freeze(serial_eval.li, serial_eval.from);
+              if (serial_eval.occupant >= 0 &&
+                  serial_eval.occupant != serial_eval.li) {
+                freeze(serial_eval.occupant, serial_eval.to);
+              }
+              state.commit(serial_eval);
+              ++accepted;
+            }
           }
         }
       }
+      kernel_span.arg("batches", batches).arg("evaluated", evaluated);
       tot_moves += evaluated;
       tot_accept += accepted;
       ++n_temps;

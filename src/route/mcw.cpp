@@ -54,13 +54,19 @@ McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
                             width < fabric_w ? width : 0);
     RouterOptions ropts = opts.router;
     const bool seeded = opts.warm_start && !warm.empty();
+    bool trusted = false;
     if (seeded) {
       router.seed_routes(warm);
       // A seed can corner the negotiation where a cold route would have
       // converged; a stalled seeded trial rips everything (trees AND
       // history) and reroutes once, so a post-restart verdict is exactly
-      // a cold route's verdict.
-      if (ropts.stall_restarts == 0) ropts.stall_restarts = 1;
+      // a cold route's verdict. trust_seeded_failures waives that
+      // verification and takes the (one-sided) seeded verdict as-is.
+      if (opts.trust_seeded_failures) {
+        trusted = ropts.stall_restarts == 0;
+      } else if (ropts.stall_restarts == 0) {
+        ropts.stall_restarts = 1;
+      }
     }
     RoutingResult rr = router.route(ropts);
     McwTrial t;
@@ -69,6 +75,9 @@ McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
     t.iterations = rr.iterations;
     t.heap_pops = rr.heap_pops;
     t.seconds = telem::seconds_since(t0);
+    t.seeded = seeded;
+    t.skipped_restart = trusted && !rr.success;
+    if (t.skipped_restart) ++res.skipped_restarts;
     res.heap_pops += rr.heap_pops;
     trial_span.arg("width", width)
         .arg("routable", (long long)(rr.success ? 1 : 0))
@@ -100,10 +109,17 @@ McwResult find_min_channel_width(const ArchSpec& base_spec, const Netlist& nl,
     return res;  // mcw = -1
   }
 
-  // Binary search in [lo, known_good].
+  // Bisection in [lo, known_good], biased toward the routable side: probe
+  // the upper third of the interval instead of the midpoint. Trial costs
+  // are asymmetric — a routable trial converges (and refreshes the warm
+  // seed with a narrower solution), while an unroutable one grinds
+  // stall_abort congested iterations before giving up, worst of all at
+  // deeply-infeasible widths (ex5p's W=8 trial alone was ~60% of its
+  // search). Failures still move `lo` past the probe, so the count stays
+  // O(log W) — just weighted toward the cheap side.
   int good = known_good;
   while (lo < good) {
-    const int mid = lo + (good - lo) / 2;
+    const int mid = good - std::max(1, (good - lo) / 3);
     if (trial(mid)) {
       good = mid;
     } else {

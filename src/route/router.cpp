@@ -11,28 +11,13 @@
 
 namespace vbs {
 
-void PathfinderRouter::Scratch::init(int num_nodes) {
-  const auto n = static_cast<std::size_t>(num_nodes);
-  path_cost.assign(n, 0.0f);
-  back_node.assign(n, -1);
-  back_edge.assign(n, -1);
-  epoch_of.assign(n, 0);
-  epoch = 0;
-  sink_mark.assign(n, 0);
-  tree_idx_of.assign(n, -1);
-  tree_epoch_of.assign(n, 0);
-  tree_epoch = 0;
-  occ_delta.assign(n, 0);
-  delta_epoch_of.assign(n, 0);
-  delta_epoch = 0;
-}
-
 PathfinderRouter::PathfinderRouter(const Fabric& fabric, RouteRequest request,
                                    int width_limit)
     : fabric_(fabric), request_(std::move(request)) {
   const int n = fabric_.num_nodes();
   occ_.assign(static_cast<std::size_t>(n), 0);
   hist_.assign(static_cast<std::size_t>(n), 0.0f);
+  node_cost_.assign(static_cast<std::size_t>(n), 0.0f);
   dirty_epoch_of_.assign(static_cast<std::size_t>(n), 0);
   main_.init(n);
 
@@ -118,7 +103,7 @@ void PathfinderRouter::seed_routes(const std::vector<NetRoute>& prior) {
     }
     // Pass 2 (children before parents): drop surviving branches that no
     // longer reach any sink.
-    ++s.tree_epoch;
+    s.begin_tree();
     for (const int sink : request_.nets[i].sinks) {
       s.sink_mark[static_cast<std::size_t>(sink)] = s.tree_epoch;
     }
@@ -154,6 +139,20 @@ inline double node_cost_of(double hist, double pres_fac, int occ) {
 }
 }  // namespace
 
+void PathfinderRouter::refresh_node_costs(double pres_fac) {
+  telem::Span span("route", "cost_refresh");
+  pres_fac_ = pres_fac;
+  const std::size_t n = occ_.size();
+  // One pass over three parallel arrays — contiguous, branchless, and the
+  // only place the (1+hist)(1+pres*occ) arithmetic runs per iteration.
+  for (std::size_t v = 0; v < n; ++v) {
+    node_cost_[v] =
+        static_cast<float>(node_cost_of(hist_[v], pres_fac, occ_[v]));
+  }
+  span.arg("nodes", static_cast<long long>(n));
+  telem::counter_add("route.cost_refresh");
+}
+
 template <bool kSpec>
 int PathfinderRouter::occ_of(const Scratch& s, int v) const {
   const auto sv = static_cast<std::size_t>(v);
@@ -181,12 +180,24 @@ void PathfinderRouter::add_occ(Scratch& s, int v, int d) {
   } else {
     const auto sv = static_cast<std::size_t>(v);
     occ_[sv] = static_cast<std::uint16_t>(static_cast<int>(occ_[sv]) + d);
+    // Serial occupancy changes keep the precomputed stride in sync within
+    // the iteration; the wholesale refresh at iteration start covers
+    // everything else (hist updates, seeding, restarts).
+    if (precost_) {
+      node_cost_[sv] =
+          static_cast<float>(node_cost_of(hist_[sv], pres_fac_, occ_[sv]));
+    }
   }
 }
 
 void PathfinderRouter::rip_up(std::size_t net_idx) {
   for (const NetRoute::TreeNode& tn : routes_[net_idx].nodes) {
-    --occ_[static_cast<std::size_t>(tn.rr)];
+    const auto sv = static_cast<std::size_t>(tn.rr);
+    --occ_[sv];
+    if (precost_) {
+      node_cost_[sv] =
+          static_cast<float>(node_cost_of(hist_[sv], pres_fac_, occ_[sv]));
+    }
   }
   routes_[net_idx].nodes.clear();
 }
@@ -304,7 +315,7 @@ bool PathfinderRouter::expand_to_sink(const NetRoute& route, int sink,
                      std::abs(p.y - sink_pos.y) * py1));
   };
 
-  ++s.epoch;
+  s.begin_search();
   s.heap.clear();
   // Multi-source expansion from the tree nodes inside the box (all of them
   // when unbounded). Out-of-box branches cannot be junctions for this
@@ -338,9 +349,25 @@ bool PathfinderRouter::expand_to_sink(const NetRoute& route, int sink,
       const std::uint8_t cls = node_class_[sv];
       if (cls != kFree && (cls == kMasked || v != sink)) continue;
       if (!box.contains(fabric_.node_pos(v))) continue;
-      const float npc =
-          top.path + static_cast<float>(node_cost_of(
-                         hist_[sv], pres_fac, occ_of<kSpec>(s, v)));
+      // Congestion cost: one contiguous float read in the common case. A
+      // node this task's overlay touched recomputes from the overlay occ —
+      // the same double expression node_cost_[sv] was filled from, so the
+      // float is bit-identical either way; precost_ off is the reference
+      // formulation (flow_bench's kernel leg cross-checks the two).
+      float cong;
+      if (precost_) {
+        cong = node_cost_[sv];
+        if constexpr (kSpec) {
+          if (s.delta_epoch_of[sv] == s.delta_epoch) {
+            cong = static_cast<float>(node_cost_of(
+                hist_[sv], pres_fac, occ_[sv] + s.occ_delta[sv]));
+          }
+        }
+      } else {
+        cong = static_cast<float>(
+            node_cost_of(hist_[sv], pres_fac, occ_of<kSpec>(s, v)));
+      }
+      const float npc = top.path + cong;
       if (s.epoch_of[sv] != s.epoch || npc < s.path_cost[sv]) {
         if constexpr (kSpec) {
           // First stamp this search == first congestion read: record the
@@ -364,7 +391,7 @@ bool PathfinderRouter::route_net(std::size_t net_idx, double pres_fac,
                                  const RouterOptions& opts, Scratch& s,
                                  NetRoute& route) {
   const NetSpec& spec = request_.nets[net_idx];
-  ++s.tree_epoch;
+  s.begin_tree();
   if (route.nodes.empty()) {
     route.nodes.push_back({spec.source, -1, -1});
     s.tree_idx_of[static_cast<std::size_t>(spec.source)] = 0;
@@ -465,7 +492,7 @@ void PathfinderRouter::run_spec_task(std::size_t net_idx, bool full,
   task.retries = 0;
   task.deps.clear();
   task.tree.nodes.clear();
-  ++s.delta_epoch;  // fresh occupancy overlay for this task
+  s.begin_delta();  // fresh occupancy overlay for this task
   s.delta_touched.clear();
   s.visited.clear();
 
@@ -498,7 +525,7 @@ void PathfinderRouter::apply_occ_diff(
     const std::vector<NetRoute::TreeNode>& old_nodes,
     const std::vector<NetRoute::TreeNode>& new_nodes) {
   Scratch& s = main_;
-  ++s.delta_epoch;
+  s.begin_delta();
   s.delta_touched.clear();
   for (const NetRoute::TreeNode& tn : old_nodes) bump_delta(s, tn.rr, -1);
   for (const NetRoute::TreeNode& tn : new_nodes) bump_delta(s, tn.rr, +1);
@@ -507,6 +534,10 @@ void PathfinderRouter::apply_occ_diff(
     const int d = s.occ_delta[sv];
     if (d == 0) continue;
     occ_[sv] = static_cast<std::uint16_t>(static_cast<int>(occ_[sv]) + d);
+    if (precost_) {
+      node_cost_[sv] =
+          static_cast<float>(node_cost_of(hist_[sv], pres_fac_, occ_[sv]));
+    }
     dirty_epoch_of_[sv] = dirty_epoch_;
   }
 }
@@ -526,8 +557,9 @@ bool PathfinderRouter::parallel_iteration(const std::vector<std::size_t>& work,
   std::size_t pos = 0;
   while (pos < work.size()) {
     const std::size_t batch = std::min(batch_cap, work.size() - pos);
-    // Dirty marks are relative to this batch's congestion snapshot.
-    ++dirty_epoch_;
+    // Dirty marks are relative to this batch's congestion snapshot (same
+    // wrap-safe reset path as the scratch epochs).
+    RouterScratch::bump_epoch(dirty_epoch_, {&dirty_epoch_of_});
     pool.parallel_for(batch, [&](int rank, std::size_t k) {
       run_spec_task(work[pos + k], full, pres_fac, opts,
                     *spec_scratch_[static_cast<std::size_t>(rank)],
@@ -564,7 +596,7 @@ bool PathfinderRouter::parallel_iteration(const std::vector<std::size_t>& work,
         // Conservative dirty-marking: every wire whose occupancy the redo
         // moved invalidates later speculative results of this batch.
         Scratch& s = main_;
-        ++s.delta_epoch;
+        s.begin_delta();
         s.delta_touched.clear();
         for (const NetRoute::TreeNode& tn : old_nodes) {
           bump_delta(s, tn.rr, -1);
@@ -586,6 +618,7 @@ bool PathfinderRouter::parallel_iteration(const std::vector<std::size_t>& work,
 
 RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
   RoutingResult result;
+  precost_ = opts.precomputed_cost;
   const int threads = std::max(1, opts.threads);
   result.threads_used = threads;
   std::unique_ptr<ThreadPool> pool;
@@ -642,6 +675,10 @@ RoutingResult PathfinderRouter::route(const RouterOptions& opts) {
   for (int iter = 1; iter <= iter_limit; ++iter) {
     telem::Span iter_span("route", "iteration");
     const std::uint64_t iter_start = telem::now_ns();
+    // hist_ and pres_fac changed since the last iteration: rebuild the
+    // congestion-cost stride once, O(V) and vectorizable, instead of
+    // paying the two-array arithmetic on every edge relaxation below.
+    if (precost_) refresh_node_costs(pres_fac);
     const long long pops_before = total_pops();
     std::size_t rerouted = 0;
     result.iterations = iter;

@@ -32,6 +32,7 @@
 
 #include "fabric/fabric.h"
 #include "netlist/netlist.h"
+#include "route/scratch.h"
 
 namespace vbs {
 
@@ -108,6 +109,15 @@ struct RouterOptions {
   /// circuit suite one batch per thread commits ~80% of speculations
   /// clean, two per thread only ~60%.
   int spec_batch_per_thread = 1;
+  /// Read congestion costs from a per-iteration precomputed float array
+  /// (one contiguous stride over RR nodes, refreshed at iteration start and
+  /// kept in sync on every serial occupancy change) instead of recomputing
+  /// (1+hist)(1+pres_fac*occ) from two arrays inside the A* inner loop.
+  /// Identity-preserving by construction — the cached float is the same
+  /// double expression cast the same way, so heap pops and trees are
+  /// byte-identical either way. Off is the reference path flow_bench's
+  /// kernel leg compares against.
+  bool precomputed_cost = true;
 };
 
 /// Per-PathFinder-iteration counters, for perf trajectories (flow_bench)
@@ -174,57 +184,12 @@ class PathfinderRouter {
     friend bool operator==(const BBox&, const BBox&) = default;
   };
 
-  // Reusable search heap entry.
-  struct HeapEntry {
-    float est;   ///< path cost + weighted heuristic
-    float path;  ///< path cost so far
-    std::int32_t node;
-    // Min-heap by (est, node id) — the node id tie-break keeps expansion
-    // deterministic across runs and platforms.
-    bool operator>(const HeapEntry& o) const {
-      if (est != o.est) return est > o.est;
-      return node > o.node;
-    }
-  };
-
   /// Per-thread search state: everything one speculative (or serial) net
-  /// route touches besides the shared occ_/hist_ arrays. The arenas keep
-  /// their capacity across sinks, nets and iterations.
-  struct Scratch {
-    // Per-connection A* state, epoch-stamped to avoid O(V) clears.
-    std::vector<float> path_cost;
-    std::vector<std::int32_t> back_node;
-    std::vector<std::int64_t> back_edge;
-    std::vector<std::uint32_t> epoch_of;
-    std::uint32_t epoch = 0;
-    std::vector<HeapEntry> heap;
-    std::vector<std::pair<int, std::int64_t>> path_scratch;
-    // Tree compaction scratch: keep flags, usefulness, index remap, and an
-    // epoch-stamped sink marker per RR node.
-    std::vector<std::uint8_t> keep;
-    std::vector<std::uint8_t> useful;
-    std::vector<std::int32_t> remap;
-    std::vector<std::uint32_t> sink_mark;
-    // O(1) tree-junction lookup in backtrack: rr node -> index in the
-    // current net's route tree, epoch-stamped per route_net call.
-    std::vector<std::int32_t> tree_idx_of;
-    std::vector<std::uint32_t> tree_epoch_of;
-    std::uint32_t tree_epoch = 0;
-    // Speculative occupancy overlay: this net's own rip-ups and additions
-    // relative to the frozen shared occ_, epoch-stamped per task. Also used
-    // by the commit step to net out occupancy deltas.
-    std::vector<std::int32_t> occ_delta;
-    std::vector<std::uint32_t> delta_epoch_of;
-    std::uint32_t delta_epoch = 0;
-    std::vector<std::int32_t> delta_touched;
-    // Dependency recording (speculative mode): every node whose occupancy
-    // the task read, i.e. every node its searches stamped.
-    std::vector<std::int32_t> visited;
-    long long heap_pops = 0;
-    long long bbox_retries = 0;
-
-    void init(int num_nodes);
-  };
+  /// route touches besides the shared occ_/hist_ arrays — now the SoA
+  /// RouterScratch (route/scratch.h), which also owns the single
+  /// epoch-reset path every stamp family advances through.
+  using Scratch = RouterScratch;
+  using HeapEntry = RouterScratch::HeapEntry;
 
   /// One net's speculative result, produced in parallel against a frozen
   /// congestion snapshot and committed (or rejected) in net order.
@@ -295,9 +260,21 @@ class PathfinderRouter {
   RouteRequest request_;
   std::vector<NetRoute> routes_;
 
+  /// Refreshes node_cost_ (the precomputed per-iteration congestion-cost
+  /// stride) from hist_/occ_ under `pres_fac`, and remembers the factor so
+  /// serial occupancy changes can keep single entries in sync.
+  void refresh_node_costs(double pres_fac);
+
   // Per-RR-node congestion state (shared; frozen during parallel phases).
   std::vector<std::uint16_t> occ_;
   std::vector<float> hist_;
+  /// float((1+hist)(1+pres_fac*occ)) per node, valid for the current
+  /// iteration when opts.precomputed_cost is on: the A* inner loop reads
+  /// this one contiguous stride instead of touching hist_ and occ_ and
+  /// redoing the arithmetic per edge relaxation.
+  std::vector<float> node_cost_;
+  double pres_fac_ = 0.0;  ///< factor node_cost_ was computed under
+  bool precost_ = true;    ///< RouterOptions::precomputed_cost for this run
   /// kFree = plain wire; kPinOnly = pin-stub seg-0 node, usable only as a
   /// net's own terminal (prevents shorting foreign signals onto LUT pins);
   /// kMasked = track >= width_limit, not part of this trial's fabric.

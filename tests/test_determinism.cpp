@@ -13,10 +13,18 @@
 // answer warm or cold.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "flow/flow.h"
+#include "flow/pipeline.h"
 #include "netlist/generator.h"
 #include "netlist/mcnc.h"
 #include "route/mcw.h"
@@ -188,6 +196,63 @@ TEST(Determinism, ThreadedFlowMatchesSerialFlow) {
   expect_identical(a, b);
 }
 
+/// Every stage-artifact file in a checkpoint directory, keyed by name.
+/// flow.meta is deliberately excluded: it records the requested options —
+/// including thread counts — so it differs across thread counts by design.
+std::map<std::string, std::string> checkpoint_bytes(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    if (e.path().extension() != ".art") continue;
+    std::ifstream in(e.path(), std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    files[e.path().filename().string()] = ss.str();
+  }
+  return files;
+}
+
+// The strongest identity statement the stack makes: not just equal
+// in-memory artifacts but equal serialized bytes. Each suite circuit's
+// flow is run at 1, 2 and 8 threads and checkpointed through the route
+// stage; every vbs.artifact.v1 stage file (pack, place, route) must be
+// byte-identical across thread counts.
+TEST(Determinism, ArtifactBytesIdenticalAcrossThreadCounts) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("vbs_det_art_" + std::to_string(::getpid())))
+          .string();
+  for (const McncCircuit& c : suite5()) {
+    SCOPED_TRACE(c.name);
+    std::map<std::string, std::string> reference;
+    for (const int threads : {1, 2, 8}) {
+      SCOPED_TRACE(threads);
+      FlowOptions fo;
+      fo.arch.chan_width = 20;
+      fo.seed = 1;
+      fo.threads = threads;
+      fo.place.effort = 0.25;  // identity is under test; keep anneals cheap
+      FlowPipeline pipe(make_mcnc_like(c, 1), c.size, c.size, fo);
+      pipe.run_to(Stage::kRoute);
+      const std::string dir = root + "_" + c.name + "_t" +
+                              std::to_string(threads);
+      pipe.save_checkpoint(dir, Stage::kRoute);
+      std::map<std::string, std::string> got = checkpoint_bytes(dir);
+      std::filesystem::remove_all(dir);
+      ASSERT_FALSE(got.empty());
+      if (threads == 1) {
+        reference = std::move(got);
+        continue;
+      }
+      ASSERT_EQ(got.size(), reference.size());
+      for (const auto& [name, bytes] : reference) {
+        ASSERT_TRUE(got.count(name)) << name;
+        EXPECT_EQ(got[name], bytes) << name << " bytes differ";
+      }
+    }
+  }
+}
+
 // Warm-started MCW trials (seeded with the previous routable solution's
 // surviving tree) must land on the same minimum width as cold trials, for
 // measurably less search work. bigkey and tseng are the suite circuits
@@ -220,6 +285,42 @@ TEST(Determinism, McwWarmStartMatchesColdSearch) {
     for (const McwTrial& t : rw.trial_log) pops += t.heap_pops;
     EXPECT_EQ(pops, rw.heap_pops);
   }
+}
+
+// trust_seeded_failures waives the cold verification restart on seeded
+// failing trials. The error it admits is one-sided by construction — the
+// reported MCW can only be >= the exact answer — and every waived restart
+// must be visible in the per-trial bookkeeping.
+TEST(Determinism, McwTrustedSeededFailuresAreOneSidedAndAudited) {
+  const McncCircuit c = mcnc_by_name("tseng");
+  const Netlist nl = make_mcnc_like(c, 1);
+  ArchSpec spec;
+  spec.chan_width = 20;
+  const PackedDesign pd = pack_netlist(nl, spec);
+  const Placement pl = place_design(nl, pd, spec, c.size, c.size, {});
+
+  McwOptions exact;  // warm with cold verification restarts (the default)
+  McwOptions trusting = exact;
+  trusting.trust_seeded_failures = true;
+  const McwResult re = find_min_channel_width(spec, nl, pd, pl, exact);
+  const McwResult rt = find_min_channel_width(spec, nl, pd, pl, trusting);
+  ASSERT_GT(re.mcw, 1);
+  ASSERT_GT(rt.mcw, 1);
+  EXPECT_GE(rt.mcw, re.mcw) << "trusted verdicts may only overestimate";
+
+  // Bookkeeping: the exact search never skips a restart; the trusting
+  // search's counter matches its trial log, and only seeded failures are
+  // ever marked skipped.
+  EXPECT_EQ(re.skipped_restarts, 0);
+  int skipped = 0;
+  for (const McwTrial& t : rt.trial_log) {
+    if (t.skipped_restart) {
+      ++skipped;
+      EXPECT_TRUE(t.seeded);
+      EXPECT_FALSE(t.routable);
+    }
+  }
+  EXPECT_EQ(skipped, rt.skipped_restarts);
 }
 
 // An explicitly requested placer seed of 1 must be honored, not silently

@@ -160,6 +160,39 @@ TEST(Generator, LocalityReducesAverageFanoutDistanceProxy) {
   EXPECT_LT(spread(0.95), spread(0.1));
 }
 
+TEST(Generator, RentExponentMappingIsMonotoneAndClamped) {
+  // Higher Rent exponents must shed local bias and feed both non-local
+  // tails; out-of-range exponents clamp to the calibrated [0.4, 0.9] band.
+  GenParams lo, hi;
+  apply_rent_exponent(lo, 0.5);
+  apply_rent_exponent(hi, 0.75);
+  EXPECT_GT(lo.p_local, hi.p_local);
+  EXPECT_LT(lo.global_scale_frac, hi.global_scale_frac);
+  EXPECT_LT(lo.p_uniform, hi.p_uniform);
+  GenParams under, floor;
+  apply_rent_exponent(under, 0.1);
+  apply_rent_exponent(floor, 0.4);
+  EXPECT_DOUBLE_EQ(under.p_local, floor.p_local);
+  GenParams over, ceil;
+  apply_rent_exponent(over, 1.5);
+  apply_rent_exponent(ceil, 0.9);
+  EXPECT_DOUBLE_EQ(over.global_scale_frac, ceil.global_scale_frac);
+}
+
+TEST(Generator, RentExponentParamOverridesLocalityKnobs) {
+  // GenParams::rent_exponent > 0 must generate exactly the netlist that
+  // manually applying the mapping produces — the param is a pure override.
+  GenParams direct;
+  direct.n_lut = 120;
+  direct.seed = 9;
+  direct.rent_exponent = 0.68;
+  GenParams manual = direct;
+  manual.rent_exponent = 0.0;
+  apply_rent_exponent(manual, 0.68);
+  EXPECT_EQ(netlist_to_string(generate_netlist(direct)),
+            netlist_to_string(generate_netlist(manual)));
+}
+
 TEST(Mcnc, TableMatchesPaper) {
   const auto& t = mcnc20();
   ASSERT_EQ(t.size(), 20u);

@@ -110,6 +110,22 @@ TEST(Place, IncrementalBboxMatchesFullRecompute) {
   EXPECT_NEAR(si.final_cost, sf.final_cost, 1e-9);
 }
 
+TEST(Place, SoaKernelMatchesAosReference) {
+  // The SoA bounding-box kernel (gathered-span two-pass scan) must produce
+  // bit-identical per-net costs to the retained AoS reference sweep — the
+  // same cross-check flow_bench's kernel leg runs on every bench run.
+  Fixture f(100, 9);
+  PlaceOptions o;
+  o.seed = 11;
+  const Placement pl = place_design(f.nl, f.pd, f.spec, 11, 11, o);
+  const PlaceKernelReport kr = bench_place_kernels(f.nl, f.pd, pl, 8);
+  EXPECT_EQ(kr.nets, f.nl.num_nets());
+  EXPECT_EQ(kr.sweeps, 8);
+  EXPECT_GT(kr.total_cost, 0.0);
+  EXPECT_TRUE(kr.identical)
+      << "SoA sweep costs diverged from the AoS reference";
+}
+
 TEST(Place, MovesCountOnlyEvaluatedProposals) {
   // Degenerate to == from slots are skipped without being evaluated; they
   // must not count toward stats->moves — nor, therefore, toward the

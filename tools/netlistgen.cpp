@@ -4,8 +4,11 @@
 //
 // Usage:
 //   netlistgen --out circuit.netl [--luts N] [--pis N] [--pos N]
-//              [--p-local F] [--seed S] [--mcnc name]
+//              [--p-local F] [--seed S] [--mcnc name] [--synth rent:P]
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "netlist/generator.h"
 #include "netlist/mcnc.h"
@@ -18,7 +21,26 @@ namespace {
 
 constexpr const char* kUsage =
     "netlistgen --out circuit.netl [--luts N] [--pis N] [--pos N] "
-    "[--p-local F] [--seed S] [--mcnc name]";
+    "[--p-local F] [--seed S] [--mcnc name] [--synth rent:P]";
+
+/// Parses a `--synth` family spec. The only family so far is
+/// `rent:<p>` — a Rent exponent in (0, 1) that drives the generator's
+/// locality knobs via apply_rent_exponent().
+double parse_synth_rent(const std::string& spec) {
+  constexpr const char* kPrefix = "rent:";
+  if (spec.rfind(kPrefix, 0) != 0) {
+    throw std::invalid_argument("unknown --synth family '" + spec +
+                                "' (expected rent:<p>)");
+  }
+  const std::string num = spec.substr(5);
+  char* end = nullptr;
+  const double r = std::strtod(num.c_str(), &end);
+  if (end == num.c_str() || *end != '\0' || !(r > 0.0) || !(r < 1.0)) {
+    throw std::invalid_argument("bad Rent exponent '" + num +
+                                "' (expected 0 < p < 1)");
+  }
+  return r;
+}
 
 }  // namespace
 
@@ -26,7 +48,7 @@ int main(int argc, char** argv) {
   return tool_main("netlistgen", kUsage, [&] {
     const CliArgs args(argc, argv,
                        {"--out", "--luts", "--pis", "--pos", "--p-local",
-                        "--seed", "--mcnc"},
+                        "--seed", "--mcnc", "--synth"},
                        {"--help"});
     if (args.has_flag("--help") || !args.value("--out")) {
       std::fprintf(stderr, "usage: %s\n", kUsage);
@@ -48,6 +70,16 @@ int main(int argc, char** argv) {
       p.n_po = static_cast<int>(args.int_or("--pos", 8));
       p.seed = seed;
       p.p_local = args.double_or("--p-local", p.p_local);
+      if (const auto synth = args.value("--synth")) {
+        p.rent_exponent = parse_synth_rent(*synth);
+        GenParams effective = p;
+        apply_rent_exponent(effective, p.rent_exponent);
+        std::printf(
+            "netlistgen: rent family p=%.3f -> p_local=%.3f "
+            "global_scale_frac=%.3f p_uniform=%.3f\n",
+            p.rent_exponent, effective.p_local, effective.global_scale_frac,
+            effective.p_uniform);
+      }
       nl = generate_netlist(p);
       std::printf("netlistgen: synthetic circuit (%d LUTs, %d PIs, %d POs)\n",
                   p.n_lut, p.n_pi, p.n_po);
