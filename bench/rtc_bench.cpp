@@ -45,20 +45,49 @@
 // trace written with --trace-out is a faithful rendering of the numbers
 // in the JSON.
 //
-// Results go to stdout as a table and to a JSON file (vbs.rtc_bench.v4,
+// After the breakdown legs, the networked legs (new in v5) move the same
+// workloads onto the wire: an in-process RpcServer (src/rtc/server) fronts
+// the service on a loopback socket and the closed-loop load generator
+// drives hundreds of concurrent connections through the vbs.rpc.v1
+// protocol. For steady, bursty and flash_crowd arrivals the leg reports
+// wall-clock p50/p99 request latency, throughput and shed rates at
+// --connections concurrent sessions (256 full, 32 smoke); a final
+// server-replay leg replays a trace through a *journaled* server via one
+// admin session (DRAIN barrier per tick group) and FAILS unless the
+// server's state fingerprint is identical to the offline replay of the
+// same trace — and still identical after a cold recovery from the
+// server's journal.
+//
+// Results go to stdout as a table and to a JSON file (vbs.rtc_bench.v5,
 // documented in bench/README.md). BENCH_rtc.json at the repo root is the
 // committed trajectory. The telemetry registry is always on in this
 // harness (the JSON embeds its counters); every determinism and
 // fingerprint check holds with telemetry on or off.
 //
+// Standalone network modes (all errors exit typed — exit_code_for(code),
+// --json prints {"error": {"code", "errc", "message"}} on stdout):
+//   rtc_bench --serve [--port N] [--port-file F] [--auth-seed S]
+//       front a fresh service on a loopback socket until a remote
+//       SHUTDOWN frame (admin session) stops it;
+//   rtc_bench --connect --port N [--shutdown] [--auth-seed S] [--json]
+//       admin-connect to a running server: ping + stat (or a graceful
+//       remote shutdown with --shutdown);
+//   rtc_bench --server-smoke [--connections N]
+//       the CI loopback gate: in-process server + N-connection closed
+//       loop + remote shutdown, exit 0 only on a clean end-to-end pass.
+//
 // Usage:
 //   rtc_bench [--smoke] [--trace FILE] [--policy P] [--threads T]
 //             [--cache-bits N] [--events N] [--ticks K] [--seed S]
 //             [--queue-limit N] [--deadline T] [--faults SPEC]
-//             [--trace-out trace.json] [--metrics] [--out PATH]
+//             [--connections N] [--trace-out trace.json] [--metrics]
+//             [--out PATH] [--json]
+//             [--serve | --connect | --server-smoke] [--port N]
+//             [--port-file F] [--auth-seed S] [--shutdown]
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -72,10 +101,14 @@
 
 #include "flow/flow.h"
 #include "netlist/generator.h"
+#include "rtc/server/client.h"
+#include "rtc/server/server.h"
 #include "rtc/service/service.h"
 #include "rtc/service/trace.h"
 #include "util/build_info.h"
 #include "util/cli.h"
+#include "util/error.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "vbs/encoder.h"
@@ -288,6 +321,265 @@ struct BreakdownRecord {
   std::string pairing_error;  ///< first event-pairing violation, or empty
 };
 
+/// One networked leg (new in v5): the closed-loop load generator driving
+/// --connections concurrent sessions against an in-process RpcServer.
+struct ServerRecord {
+  Trace trace;
+  int connections = 0;
+  rpc::LoadGenReport report;
+  rpc::ServerCounters counters;
+  double p50_ms = 0.0, p99_ms = 0.0;  ///< wall latency, submit -> RESULT
+  double shed_rate = 0.0;             ///< kShed results / results
+  double throughput = 0.0;            ///< requests per wall second
+  /// Every request sent was accounted for: a RESULT, a door shed, or a
+  /// typed wire error — nothing vanished, nothing timed out.
+  bool accounted = false;
+};
+
+/// The server-replay determinism leg: a journaled wire replay through one
+/// admin session vs the offline replay of the same trace, fingerprints
+/// compared live and after a cold recovery from the server's journal.
+struct ServerReplayRecord {
+  Trace trace;
+  std::uint64_t offline_fp = 0, wire_fp = 0, recovered_fp = 0;
+  bool wire_ok = false;     ///< served fingerprint == offline fingerprint
+  bool recover_ok = false;  ///< recovered fingerprint == offline fingerprint
+  double wall_seconds = 0.0;
+  long long wire_results = 0;
+};
+
+/// Replays a trace through an admin RpcClient: the same submit order as
+/// replay_trace, with a DRAIN frame at each tick-group boundary (the
+/// server runs auto_drain=false, so drains happen only at the barriers —
+/// the wire twin of the offline replay loop). Returns the result count.
+long long admin_wire_replay(int port, std::uint64_t auth_seed,
+                            const Trace& trace, StreamLibrary& lib,
+                            const std::map<int, int>& priorities) {
+  rpc::RpcClientOptions copts;
+  copts.port = port;
+  copts.tenant = rpc::kAdminTenant;
+  copts.auth_seed = auth_seed;
+  rpc::RpcClient admin(copts);
+  for (const auto& [tenant, prio] : priorities) {
+    admin.set_priority(tenant, prio);
+  }
+  long long results = 0;
+  std::vector<RequestId> request_of_event(trace.events.size(), kNoRequest);
+  std::size_t next = 0;
+  while (next < trace.events.size()) {
+    const int tick = trace.events[next].tick;
+    while (next < trace.events.size() && trace.events[next].tick == tick) {
+      const TraceEvent& e = trace.events[next];
+      switch (e.kind) {
+        case TraceEvent::Kind::kLoad:
+          request_of_event[next] = admin.send_load(
+              lib.stream_for(
+                  trace.kinds[static_cast<std::size_t>(e.task_kind)]),
+              e.tenant);
+          break;
+        case TraceEvent::Kind::kUnload:
+          request_of_event[next] = admin.send_unload(
+              request_of_event[static_cast<std::size_t>(e.ref)], e.tenant);
+          break;
+        case TraceEvent::Kind::kRelocate:
+          request_of_event[next] = admin.send_relocate(
+              request_of_event[static_cast<std::size_t>(e.ref)], e.tenant);
+          break;
+      }
+      ++next;
+    }
+    results += static_cast<long long>(admin.drain().size());
+  }
+  return results;
+}
+
+/// Prints a typed failure (--json object on stdout, or a stderr line) and
+/// returns the CLI exit code for it — the same contract vbsdecode uses.
+int typed_exit(const VbsError& e, bool json) {
+  if (json) {
+    std::printf(
+        "{\n  \"error\": {\"code\": \"%s\", \"errc\": %d, "
+        "\"message\": \"%s\"}\n}\n",
+        to_string(e.code()), static_cast<int>(e.code()),
+        json_escape(e.what()).c_str());
+  } else {
+    std::fprintf(stderr, "rtc_bench: %s [%s]\n", e.what(),
+                 to_string(e.code()));
+  }
+  return exit_code_for(e.code());
+}
+
+/// --serve: front a fresh service on a loopback socket until an admin
+/// session sends SHUTDOWN.
+int run_serve(const CliArgs& args, bool json) {
+  try {
+    ArchSpec arch;
+    arch.chan_width = 8;
+    ServiceOptions so;
+    so.threads = static_cast<int>(args.int_or("--threads", 2));
+    so.queue_limit = static_cast<std::size_t>(args.int_or("--queue-limit", 8));
+    so.deadline_ticks = args.int_or("--deadline", 12);
+    ReconfigService svc(arch, 16, 12, so);
+    rpc::RpcServerOptions sopts;
+    sopts.port = static_cast<int>(args.int_or("--port", 0));
+    sopts.auth_seed =
+        static_cast<std::uint64_t>(args.int_or("--auth-seed", 1));
+    rpc::RpcServer server(&svc, sopts);
+    const int port = server.start();
+    if (const auto pf = args.value("--port-file")) {
+      FILE* f = std::fopen(pf->c_str(), "w");
+      if (f == nullptr) throw std::runtime_error("cannot write " + *pf);
+      std::fprintf(f, "%d\n", port);
+      std::fclose(f);
+    }
+    std::printf(
+        "rtc_bench: serving vbs.rpc.v1 on 127.0.0.1:%d "
+        "(an admin SHUTDOWN frame stops it)\n",
+        port);
+    std::fflush(stdout);
+    while (server.running()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    server.stop();
+    const rpc::ServerCounters c = server.counters();
+    if (json) {
+      std::printf(
+          "{\n  \"serve\": {\"port\": %d, \"accepted\": %llu, "
+          "\"frames_in\": %llu, \"frames_out\": %llu, \"door_sheds\": %llu, "
+          "\"handshake_rejects\": %llu, \"proto_errors\": %llu, "
+          "\"fingerprint\": %llu}\n}\n",
+          port, static_cast<unsigned long long>(c.accepted),
+          static_cast<unsigned long long>(c.frames_in),
+          static_cast<unsigned long long>(c.frames_out),
+          static_cast<unsigned long long>(c.door_sheds),
+          static_cast<unsigned long long>(c.handshake_rejects),
+          static_cast<unsigned long long>(c.proto_errors),
+          static_cast<unsigned long long>(svc.state_fingerprint()));
+    } else {
+      std::printf(
+          "rtc_bench: server stopped: %llu connections, %llu frames in, "
+          "%llu out, fingerprint %016llx\n",
+          static_cast<unsigned long long>(c.accepted),
+          static_cast<unsigned long long>(c.frames_in),
+          static_cast<unsigned long long>(c.frames_out),
+          static_cast<unsigned long long>(svc.state_fingerprint()));
+    }
+    return 0;
+  } catch (const VbsError& e) {
+    return typed_exit(e, json);
+  }
+}
+
+/// --connect: admin-connect to a running server for a ping + stat, or a
+/// graceful remote shutdown with --shutdown.
+int run_connect(const CliArgs& args, bool json) {
+  try {
+    rpc::RpcClientOptions copts;
+    copts.port = static_cast<int>(args.int_or("--port", 0));
+    if (copts.port <= 0) throw std::runtime_error("--connect needs --port N");
+    copts.tenant = rpc::kAdminTenant;
+    copts.auth_seed =
+        static_cast<std::uint64_t>(args.int_or("--auth-seed", 1));
+    rpc::RpcClient admin(copts);
+    admin.ping();
+    const rpc::StatReplyMsg s = admin.stat();
+    const bool shutdown = args.has_flag("--shutdown");
+    if (shutdown) admin.shutdown();
+    if (json) {
+      std::printf(
+          "{\n  \"connect\": {\"port\": %d, \"fingerprint\": %llu, "
+          "\"now_ticks\": %lld, \"pending\": %llu, \"loads\": %lld, "
+          "\"unloads\": %lld, \"relocates\": %lld, \"shed\": %lld, "
+          "\"deadline_misses\": %lld, \"failed\": %lld, \"rejected\": %lld, "
+          "\"shutdown\": %s}\n}\n",
+          copts.port, static_cast<unsigned long long>(s.fingerprint),
+          s.now_ticks, static_cast<unsigned long long>(s.pending), s.loads,
+          s.unloads, s.relocates, s.shed, s.deadline_misses, s.failed,
+          s.rejected, shutdown ? "true" : "false");
+    } else {
+      std::printf(
+          "rtc_bench: server at :%d alive: fingerprint %016llx, tick %lld, "
+          "%llu pending, %lld loads%s\n",
+          copts.port, static_cast<unsigned long long>(s.fingerprint),
+          s.now_ticks, static_cast<unsigned long long>(s.pending), s.loads,
+          shutdown ? "; shutdown sent" : "");
+    }
+    return 0;
+  } catch (const VbsError& e) {
+    return typed_exit(e, json);
+  }
+}
+
+/// --server-smoke: the CI loopback gate. In-process server, a
+/// --connections closed loop over a small bursty trace, then a remote
+/// shutdown; exits 0 only on a fully accounted run and a clean stop.
+int run_server_smoke(const CliArgs& args, bool json) {
+  try {
+    ArchSpec arch;
+    arch.chan_width = 8;
+    TraceGenOptions gopts;
+    gopts.pattern = ArrivalPattern::kBursty;
+    gopts.events = static_cast<int>(args.int_or("--events", 96));
+    gopts.ticks = 24;
+    gopts.kinds = 3;
+    gopts.fabric_w = 12;
+    gopts.fabric_h = 10;
+    gopts.seed = static_cast<std::uint64_t>(args.int_or("--seed", 1));
+    const Trace t = generate_trace(gopts);
+    StreamLibrary lib(arch);
+    std::vector<BitVector> streams;
+    for (const TraceTaskKind& k : t.kinds) streams.push_back(lib.stream_for(k));
+
+    ServiceOptions so;
+    so.threads = static_cast<int>(args.int_or("--threads", 2));
+    ReconfigService svc(arch, t.fabric_w, t.fabric_h, so);
+    rpc::RpcServerOptions sopts;
+    sopts.auth_seed =
+        static_cast<std::uint64_t>(args.int_or("--auth-seed", 1));
+    rpc::RpcServer server(&svc, sopts);
+    const int port = server.start();
+
+    rpc::LoadGenOptions lopts;
+    lopts.port = port;
+    lopts.connections =
+        static_cast<int>(args.int_or("--connections", 32));
+    lopts.auth_seed = sopts.auth_seed;
+    lopts.trace = t;
+    lopts.kind_streams = streams;
+    const rpc::LoadGenReport report = rpc::run_loadgen(lopts);
+
+    {  // remote shutdown through an admin session: the clean-stop gate
+      rpc::RpcClientOptions copts;
+      copts.port = port;
+      copts.tenant = rpc::kAdminTenant;
+      copts.auth_seed = sopts.auth_seed;
+      rpc::RpcClient admin(copts);
+      admin.shutdown();
+    }
+    for (int i = 0; i < 2500 && server.running(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const bool stopped = !server.running();
+    server.stop();
+    const rpc::ServerCounters c = server.counters();
+
+    const bool accounted =
+        report.results + report.door_sheds + report.wire_errors ==
+        report.requests_sent;
+    const bool ok = stopped && !report.timed_out && accounted &&
+                    report.results > 0 && report.done > 0;
+    std::printf(
+        "rtc_bench: server smoke: %d connections, %lld requests, %lld "
+        "results (%lld done), %llu accepted, clean shutdown %s: %s\n",
+        lopts.connections, report.requests_sent, report.results, report.done,
+        static_cast<unsigned long long>(c.accepted), stopped ? "yes" : "NO",
+        ok ? "ok" : "FAIL");
+    return ok ? 0 : 1;
+  } catch (const VbsError& e) {
+    return typed_exit(e, json);
+  }
+}
+
 bool same_outcomes(const Replay& a, const Replay& b) {
   return a.config == b.config && same_evictions(a.evictions, b.evictions) &&
          a.statuses == b.statuses && a.latency_ticks == b.latency_ticks &&
@@ -299,15 +591,17 @@ bool same_outcomes(const Replay& a, const Replay& b) {
 void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
                 const std::vector<OverloadRecord>& over,
                 const std::vector<RecoveryRecord>& recov,
-                const std::vector<BreakdownRecord>& breakdown, bool smoke,
-                const ServiceOptions& sopts, const ServiceOptions& oopts,
-                std::uint64_t seed) {
+                const std::vector<BreakdownRecord>& breakdown,
+                const std::vector<ServerRecord>& servers,
+                const std::vector<ServerReplayRecord>& server_replay,
+                bool smoke, const ServiceOptions& sopts,
+                const ServiceOptions& oopts, std::uint64_t seed) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"vbs.rtc_bench.v4\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"vbs.rtc_bench.v5\",\n");
   std::fprintf(f,
                "  \"options\": {\"smoke\": %s, \"policy\": \"%s\", "
                "\"threads\": %d, \"cache_bits\": %zu, \"evict_to_fit\": %s, "
@@ -489,6 +783,62 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
     std::fprintf(f, "]}%s\n", i + 1 < breakdown.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"server\": [\n");
+  bool all_srv = true;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const ServerRecord& r = servers[i];
+    const rpc::LoadGenReport& g = r.report;
+    all_srv &= r.accounted;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"connections\": %d, \"events\": %zu, "
+        "\"requests\": %lld, \"acks\": %lld, \"results\": %lld,\n",
+        r.trace.name.c_str(), r.connections, r.trace.events.size(),
+        g.requests_sent, g.acks, g.results);
+    std::fprintf(
+        f,
+        "     \"done\": %lld, \"shed\": %lld, \"rejected\": %lld, "
+        "\"failed\": %lld, \"deadline\": %lld, \"door_sheds\": %lld, "
+        "\"wire_errors\": %lld, \"shed_rate\": %.3f,\n",
+        g.done, g.shed, g.rejected, g.failed, g.deadline, g.door_sheds,
+        g.wire_errors, r.shed_rate);
+    std::fprintf(
+        f,
+        "     \"wall_seconds\": %.4f, \"throughput_rps\": %.0f, "
+        "\"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n",
+        g.wall_seconds, r.throughput, r.p50_ms, r.p99_ms);
+    std::fprintf(
+        f,
+        "     \"server_counters\": {\"accepted\": %llu, \"frames_in\": %llu, "
+        "\"frames_out\": %llu, \"door_sheds\": %llu, \"reads_paused\": "
+        "%llu}, \"accounted\": %s}%s\n",
+        static_cast<unsigned long long>(r.counters.accepted),
+        static_cast<unsigned long long>(r.counters.frames_in),
+        static_cast<unsigned long long>(r.counters.frames_out),
+        static_cast<unsigned long long>(r.counters.door_sheds),
+        static_cast<unsigned long long>(r.counters.reads_paused),
+        r.accounted ? "true" : "false", i + 1 < servers.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"server_replay\": [\n");
+  bool all_sr = true;
+  for (std::size_t i = 0; i < server_replay.size(); ++i) {
+    const ServerReplayRecord& r = server_replay[i];
+    all_sr &= r.wire_ok && r.recover_ok;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"events\": %zu, \"wire_results\": %lld, "
+        "\"wall_seconds\": %.4f, \"offline_fingerprint\": %llu, "
+        "\"wire_fingerprint\": %llu, \"recovered_fingerprint\": %llu, "
+        "\"wire_matches_offline\": %s, \"recover_matches_offline\": %s}%s\n",
+        r.trace.name.c_str(), r.trace.events.size(), r.wire_results,
+        r.wall_seconds, static_cast<unsigned long long>(r.offline_fp),
+        static_cast<unsigned long long>(r.wire_fp),
+        static_cast<unsigned long long>(r.recovered_fp),
+        r.wire_ok ? "true" : "false", r.recover_ok ? "true" : "false",
+        i + 1 < server_replay.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(
       f,
       "  \"summary\": {\"traces\": %zu, \"events\": %lld, "
@@ -497,7 +847,8 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
       "\"decode_node_ratio\": %.2f, \"cache_hit_rate\": %.3f, "
       "\"task_evictions\": %lld, \"determinism_ok\": %s, "
       "\"warm_equals_cold_ok\": %s, \"overload_ok\": %s, "
-      "\"recovery_ok\": %s, \"breakdown_ok\": %s}\n",
+      "\"recovery_ok\": %s, \"breakdown_ok\": %s, \"server_ok\": %s, "
+      "\"server_replay_ok\": %s}\n",
       recs.size(), tot_events, tot_seconds,
       tot_seconds > 0 ? static_cast<double>(tot_events) / tot_seconds : 0.0,
       tot_warm, tot_cold,
@@ -508,7 +859,8 @@ void write_json(const std::string& path, const std::vector<TraceRecord>& recs,
           : 0.0,
       tot_evict, all_det ? "true" : "false", all_wc ? "true" : "false",
       all_over ? "true" : "false", all_recov ? "true" : "false",
-      all_bd ? "true" : "false");
+      all_bd ? "true" : "false", all_srv ? "true" : "false",
+      all_sr ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -519,8 +871,15 @@ int main(int argc, char** argv) try {
   CliArgs args(argc, argv,
                {"--trace", "--policy", "--threads", "--cache-bits",
                 "--events", "--ticks", "--seed", "--out", "--queue-limit",
-                "--deadline", "--faults", "--trace-out"},
-               {"--smoke", "--no-evict", "--metrics"});
+                "--deadline", "--faults", "--trace-out", "--connections",
+                "--port", "--port-file", "--auth-seed"},
+               {"--smoke", "--no-evict", "--metrics", "--serve", "--connect",
+                "--server-smoke", "--shutdown", "--json"});
+  const bool json = args.has_flag("--json");
+  // Standalone network modes: typed exit codes, no bench suite.
+  if (args.has_flag("--serve")) return run_serve(args, json);
+  if (args.has_flag("--connect")) return run_connect(args, json);
+  if (args.has_flag("--server-smoke")) return run_server_smoke(args, json);
   // Handled directly (not via TelemetryCli): the breakdown legs slice the
   // event buffer with take_trace(), so the file is written from the
   // accumulated slices at the end.
@@ -742,6 +1101,112 @@ int main(int argc, char** argv) try {
     breakdown.push_back(std::move(rec));
   }
 
+  // Networked legs: the same service behind the RPC front end on a
+  // loopback socket, hammered by the closed-loop load generator at
+  // --connections concurrent authenticated sessions.
+  const int connections =
+      static_cast<int>(args.int_or("--connections", smoke ? 32 : 256));
+  std::vector<ServerRecord> servers;
+  std::vector<ServerReplayRecord> server_replay;
+  if (!args.value("--trace")) {
+    TraceGenOptions gopts;
+    gopts.events = static_cast<int>(args.int_or("--events", smoke ? 64 : 220));
+    gopts.ticks = static_cast<int>(args.int_or("--ticks", smoke ? 16 : 48));
+    gopts.kinds = smoke ? 4 : 6;
+    gopts.seed = seed;
+    // The service behind the wire runs the overload admission policy
+    // (bounded queue + deadlines) but no model fault plan: the latency
+    // numbers measure the wire and the service, not injected faults.
+    ServiceOptions wopts = sopts;
+    wopts.queue_limit = oopts.queue_limit;
+    wopts.deadline_ticks = oopts.deadline_ticks;
+    for (const ArrivalPattern p :
+         {ArrivalPattern::kSteady, ArrivalPattern::kBursty,
+          ArrivalPattern::kFlashCrowd}) {
+      gopts.pattern = p;
+      const Trace t = generate_trace(gopts);
+      std::vector<BitVector> streams;
+      for (const TraceTaskKind& k : t.kinds) {
+        streams.push_back(lib.stream_for(k));
+      }
+      ServerRecord rec;
+      rec.trace = t;
+      rec.connections = connections;
+      std::printf("serving   %-12s to %d closed-loop connections "
+                  "(%zu events)...\n",
+                  t.name.c_str(), connections, t.events.size());
+      ReconfigService svc(arch, t.fabric_w, t.fabric_h, wopts);
+      rpc::RpcServer server(&svc, rpc::RpcServerOptions{});
+      const int port = server.start();
+      rpc::LoadGenOptions lopts;
+      lopts.port = port;
+      lopts.connections = connections;
+      lopts.trace = t;
+      lopts.kind_streams = streams;
+      rec.report = rpc::run_loadgen(lopts);
+      server.stop();
+      rec.counters = server.counters();
+      rec.p50_ms = percentile(rec.report.latencies_ms, 0.50);
+      rec.p99_ms = percentile(rec.report.latencies_ms, 0.99);
+      rec.shed_rate =
+          rec.report.results > 0
+              ? static_cast<double>(rec.report.shed) /
+                    static_cast<double>(rec.report.results)
+              : 0.0;
+      rec.throughput =
+          rec.report.wall_seconds > 0
+              ? static_cast<double>(rec.report.requests_sent) /
+                    rec.report.wall_seconds
+              : 0.0;
+      rec.accounted =
+          !rec.report.timed_out && rec.report.results > 0 &&
+          rec.report.results + rec.report.door_sheds +
+                  rec.report.wire_errors ==
+              rec.report.requests_sent;
+      servers.push_back(std::move(rec));
+    }
+
+    // The server-replay leg: the flash_crowd overload trace once more,
+    // through a *journaled* server via one admin session, fingerprinted
+    // against the offline replay and against a cold journal recovery.
+    if (!overload_traces.empty()) {
+      const Trace& t = overload_traces.front();
+      ServerReplayRecord rec;
+      rec.trace = t;
+      std::printf("replaying %-12s server-replay leg (journaled wire "
+                  "replay vs offline)...\n",
+                  t.name.c_str());
+      replay_trace(t, lib, arch, wopts, priorities, {}, &rec.offline_fp);
+
+      namespace fs = std::filesystem;
+      const fs::path jdir =
+          fs::temp_directory_path() /
+          ("vbs_rtc_bench_srv_" +
+           std::to_string(static_cast<long long>(::getpid())));
+      fs::remove_all(jdir);
+      {
+        ReconfigService svc(arch, t.fabric_w, t.fabric_h, wopts);
+        svc.open_journal(jdir.string());
+        rpc::RpcServerOptions ropts;
+        ropts.auto_drain = false;  // drains only at the admin's barriers
+        rpc::RpcServer server(&svc, ropts);
+        const int port = server.start();
+        const std::uint64_t t0 = telem::now_ns();
+        rec.wire_results =
+            admin_wire_replay(port, ropts.auth_seed, t, lib, priorities);
+        rec.wall_seconds = telem::seconds_since(t0);
+        server.stop();
+        rec.wire_fp = svc.state_fingerprint();
+      }
+      rec.recovered_fp =
+          ReconfigService::recover(jdir.string())->state_fingerprint();
+      fs::remove_all(jdir);
+      rec.wire_ok = rec.wire_fp == rec.offline_fp;
+      rec.recover_ok = rec.recovered_fp == rec.offline_fp;
+      server_replay.push_back(std::move(rec));
+    }
+  }
+
   TablePrinter table({"trace", "events", "rps", "p50 ms", "p99 ms",
                       "hit rate", "nodes w/c", "evict", "frag", "det"});
   for (const TraceRecord& r : recs) {
@@ -835,7 +1300,39 @@ int main(int argc, char** argv) try {
     btable.print();
   }
 
-  write_json(out, recs, over, recov, breakdown, smoke, sopts, oopts, seed);
+  if (!servers.empty()) {
+    std::printf("\nnetworked legs (closed-loop loopback, wall latency):\n");
+    TablePrinter stable({"trace", "conns", "requests", "results", "done",
+                         "shed", "rps", "p50 ms", "p99 ms", "ok"});
+    for (const ServerRecord& r : servers) {
+      stable.add_row(
+          {r.trace.name, TablePrinter::fmt_int(r.connections),
+           TablePrinter::fmt_int(r.report.requests_sent),
+           TablePrinter::fmt_int(r.report.results),
+           TablePrinter::fmt_int(r.report.done),
+           TablePrinter::fmt_int(r.report.shed),
+           TablePrinter::fmt(r.throughput, 0),
+           TablePrinter::fmt(r.p50_ms, 2), TablePrinter::fmt(r.p99_ms, 2),
+           r.accounted ? "ok" : "FAIL"});
+    }
+    stable.print();
+  }
+
+  if (!server_replay.empty()) {
+    std::printf("\nserver-replay legs (wire vs offline fingerprints):\n");
+    TablePrinter srtable({"trace", "results", "wall s", "wire==offline",
+                          "recover==offline"});
+    for (const ServerReplayRecord& r : server_replay) {
+      srtable.add_row({r.trace.name, TablePrinter::fmt_int(r.wire_results),
+                       TablePrinter::fmt(r.wall_seconds, 3),
+                       r.wire_ok ? "ok" : "FAIL",
+                       r.recover_ok ? "ok" : "FAIL"});
+    }
+    srtable.print();
+  }
+
+  write_json(out, recs, over, recov, breakdown, servers, server_replay,
+             smoke, sopts, oopts, seed);
   std::printf("\nwrote %s\n", out.c_str());
 
   if (!trace_out.empty()) {
@@ -942,6 +1439,39 @@ int main(int argc, char** argv) try {
       ok = false;
     }
   }
+  // Promises of the networked legs: every request a closed-loop client
+  // sends is accounted for (RESULT, door shed, or typed error — nothing
+  // lost, nothing timed out), and the wire replay of a trace through a
+  // journaled server fingerprints identically to the offline replay,
+  // live and after a cold recovery.
+  for (const ServerRecord& r : servers) {
+    if (!r.accounted) {
+      std::fprintf(stderr,
+                   "FAIL: %s server leg lost requests (%lld sent, %lld "
+                   "results, %lld door sheds, %lld wire errors%s)\n",
+                   r.trace.name.c_str(), r.report.requests_sent,
+                   r.report.results, r.report.door_sheds,
+                   r.report.wire_errors,
+                   r.report.timed_out ? ", TIMED OUT" : "");
+      ok = false;
+    }
+  }
+  for (const ServerReplayRecord& r : server_replay) {
+    if (!r.wire_ok) {
+      std::fprintf(stderr,
+                   "FAIL: %s served fingerprint diverged from the offline "
+                   "replay\n",
+                   r.trace.name.c_str());
+      ok = false;
+    }
+    if (!r.recover_ok) {
+      std::fprintf(stderr,
+                   "FAIL: %s fingerprint recovered from the server journal "
+                   "diverged from the offline replay\n",
+                   r.trace.name.c_str());
+      ok = false;
+    }
+  }
   // Durability promises of the recovery legs: attaching a journal is
   // invisible to the model, and a service rebuilt from the journal alone
   // is byte-identical to the one it replaces.
@@ -967,8 +1497,10 @@ int main(int argc, char** argv) try {
                "usage: rtc_bench [--smoke] [--trace FILE] [--policy P] "
                "[--threads T] [--cache-bits N] [--events N] [--ticks K] "
                "[--seed S] [--no-evict] [--queue-limit N] [--deadline T] "
-               "[--faults SPEC] [--trace-out trace.json] [--metrics] "
-               "[--out PATH]\n",
+               "[--faults SPEC] [--connections N] [--trace-out trace.json] "
+               "[--metrics] [--out PATH] [--json] "
+               "[--serve | --connect | --server-smoke] [--port N] "
+               "[--port-file F] [--auth-seed S] [--shutdown]\n",
                e.what());
   return 1;
 }

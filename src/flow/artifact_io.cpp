@@ -196,8 +196,9 @@ RoutingResult deserialize_routing(const BitVector& bits) {
   return rr;
 }
 
-void write_artifact_file(const std::string& path, ArtifactStage stage,
-                         std::uint64_t fingerprint, const BitVector& payload) {
+std::string artifact_container_bytes(ArtifactStage stage,
+                                     std::uint64_t fingerprint,
+                                     const BitVector& payload) {
   const std::string bytes = pack_bits(payload);
   std::string file;
   file.reserve(29 + bytes.size());
@@ -207,10 +208,57 @@ void write_artifact_file(const std::string& path, ArtifactStage stage,
   put_le64(file, content_hash(bytes, payload.size()));
   put_le64(file, payload.size());
   file.append(bytes);
+  return file;
+}
+
+BitVector parse_artifact_container(const std::string& bytes,
+                                   ArtifactStage stage,
+                                   const std::uint64_t* expected_fingerprint,
+                                   std::uint64_t* fingerprint_out,
+                                   const std::string& context) {
+  if (bytes.size() < 29) {
+    throw ArtifactError("truncated artifact header: " + context,
+                        VbsErrc::kTruncated);
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (bytes[static_cast<std::size_t>(i)] != kMagic[i]) {
+      throw ArtifactError("not a vbs.artifact.v1 container: " + context);
+    }
+  }
+  if (static_cast<std::uint8_t>(bytes[4]) != static_cast<std::uint8_t>(stage)) {
+    throw ArtifactError("artifact stage mismatch: " + context);
+  }
+  const std::uint64_t fingerprint = take_le64(bytes, 5);
+  const std::uint64_t stored_hash = take_le64(bytes, 13);
+  const std::uint64_t bit_count = take_le64(bytes, 21);
+  if (expected_fingerprint != nullptr && fingerprint != *expected_fingerprint) {
+    throw ArtifactError(
+        "artifact fingerprint mismatch (stale or foreign checkpoint): " +
+        context);
+  }
+  // The declared bit count is untrusted: require it to match the actual
+  // byte count before allocating, so a corrupted length field can neither
+  // demand exabytes nor smuggle trailing bytes past the content hash.
+  const std::uint64_t nbytes64 = bit_count / 8 + (bit_count % 8 != 0 ? 1 : 0);
+  if (nbytes64 != bytes.size() - 29) {
+    throw ArtifactError("artifact size mismatch (corrupted length): " +
+                        context);
+  }
+  const std::string payload = bytes.substr(29);
+  if (content_hash(payload, bit_count) != stored_hash) {
+    throw ArtifactError("artifact content-hash mismatch (corrupted): " +
+                        context);
+  }
+  if (fingerprint_out != nullptr) *fingerprint_out = fingerprint;
+  return unpack_bits(payload, static_cast<std::size_t>(bit_count));
+}
+
+void write_artifact_file(const std::string& path, ArtifactStage stage,
+                         std::uint64_t fingerprint, const BitVector& payload) {
   // Atomic replacement: a crash mid-save leaves the previous artifact (or
   // no artifact) plus at worst an orphaned *.tmp, never a torn container.
   AtomicFile out(path);
-  out.write(file);
+  out.write(artifact_container_bytes(stage, fingerprint, payload));
   out.commit();
 }
 

@@ -129,6 +129,27 @@ RoutingResult deserialize_routing(const BitVector& bits);
 // (self-describing via deserialize_vbs) followed by the deterministic
 // EncodeStats fields; FlowPipeline assembles it inline.
 
+// --- container codec ---------------------------------------------------------
+
+/// Serializes `payload` into the vbs.artifact.v1 container layout above,
+/// in memory. This is the byte string write_artifact_file persists — and
+/// the payload coding the vbs.rpc.v1 wire protocol (rtc/server/wire.h)
+/// reuses for bit-stream frames, so a stream travels the wire with the
+/// same magic, content hash and length checks a checkpoint file gets.
+std::string artifact_container_bytes(ArtifactStage stage,
+                                     std::uint64_t fingerprint,
+                                     const BitVector& payload);
+
+/// Parses bytes produced by artifact_container_bytes, verifying magic,
+/// stage tag, declared size and content hash (and the fingerprint when
+/// `expected_fingerprint` is non-null). Throws ArtifactError on any
+/// mismatch; `context` names the source in error messages.
+BitVector parse_artifact_container(const std::string& bytes,
+                                   ArtifactStage stage,
+                                   const std::uint64_t* expected_fingerprint,
+                                   std::uint64_t* fingerprint_out = nullptr,
+                                   const std::string& context = "container");
+
 // --- container I/O -----------------------------------------------------------
 
 /// Writes `payload` wrapped in the vbs.artifact.v1 container, atomically:

@@ -1,0 +1,124 @@
+#include "net/event_loop.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/telemetry.h"
+
+namespace vbs::net {
+
+EventLoop::EventLoop(std::unique_ptr<Poller> poller,
+                     std::unique_ptr<NetClock> clock,
+                     std::size_t post_capacity)
+    : poller_(poller ? std::move(poller) : std::make_unique<EpollPoller>()),
+      clock_(clock ? std::move(clock) : std::make_unique<SteadyNetClock>()),
+      timers_(clock_->now_ms()),
+      posted_(post_capacity) {
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    throw std::runtime_error(std::string("eventfd: ") + std::strerror(errno));
+  }
+  poller_->add(wake_fd_, kReadable);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+void EventLoop::watch(int fd, std::uint32_t interest, FdHandler handler) {
+  poller_->add(fd, interest);
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::update(int fd, std::uint32_t interest) {
+  poller_->mod(fd, interest);
+}
+
+void EventLoop::unwatch(int fd) {
+  poller_->del(fd);
+  handlers_.erase(fd);
+}
+
+TimerId EventLoop::arm_timer(std::uint64_t delay_ms,
+                             std::function<void()> cb) {
+  return timers_.arm(clock_->now_ms() + delay_ms, std::move(cb));
+}
+
+bool EventLoop::cancel_timer(TimerId id) { return timers_.cancel(id); }
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; ignore short writes.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  // Bounded queue: spin-yield on full rather than dropping — posted work
+  // carries completions that must not be lost.
+  while (!posted_.push(std::move(fn))) {
+    wake();
+    std::this_thread::yield();
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+std::size_t EventLoop::drain_posted() {
+  std::size_t n = 0;
+  std::function<void()> fn;
+  while (posted_.pop(fn)) {
+    fn();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t EventLoop::run_once(int timeout_ms) {
+  std::size_t processed = drain_posted();
+  const int timer_hint = timers_.next_timeout_ms(clock_->now_ms());
+  int timeout = timeout_ms;
+  if (timer_hint >= 0 && (timeout < 0 || timer_hint < timeout)) {
+    timeout = timer_hint;
+  }
+  if (processed > 0) timeout = 0;  // posted work may have armed more
+
+  poller_->wait(events_, timeout);
+  for (const PollEvent& ev : events_) {
+    if (ev.fd == wake_fd_) {
+      std::uint64_t count = 0;
+      while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+      }
+      continue;
+    }
+    const auto it = handlers_.find(ev.fd);
+    if (it == handlers_.end()) continue;  // unwatched by an earlier handler
+    // Copy: the handler may unwatch (erase) itself.
+    FdHandler handler = it->second;
+    handler(ev.events);
+    ++processed;
+  }
+  processed += timers_.advance_to(clock_->now_ms());
+  processed += drain_posted();
+  return processed;
+}
+
+void EventLoop::run() {
+  TELEM_SPAN("net", "event_loop.run");
+  // Deliberately no stop_ reset here: a stop() that races ahead of the
+  // loop thread entering run() must still win.
+  while (!stop_.load(std::memory_order_acquire)) {
+    run_once(-1);
+  }
+}
+
+}  // namespace vbs::net

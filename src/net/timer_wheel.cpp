@@ -1,0 +1,85 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace vbs::net {
+
+TimerWheel::TimerWheel(std::uint64_t start_ms, std::uint64_t tick_ms)
+    : tick_ms_(tick_ms == 0 ? 1 : tick_ms), current_tick_(start_ms / tick_ms_) {}
+
+TimerId TimerWheel::arm(std::uint64_t deadline_ms, std::function<void()> cb) {
+  const std::uint64_t tick = std::max(to_tick(deadline_ms), current_tick_);
+  const std::size_t slot = static_cast<std::size_t>(tick % kSlots);
+  Entry e;
+  e.id = next_id_++;
+  e.deadline = tick;
+  e.cb = std::move(cb);
+  slots_[slot].push_back(std::move(e));
+  slot_of_[slots_[slot].back().id] = slot;
+  ++live_;
+  return slots_[slot].back().id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  auto& slot = slots_[it->second];
+  for (auto e = slot.begin(); e != slot.end(); ++e) {
+    if (e->id == id) {
+      slot.erase(e);
+      break;
+    }
+  }
+  slot_of_.erase(it);
+  --live_;
+  return true;
+}
+
+std::size_t TimerWheel::advance_to(std::uint64_t now_ms) {
+  const std::uint64_t target = now_ms / tick_ms_;
+  std::size_t fired = 0;
+  while (current_tick_ <= target && live_ > 0) {
+    // Sweep one full revolution at a time when far behind; per-slot
+    // otherwise. Collect due callbacks first so they can re-arm freely.
+    const std::uint64_t step_end =
+        std::min(target, current_tick_ + kSlots - 1);
+    for (std::uint64_t t = current_tick_; t <= step_end; ++t) {
+      auto& slot = slots_[t % kSlots];
+      std::vector<std::function<void()>> due;
+      for (auto e = slot.begin(); e != slot.end();) {
+        if (e->deadline <= target) {
+          slot_of_.erase(e->id);
+          --live_;
+          due.push_back(std::move(e->cb));
+          e = slot.erase(e);
+        } else {
+          ++e;
+        }
+      }
+      current_tick_ = t + 1;
+      for (auto& cb : due) {
+        ++fired;
+        cb();  // may arm/cancel; new timers <= target fire in this sweep
+      }
+      if (live_ == 0) break;
+    }
+  }
+  current_tick_ = std::max(current_tick_, target + 1);
+  return fired;
+}
+
+int TimerWheel::next_timeout_ms(std::uint64_t now_ms) const {
+  if (live_ == 0) return -1;
+  std::uint64_t best = UINT64_MAX;
+  for (const auto& slot : slots_) {
+    for (const auto& e : slot) best = std::min(best, e.deadline);
+  }
+  const std::uint64_t deadline_ms = best * tick_ms_;
+  if (deadline_ms <= now_ms) return 0;
+  const std::uint64_t wait = deadline_ms - now_ms;
+  return wait > 60'000 ? 60'000 : static_cast<int>(wait);
+}
+
+}  // namespace vbs::net

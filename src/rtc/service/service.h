@@ -217,6 +217,13 @@ class ReconfigService {
   /// The modeled clock: ticks consumed by all processing so far.
   long long now_ticks() const { return now_ticks_; }
 
+  /// The id the next submit_* will be assigned (ids are sequential from
+  /// 0). The RPC server hands this to its admin session at handshake so a
+  /// wire client can predict service ids by counting its own submits.
+  RequestId next_request_id() const { return next_request_; }
+  /// Non-shed load requests currently queued (the queue_limit population).
+  std::size_t live_loads() const { return live_loads_; }
+
   /// External fragmentation of the fabric right now: 1 - largest free
   /// rectangle / total free area (0 when empty or unfragmented).
   double fragmentation() const;

@@ -22,6 +22,11 @@ const char* to_string(VbsErrc c) {
     case VbsErrc::kDeadline: return "deadline";
     case VbsErrc::kBadJournal: return "bad-journal";
     case VbsErrc::kTornWrite: return "torn-write";
+    case VbsErrc::kNetFrame: return "net-frame";
+    case VbsErrc::kNetAuth: return "net-auth";
+    case VbsErrc::kNetProto: return "net-proto";
+    case VbsErrc::kNetClosed: return "net-closed";
+    case VbsErrc::kNetTimeout: return "net-timeout";
   }
   return "?";
 }

@@ -40,6 +40,11 @@ enum class VbsErrc : std::uint8_t {
   kDeadline = 15,      ///< per-request deadline exceeded before commit
   kBadJournal = 16,    ///< service journal malformed beyond a torn tail
   kTornWrite = 17,     ///< in-flight write cut short (injected or detected)
+  kNetFrame = 18,      ///< vbs.rpc.v1 frame malformed (length/checksum/type)
+  kNetAuth = 19,       ///< RPC handshake rejected (bad proof / bad state)
+  kNetProto = 20,      ///< frame valid but illegal in the session state
+  kNetClosed = 21,     ///< peer gone: connect refused / closed mid-frame
+  kNetTimeout = 22,    ///< RPC deadline expired waiting on the wire
 };
 
 /// Stable kebab-case name of a code ("truncated", "bad-header", ...).

@@ -17,6 +17,9 @@ constexpr std::uint64_t kSiteLatency = 0xd6e8feb86659fd93ull;
 constexpr std::uint64_t kSiteWrite = 0xa0761d6478bd642full;
 constexpr std::uint64_t kSiteSync = 0xe7037ed1a0b428dbull;
 constexpr std::uint64_t kSiteRename = 0x8ebc6af09c88c6e3ull;
+constexpr std::uint64_t kSiteNetShort = 0x589965cc75374cc3ull;
+constexpr std::uint64_t kSiteNetEagain = 0x1d8e4e27c47d124full;
+constexpr std::uint64_t kSiteNetDrop = 0xeb44accab455d165ull;
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -71,6 +74,18 @@ bool FaultPlan::rename_fails(std::uint64_t seq) const {
   return cfg_.rename_fail > 0.0 && roll(kSiteRename, seq) < cfg_.rename_fail;
 }
 
+bool FaultPlan::net_short_read(std::uint64_t seq) const {
+  return cfg_.net_short > 0.0 && roll(kSiteNetShort, seq) < cfg_.net_short;
+}
+
+bool FaultPlan::net_eagain(std::uint64_t seq) const {
+  return cfg_.net_eagain > 0.0 && roll(kSiteNetEagain, seq) < cfg_.net_eagain;
+}
+
+bool FaultPlan::net_drops(std::uint64_t seq) const {
+  return cfg_.net_drop > 0.0 && roll(kSiteNetDrop, seq) < cfg_.net_drop;
+}
+
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlanConfig cfg;
   std::istringstream in(spec);
@@ -112,6 +127,12 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       cfg.sync_fail = parse_rate(key, value);
     } else if (key == "rename") {
       cfg.rename_fail = parse_rate(key, value);
+    } else if (key == "net_short") {
+      cfg.net_short = parse_rate(key, value);
+    } else if (key == "net_eagain") {
+      cfg.net_eagain = parse_rate(key, value);
+    } else if (key == "net_drop") {
+      cfg.net_drop = parse_rate(key, value);
     } else if (key == "crash") {
       char* end = nullptr;
       cfg.crash_at = std::strtoll(value.c_str(), &end, 10);
@@ -138,6 +159,9 @@ std::string FaultPlan::spec() const {
   if (cfg_.sync_fail > 0.0) out << ",sync=" << cfg_.sync_fail;
   if (cfg_.rename_fail > 0.0) out << ",rename=" << cfg_.rename_fail;
   if (cfg_.crash_at >= 0) out << ",crash=" << cfg_.crash_at;
+  if (cfg_.net_short > 0.0) out << ",net_short=" << cfg_.net_short;
+  if (cfg_.net_eagain > 0.0) out << ",net_eagain=" << cfg_.net_eagain;
+  if (cfg_.net_drop > 0.0) out << ",net_drop=" << cfg_.net_drop;
   return out.str();
 }
 

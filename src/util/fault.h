@@ -26,6 +26,15 @@
 // sequence match, not a rate, so a sweep over N visits every site once:
 //
 //   seed=7,write=0.01,sync=0.01,rename=0.01,crash=42
+//
+// The network layer (src/net) adds three socket sites, keyed by a
+// per-connection operation counter so a plan replays the same hostile
+// schedule against the same connection regardless of poll order:
+// net_short truncates a socket read/write to a handful of bytes,
+// net_eagain turns the operation into a spurious would-block, and
+// net_drop severs the connection mid-frame:
+//
+//   seed=7,net_short=0.2,net_eagain=0.1,net_drop=0.01
 #pragma once
 
 #include <cstdint>
@@ -44,6 +53,9 @@ struct FaultPlanConfig {
   double sync_fail = 0.0;     ///< fsync failures
   double rename_fail = 0.0;   ///< atomic-rename failures
   long long crash_at = -1;    ///< kill at this global I/O op (-1 = off)
+  double net_short = 0.0;     ///< socket read/write truncated to a few bytes
+  double net_eagain = 0.0;    ///< socket op turned into a spurious EAGAIN
+  double net_drop = 0.0;      ///< connection severed mid-frame
 
   friend bool operator==(const FaultPlanConfig&,
                          const FaultPlanConfig&) = default;
@@ -65,7 +77,9 @@ class FaultPlan {
     return cfg_.decode_fail > 0.0 || cfg_.alloc_fail > 0.0 ||
            cfg_.cache_drop > 0.0 || cfg_.latency_spike > 0.0 ||
            cfg_.write_fail > 0.0 || cfg_.sync_fail > 0.0 ||
-           cfg_.rename_fail > 0.0 || cfg_.crash_at >= 0;
+           cfg_.rename_fail > 0.0 || cfg_.crash_at >= 0 ||
+           cfg_.net_short > 0.0 || cfg_.net_eagain > 0.0 ||
+           cfg_.net_drop > 0.0;
   }
 
   bool decode_fails(std::uint64_t seq) const;
@@ -77,6 +91,13 @@ class FaultPlan {
   bool write_fails(std::uint64_t seq) const;
   bool sync_fails(std::uint64_t seq) const;
   bool rename_fails(std::uint64_t seq) const;
+
+  /// Socket sites (src/net): callers key `seq` off a per-connection op
+  /// counter mixed with the connection id, so the hostile schedule is a
+  /// pure function of the plan and the connection — never of poll order.
+  bool net_short_read(std::uint64_t seq) const;
+  bool net_eagain(std::uint64_t seq) const;
+  bool net_drops(std::uint64_t seq) const;
   /// True exactly when `op` equals crash_at (the Nth global I/O op).
   bool crashes_at(long long op) const {
     return cfg_.crash_at >= 0 && op == cfg_.crash_at;

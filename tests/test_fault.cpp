@@ -35,6 +35,11 @@ TEST(ErrorTaxonomy, CodesAndExitCodesAreStable) {
   EXPECT_EQ(static_cast<int>(VbsErrc::kDeadline), 15);
   EXPECT_EQ(static_cast<int>(VbsErrc::kBadJournal), 16);
   EXPECT_EQ(static_cast<int>(VbsErrc::kTornWrite), 17);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kNetFrame), 18);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kNetAuth), 19);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kNetProto), 20);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kNetClosed), 21);
+  EXPECT_EQ(static_cast<int>(VbsErrc::kNetTimeout), 22);
 
   EXPECT_EQ(exit_code_for(VbsErrc::kNone), 0);
   EXPECT_EQ(exit_code_for(VbsErrc::kTruncated), 11);
@@ -42,6 +47,11 @@ TEST(ErrorTaxonomy, CodesAndExitCodesAreStable) {
   EXPECT_EQ(exit_code_for(VbsErrc::kDeadline), 25);
   EXPECT_EQ(exit_code_for(VbsErrc::kBadJournal), 26);
   EXPECT_EQ(exit_code_for(VbsErrc::kTornWrite), 27);
+  EXPECT_EQ(exit_code_for(VbsErrc::kNetFrame), 28);
+  EXPECT_EQ(exit_code_for(VbsErrc::kNetAuth), 29);
+  EXPECT_EQ(exit_code_for(VbsErrc::kNetProto), 30);
+  EXPECT_EQ(exit_code_for(VbsErrc::kNetClosed), 31);
+  EXPECT_EQ(exit_code_for(VbsErrc::kNetTimeout), 32);
 
   EXPECT_STREQ(to_string(VbsErrc::kNone), "ok");
   EXPECT_STREQ(to_string(VbsErrc::kTruncated), "truncated");
@@ -52,6 +62,11 @@ TEST(ErrorTaxonomy, CodesAndExitCodesAreStable) {
   EXPECT_STREQ(to_string(VbsErrc::kQueueFull), "queue-full");
   EXPECT_STREQ(to_string(VbsErrc::kBadJournal), "bad-journal");
   EXPECT_STREQ(to_string(VbsErrc::kTornWrite), "torn-write");
+  EXPECT_STREQ(to_string(VbsErrc::kNetFrame), "net-frame");
+  EXPECT_STREQ(to_string(VbsErrc::kNetAuth), "net-auth");
+  EXPECT_STREQ(to_string(VbsErrc::kNetProto), "net-proto");
+  EXPECT_STREQ(to_string(VbsErrc::kNetClosed), "net-closed");
+  EXPECT_STREQ(to_string(VbsErrc::kNetTimeout), "net-timeout");
 }
 
 TEST(ErrorTaxonomy, LegacyExceptionTypesDeriveFromVbsError) {
@@ -139,6 +154,35 @@ TEST(FaultPlan, IoSitesParseRoundTripAndCrashIsExact) {
     EXPECT_EQ(plan.sync_fails(seq), again.sync_fails(seq));
     EXPECT_EQ(plan.rename_fails(seq), again.rename_fails(seq));
   }
+}
+
+TEST(FaultPlan, NetSitesParseRoundTripAndArePure) {
+  const FaultPlan plan =
+      FaultPlan::parse("seed=5,net_short=0.3,net_eagain=0.2,net_drop=0.01");
+  EXPECT_DOUBLE_EQ(plan.config().net_short, 0.3);
+  EXPECT_DOUBLE_EQ(plan.config().net_eagain, 0.2);
+  EXPECT_DOUBLE_EQ(plan.config().net_drop, 0.01);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(FaultPlan::parse(plan.spec()).config(), plan.config());
+  EXPECT_THROW(FaultPlan::parse("net_short=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("net_drop=-0.1"), std::invalid_argument);
+
+  // The socket sites are pure in (seed, site, seq) and independent
+  // streams, like every other site: the same plan replays the same
+  // hostile schedule against the same connection ops.
+  const FaultPlan again = FaultPlan::parse(plan.spec());
+  int short_diff_from_eagain = 0;
+  for (std::uint64_t seq = 0; seq < 2000; ++seq) {
+    EXPECT_EQ(plan.net_short_read(seq), again.net_short_read(seq));
+    EXPECT_EQ(plan.net_eagain(seq), again.net_eagain(seq));
+    EXPECT_EQ(plan.net_drops(seq), again.net_drops(seq));
+    if (plan.net_short_read(seq) != plan.net_eagain(seq)) {
+      ++short_diff_from_eagain;
+    }
+  }
+  EXPECT_GT(short_diff_from_eagain, 0);
+  // A net-only plan reads back as enabled; the model sites stay off.
+  EXPECT_DOUBLE_EQ(plan.config().decode_fail, 0.0);
 }
 
 TEST(FaultPlan, DecisionsArePureFunctionsOfSeedSiteAndSequence) {

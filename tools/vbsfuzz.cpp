@@ -25,15 +25,26 @@
 //     (kBadJournal and friends); never any other exception, crash, or
 //     unbounded allocation.
 //
+// --rpc-frame switches the harness to the network surface instead: a
+// corpus of valid vbs.rpc.v1 frames (every frame type, LOAD carrying a
+// real artifact container) is concatenated, byte-mutated (truncation,
+// bit flips, splices, hostile length prefixes, garbage) and replayed
+// through FrameReader in randomly-sized chunks, then through the per-type
+// payload decoders. The contract: every frame either parses completely or
+// raises a typed VbsError (kNetFrame and friends) — never another
+// exception, never a crash, never an allocation proportional to a hostile
+// declared length, and the reader always makes progress.
+//
 // Everything is a pure function of --seed, so a failure line
 // ("iter 123 seed 7") is a standalone repro. Exit status: 0 if every
 // iteration upheld the contract, 1 with a repro line otherwise.
 //
 // Usage:
-//   vbsfuzz [--iters N] [--seed S] [--smoke]
+//   vbsfuzz [--iters N] [--seed S] [--smoke] [--rpc-frame]
 //
 // --smoke caps the run at the CI budget (600 iterations) regardless of
-// --iters; the asan-ubsan CI job runs exactly `vbsfuzz --smoke`.
+// --iters; the asan-ubsan CI job runs `vbsfuzz --smoke` and
+// `vbsfuzz --rpc-frame --smoke`.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -43,6 +54,7 @@
 #include "flow/flow.h"
 #include "netlist/generator.h"
 #include "rtc/controller.h"
+#include "rtc/server/wire.h"
 #include "rtc/service/service.h"
 #include "util/cli.h"
 #include "util/error.h"
@@ -55,7 +67,8 @@ using namespace vbs;
 
 namespace {
 
-constexpr const char* kUsage = "vbsfuzz [--iters N] [--seed S] [--smoke]";
+constexpr const char* kUsage =
+    "vbsfuzz [--iters N] [--seed S] [--smoke] [--rpc-frame]";
 
 /// One corpus entry: a valid serialized stream plus the arch it targets.
 struct CorpusEntry {
@@ -211,6 +224,227 @@ std::string mutate_journal_file(Rng& rng, const std::string& path) {
   return what;
 }
 
+/// One valid frame of every vbs.rpc.v1 type (LOAD carrying a real
+/// artifact container): the rpc-frame corpus.
+std::vector<std::string> make_frame_corpus(const BitVector& stream) {
+  using namespace rpc;
+  std::vector<std::string> frames;
+  HelloMsg hello;
+  hello.tenant = 3;
+  hello.client_nonce = 0x1234;
+  frames.push_back(encode_frame(FrameType::kHello, 1, encode_hello(hello)));
+  ChallengeMsg chal;
+  chal.server_nonce = 0x5678;
+  frames.push_back(
+      encode_frame(FrameType::kChallenge, 1, encode_challenge(chal)));
+  AuthMsg auth;
+  auth.proof = auth_proof(tenant_secret(1, 3), 3, 0x1234, 0x5678);
+  frames.push_back(encode_frame(FrameType::kAuth, 2, encode_auth(auth)));
+  AuthOkMsg ok;
+  ok.next_request_id = 7;
+  ok.session = 0xabcd;
+  frames.push_back(encode_frame(FrameType::kAuthOk, 2, encode_auth_ok(ok)));
+  ErrorMsg err;
+  err.code = VbsErrc::kQueueFull;
+  err.message = "shed at the door";
+  frames.push_back(encode_frame(FrameType::kError, 3, encode_error(err)));
+  frames.push_back(encode_frame(FrameType::kLoad, 4, encode_load(3, stream)));
+  TargetMsg tgt;
+  tgt.tenant = 3;
+  tgt.target = 7;
+  frames.push_back(encode_frame(FrameType::kUnload, 5, encode_target(tgt)));
+  frames.push_back(encode_frame(FrameType::kRelocate, 6, encode_target(tgt)));
+  RequestResult res;
+  res.request = 7;
+  res.status = RequestStatus::kDone;
+  res.tenant = 3;
+  res.latency_ticks = 4;
+  frames.push_back(encode_frame(FrameType::kResult, 4, encode_result(res)));
+  AckMsg ack;
+  ack.request_id = 7;
+  frames.push_back(encode_frame(FrameType::kAck, 4, encode_ack(ack)));
+  PriorityMsg prio;
+  prio.tenant = 3;
+  prio.priority = 10;
+  frames.push_back(
+      encode_frame(FrameType::kSetPriority, 8, encode_priority(prio)));
+  frames.push_back(encode_frame(FrameType::kDrain, 9, ""));
+  frames.push_back(encode_frame(FrameType::kStat, 10, ""));
+  StatReplyMsg stat;
+  stat.fingerprint = 0xfeedULL;
+  stat.loads = 2;
+  frames.push_back(
+      encode_frame(FrameType::kStatReply, 10, encode_stat_reply(stat)));
+  frames.push_back(encode_frame(FrameType::kPing, 11, ""));
+  frames.push_back(encode_frame(FrameType::kPong, 11, ""));
+  frames.push_back(encode_frame(FrameType::kShutdown, 12, ""));
+  return frames;
+}
+
+/// Applies one byte-level mutation in place; returns a repro tag.
+std::string mutate_bytes(Rng& rng, std::string& bytes) {
+  if (bytes.empty()) {
+    const std::size_t extra = 1 + rng.next_below(64);
+    for (std::size_t i = 0; i < extra; ++i)
+      bytes.push_back(static_cast<char>(rng.next_below(256)));
+    return "append" + std::to_string(extra);
+  }
+  switch (rng.next_below(5)) {
+    case 0: {  // truncate anywhere (mid-header, mid-payload)
+      const std::size_t cut = rng.next_below(bytes.size());
+      bytes.resize(cut);
+      return "truncate@" + std::to_string(cut);
+    }
+    case 1: {  // flip 1-8 bits
+      const int flips = 1 + static_cast<int>(rng.next_below(8));
+      for (int i = 0; i < flips; ++i) {
+        bytes[rng.next_below(bytes.size())] ^=
+            static_cast<char>(1u << rng.next_below(8));
+      }
+      return "flip" + std::to_string(flips);
+    }
+    case 2: {  // hostile length prefix at the head frame
+      static constexpr std::uint32_t kLens[] = {0u, 1u, 17u, 1u << 24,
+                                                0x7fffffffu, 0xffffffffu};
+      const std::uint32_t len = kLens[rng.next_below(6)];
+      for (int i = 0; i < 4 && static_cast<std::size_t>(i) < bytes.size(); ++i)
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<char>((len >> (8 * i)) & 0xff);
+      return "len-prefix=" + std::to_string(len);
+    }
+    case 3: {  // append garbage
+      const std::size_t extra = 1 + rng.next_below(64);
+      for (std::size_t i = 0; i < extra; ++i)
+        bytes.push_back(static_cast<char>(rng.next_below(256)));
+      return "append" + std::to_string(extra);
+    }
+    default: {  // splice a run over another position
+      const std::size_t len =
+          1 + rng.next_below(std::min<std::size_t>(bytes.size(), 64));
+      const std::size_t src = rng.next_below(bytes.size() - len + 1);
+      const std::size_t dst = rng.next_below(bytes.size() - len + 1);
+      bytes.replace(dst, len, bytes, src, len);
+      return "splice" + std::to_string(len);
+    }
+  }
+}
+
+/// Runs the per-type payload decoder on a parsed frame. Throws only
+/// VbsError on malformed payloads — part of the fuzz contract.
+void decode_payload(const rpc::Frame& f) {
+  using rpc::FrameType;
+  switch (f.type) {
+    case FrameType::kHello: (void)rpc::decode_hello(f.payload); break;
+    case FrameType::kChallenge: (void)rpc::decode_challenge(f.payload); break;
+    case FrameType::kAuth: (void)rpc::decode_auth(f.payload); break;
+    case FrameType::kAuthOk: (void)rpc::decode_auth_ok(f.payload); break;
+    case FrameType::kError: (void)rpc::decode_error(f.payload); break;
+    case FrameType::kLoad: (void)rpc::decode_load(f.payload); break;
+    case FrameType::kUnload:
+    case FrameType::kRelocate: (void)rpc::decode_target(f.payload); break;
+    case FrameType::kResult: (void)rpc::decode_result(f.payload); break;
+    case FrameType::kAck: (void)rpc::decode_ack(f.payload); break;
+    case FrameType::kSetPriority: (void)rpc::decode_priority(f.payload); break;
+    case FrameType::kStatReply: (void)rpc::decode_stat_reply(f.payload); break;
+    case FrameType::kDrain:
+    case FrameType::kStat:
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kShutdown: break;  // no payload
+  }
+}
+
+/// The --rpc-frame harness: mutated frame byte streams through
+/// FrameReader (in random chunk sizes) and the payload decoders.
+int run_rpc_frame_fuzz(long long iters, std::uint64_t seed) {
+  const CorpusEntry entry = make_entry(18, 5, seed % 2 == 0 ? 5 : 6, 1);
+  const std::vector<std::string> corpus = make_frame_corpus(entry.stream);
+  // Tight reader cap: a hostile 4 GiB length prefix must bounce off the
+  // declared-length check, never allocate.
+  constexpr std::size_t kReaderCap = 1u << 20;
+
+  Rng rng(seed ^ 0x9e3779b9u);
+  long long frames_parsed = 0, payload_rejected = 0, stream_rejected = 0;
+  for (long long iter = 0; iter < iters; ++iter) {
+    std::string bytes;
+    const std::size_t picks = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < picks; ++i)
+      bytes += corpus[static_cast<std::size_t>(rng.next_below(corpus.size()))];
+    // Every third iteration also re-frames a hostile payload under a
+    // *valid* checksum: the only way garbage reaches the payload decoders
+    // (a byte flip in a framed payload dies at the checksum instead).
+    if (iter % 3 == 0) {
+      const auto type = static_cast<rpc::FrameType>(1 + rng.next_below(17));
+      std::string payload;
+      if (rng.next_below(2) == 0) {  // truncated valid payload
+        const std::string& donor =
+            corpus[static_cast<std::size_t>(rng.next_below(corpus.size()))];
+        const std::string body = donor.substr(rpc::kFrameHeaderBytes);
+        payload = body.substr(0, rng.next_below(body.size() + 1));
+      } else {  // pure garbage
+        const std::size_t len = rng.next_below(96);
+        for (std::size_t i = 0; i < len; ++i)
+          payload.push_back(static_cast<char>(rng.next_below(256)));
+      }
+      bytes += rpc::encode_frame(type, rng.next_below(1 << 16), payload);
+    }
+    std::string what = mutate_bytes(rng, bytes);
+    if (rng.next_below(2) == 0) what += "+" + mutate_bytes(rng, bytes);
+
+    const auto fail = [&](const std::string& msg) {
+      std::fprintf(stderr,
+                   "vbsfuzz: RPC-FRAME CONTRACT VIOLATION at iter %lld seed "
+                   "%llu (%s): %s\n",
+                   iter, static_cast<unsigned long long>(seed), what.c_str(),
+                   msg.c_str());
+      return 1;
+    };
+
+    rpc::FrameReader reader(kReaderCap);
+    std::string buf;
+    std::size_t off = 0;
+    bool severed = false;  // a real connection closes on the first bad frame
+    while (!severed) {
+      if (off < bytes.size()) {
+        const std::size_t take =
+            std::min<std::size_t>(1 + rng.next_below(1024), bytes.size() - off);
+        buf.append(bytes, off, take);
+        off += take;
+      }
+      try {
+        rpc::Frame f;
+        while (reader.next(buf, f)) {
+          ++frames_parsed;
+          try {
+            decode_payload(f);
+          } catch (const VbsError& e) {
+            if (e.code() == VbsErrc::kNone) {
+              return fail("payload VbsError with code ok");
+            }
+            ++payload_rejected;
+          }
+        }
+        if (off >= bytes.size()) break;  // drained; rest is a partial frame
+      } catch (const VbsError& e) {
+        if (e.code() == VbsErrc::kNone) {
+          return fail("frame VbsError with code ok");
+        }
+        ++stream_rejected;
+        severed = true;
+      } catch (const std::exception& e) {
+        return fail(std::string("untyped exception: ") + e.what());
+      }
+    }
+  }
+  std::printf(
+      "vbsfuzz: rpc-frame %lld iters seed %llu: %lld frames parsed, %lld "
+      "payloads rejected typed, %lld streams rejected typed, 0 contract "
+      "violations\n",
+      iters, static_cast<unsigned long long>(seed), frames_parsed,
+      payload_rejected, stream_rejected);
+  return 0;
+}
+
 bool config_is_clean(const ReconfigController& rtc) {
   if (rtc.occupancy() != 0.0 || rtc.num_tasks() != 0) return false;
   const BitVector& cfg = rtc.config_memory();
@@ -224,7 +458,7 @@ bool config_is_clean(const ReconfigController& rtc) {
 int main(int argc, char** argv) {
   return tool_main("vbsfuzz", kUsage, [&] {
     const CliArgs args(argc, argv, {"--iters", "--seed"},
-                       {"--smoke", "--help"});
+                       {"--smoke", "--rpc-frame", "--help"});
     if (args.has_flag("--help") || !args.positional().empty()) {
       std::fprintf(stderr, "usage: %s\n", kUsage);
       return args.has_flag("--help") ? 0 : 1;
@@ -233,6 +467,8 @@ int main(int argc, char** argv) {
     if (args.has_flag("--smoke")) iters = std::min<long long>(iters, 600);
     if (iters < 1) throw std::runtime_error("--iters must be >= 1");
     const std::uint64_t seed = seed_or(args, 1);
+
+    if (args.has_flag("--rpc-frame")) return run_rpc_frame_fuzz(iters, seed);
 
     const std::vector<CorpusEntry> corpus = {
         make_entry(18, 5, 5, 1),
